@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the congestion-control hot path.
+//!
+//! The eq. (1) increase runs on every ACK in a live stack, so its cost
+//! matters. The appendix's linear search should beat the exhaustive
+//! subset enumeration decisively as the path count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mptcp_cc::{
+    lia_increase_exhaustive, lia_increase_linear, Coupled, Ewtcp, Mptcp, MultipathCc,
+    SemiCoupled, SubflowSnapshot, UncoupledReno,
+};
+
+fn subflows(n: usize) -> Vec<SubflowSnapshot> {
+    (0..n)
+        .map(|i| SubflowSnapshot::new(4.0 + (i as f64) * 7.3, 0.01 + (i as f64) * 0.037))
+        .collect()
+}
+
+fn bench_lia_linear_vs_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lia_increase");
+    for &n in &[2usize, 4, 8, 12, 16] {
+        let subs = subflows(n);
+        g.bench_with_input(BenchmarkId::new("linear", n), &subs, |b, subs| {
+            b.iter(|| lia_increase_linear(black_box(0), black_box(subs)))
+        });
+        if n <= 12 {
+            g.bench_with_input(BenchmarkId::new("exhaustive", n), &subs, |b, subs| {
+                b.iter(|| lia_increase_exhaustive(black_box(0), black_box(subs)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_all_algorithms(c: &mut Criterion) {
+    let subs = subflows(4);
+    let ccs: Vec<Box<dyn MultipathCc>> = vec![
+        Box::new(UncoupledReno::new()),
+        Box::new(Ewtcp::equal_split(4)),
+        Box::new(Coupled::new()),
+        Box::new(SemiCoupled::new()),
+        Box::new(Mptcp::new()),
+    ];
+    let mut g = c.benchmark_group("increase_per_ack_4paths");
+    for cc in &ccs {
+        g.bench_function(cc.name(), |b| {
+            b.iter(|| cc.increase_per_ack(black_box(1), black_box(&subs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid_equilibrium(c: &mut Criterion) {
+    let loss = [0.04, 0.01];
+    let rtt = [0.010, 0.100];
+    c.bench_function("fluid_equilibrium_mptcp_2paths", |b| {
+        b.iter(|| mptcp_cc::fluid::equilibrium(&Mptcp::new(), black_box(&loss), black_box(&rtt)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lia_linear_vs_exhaustive,
+    bench_all_algorithms,
+    bench_fluid_equilibrium
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **Fig. 2 + Fig. 3 (§2.2)** — choosing efficient paths and balancing
+//! congestion, in the fluid model.
+//!
+//! Fig. 2: three 12 Mb/s links in a triangle; each of three flows has a
+//! one-hop path and a two-hop path. Paper: an even split gets 8 Mb/s per
+//! flow, EWTCP ≈ 8.5 Mb/s, the optimal (one-hop only, COUPLED's choice)
+//! gets 12 Mb/s.
+//!
+//! Fig. 3: three flows over links of unequal capacity. Paper: under EWTCP
+//! flows get (11, 11, 8) Mb/s with unbalanced loss rates; under COUPLED
+//! all flows get 10 Mb/s and all links have equal loss rate.
+
+use mptcp_bench::{banner, f2, Table};
+use mptcp_cc::fluid::fairness::jains_index;
+use mptcp_cc::fluid::network::{FluidNetwork, FluidSubflow};
+use mptcp_cc::AlgorithmKind;
+
+/// Build the Fig. 2 triangle: flow i = one-hop over link i, two-hop over
+/// links (i+1, i+2). Capacities in pkt/s with 1000 pkt/s ≈ 12 Mb/s.
+fn fig2(alg: AlgorithmKind) -> FluidNetwork {
+    let mut net = FluidNetwork::new();
+    let l: Vec<usize> = (0..3).map(|_| net.add_link(1000.0)).collect();
+    for i in 0..3 {
+        net.add_flow(
+            alg,
+            vec![
+                FluidSubflow { links: vec![l[i]], rtt: 0.1 },
+                FluidSubflow { links: vec![l[(i + 1) % 3], l[(i + 2) % 3]], rtt: 0.1 },
+            ],
+        );
+    }
+    net
+}
+
+/// Build the Fig. 3 ring: three flows, each with two one-hop subflows over
+/// adjacent links; capacities sum to 30 (→ 10 per flow when balanced).
+fn fig3(alg: AlgorithmKind) -> FluidNetwork {
+    let mut net = FluidNetwork::new();
+    let caps = [500.0, 1200.0, 1300.0];
+    let l: Vec<usize> = caps.iter().map(|&c| net.add_link(c)).collect();
+    for i in 0..3 {
+        net.add_flow(
+            alg,
+            vec![
+                FluidSubflow { links: vec![l[i]], rtt: 0.1 },
+                FluidSubflow { links: vec![l[(i + 1) % 3]], rtt: 0.1 },
+            ],
+        );
+    }
+    net
+}
+
+fn main() {
+    banner("FIG2", "efficient path choice in the §2.2 triangle (fluid model)");
+    let mut t = Table::new(&["algorithm", "per-flow Mb/s (paper)", "per-flow Mb/s (measured)"]);
+    // 1000 pkt/s of 1500 B packets = 12 Mb/s; report in Mb/s equivalents.
+    let to_mbps = 12.0 / 1000.0;
+    for (alg, paper) in [
+        (AlgorithmKind::Ewtcp, "8.5"),
+        (AlgorithmKind::Coupled, "12"),
+        (AlgorithmKind::Mptcp, "(between)"),
+    ] {
+        let sol = fig2(alg).solve();
+        let mean: f64 = (0..3).map(|f| sol.flow_rate(f)).sum::<f64>() / 3.0;
+        t.row(vec![format!("{alg:?}"), paper.into(), f2(mean * to_mbps)]);
+    }
+    t.print();
+
+    banner("FIG3", "congestion balancing in the §2.2 ring (fluid model)");
+    let mut t = Table::new(&[
+        "algorithm",
+        "flow rates Mb/s",
+        "Jain",
+        "max/min link loss",
+        "paper",
+    ]);
+    for (alg, paper) in [
+        (AlgorithmKind::Ewtcp, "unequal rates & losses"),
+        (AlgorithmKind::Coupled, "all 10 Mb/s, equal loss"),
+        (AlgorithmKind::Mptcp, "(between)"),
+    ] {
+        let sol = fig3(alg).solve();
+        let rates: Vec<f64> = (0..3).map(|f| sol.flow_rate(f) * to_mbps).collect();
+        let jain = jains_index(&rates);
+        let max_p = sol.link_loss.iter().cloned().fold(f64::MIN, f64::max);
+        let min_p = sol.link_loss.iter().cloned().fold(f64::MAX, f64::min);
+        t.row(vec![
+            format!("{alg:?}"),
+            format!("{:.1}/{:.1}/{:.1}", rates[0], rates[1], rates[2]),
+            f2(jain),
+            f2(max_p / min_p),
+            paper.into(),
+        ]);
+    }
+    t.print();
+}

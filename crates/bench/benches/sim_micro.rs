@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the packet-level simulator.
+//!
+//! The paper's simulator is described as "high-speed"; these benches track
+//! event throughput so regressions in the hot path (event queue, link
+//! service, ACK processing) are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnectionSpec, LinkSpec, SimTime, Simulator};
+
+/// One bottleneck, two competing TCPs, one simulated second.
+fn run_duel() -> u64 {
+    let mut sim = Simulator::new(1);
+    let l = sim.add_link(LinkSpec::mbps(100.0, SimTime::from_millis(5), 100));
+    sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+    sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+    sim.run_until(SimTime::from_secs(1));
+    sim.events_processed()
+}
+
+/// A 4-subflow MPTCP connection across four lossy links, one simulated
+/// second — exercises the coupled-increase path.
+fn run_multipath() -> u64 {
+    let mut sim = Simulator::new(2);
+    let mut spec = ConnectionSpec::bulk(AlgorithmKind::Mptcp);
+    for i in 0..4 {
+        let l = sim.add_link(
+            LinkSpec::mbps(50.0, SimTime::from_millis(5 + 10 * i), 50).with_loss(0.001),
+        );
+        spec = spec.path(vec![l]);
+    }
+    sim.add_connection(spec);
+    sim.run_until(SimTime::from_secs(1));
+    sim.events_processed()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let events = run_duel();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(criterion::Throughput::Elements(events));
+    g.bench_function("two_tcps_100mbps_1s", |b| b.iter(run_duel));
+    let events = run_multipath();
+    g.throughput(criterion::Throughput::Elements(events));
+    g.bench_function("mptcp_4subflows_1s", |b| b.iter(run_multipath));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

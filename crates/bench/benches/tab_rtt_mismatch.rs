@@ -1,0 +1,53 @@
+//! **§2.3 worked example** — RTT mismatch: WiFi (10 ms RTT, 4% loss) vs 3G
+//! (100 ms RTT, 1% loss), fixed loss rates.
+//!
+//! Paper predictions (pkt/s): single-path WiFi 707, single-path 3G 141,
+//! EWTCP (707+141)/2 = 424, COUPLED 141 (all traffic on the less congested
+//! 3G path). MPTCP's goals require ≥ 707 — the best single path.
+//!
+//! Also prints §2.4's SEMICOUPLED weight-split example (1%/1%/5% loss →
+//! 45%/45%/10%).
+
+use mptcp_bench::{banner, f1, Table};
+use mptcp_cc::fluid::{equilibrium, tcp_rate};
+use mptcp_cc::{semicoupled_equilibrium, Coupled, Ewtcp, Mptcp, MultipathCc, SemiCoupled};
+
+const LOSS: [f64; 2] = [0.04, 0.01];
+const RTT: [f64; 2] = [0.010, 0.100];
+
+fn total_rate(cc: &dyn MultipathCc) -> f64 {
+    let w = equilibrium(cc, &LOSS, &RTT);
+    w.iter().zip(RTT.iter()).map(|(wr, rtt)| wr / rtt).sum()
+}
+
+fn main() {
+    banner("TAB_RTT", "§2.3 RTT-mismatch example (fluid model, fixed loss rates)");
+    let wifi = tcp_rate(LOSS[0], RTT[0]);
+    let threeg = tcp_rate(LOSS[1], RTT[1]);
+    let mut t = Table::new(&["flow", "paper pkt/s", "measured pkt/s"]);
+    t.row(vec!["single-path WiFi".into(), "707".into(), f1(wifi)]);
+    t.row(vec!["single-path 3G".into(), "141".into(), f1(threeg)]);
+    t.row(vec!["EWTCP".into(), "424".into(), f1(total_rate(&Ewtcp::equal_split(2)))]);
+    t.row(vec!["COUPLED".into(), "141".into(), f1(total_rate(&Coupled::new()))]);
+    t.row(vec!["MPTCP".into(), "≥707".into(), f1(total_rate(&Mptcp::new()))]);
+    t.print();
+
+    banner("SEMICOUPLED", "§2.4 weight-split example (losses 1%, 1%, 5%)");
+    let w = semicoupled_equilibrium(1.0, &[0.01, 0.01, 0.05]);
+    let total: f64 = w.iter().sum();
+    let mut t = Table::new(&["path", "paper share", "measured share"]);
+    for (i, paper) in [(0, "45%"), (1, "45%"), (2, "10%")] {
+        t.row(vec![format!("path {i}"), paper.into(), format!("{:.1}%", 100.0 * w[i] / total)]);
+    }
+    t.print();
+
+    // Cross-check the closed form against the generic solver.
+    let solver = equilibrium(&SemiCoupled::new(), &[0.01, 0.01, 0.05], &[0.1, 0.1, 0.1]);
+    let solver_total: f64 = solver.iter().sum();
+    println!(
+        "\n  (generic-solver shares: {:.1}% / {:.1}% / {:.1}%)",
+        100.0 * solver[0] / solver_total,
+        100.0 * solver[1] / solver_total,
+        100.0 * solver[2] / solver_total
+    );
+}

@@ -1,0 +1,171 @@
+//! Shared machinery for the §4 data-center experiments (FatTree & BCube).
+
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnId, ConnectionSpec, LinkSpec, SimTime, Simulator};
+use mptcp_topology::{BCube, FatTree};
+use mptcp_workload::{one_to_many_random, random_permutation_pairs, sparse_pairs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three §4 traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tp {
+    /// TP1: random permutation.
+    Permutation,
+    /// TP2: one-to-many (12 flows per host).
+    OneToMany,
+    /// TP3: sparse (30% of hosts).
+    Sparse,
+}
+
+/// How flows route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Single-path TCP over a random shortest path (the ECMP mimic).
+    SinglePath,
+    /// Multipath with `n_paths` subflows under the given algorithm.
+    Multipath(AlgorithmKind, usize),
+}
+
+/// Result of one data-center run.
+pub struct DcResult {
+    /// Goodput per source host, bits/s (sum of its flows).
+    pub per_host_bps: Vec<f64>,
+    /// Goodput per flow, bits/s.
+    pub per_flow_bps: Vec<f64>,
+    /// Loss rate of every core link over the measurement window.
+    pub core_loss: Vec<f64>,
+    /// Loss rate of every access link over the measurement window.
+    pub access_loss: Vec<f64>,
+}
+
+impl DcResult {
+    /// Mean per-host goodput in Mb/s (the paper's table unit).
+    pub fn mean_host_mbps(&self) -> f64 {
+        let active: Vec<&f64> = self.per_host_bps.iter().filter(|&&b| b > 0.0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().copied().sum::<f64>() / active.len() as f64 / 1e6
+    }
+}
+
+/// The link spec used for every data-center link: 100 Mb/s, 10 µs
+/// propagation, 100-packet buffers.
+pub fn dc_link() -> LinkSpec {
+    LinkSpec::mbps(100.0, SimTime::from_micros(10), 100)
+}
+
+fn host_pairs(tp: Tp, hosts: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    match tp {
+        Tp::Permutation => random_permutation_pairs(hosts, rng),
+        Tp::OneToMany => one_to_many_random(hosts, 12, rng),
+        Tp::Sparse => sparse_pairs(hosts, 0.3, rng),
+    }
+}
+
+fn finish(
+    sim: &mut Simulator,
+    conns: &[(usize, ConnId)],
+    hosts: usize,
+    warmup: SimTime,
+    window: SimTime,
+    core: &[usize],
+    access: &[usize],
+) -> DcResult {
+    let ids: Vec<ConnId> = conns.iter().map(|&(_, c)| c).collect();
+    let flows = crate::measure_goodput_bps(sim, &ids, warmup, window);
+    let mut per_host = vec![0.0; hosts];
+    for (&(src, _), &bps) in conns.iter().zip(&flows) {
+        per_host[src] += bps;
+    }
+    DcResult {
+        per_host_bps: per_host,
+        per_flow_bps: flows,
+        core_loss: core.iter().map(|&l| sim.link_stats(l).loss_rate()).collect(),
+        access_loss: access.iter().map(|&l| sim.link_stats(l).loss_rate()).collect(),
+    }
+}
+
+/// Run one FatTree experiment.
+pub fn run_fattree(
+    k: usize,
+    tp: Tp,
+    routing: Routing,
+    seed: u64,
+    warmup: SimTime,
+    window: SimTime,
+) -> DcResult {
+    let mut sim = Simulator::new(seed);
+    let ft = FatTree::build(&mut sim, k, dc_link());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let pairs = host_pairs(tp, ft.host_count(), &mut rng);
+    let conns: Vec<(usize, ConnId)> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            let conn = match routing {
+                Routing::SinglePath => sim.add_connection(
+                    ConnectionSpec::bulk(AlgorithmKind::Uncoupled)
+                        .path(ft.ecmp_path(s, d, &mut rng)),
+                ),
+                Routing::Multipath(alg, n) => {
+                    let mut spec = ConnectionSpec::bulk(alg);
+                    for p in ft.random_paths(s, d, n, &mut rng) {
+                        spec = spec.path(p);
+                    }
+                    sim.add_connection(spec)
+                }
+            };
+            (s, conn)
+        })
+        .collect();
+    let core = ft.core_links();
+    let access = ft.access_links();
+    finish(&mut sim, &conns, ft.host_count(), warmup, window, &core, &access)
+}
+
+/// Run one BCube experiment.
+pub fn run_bcube(
+    n: usize,
+    levels_k: usize,
+    tp: Tp,
+    routing: Routing,
+    seed: u64,
+    warmup: SimTime,
+    window: SimTime,
+) -> DcResult {
+    let mut sim = Simulator::new(seed);
+    let bc = BCube::build(&mut sim, n, levels_k, dc_link());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbcbe);
+    let hosts = bc.host_count();
+    // TP2 in BCube: "the destinations are the host's neighbors in the
+    // three levels".
+    let pairs: Vec<(usize, usize)> = match tp {
+        Tp::OneToMany => (0..hosts)
+            .flat_map(|h| bc.level_neighbors(h).into_iter().map(move |d| (h, d)))
+            .collect(),
+        other => host_pairs(other, hosts, &mut rng),
+    };
+    let conns: Vec<(usize, ConnId)> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            let conn = match routing {
+                Routing::SinglePath => sim.add_connection(
+                    ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(bc.single_path(s, d)),
+                ),
+                Routing::Multipath(alg, _) => {
+                    let mut spec = ConnectionSpec::bulk(alg);
+                    for p in bc.path_set(s, d, &mut rng) {
+                        spec = spec.path(p);
+                    }
+                    sim.add_connection(spec)
+                }
+            };
+            (s, conn)
+        })
+        .collect();
+    // All links in BCube are host↔switch; treat them all as "core" for the
+    // loss distribution and also as access (they are NIC links).
+    let all: Vec<usize> = (0..sim.link_count()).collect();
+    finish(&mut sim, &conns, hosts, warmup, window, &all, &[])
+}

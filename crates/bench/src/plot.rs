@@ -1,0 +1,135 @@
+//! Minimal ASCII plotting for the figure benches.
+//!
+//! The paper's figures are line/rank/band plots; these helpers render the
+//! same series as terminal graphics so `cargo bench` output *looks like*
+//! the figure being reproduced, not just a table.
+
+/// Render one or more named series as an ASCII line chart. Each series is
+/// sampled at the same x positions (whatever order the values come in).
+pub struct Chart {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<f64>)>,
+    y_label: String,
+}
+
+impl Chart {
+    /// A chart `width` columns wide and `height` rows tall.
+    pub fn new(width: usize, height: usize, y_label: &str) -> Self {
+        assert!(width >= 10 && height >= 3, "chart too small to be legible");
+        Self { width, height, series: Vec::new(), y_label: y_label.to_string() }
+    }
+
+    /// Add a series drawn with marker `marker`.
+    pub fn series(mut self, marker: char, values: &[f64]) -> Self {
+        self.series.push((marker, values.to_vec()));
+        self
+    }
+
+    /// Render to a string (rows top to bottom, y axis labelled at both
+    /// extremes).
+    pub fn render(&self) -> String {
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
+        let min = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::MAX, f64::min)
+            .min(0.0);
+        let span = (max - min).max(1e-12);
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, values) in &self.series {
+            if values.is_empty() {
+                continue;
+            }
+            for (i, &v) in values.iter().enumerate() {
+                let x = if values.len() == 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (values.len() - 1)
+                };
+                let frac = (v - min) / span;
+                let y = ((1.0 - frac) * (self.height - 1) as f64).round() as usize;
+                let y = y.min(self.height - 1);
+                grid[y][x] = *marker;
+            }
+        }
+        let mut out = String::new();
+        for (row_idx, row) in grid.iter().enumerate() {
+            let label = if row_idx == 0 {
+                format!("{max:9.1}")
+            } else if row_idx == self.height - 1 {
+                format!("{min:9.1}")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("  {label} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("  {:>9} +{}\n", self.y_label, "-".repeat(self.width)));
+        out
+    }
+
+    /// Print the chart and a legend.
+    pub fn print(&self, legend: &[(char, &str)]) {
+        print!("{}", self.render());
+        let items: Vec<String> =
+            legend.iter().map(|(m, name)| format!("{m} = {name}")).collect();
+        println!("  legend: {}", items.join(", "));
+    }
+}
+
+/// Sort values descending — "rank of flow/link" as in Fig. 13's x axes.
+pub fn ranked(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_expected_shape() {
+        let chart = Chart::new(20, 5, "y").series('*', &[0.0, 5.0, 10.0]);
+        let s = chart.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6, "5 rows + axis");
+        // The max value appears in the top row, the min in the bottom row.
+        assert!(lines[0].contains('*'), "top row has the max point: {s}");
+        assert!(lines[4].contains('*'), "bottom row has the min point: {s}");
+    }
+
+    #[test]
+    fn multiple_series_coexist() {
+        let chart = Chart::new(30, 8, "pkt/s")
+            .series('a', &[1.0, 2.0, 3.0])
+            .series('b', &[3.0, 2.0, 1.0]);
+        let s = chart.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn ranked_sorts_descending() {
+        assert_eq!(ranked(&[1.0, 3.0, 2.0]), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let chart = Chart::new(12, 3, "x").series('c', &[5.0; 4]);
+        let _ = chart.render();
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_chart_rejected() {
+        let _ = Chart::new(2, 1, "y");
+    }
+}

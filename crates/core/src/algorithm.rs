@@ -1,0 +1,123 @@
+//! The [`MultipathCc`] trait and a serializable algorithm selector.
+
+use crate::snapshot::SubflowSnapshot;
+use crate::{Coupled, Ewtcp, Mptcp, Rfc6356, SemiCoupled, UncoupledReno};
+use serde::{Deserialize, Serialize};
+
+/// A multipath congestion-control rule: how much to open a subflow's window
+/// on each ACK, and where to set it after a loss event.
+///
+/// Implementations are **pure**: they read the state of all subflows of the
+/// connection and return the new value; they hold no per-connection mutable
+/// state. This mirrors the paper's presentation, where every algorithm is a
+/// pair of update rules, and lets the same object drive the fluid model, the
+/// simulator, and the protocol stack.
+///
+/// Conventions:
+/// * windows are in packets, RTTs in seconds ([`SubflowSnapshot`]);
+/// * `r` indexes into `subs`;
+/// * callers apply the probing floor [`MultipathCc::min_window`] after a
+///   decrease (the paper bounds windows to ≥ 1 packet in its implementation,
+///   §2.4, precisely so a flow keeps probing paths that might improve).
+pub trait MultipathCc: Send + Sync {
+    /// Short stable name, used in experiment output ("MPTCP", "EWTCP", …).
+    fn name(&self) -> &'static str;
+
+    /// Window increment (in packets) granted to subflow `r` for one ACK of
+    /// one packet, given the current state of all subflows.
+    fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64;
+
+    /// The window subflow `r` should drop to on a loss event (before the
+    /// probing floor is applied).
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64;
+
+    /// Probing floor: the minimum window a subflow is held at so that it
+    /// keeps sampling its path's congestion (§2.4). One packet by default.
+    fn min_window(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A serializable selector for the algorithms evaluated in the paper, used
+/// by the experiment harness to sweep algorithms from one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Regular TCP on every subflow, fully uncoupled (§2.1's strawman).
+    Uncoupled,
+    /// Equally-weighted TCP with per-subflow throughput weight `1/n` (§2.1).
+    Ewtcp,
+    /// Fully coupled: all traffic moves to the least-congested path (§2.2).
+    Coupled,
+    /// Semi-coupled with linked increases but per-subflow decreases (§2.4).
+    SemiCoupled,
+    /// The paper's final algorithm, eq. (1) — RTT-compensated coupling (§2.5).
+    Mptcp,
+    /// The RFC 6356 restatement of the paper's algorithm (deployed LIA).
+    Rfc6356,
+}
+
+impl AlgorithmKind {
+    /// Instantiate the algorithm for a connection with `n_subflows` paths.
+    ///
+    /// `n_subflows` only matters for EWTCP, whose weight is a function of the
+    /// number of paths; the coupled algorithms adapt automatically.
+    pub fn build(self, n_subflows: usize) -> Box<dyn MultipathCc> {
+        match self {
+            AlgorithmKind::Uncoupled => Box::new(UncoupledReno::new()),
+            AlgorithmKind::Ewtcp => Box::new(Ewtcp::equal_split(n_subflows)),
+            AlgorithmKind::Coupled => Box::new(Coupled::new()),
+            AlgorithmKind::SemiCoupled => Box::new(SemiCoupled::new()),
+            AlgorithmKind::Mptcp => Box::new(Mptcp::new()),
+            AlgorithmKind::Rfc6356 => Box::new(Rfc6356::new()),
+        }
+    }
+
+    /// All kinds, in the order the paper introduces them (plus the RFC
+    /// restatement last).
+    pub fn all() -> [AlgorithmKind; 6] {
+        [
+            AlgorithmKind::Uncoupled,
+            AlgorithmKind::Ewtcp,
+            AlgorithmKind::Coupled,
+            AlgorithmKind::SemiCoupled,
+            AlgorithmKind::Mptcp,
+            AlgorithmKind::Rfc6356,
+        ]
+    }
+
+    /// The three algorithms the paper's evaluation sections compare head to
+    /// head (EWTCP, COUPLED, MPTCP).
+    pub fn evaluated() -> [AlgorithmKind; 3] {
+        [AlgorithmKind::Ewtcp, AlgorithmKind::Coupled, AlgorithmKind::Mptcp]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_named_algorithms() {
+        let names: Vec<&str> =
+            AlgorithmKind::all().iter().map(|k| k.build(2).name()).collect();
+        assert_eq!(
+            names,
+            ["UNCOUPLED", "EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP", "RFC6356"]
+        );
+    }
+
+    #[test]
+    fn evaluated_is_subset_of_all() {
+        let all = AlgorithmKind::all();
+        for kind in AlgorithmKind::evaluated() {
+            assert!(all.contains(&kind));
+        }
+    }
+
+    #[test]
+    fn default_min_window_is_one_packet() {
+        for kind in AlgorithmKind::all() {
+            assert!((kind.build(3).min_window() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! COUPLED — fully coupled windows that concentrate on the least-congested
+//! path (§2.2).
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::{total_window, SubflowSnapshot};
+
+/// The COUPLED algorithm (§2.2), adapted from the fluid models of Kelly &
+/// Voice and Han et al.: both the increase and the decrease are functions of
+/// the **total** window `w_total = Σ_s w_s`.
+///
+/// * Each ACK on path `r`: `w_r += 1/w_total`.
+/// * Each loss on path `r`: `w_r -= w_total/2` (bounded below).
+///
+/// At equilibrium `w_total ≈ √(2/p)` regardless of the number of paths, so
+/// COUPLED is automatically fair at shared bottlenecks, and because paths
+/// with higher loss rates see more decreases, all traffic migrates to the
+/// least-congested path (`ŵ_r = 0` whenever `p_r > p_min`).
+///
+/// Two deliberate weaknesses, reproduced faithfully because the paper's
+/// experiments depend on them:
+/// * **RTT mismatch** (§2.3): throughput collapses to that of the
+///   least-congested path even when that path has a hopeless RTT;
+/// * **"trapping"** (§2.4): with only the 1-packet probing floor, COUPLED
+///   discovers load changes on an abandoned path very slowly (Fig. 5/9).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coupled;
+
+impl Coupled {
+    /// Create the COUPLED algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MultipathCc for Coupled {
+    fn name(&self) -> &'static str {
+        "COUPLED"
+    }
+
+    /// "For each ACK on path r, increase window w_r by 1/w_total."
+    fn increase_per_ack(&self, _r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        1.0 / total_window(subs)
+    }
+
+    /// "For each loss on path r, decrease window w_r by w_total/2."
+    ///
+    /// The result can be negative for a small subflow; callers clamp to the
+    /// probing floor ("In our experiments we bound it to be ≥ 1 pkt", §2.2
+    /// footnote 5).
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        subs[r].cwnd - total_window(subs) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_coupled_is_regular_tcp() {
+        let cc = Coupled::new();
+        let subs = [SubflowSnapshot::new(12.0, 0.05)];
+        assert!((cc.increase_per_ack(0, &subs) - 1.0 / 12.0).abs() < 1e-12);
+        // w - w_total/2 = w/2 with one path.
+        assert!((cc.window_after_loss(0, &subs) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increase_shared_across_paths() {
+        let cc = Coupled::new();
+        let subs = [SubflowSnapshot::new(10.0, 0.05), SubflowSnapshot::new(30.0, 0.05)];
+        // Same increase on both paths: 1/w_total = 1/40.
+        assert!((cc.increase_per_ack(0, &subs) - 0.025).abs() < 1e-12);
+        assert!((cc.increase_per_ack(1, &subs) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_on_small_subflow_can_push_below_zero() {
+        // The decrease is w_total/2 even on a small subflow; the caller's
+        // probing floor is what keeps the window alive.
+        let cc = Coupled::new();
+        let subs = [SubflowSnapshot::new(2.0, 0.05), SubflowSnapshot::new(38.0, 0.05)];
+        assert!(cc.window_after_loss(0, &subs) < 0.0);
+    }
+
+    /// Balance check of paper eq. (2): at ŵ_total = √(2/p) with equal loss
+    /// on all paths, increase and decrease rates cancel.
+    #[test]
+    fn equilibrium_total_window_is_sqrt_two_over_p() {
+        let p = 0.004_f64;
+        let w_total = (2.0 / p).sqrt();
+        let subs = [
+            SubflowSnapshot::new(w_total / 2.0, 0.1),
+            SubflowSnapshot::new(w_total / 2.0, 0.1),
+        ];
+        let cc = Coupled::new();
+        // Per-ACK increase times (1-p)≈1 must equal p × (w_total/2) loss-rate
+        // × decrease... in window terms per packet sent:
+        let inc = cc.increase_per_ack(0, &subs);
+        let dec = p * (w_total / 2.0);
+        assert!((inc - dec).abs() / dec < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Generic equilibrium solver: integrate the fluid window dynamics of any
+//! [`MultipathCc`] to their fixed point.
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::SubflowSnapshot;
+
+/// Options for [`equilibrium_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct EquilibriumOptions {
+    /// Floor applied to every window during integration, in packets. The
+    /// paper's implementation keeps windows ≥ 1 pkt for probing (§2.4); for
+    /// analysis it treats the floor as 0 (footnote 5). Default is a tiny
+    /// positive value so that COUPLED's abandoned paths show up as ≈ 0.
+    pub window_floor: f64,
+    /// Convergence tolerance on the relative drift `|ẇ_r|·RTT_r / w_r`.
+    pub tolerance: f64,
+    /// Safety cap on integration steps.
+    pub max_steps: usize,
+}
+
+impl Default for EquilibriumOptions {
+    fn default() -> Self {
+        Self { window_floor: 1e-6, tolerance: 1e-8, max_steps: 400_000 }
+    }
+}
+
+/// Find the equilibrium windows of `cc` under fixed per-path loss rates
+/// `loss[r]` and round-trip times `rtt[r]`, with default options.
+///
+/// The fluid dynamics integrated are the continuous-time limit of the
+/// paper's window rules: ACKs arrive on path `r` at rate `w_r/RTT_r`, each
+/// adding `increase_per_ack`, and losses arrive at rate `(w_r/RTT_r)p_r`,
+/// each subtracting `w_r − window_after_loss`:
+///
+/// ```text
+/// ẇ_r = (w_r/RTT_r) [ inc_r(w) − p_r·(w_r − dec_r(w)) ]
+/// ```
+///
+/// This is exactly the balance argument of paper eq. (2) under its own
+/// small-`p` approximation `1 − p ≈ 1` (so a single path equilibrates at
+/// exactly `√(2/p)`, the paper's `ŵ_TCP`), solved for an arbitrary
+/// algorithm instead of by hand.
+///
+/// # Panics
+/// Panics if the slices are empty, have different lengths, or contain
+/// non-positive loss rates / RTTs.
+pub fn equilibrium(cc: &dyn MultipathCc, loss: &[f64], rtt: &[f64]) -> Vec<f64> {
+    equilibrium_with(cc, loss, rtt, EquilibriumOptions::default())
+}
+
+/// [`equilibrium`] with explicit options.
+pub fn equilibrium_with(
+    cc: &dyn MultipathCc,
+    loss: &[f64],
+    rtt: &[f64],
+    opts: EquilibriumOptions,
+) -> Vec<f64> {
+    // Start from the single-path TCP windows: a reasonable interior point.
+    let init: Vec<f64> = loss.iter().map(|&p| (2.0 / p).sqrt()).collect();
+    equilibrium_from(cc, loss, rtt, &init, opts)
+}
+
+/// [`equilibrium_with`] starting from an explicit initial guess `init`
+/// (packets per path). Warm-starting from a nearby solution makes iterated
+/// solves — as in [`crate::fluid::network`]'s fixed point — much cheaper.
+pub fn equilibrium_from(
+    cc: &dyn MultipathCc,
+    loss: &[f64],
+    rtt: &[f64],
+    init: &[f64],
+    opts: EquilibriumOptions,
+) -> Vec<f64> {
+    assert!(!loss.is_empty(), "need at least one path");
+    assert_eq!(loss.len(), rtt.len(), "loss and rtt lengths differ");
+    assert_eq!(loss.len(), init.len(), "init length mismatch");
+    for (&p, &t) in loss.iter().zip(rtt) {
+        assert!(p > 0.0 && p <= 1.0, "loss rate must be in (0,1], got {p}");
+        assert!(t > 0.0, "RTT must be positive, got {t}");
+    }
+    let n = loss.len();
+    let mut subs: Vec<SubflowSnapshot> = init
+        .iter()
+        .zip(rtt)
+        .map(|(&w, &t)| SubflowSnapshot::new(w.max(opts.window_floor), t))
+        .collect();
+
+    let mut drift = vec![0.0_f64; n];
+    for _step in 0..opts.max_steps {
+        let mut max_rel = 0.0_f64;
+        for r in 0..n {
+            let w = subs[r].cwnd;
+            let inc = cc.increase_per_ack(r, &subs);
+            let dec = w - cc.window_after_loss(r, &subs);
+            // ẇ_r, in packets per second of fluid time (1 − p ≈ 1).
+            let d = (w / rtt[r]) * (inc - loss[r] * dec);
+            drift[r] = d;
+            // Relative drift over one RTT.
+            max_rel = max_rel.max((d * rtt[r] / w).abs());
+        }
+        if max_rel < opts.tolerance {
+            break;
+        }
+        // Adaptive Euler step: never move any window more than 2% per step.
+        let mut dt = f64::INFINITY;
+        for r in 0..n {
+            if drift[r].abs() > 0.0 {
+                dt = dt.min(0.02 * subs[r].cwnd / drift[r].abs());
+            }
+        }
+        if !dt.is_finite() {
+            break;
+        }
+        for r in 0..n {
+            subs[r].cwnd = (subs[r].cwnd + drift[r] * dt).max(opts.window_floor);
+        }
+    }
+    subs.into_iter().map(|s| s.cwnd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::tcp_window;
+    use crate::{Coupled, Ewtcp, Mptcp, SemiCoupled, UncoupledReno};
+
+    const P: [f64; 2] = [0.01, 0.02];
+    const RTT: [f64; 2] = [0.1, 0.1];
+
+    #[test]
+    fn uncoupled_equilibrium_is_per_path_tcp() {
+        let w = equilibrium(&UncoupledReno::new(), &P, &RTT);
+        assert!((w[0] - tcp_window(P[0])).abs() / w[0] < 1e-3);
+        assert!((w[1] - tcp_window(P[1])).abs() / w[1] < 1e-3);
+    }
+
+    #[test]
+    fn ewtcp_equilibrium_is_weighted_tcp() {
+        let w = equilibrium(&Ewtcp::equal_split(2), &P, &RTT);
+        assert!((w[0] - 0.5 * tcp_window(P[0])).abs() / w[0] < 1e-3);
+        assert!((w[1] - 0.5 * tcp_window(P[1])).abs() / w[1] < 1e-3);
+    }
+
+    #[test]
+    fn coupled_abandons_more_congested_path() {
+        let w = equilibrium(&Coupled::new(), &P, &RTT);
+        // All weight on path 0 (lower loss); total ≈ √(2/p_min).
+        assert!(w[1] < 1e-3, "congested path window should collapse, got {}", w[1]);
+        assert!((w[0] - tcp_window(P[0])).abs() / w[0] < 1e-2);
+    }
+
+    #[test]
+    fn coupled_equal_losses_keeps_tcp_total() {
+        let p = [0.01, 0.01];
+        let w = equilibrium(&Coupled::new(), &p, &RTT);
+        let total: f64 = w.iter().sum();
+        assert!((total - tcp_window(0.01)).abs() / total < 1e-2);
+    }
+
+    #[test]
+    fn semicoupled_matches_closed_form() {
+        let p = [0.01, 0.01, 0.05];
+        let rtt = [0.1, 0.1, 0.1];
+        let w = equilibrium(&SemiCoupled::new(), &p, &rtt);
+        let inv_sum: f64 = p.iter().map(|x| 1.0 / x).sum();
+        for r in 0..3 {
+            let expect = (2.0_f64).sqrt() * (1.0 / p[r]) / inv_sum.sqrt();
+            assert!((w[r] - expect).abs() / expect < 1e-3, "path {r}: {} vs {expect}", w[r]);
+        }
+    }
+
+    #[test]
+    fn mptcp_single_path_is_regular_tcp() {
+        let w = equilibrium(&Mptcp::new(), &[0.005], &[0.08]);
+        assert!((w[0] - tcp_window(0.005)).abs() / w[0] < 1e-3);
+    }
+
+    /// With equal RTTs and equal loss, MPTCP's equilibrium total equals one
+    /// TCP's window (fairness at a shared bottleneck, Fig. 1).
+    #[test]
+    fn mptcp_equal_paths_total_is_one_tcp() {
+        let p = [0.01, 0.01];
+        let w = equilibrium(&Mptcp::new(), &p, &RTT);
+        let total: f64 = w.iter().sum();
+        assert!(
+            (total - tcp_window(0.01)).abs() / total < 2e-2,
+            "total {total} vs tcp {}",
+            tcp_window(0.01)
+        );
+    }
+
+    /// MPTCP prefers the less congested path but, unlike COUPLED, keeps
+    /// meaningful traffic on the other (§2.4 probing rationale).
+    #[test]
+    fn mptcp_biases_toward_less_congested_without_abandoning() {
+        let w = equilibrium(&Mptcp::new(), &P, &RTT);
+        assert!(w[0] > w[1], "less congested path should carry more");
+        assert!(w[1] > 1.0, "more congested path should not collapse: {}", w[1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Fluid-model equilibrium analysis (§2 of the paper).
+//!
+//! The paper reasons about its algorithms with balance arguments: at
+//! equilibrium the expected window increase from ACKs equals the expected
+//! decrease from losses (eq. (2) and its variants). This module makes those
+//! arguments executable:
+//!
+//! * [`tcp_window`] / [`tcp_rate`] — the `ŵ_TCP = √(2/p)` single-path
+//!   throughput model used throughout the paper;
+//! * [`equilibrium`] — a generic ODE/balance solver that finds the
+//!   equilibrium windows of **any** [`MultipathCc`](crate::MultipathCc)
+//!   under fixed per-path loss rates and RTTs;
+//! * [`fairness`] — the two fairness requirements (3)–(4) of §2.5 and
+//!   Jain's fairness index;
+//! * [`network`] — a fixed-point solver for small networks of capacitated
+//!   links, which reproduces the Fig. 2 / Fig. 3 / §2.3 worked examples
+//!   where the loss rates are an *outcome* of the competing flows rather
+//!   than an input.
+
+mod balance;
+pub mod fairness;
+pub mod network;
+
+pub use balance::{equilibrium, equilibrium_from, equilibrium_with, EquilibriumOptions};
+
+/// Equilibrium window of a single-path TCP under loss rate `p`:
+/// `ŵ_TCP = √(2/p)` packets (the paper's approximation of eq. (2) for one
+/// path, valid for small `p`).
+///
+/// # Panics
+/// Panics unless `0 < p ≤ 1`.
+pub fn tcp_window(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "loss rate must be in (0, 1]");
+    (2.0 / p).sqrt()
+}
+
+/// Equilibrium rate of a single-path TCP: `√(2/p)/RTT` packets per second
+/// (§2.3: "take the throughput of single-path TCP to be √(2/p)/RTT pkt/s").
+pub fn tcp_rate(p: f64, rtt: f64) -> f64 {
+    assert!(rtt > 0.0, "RTT must be positive");
+    tcp_window(p) / rtt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §2.3's worked example: WiFi at RTT 10 ms / 4% loss gives ~707 pkt/s,
+    /// 3G at RTT 100 ms / 1% loss gives ~141 pkt/s.
+    #[test]
+    fn paper_wifi_3g_single_path_rates() {
+        let wifi = tcp_rate(0.04, 0.010);
+        let threeg = tcp_rate(0.01, 0.100);
+        assert!((wifi - 707.1).abs() < 1.0, "wifi {wifi}");
+        assert!((threeg - 141.4).abs() < 1.0, "3g {threeg}");
+    }
+
+    #[test]
+    fn window_decreases_with_loss() {
+        assert!(tcp_window(0.001) > tcp_window(0.01));
+        assert!(tcp_window(0.01) > tcp_window(0.1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_loss_is_rejected() {
+        let _ = tcp_window(0.0);
+    }
+}

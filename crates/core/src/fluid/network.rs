@@ -1,0 +1,321 @@
+//! A fixed-point fluid solver for small networks of capacitated links.
+//!
+//! In §2.2–§2.3 the paper predicts outcomes in scenarios (Fig. 2, Fig. 3)
+//! where the per-path loss rates are not inputs but *emerge* from the
+//! competition of the flows over shared links. This module solves those
+//! scenarios: each link adjusts its loss rate until offered load matches
+//! capacity (or the loss rate falls to zero on underloaded links), while
+//! each flow's subflow windows sit at the equilibrium of its
+//! congestion-control algorithm under the current loss rates.
+
+use crate::algorithm::AlgorithmKind;
+use crate::fluid::balance::{equilibrium_from, EquilibriumOptions};
+
+/// A capacitated link in the fluid model.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidLink {
+    /// Capacity in packets per second.
+    pub capacity: f64,
+}
+
+/// One subflow of a fluid flow: the links it traverses, and its RTT.
+#[derive(Debug, Clone)]
+pub struct FluidSubflow {
+    /// Indices into the solver's link table.
+    pub links: Vec<usize>,
+    /// Round-trip time in seconds.
+    pub rtt: f64,
+}
+
+/// A flow: a congestion-control algorithm plus its available paths.
+#[derive(Debug, Clone)]
+pub struct FluidFlow {
+    /// Which algorithm the flow runs.
+    pub algorithm: AlgorithmKind,
+    /// The flow's subflows.
+    pub subflows: Vec<FluidSubflow>,
+}
+
+/// The solved equilibrium of a [`FluidNetwork`].
+#[derive(Debug, Clone)]
+pub struct NetworkSolution {
+    /// Loss rate of each link.
+    pub link_loss: Vec<f64>,
+    /// Offered load on each link, pkt/s.
+    pub link_load: Vec<f64>,
+    /// Per-flow, per-subflow rates in pkt/s.
+    pub subflow_rates: Vec<Vec<f64>>,
+}
+
+impl NetworkSolution {
+    /// Total rate of flow `f` across its subflows, pkt/s.
+    pub fn flow_rate(&self, f: usize) -> f64 {
+        self.subflow_rates[f].iter().sum()
+    }
+}
+
+/// A small network of links and competing multipath flows.
+#[derive(Debug, Clone, Default)]
+pub struct FluidNetwork {
+    links: Vec<FluidLink>,
+    flows: Vec<FluidFlow>,
+}
+
+impl FluidNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with `capacity` pkt/s; returns its index.
+    pub fn add_link(&mut self, capacity: f64) -> usize {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.links.push(FluidLink { capacity });
+        self.links.len() - 1
+    }
+
+    /// Add a flow; returns its index. Every subflow must reference valid
+    /// links and have a positive RTT.
+    pub fn add_flow(&mut self, algorithm: AlgorithmKind, subflows: Vec<FluidSubflow>) -> usize {
+        assert!(!subflows.is_empty(), "flow needs at least one subflow");
+        for sf in &subflows {
+            assert!(!sf.links.is_empty(), "subflow must traverse at least one link");
+            assert!(sf.rtt > 0.0, "subflow RTT must be positive");
+            for &l in &sf.links {
+                assert!(l < self.links.len(), "subflow references unknown link {l}");
+            }
+        }
+        self.flows.push(FluidFlow { algorithm, subflows });
+        self.flows.len() - 1
+    }
+
+    /// Solve for the network equilibrium by damped fixed-point iteration.
+    ///
+    /// Each round: compute every flow's equilibrium windows under the
+    /// current path loss rates (path loss ≈ sum of link losses, the small-p
+    /// approximation the paper uses), then nudge each link's loss rate up if
+    /// overloaded and down if underloaded. Loss rates are floored at a tiny
+    /// positive value so windows stay finite; a link pinned at the floor
+    /// while underloaded is reported with its floor loss.
+    pub fn solve(&self) -> NetworkSolution {
+        const ROUNDS: usize = 1_500;
+        const GAIN: f64 = 0.08;
+        const P_FLOOR: f64 = 1e-7;
+        const P_CEIL: f64 = 0.5;
+
+        let nl = self.links.len();
+        let mut p = vec![1e-3_f64; nl];
+        let mut load = vec![0.0_f64; nl];
+        let mut rates: Vec<Vec<f64>> =
+            self.flows.iter().map(|f| vec![0.0; f.subflows.len()]).collect();
+        // Damped rate estimates to stabilize the iteration.
+        let mut smoothed: Vec<Vec<f64>> = rates.clone();
+        // Warm-start state: each flow's last equilibrium windows.
+        let mut warm: Vec<Vec<f64>> =
+            self.flows.iter().map(|f| vec![10.0; f.subflows.len()]).collect();
+        let ccs: Vec<_> =
+            self.flows.iter().map(|f| f.algorithm.build(f.subflows.len())).collect();
+
+        let opts = EquilibriumOptions {
+            window_floor: 1e-6,
+            tolerance: 1e-7,
+            max_steps: 50_000,
+        };
+
+        for round in 0..ROUNDS {
+            // 1. Flow response to current loss rates.
+            for (fi, flow) in self.flows.iter().enumerate() {
+                let cc = &ccs[fi];
+                let path_loss: Vec<f64> = flow
+                    .subflows
+                    .iter()
+                    .map(|sf| sf.links.iter().map(|&l| p[l]).sum::<f64>().clamp(P_FLOOR, P_CEIL))
+                    .collect();
+                let path_rtt: Vec<f64> = flow.subflows.iter().map(|sf| sf.rtt).collect();
+                // Warm start from last round's solution, floored at one
+                // packet so a previously-abandoned path can re-grow when
+                // the loss landscape shifts (the ODE's drift scales with w).
+                let init: Vec<f64> = warm[fi].iter().map(|&w| w.max(1.0)).collect();
+                let w = equilibrium_from(cc.as_ref(), &path_loss, &path_rtt, &init, opts);
+                warm[fi] = w.clone();
+                for (si, (&wr, &t)) in w.iter().zip(&path_rtt).enumerate() {
+                    let fresh = wr / t;
+                    // Exponential damping of the subflow rate estimate.
+                    smoothed[fi][si] = if round == 0 {
+                        fresh
+                    } else {
+                        0.7 * smoothed[fi][si] + 0.3 * fresh
+                    };
+                    rates[fi][si] = smoothed[fi][si];
+                }
+            }
+            // 2. Link loss response to offered load.
+            for l in 0..nl {
+                load[l] = 0.0;
+            }
+            for (fi, flow) in self.flows.iter().enumerate() {
+                for (si, sf) in flow.subflows.iter().enumerate() {
+                    for &l in &sf.links {
+                        load[l] += rates[fi][si];
+                    }
+                }
+            }
+            for l in 0..nl {
+                let overload = (load[l] - self.links[l].capacity) / self.links[l].capacity;
+                // Multiplicative update keeps p positive and adapts scale.
+                let factor = (GAIN * overload).exp();
+                p[l] = (p[l] * factor).clamp(P_FLOOR, P_CEIL);
+            }
+        }
+
+        NetworkSolution { link_loss: p, link_load: load, subflow_rates: rates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::fairness::jains_index;
+
+    /// Fig. 2: three 12 Mb/s links; flow 1 has a one-hop path over link 0
+    /// and a two-hop path over links 1+2; flow 2 has a one-hop path over
+    /// link 1 and a two-hop path over links 2+0 — the classic triangle.
+    /// COUPLED should put (almost) everything on the one-hop paths: each
+    /// flow ≈ 12 Mb/s-equivalent; EWTCP splits and gets ≈ 8.5.
+    ///
+    /// We work in pkt/s with 12 Mb/s ≈ 1000 pkt/s for convenience.
+    fn fig2_network(alg: AlgorithmKind) -> FluidNetwork {
+        let mut net = FluidNetwork::new();
+        let l0 = net.add_link(1000.0);
+        let l1 = net.add_link(1000.0);
+        let l2 = net.add_link(1000.0);
+        let rtt = 0.1;
+        // Paper Fig.2 has three flows in a ring: each flow has a one-hop
+        // path and a two-hop path over the other two links.
+        net.add_flow(
+            alg,
+            vec![
+                FluidSubflow { links: vec![l0], rtt },
+                FluidSubflow { links: vec![l1, l2], rtt },
+            ],
+        );
+        net.add_flow(
+            alg,
+            vec![
+                FluidSubflow { links: vec![l1], rtt },
+                FluidSubflow { links: vec![l2, l0], rtt },
+            ],
+        );
+        net.add_flow(
+            alg,
+            vec![
+                FluidSubflow { links: vec![l2], rtt },
+                FluidSubflow { links: vec![l0, l1], rtt },
+            ],
+        );
+        net
+    }
+
+    #[test]
+    fn fig2_coupled_uses_one_hop_paths() {
+        let sol = fig2_network(AlgorithmKind::Coupled).solve();
+        for f in 0..3 {
+            let one_hop = sol.subflow_rates[f][0];
+            let two_hop = sol.subflow_rates[f][1];
+            assert!(
+                two_hop < 0.05 * one_hop,
+                "flow {f}: two-hop {two_hop} should be ≈0 vs one-hop {one_hop}"
+            );
+            // Should get close to the full 1000 pkt/s link.
+            assert!(one_hop > 900.0, "flow {f} one-hop rate {one_hop}");
+        }
+    }
+
+    #[test]
+    fn fig2_ewtcp_wastes_capacity() {
+        let sol = fig2_network(AlgorithmKind::Ewtcp).solve();
+        let total: f64 = (0..3).map(|f| sol.flow_rate(f)).sum();
+        // Paper: EWTCP ≈ 8.5/12 of optimal per flow. Allow a loose band:
+        // clearly less than 95% of the 3000 pkt/s optimum.
+        assert!(total < 0.87 * 3000.0, "EWTCP total {total} should be inefficient");
+        let sol_c = fig2_network(AlgorithmKind::Coupled).solve();
+        let coupled: f64 = (0..3).map(|f| sol_c.flow_rate(f)).sum();
+        assert!(total < coupled, "EWTCP should underperform COUPLED");
+    }
+
+    /// MPTCP sits between EWTCP and COUPLED in Fig. 2. Its fluid
+    /// equilibrium is exactly 75% of optimal here: with equal RTTs the
+    /// balance equations give ŵ_twohop = ŵ_onehop/2 (each link then carries
+    /// ŵ_onehop + 2·ŵ_twohop = 2·ŵ_onehop), i.e. per-flow throughput
+    /// (ŵ_onehop + ŵ_twohop)/RTT = 0.75·C — better than EWTCP (≈ 0.71·C),
+    /// below COUPLED's optimum (1.0·C), as §2.4's probing compromise
+    /// intends.
+    #[test]
+    fn fig2_mptcp_sits_between_ewtcp_and_coupled() {
+        let total = |alg: AlgorithmKind| -> f64 {
+            let sol = fig2_network(alg).solve();
+            (0..3).map(|f| sol.flow_rate(f)).sum()
+        };
+        let mptcp = total(AlgorithmKind::Mptcp);
+        let ewtcp = total(AlgorithmKind::Ewtcp);
+        let coupled = total(AlgorithmKind::Coupled);
+        assert!(
+            (0.70..0.80).contains(&(mptcp / 3000.0)),
+            "MPTCP should land at ≈75% of optimal, got {}",
+            mptcp / 3000.0
+        );
+        assert!(ewtcp < mptcp, "EWTCP {ewtcp} below MPTCP {mptcp}");
+        assert!(mptcp < coupled, "MPTCP {mptcp} below COUPLED {coupled}");
+    }
+
+    /// Fig. 3: COUPLED balances congestion — all links end with (nearly)
+    /// equal loss rates and all flows with (nearly) equal total throughput.
+    #[test]
+    fn fig3_coupled_balances_congestion_and_throughput() {
+        // Link capacities from Fig.3 left (Mb/s → pkt/s 1:1 scale):
+        // flow A uses links 0,1; B uses 1,2; C uses 2,0 — a ring where
+        // capacities differ.
+        let mut net = FluidNetwork::new();
+        let l = [
+            net.add_link(500.0),  // 5 Mb/s
+            net.add_link(1200.0), // 12 Mb/s
+            net.add_link(1300.0), // 13 Mb/s (sum 30 → 10 each)
+        ];
+        let rtt = 0.1;
+        for f in 0..3 {
+            net.add_flow(
+                AlgorithmKind::Coupled,
+                vec![
+                    FluidSubflow { links: vec![l[f]], rtt },
+                    FluidSubflow { links: vec![l[(f + 1) % 3]], rtt },
+                ],
+            );
+        }
+        let sol = net.solve();
+        let rates: Vec<f64> = (0..3).map(|f| sol.flow_rate(f)).collect();
+        let jain = jains_index(&rates);
+        assert!(jain > 0.99, "COUPLED should equalize throughputs, Jain={jain} rates={rates:?}");
+        // Loss rates should be (nearly) equal across links.
+        let max_p = sol.link_loss.iter().cloned().fold(f64::MIN, f64::max);
+        let min_p = sol.link_loss.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max_p / min_p < 1.3, "losses should balance: {:?}", sol.link_loss);
+    }
+
+    #[test]
+    fn underloaded_link_sees_floor_loss() {
+        let mut net = FluidNetwork::new();
+        let bottleneck = net.add_link(100.0);
+        let fat = net.add_link(1_000_000.0);
+        net.add_flow(
+            AlgorithmKind::Mptcp,
+            vec![FluidSubflow { links: vec![bottleneck, fat], rtt: 0.05 }],
+        );
+        let sol = net.solve();
+        assert!(sol.link_loss[1] < 1e-6, "fat link loss {}", sol.link_loss[1]);
+        assert!(
+            (sol.link_load[0] - 100.0).abs() / 100.0 < 0.05,
+            "bottleneck should be ~fully used: {}",
+            sol.link_load[0]
+        );
+    }
+}

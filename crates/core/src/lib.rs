@@ -1,0 +1,69 @@
+//! # mptcp-cc — Multipath TCP coupled congestion control
+//!
+//! This crate implements the congestion-control algorithms from
+//! *"Design, implementation and evaluation of congestion control for
+//! multipath TCP"* (Wischik, Raiciu, Greenhalgh, Handley — NSDI 2011),
+//! the paper that became the basis for RFC 6356 ("LIA").
+//!
+//! The algorithms are expressed as **pure window-update rules** behind the
+//! [`MultipathCc`] trait, completely decoupled from any particular packet
+//! transport. The same objects drive:
+//!
+//! * the packet-level discrete-event simulator (`mptcp-netsim`),
+//! * the userspace protocol stack (`mptcp-proto`),
+//! * and the fluid-model equilibrium solvers in [`fluid`], which reproduce
+//!   every worked example from §2 of the paper.
+//!
+//! ## Algorithms
+//!
+//! | Type | Paper section | Per-ACK increase on subflow *r* | Per-loss decrease |
+//! |---|---|---|---|
+//! | [`UncoupledReno`] | §2 "REGULAR TCP" | `1/w_r` | `w_r/2` |
+//! | [`Ewtcp`] | §2.1 | `b²/w_r` (weight `b`) | `w_r/2` |
+//! | [`Coupled`] | §2.2 | `1/w_total` | `w_total/2` |
+//! | [`SemiCoupled`] | §2.4 | `a/w_total` | `w_r/2` |
+//! | [`Mptcp`] | §2 / §2.5 (eq. 1) | `min_{S∋r} max_{s∈S}(w_s/RTT_s²) / (Σ_{s∈S} w_s/RTT_s)²` | `w_r/2` |
+//!
+//! The MPTCP rule's minimum over subsets is computed with the **linear
+//! search** proved correct in the paper's appendix; an exhaustive
+//! exponential-time oracle is kept in the crate for property testing.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mptcp_cc::{Mptcp, MultipathCc, SubflowSnapshot};
+//!
+//! let cc = Mptcp::new();
+//! // Two subflows: a short fat path and a long thin one.
+//! let subs = [
+//!     SubflowSnapshot { cwnd: 10.0, rtt: 0.010 },
+//!     SubflowSnapshot { cwnd: 4.0,  rtt: 0.100 },
+//! ];
+//! let inc = cc.increase_per_ack(0, &subs);
+//! // The increase is always capped by regular TCP's 1/w_r
+//! // (the singleton set S = {r} is among the candidates).
+//! assert!(inc <= 1.0 / subs[0].cwnd + 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod coupled;
+mod ewtcp;
+mod lia;
+mod reno;
+mod rfc6356;
+mod semicoupled;
+mod snapshot;
+
+pub mod fluid;
+
+pub use algorithm::{AlgorithmKind, MultipathCc};
+pub use coupled::Coupled;
+pub use ewtcp::Ewtcp;
+pub use lia::{lia_increase_exhaustive, lia_increase_linear, Mptcp};
+pub use reno::UncoupledReno;
+pub use rfc6356::Rfc6356;
+pub use semicoupled::{semicoupled_equilibrium, SemiCoupled};
+pub use snapshot::SubflowSnapshot;

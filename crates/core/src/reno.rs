@@ -1,0 +1,75 @@
+//! Regular TCP (NewReno AIMD) run independently on every subflow.
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::SubflowSnapshot;
+
+/// Uncoupled congestion control: each subflow behaves exactly like a regular
+/// TCP flow ("why not just run regular TCP congestion control on each
+/// subflow?", §2.1).
+///
+/// The paper's Fig. 1 shows why this is unacceptable as a deployable
+/// multipath algorithm: at a shared bottleneck an `n`-path connection takes
+/// `n` times the bandwidth of a competing single-path TCP. It is kept here as
+/// the baseline every other algorithm is measured against, and because a
+/// single-subflow connection under any of the coupled algorithms must reduce
+/// to it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UncoupledReno;
+
+impl UncoupledReno {
+    /// Create the baseline algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MultipathCc for UncoupledReno {
+    fn name(&self) -> &'static str {
+        "UNCOUPLED"
+    }
+
+    /// "Each ACK, increase the congestion window w by 1/w, resulting in an
+    /// increase of one packet per RTT."
+    fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        1.0 / subs[r].cwnd
+    }
+
+    /// "Each loss, decrease w by w/2."
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        subs[r].cwnd / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_paths() -> Vec<SubflowSnapshot> {
+        vec![SubflowSnapshot::new(10.0, 0.01), SubflowSnapshot::new(40.0, 0.1)]
+    }
+
+    #[test]
+    fn increase_is_one_over_own_window() {
+        let cc = UncoupledReno::new();
+        let subs = two_paths();
+        assert!((cc.increase_per_ack(0, &subs) - 0.1).abs() < 1e-12);
+        assert!((cc.increase_per_ack(1, &subs) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_halves_own_window_only() {
+        let cc = UncoupledReno::new();
+        let subs = two_paths();
+        assert!((cc.window_after_loss(0, &subs) - 5.0).abs() < 1e-12);
+        assert!((cc.window_after_loss(1, &subs) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_other_subflows_entirely() {
+        let cc = UncoupledReno::new();
+        let lone = [SubflowSnapshot::new(10.0, 0.01)];
+        let crowded = two_paths();
+        assert_eq!(cc.increase_per_ack(0, &lone), cc.increase_per_ack(0, &crowded));
+        assert_eq!(cc.window_after_loss(0, &lone), cc.window_after_loss(0, &crowded));
+    }
+}

@@ -1,0 +1,151 @@
+//! The RFC 6356 formulation of the paper's algorithm ("LIA").
+//!
+//! The IETF standardized the paper's eq. (1) as RFC 6356 ("Coupled
+//! Congestion Control for Multipath Transport Protocols"), restating the
+//! per-ACK increase through a single coupling parameter `alpha`:
+//!
+//! ```text
+//!             max_i (cwnd_i / rtt_i²)
+//! alpha = cwnd_total · ────────────────────────
+//!             ( Σ_i cwnd_i / rtt_i )²
+//!
+//! increase on subflow r = min( alpha / cwnd_total , 1 / cwnd_r )
+//! ```
+//!
+//! This is exactly the paper's §2.5 construction (`a` of eq. (5) evaluated
+//! on instantaneous windows, capped by regular TCP's `1/w_r`), and it
+//! coincides with eq. (1)'s subset minimum **whenever the minimizing subset
+//! is either the full set or the singleton** — which the appendix shows is
+//! the case at equilibrium for two subflows, but *not* always for three or
+//! more off equilibrium. [`Rfc6356`] therefore may be slightly more
+//! aggressive than [`Mptcp`](crate::Mptcp) in transients; the property
+//! tests bound the relationship (`rfc6356 ≥ eq.(1)` pointwise, equality
+//! for `n ≤ 2`).
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::{total_window, SubflowSnapshot};
+
+/// RFC 6356's Linked-Increases Algorithm, as deployed in Linux MPTCP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rfc6356;
+
+impl Rfc6356 {
+    /// Create the RFC 6356 algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The RFC's coupling parameter `alpha` for the current windows.
+    pub fn alpha(subs: &[SubflowSnapshot]) -> f64 {
+        let cwnd_total = total_window(subs);
+        let max_term =
+            subs.iter().map(|s| s.cwnd / (s.rtt * s.rtt)).fold(0.0_f64, f64::max);
+        let sum: f64 = subs.iter().map(|s| s.cwnd / s.rtt).sum();
+        cwnd_total * max_term / (sum * sum)
+    }
+}
+
+impl MultipathCc for Rfc6356 {
+    fn name(&self) -> &'static str {
+        "RFC6356"
+    }
+
+    /// `min(alpha/cwnd_total, 1/cwnd_r)` per ACK.
+    fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        let alpha = Self::alpha(subs);
+        (alpha / total_window(subs)).min(1.0 / subs[r].cwnd)
+    }
+
+    /// Halve the subflow window, as the RFC specifies (unchanged from TCP).
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        subs[r].cwnd / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lia::lia_increase_linear;
+
+    fn snap(pairs: &[(f64, f64)]) -> Vec<SubflowSnapshot> {
+        pairs.iter().map(|&(w, rtt)| SubflowSnapshot::new(w, rtt)).collect()
+    }
+
+    #[test]
+    fn single_path_is_regular_tcp() {
+        let cc = Rfc6356::new();
+        let subs = snap(&[(10.0, 0.1)]);
+        assert!((cc.increase_per_ack(0, &subs) - 0.1).abs() < 1e-12);
+        assert!((cc.window_after_loss(0, &subs) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_subflows_match_eq1_exactly() {
+        // For n = 2 the eq. (1) minimum ranges over {r}, {r, other} and the
+        // RFC's min(alpha/total, 1/w_r) covers the same two candidates when
+        // r is the subflow with the smaller w/rtt² — and dominates
+        // otherwise. Check exact agreement on the dominated side.
+        let cases = [
+            snap(&[(10.0, 0.1), (10.0, 0.1)]),
+            snap(&[(5.0, 0.01), (50.0, 0.2)]),
+            snap(&[(80.0, 0.3), (3.0, 0.02)]),
+        ];
+        let cc = Rfc6356::new();
+        for subs in &cases {
+            // Index of the subflow with the smaller w/rtt² (the one whose
+            // suffix search spans both candidate sets).
+            let r = if subs[0].cwnd / (subs[0].rtt * subs[0].rtt)
+                <= subs[1].cwnd / (subs[1].rtt * subs[1].rtt)
+            {
+                0
+            } else {
+                1
+            };
+            let rfc = cc.increase_per_ack(r, subs);
+            let eq1 = lia_increase_linear(r, subs);
+            assert!(
+                (rfc - eq1).abs() < 1e-12 * eq1.max(1e-30),
+                "mismatch: rfc {rfc} eq1 {eq1} for {subs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_less_aggressive_than_eq1() {
+        // eq. (1) minimizes over all subsets; the RFC considers only two of
+        // them, so its increase can only be ≥.
+        let cases = [
+            snap(&[(10.0, 0.01), (5.0, 0.2), (80.0, 0.05)]),
+            snap(&[(1.0, 0.5), (100.0, 0.01), (20.0, 0.05), (7.0, 0.3)]),
+        ];
+        let cc = Rfc6356::new();
+        for subs in &cases {
+            for r in 0..subs.len() {
+                let rfc = cc.increase_per_ack(r, subs);
+                let eq1 = lia_increase_linear(r, subs);
+                assert!(rfc >= eq1 - 1e-15, "rfc {rfc} < eq1 {eq1} at r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_by_regular_tcp() {
+        let cc = Rfc6356::new();
+        let subs = snap(&[(2.0, 0.5), (100.0, 0.01)]);
+        for r in 0..2 {
+            assert!(cc.increase_per_ack(r, &subs) <= 1.0 / subs[r].cwnd + 1e-15);
+        }
+    }
+
+    #[test]
+    fn equilibrium_matches_eq1_for_two_paths() {
+        use crate::fluid::equilibrium;
+        let loss = [0.04, 0.01];
+        let rtt = [0.010, 0.100];
+        let w_rfc = equilibrium(&Rfc6356::new(), &loss, &rtt);
+        let w_eq1 = equilibrium(&crate::Mptcp::new(), &loss, &rtt);
+        for (a, b) in w_rfc.iter().zip(&w_eq1) {
+            assert!((a - b).abs() / b < 0.02, "equilibria differ: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! SEMICOUPLED — coupled increases, per-subflow decreases (§2.4).
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::{total_window, SubflowSnapshot};
+
+/// The SEMICOUPLED algorithm (§2.4): the compromise between COUPLED's
+/// congestion balancing and EWTCP's robust probing.
+///
+/// * Each ACK on path `r`: `w_r += a/w_total`.
+/// * Each loss on path `r`: `w_r -= w_r/2`.
+///
+/// Because decreases are proportional to the *subflow's own* window, every
+/// path keeps a meaningful share of traffic: at equilibrium (paper §2.4)
+///
+/// ```text
+/// ŵ_r ≈ √(2a) · (1/p_r) / √(Σ_s 1/p_s)
+/// ```
+///
+/// e.g. with paths at 1%, 1% and 5% loss the split is 45% / 45% / 10% —
+/// "intermediate between EWTCP (33% each) and COUPLED (0% on the more
+/// congested path)".
+///
+/// The aggressiveness constant `a` can be tuned for fairness in simple
+/// equal-RTT scenarios; the principled, RTT-aware choice of `a` is exactly
+/// what the final MPTCP algorithm (§2.5) adds.
+#[derive(Debug, Clone, Copy)]
+pub struct SemiCoupled {
+    /// Aggressiveness constant `a` (§2.4: "a is a constant which controls
+    /// the aggressiveness").
+    a: f64,
+}
+
+impl SemiCoupled {
+    /// SEMICOUPLED with the neutral aggressiveness `a = 1`, which makes a
+    /// single-path connection behave exactly like regular TCP.
+    pub fn new() -> Self {
+        Self::with_aggressiveness(1.0)
+    }
+
+    /// SEMICOUPLED with an explicit aggressiveness constant.
+    ///
+    /// # Panics
+    /// Panics if `a` is not positive and finite.
+    pub fn with_aggressiveness(a: f64) -> Self {
+        assert!(a.is_finite() && a > 0.0, "aggressiveness must be positive");
+        Self { a }
+    }
+
+    /// The aggressiveness constant.
+    pub fn aggressiveness(&self) -> f64 {
+        self.a
+    }
+}
+
+impl Default for SemiCoupled {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultipathCc for SemiCoupled {
+    fn name(&self) -> &'static str {
+        "SEMICOUPLED"
+    }
+
+    /// "For each ACK on path r, increase window w_r by a/w_total."
+    fn increase_per_ack(&self, _r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        self.a / total_window(subs)
+    }
+
+    /// "For each loss on path r, decrease window w_r by w_r/2."
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        subs[r].cwnd / 2.0
+    }
+}
+
+/// The paper's closed-form SEMICOUPLED equilibrium: window on path `r` given
+/// per-path loss rates, `ŵ_r ≈ √(2a)·(1/p_r)/√(Σ 1/p_s)` (§2.4).
+pub fn semicoupled_equilibrium(a: f64, loss: &[f64]) -> Vec<f64> {
+    let inv_sum: f64 = loss.iter().map(|p| 1.0 / p).sum();
+    loss.iter().map(|p| (2.0 * a).sqrt() * (1.0 / p) / inv_sum.sqrt()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_semicoupled_is_regular_tcp() {
+        let cc = SemiCoupled::new();
+        let subs = [SubflowSnapshot::new(16.0, 0.03)];
+        assert!((cc.increase_per_ack(0, &subs) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((cc.window_after_loss(0, &subs) - 8.0).abs() < 1e-12);
+    }
+
+    /// §2.4's worked example: three paths with drop probabilities 1%, 1% and
+    /// 5% split the connection's weight 45% / 45% / 10%.
+    #[test]
+    fn paper_split_example_45_45_10() {
+        let w = semicoupled_equilibrium(1.0, &[0.01, 0.01, 0.05]);
+        let total: f64 = w.iter().sum();
+        let shares: Vec<f64> = w.iter().map(|x| x / total).collect();
+        assert!((shares[0] - 100.0 / 220.0).abs() < 1e-9); // ≈ 45.45%
+        assert!((shares[1] - 100.0 / 220.0).abs() < 1e-9);
+        assert!((shares[2] - 20.0 / 220.0).abs() < 1e-9); // ≈ 9.09%
+    }
+
+    /// Balance check: at the closed-form equilibrium the per-ACK increase
+    /// matches the expected per-packet decrease p_r·ŵ_r/2 on every path.
+    #[test]
+    fn closed_form_satisfies_balance_equations() {
+        let a = 0.7;
+        let loss = [0.002, 0.01, 0.03];
+        let w = semicoupled_equilibrium(a, &loss);
+        let w_total: f64 = w.iter().sum();
+        for (r, (&wr, &p)) in w.iter().zip(loss.iter()).enumerate() {
+            let inc = a / w_total;
+            let dec = p * wr / 2.0;
+            assert!(
+                (inc - dec).abs() / dec < 1e-9,
+                "path {r}: inc {inc} vs dec {dec}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_aggressiveness_means_bigger_increase() {
+        let subs = [SubflowSnapshot::new(5.0, 0.1), SubflowSnapshot::new(5.0, 0.1)];
+        let meek = SemiCoupled::with_aggressiveness(0.5);
+        let bold = SemiCoupled::with_aggressiveness(2.0);
+        assert!(bold.increase_per_ack(0, &subs) > meek.increase_per_ack(0, &subs));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_aggressiveness_rejected() {
+        let _ = SemiCoupled::with_aggressiveness(-1.0);
+    }
+}

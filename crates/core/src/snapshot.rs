@@ -1,0 +1,58 @@
+//! The per-subflow state visible to a congestion-control rule.
+
+/// A read-only snapshot of one subflow's congestion state, in the units the
+/// paper uses: congestion windows in **packets** and round-trip times in
+/// **seconds**.
+///
+/// The paper (§2) notes that real implementations maintain windows in bytes;
+/// like the paper's exposition we use packets throughout, and the simulator
+/// and protocol layer convert at their boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubflowSnapshot {
+    /// Congestion window of this subflow, in packets. Always ≥ the
+    /// algorithm's probing floor (1 packet in our implementation, §2.4).
+    pub cwnd: f64,
+    /// Smoothed round-trip time of this subflow, in seconds
+    /// ("We use a smoothed RTT estimator, computed similarly to TCP", §2).
+    pub rtt: f64,
+}
+
+impl SubflowSnapshot {
+    /// Convenience constructor.
+    pub fn new(cwnd: f64, rtt: f64) -> Self {
+        Self { cwnd, rtt }
+    }
+
+    /// The subflow's instantaneous rate estimate `w_r / RTT_r` in packets
+    /// per second — the quantity the fairness goals (3)–(4) are written in.
+    pub fn rate(&self) -> f64 {
+        self.cwnd / self.rtt
+    }
+}
+
+/// Sum of windows across subflows (`w_total` in the paper).
+pub fn total_window(subs: &[SubflowSnapshot]) -> f64 {
+    subs.iter().map(|s| s.cwnd).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_window_over_rtt() {
+        let s = SubflowSnapshot::new(20.0, 0.1);
+        assert!((s.rate() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_window_sums() {
+        let subs = [SubflowSnapshot::new(3.0, 0.1), SubflowSnapshot::new(7.0, 0.2)];
+        assert!((total_window(&subs) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_window_empty_is_zero() {
+        assert_eq!(total_window(&[]), 0.0);
+    }
+}

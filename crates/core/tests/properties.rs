@@ -1,0 +1,132 @@
+//! Property-based tests for the congestion-control core.
+
+use mptcp_cc::fluid::fairness::{check_fairness, jains_index};
+use mptcp_cc::fluid::{equilibrium, tcp_window};
+use mptcp_cc::{
+    lia_increase_exhaustive, lia_increase_linear, Coupled, Ewtcp, Mptcp, MultipathCc,
+    SemiCoupled, SubflowSnapshot, UncoupledReno,
+};
+use proptest::prelude::*;
+
+/// Strategy: a subflow with a sane window (1..1000 pkts) and RTT (1ms..2s).
+fn subflow() -> impl Strategy<Value = SubflowSnapshot> {
+    (1.0_f64..1000.0, 0.001_f64..2.0).prop_map(|(w, rtt)| SubflowSnapshot::new(w, rtt))
+}
+
+fn subflows(max: usize) -> impl Strategy<Value = Vec<SubflowSnapshot>> {
+    prop::collection::vec(subflow(), 1..=max)
+}
+
+proptest! {
+    /// The appendix's linear-time search agrees with brute-force subset
+    /// enumeration of eq. (1) for every subflow.
+    #[test]
+    fn lia_linear_equals_exhaustive(subs in subflows(8)) {
+        for r in 0..subs.len() {
+            let lin = lia_increase_linear(r, &subs);
+            let exh = lia_increase_exhaustive(r, &subs);
+            prop_assert!(
+                (lin - exh).abs() <= 1e-9 * exh.max(1e-30),
+                "r={r}: linear {lin} vs exhaustive {exh}, subs={subs:?}"
+            );
+        }
+    }
+
+    /// eq. (1)'s increase never exceeds regular TCP's 1/w_r (the §2.5 cap is
+    /// built in via the singleton subset).
+    #[test]
+    fn lia_increase_never_beats_single_path_tcp(subs in subflows(8)) {
+        for r in 0..subs.len() {
+            let inc = lia_increase_linear(r, &subs);
+            prop_assert!(inc <= 1.0 / subs[r].cwnd + 1e-12);
+            prop_assert!(inc > 0.0);
+        }
+    }
+
+    /// Every algorithm's increase is positive and its post-loss window is
+    /// below the current window (decreases really decrease).
+    #[test]
+    fn increases_positive_decreases_decrease(subs in subflows(6)) {
+        let ccs: Vec<Box<dyn MultipathCc>> = vec![
+            Box::new(UncoupledReno::new()),
+            Box::new(Ewtcp::equal_split(subs.len())),
+            Box::new(Coupled::new()),
+            Box::new(SemiCoupled::new()),
+            Box::new(Mptcp::new()),
+        ];
+        for cc in &ccs {
+            for r in 0..subs.len() {
+                prop_assert!(cc.increase_per_ack(r, &subs) > 0.0, "{}", cc.name());
+                prop_assert!(
+                    cc.window_after_loss(r, &subs) < subs[r].cwnd,
+                    "{} loss must shrink window", cc.name()
+                );
+            }
+        }
+    }
+
+    /// Jain's index is always in (0, 1] and is exactly 1 for equal rates.
+    #[test]
+    fn jain_index_bounds(rates in prop::collection::vec(0.0_f64..1e6, 1..20)) {
+        let j = jains_index(&rates);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j} for {rates:?}");
+    }
+
+    #[test]
+    fn jain_index_equal_rates_is_one(rate in 0.1_f64..1e6, n in 1usize..20) {
+        let rates = vec![rate; n];
+        let j = jains_index(&rates);
+        prop_assert!((j - 1.0).abs() < 1e-9);
+    }
+
+    /// MPTCP's fluid equilibrium satisfies both §2.5 fairness constraints
+    /// for arbitrary loss-rate/RTT combinations (the appendix theorem).
+    #[test]
+    fn mptcp_equilibrium_is_fair(
+        paths in prop::collection::vec((0.001_f64..0.1, 0.01_f64..1.0), 2..=4)
+    ) {
+        let loss: Vec<f64> = paths.iter().map(|&(p, _)| p).collect();
+        let rtt: Vec<f64> = paths.iter().map(|&(_, t)| t).collect();
+        let w = equilibrium(&Mptcp::new(), &loss, &rtt);
+        let rep = check_fairness(&w, &loss, &rtt, 0.08);
+        prop_assert!(rep.incentive_ok, "incentive violated: {rep:?} loss={loss:?} rtt={rtt:?}");
+        prop_assert!(rep.no_harm_ok, "no-harm violated: {rep:?} loss={loss:?} rtt={rtt:?}");
+    }
+
+    /// A single-path connection under any algorithm matches regular TCP's
+    /// √(2/p) equilibrium (drop-in replacement requirement).
+    #[test]
+    fn single_path_equilibrium_is_tcp(p in 0.0005_f64..0.2, rtt in 0.005_f64..1.0) {
+        let expected = tcp_window(p);
+        for cc in [
+            Box::new(UncoupledReno::new()) as Box<dyn MultipathCc>,
+            Box::new(Coupled::new()),
+            Box::new(SemiCoupled::new()),
+            Box::new(Mptcp::new()),
+            Box::new(Ewtcp::equal_split(1)),
+        ] {
+            let w = equilibrium(cc.as_ref(), &[p], &[rtt]);
+            prop_assert!(
+                (w[0] - expected).abs() / expected < 0.02,
+                "{}: {} vs {}", cc.name(), w[0], expected
+            );
+        }
+    }
+
+    /// SEMICOUPLED's ODE equilibrium matches the paper's closed form.
+    #[test]
+    fn semicoupled_solver_matches_closed_form(
+        loss in prop::collection::vec(0.002_f64..0.1, 2..=4)
+    ) {
+        let rtt = vec![0.1; loss.len()];
+        let w = equilibrium(&SemiCoupled::new(), &loss, &rtt);
+        let inv_sum: f64 = loss.iter().map(|p| 1.0 / p).sum();
+        for (r, (&wr, &p)) in w.iter().zip(&loss).enumerate() {
+            let expect = (2.0_f64).sqrt() * (1.0 / p) / inv_sum.sqrt();
+            prop_assert!(
+                (wr - expect).abs() / expect < 0.03,
+                "path {r}: {} vs {}", wr, expect
+            );
+        }
+    }
+}

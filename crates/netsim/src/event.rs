@@ -1,0 +1,152 @@
+//! The discrete-event queue.
+
+use crate::cbr::CbrId;
+use crate::link::LinkId;
+use crate::packet::Packet;
+use crate::sim::ConnId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::tcp::SackRanges;
+
+/// Information carried by an ACK back to the sender. The ACK's content is
+/// fixed at the moment the receiver generates it, so it is computed at
+/// delivery time and carried in the event.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AckInfo {
+    /// Receiver's cumulative ACK: the next subflow sequence number expected.
+    pub cum: u64,
+    /// Selective acknowledgment ranges above the cumulative point.
+    pub sacks: SackRanges,
+}
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// A link finished serializing the packet in service.
+    TxDone { link: LinkId },
+    /// A packet finished propagating and arrives at `pkt.hop` of its path
+    /// (or at the destination if the path is exhausted).
+    Arrive { pkt: Packet },
+    /// An ACK reaches the sender of `conn`/`sub`.
+    AckArrive { conn: ConnId, sub: usize, ack: AckInfo },
+    /// A retransmission-timer event. Timers are lazy: at most one event is
+    /// pending per subflow, and a firing that arrives before the current
+    /// deadline simply re-schedules itself — this keeps the event heap at
+    /// O(subflows) instead of one stale entry per ACK.
+    RtoFire { conn: ConnId, sub: usize },
+    /// A connection begins transmitting.
+    ConnStart { conn: ConnId },
+    /// A CBR source emits its next packet.
+    CbrSend { src: CbrId, gen: u64 },
+    /// A CBR source toggles between its on and off states.
+    CbrToggle { src: CbrId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub at: SimTime,
+    /// Monotonic tie-breaker: simultaneous events fire in insertion order,
+    /// making runs fully deterministic.
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the next event at or before `horizon`, if any.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.at <= horizon) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events (used by tests and diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), EventKind::ConnStart { conn: 0 });
+        q.push(SimTime::from_millis(1), EventKind::ConnStart { conn: 1 });
+        q.push(SimTime::from_millis(3), EventKind::ConnStart { conn: 2 });
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop_before(SimTime::MAX).map(|e| e.at))
+            .collect();
+        assert_eq!(
+            order,
+            vec![SimTime::from_millis(1), SimTime::from_millis(3), SimTime::from_millis(5)]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for conn in 0..10 {
+            q.push(t, EventKind::ConnStart { conn });
+        }
+        let mut seen = Vec::new();
+        while let Some(e) = q.pop_before(SimTime::MAX) {
+            if let EventKind::ConnStart { conn } = e.kind {
+                seen.push(conn);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), EventKind::ConnStart { conn: 0 });
+        assert!(q.pop_before(SimTime::from_millis(5)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_before(SimTime::from_millis(10)).is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! # mptcp-netsim — deterministic packet-level network simulator
+//!
+//! The paper evaluates its congestion-control designs "by means of
+//! simulations with a high-speed custom packet-level simulator, and with
+//! testbed experiments on a Linux implementation" (§1). This crate is that
+//! simulator, rebuilt in Rust:
+//!
+//! * a **discrete-event core** ([`Simulator`]) with nanosecond timestamps
+//!   and fully deterministic execution (a seeded RNG drives every random
+//!   choice; ties in the event queue break on insertion order);
+//! * **links** with a configurable rate, propagation delay, drop-tail queue
+//!   and optional Bernoulli random loss (for modelling lossy wireless);
+//! * a **TCP NewReno sender/receiver** per subflow: slow start, congestion
+//!   avoidance, fast retransmit on three duplicate ACKs, NewReno partial-ACK
+//!   recovery, and RTO with exponential backoff and RFC 6298-style
+//!   SRTT/RTTVAR estimation;
+//! * **multipath connections** that stripe one data stream across several
+//!   subflows "as space in the subflow windows becomes available" (§2),
+//!   with the window dynamics delegated to any
+//!   [`MultipathCc`](mptcp_cc::MultipathCc) implementation from `mptcp-cc`;
+//! * **constant-bit-rate sources** with optional Markov on/off bursting,
+//!   used for the §3 dynamic-load experiments (Fig. 9).
+//!
+//! Following the smoltcp design ethos, everything is a plain poll/event
+//! state machine — no async runtime, no clever type-level tricks, and no
+//! hidden allocation on the per-packet hot path beyond the event queue.
+//!
+//! ## Model scope
+//!
+//! Data packets consume link capacity and queue space hop by hop; ACKs
+//! return to the sender after the path's reverse propagation delay without
+//! consuming queue capacity (the paper's experiments are all bottlenecked in
+//! the data direction). Connection-level reassembly, receive-buffer flow
+//! control and the wire protocol live in the `mptcp-proto` crate; this crate
+//! measures what the paper's figures measure — subflow and link dynamics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mptcp_netsim::{ConnectionSpec, LinkSpec, Simulator, SimTime};
+//! use mptcp_cc::AlgorithmKind;
+//!
+//! let mut sim = Simulator::new(42);
+//! // One 10 Mb/s bottleneck, 10 ms one-way delay, 25-packet buffer.
+//! let link = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+//! let conn = sim.add_connection(
+//!     ConnectionSpec::bulk(AlgorithmKind::Mptcp)
+//!         .path(vec![link])
+//!         .start(SimTime::ZERO),
+//! );
+//! sim.run_until(SimTime::from_secs(20));
+//! let goodput = sim.connection_stats(conn).throughput_bps(SimTime::from_secs(20));
+//! assert!(goodput > 8.0e6, "should nearly fill the 10 Mb/s link: {goodput}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cbr;
+mod event;
+mod link;
+mod packet;
+mod sim;
+mod stats;
+mod tcp;
+mod time;
+mod trace;
+
+pub use cbr::{CbrId, CbrSpec};
+pub use link::{LinkId, LinkSpec, LinkStats};
+pub use packet::DEFAULT_PACKET_SIZE;
+pub use sim::{ConnId, ConnectionSpec, Simulator, SubflowSpec};
+pub use stats::{ConnectionStats, SubflowStats};
+pub use tcp::TcpParams;
+pub use time::SimTime;
+pub use trace::{Recorder, Sample};

@@ -1,0 +1,175 @@
+//! Links: rate, propagation delay, drop-tail queue, optional random loss.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Identifier of a link within one [`Simulator`](crate::Simulator).
+pub type LinkId = usize;
+
+/// Static configuration of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second.
+    pub rate_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+    /// Drop-tail queue capacity in packets (excluding the packet currently
+    /// being serialized).
+    pub queue_pkts: usize,
+    /// Bernoulli random-loss probability applied on enqueue, for modelling
+    /// lossy wireless links. 0.0 for wired links.
+    pub loss_prob: f64,
+}
+
+impl LinkSpec {
+    /// A wired link specified in megabits per second.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or invalid loss probability.
+    pub fn mbps(mbps: f64, delay: SimTime, queue_pkts: usize) -> Self {
+        Self::new(mbps * 1e6, delay, queue_pkts)
+    }
+
+    /// A link specified in packets per second of 1500-byte packets, the
+    /// unit several of the paper's scenarios use (e.g. "capacity 1000
+    /// pkt/s" in Fig. 8, "C1 = 250 pkt/s" in §5).
+    pub fn pkts_per_sec(pps: f64, delay: SimTime, queue_pkts: usize) -> Self {
+        Self::new(pps * crate::packet::DEFAULT_PACKET_SIZE as f64 * 8.0, delay, queue_pkts)
+    }
+
+    /// A link with an explicit bit rate.
+    pub fn new(rate_bps: f64, delay: SimTime, queue_pkts: usize) -> Self {
+        assert!(rate_bps > 0.0 && rate_bps.is_finite(), "rate must be positive");
+        Self { rate_bps, delay, queue_pkts, loss_prob: 0.0 }
+    }
+
+    /// Add Bernoulli random loss with probability `p` on enqueue.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        self.loss_prob = p;
+        self
+    }
+
+    /// Serialization time of a packet of `bytes` bytes on this link.
+    pub fn tx_time(&self, bytes: u32) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+}
+
+/// Counters a link accumulates over a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets offered to the link (enqueue attempts).
+    pub offered: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped_queue: u64,
+    /// Packets dropped by the random-loss process.
+    pub dropped_random: u64,
+    /// Packets fully transmitted.
+    pub transmitted: u64,
+    /// Bytes fully transmitted.
+    pub bytes: u64,
+}
+
+impl LinkStats {
+    /// Total packets dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_queue + self.dropped_random
+    }
+
+    /// Loss rate: drops / offered. Zero if nothing was offered.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean utilization over `elapsed`, as delivered bits / capacity.
+    pub fn utilization(&self, rate_bps: f64, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.bytes as f64 * 8.0) / (rate_bps * secs)
+        }
+    }
+}
+
+/// Runtime state of a link.
+#[derive(Debug)]
+pub(crate) struct Link {
+    /// Configuration; mutable so scenarios can change rate/loss mid-run
+    /// (mobility, Fig. 17).
+    pub spec: LinkSpec,
+    /// Waiting packets (the packet in service is *not* in this queue).
+    pub queue: VecDeque<Packet>,
+    /// Whether the transmitter is currently serializing a packet.
+    pub busy: bool,
+    /// The packet currently being serialized, if any.
+    pub in_service: Option<Packet>,
+    /// If `true`, packets are dropped at enqueue regardless of queue space —
+    /// models total loss of connectivity (walking out of WiFi coverage).
+    pub down: bool,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    pub(crate) fn new(spec: LinkSpec) -> Self {
+        Self {
+            spec,
+            queue: VecDeque::new(),
+            busy: false,
+            in_service: None,
+            down: false,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pkts_per_sec_matches_mbps_for_1500_byte_packets() {
+        let a = LinkSpec::pkts_per_sec(1000.0, SimTime::ZERO, 100);
+        let b = LinkSpec::mbps(12.0, SimTime::ZERO, 100);
+        assert!((a.rate_bps - b.rate_bps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tx_time_of_1500_bytes_at_12mbps_is_1ms() {
+        let l = LinkSpec::mbps(12.0, SimTime::ZERO, 100);
+        assert_eq!(l.tx_time(1500), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn loss_rate_counts_both_kinds_of_drops() {
+        let s = LinkStats {
+            offered: 100,
+            dropped_queue: 5,
+            dropped_random: 5,
+            transmitted: 90,
+            bytes: 0,
+        };
+        assert!((s.loss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_link_has_zero_loss() {
+        assert_eq!(LinkStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_probability_rejected() {
+        let _ = LinkSpec::mbps(1.0, SimTime::ZERO, 10).with_loss(1.5);
+    }
+}

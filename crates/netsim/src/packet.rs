@@ -1,0 +1,60 @@
+//! Packets as they move through the simulated network.
+
+use crate::cbr::CbrId;
+use crate::sim::ConnId;
+
+/// Default packet size in bytes (the paper expresses link rates in both
+/// Mb/s and pkt/s; 1500-byte packets make 12 Mb/s ≈ 1000 pkt/s).
+pub const DEFAULT_PACKET_SIZE: u32 = 1500;
+
+/// Who owns a packet in flight: a TCP subflow or a CBR source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOwner {
+    /// A data packet of subflow `sub` of connection `conn`, carrying
+    /// subflow sequence number `seq` (in packets, starting at 0).
+    Subflow {
+        /// Owning connection.
+        conn: ConnId,
+        /// Subflow index within the connection.
+        sub: usize,
+        /// Subflow-level sequence number, in packets.
+        seq: u64,
+    },
+    /// A packet from a constant-bit-rate source.
+    Cbr {
+        /// Owning source.
+        src: CbrId,
+    },
+}
+
+/// A packet in flight. Packets are small plain values; their forward path
+/// is looked up from the owner so that the per-packet state stays compact.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Originating sender.
+    pub owner: PacketOwner,
+    /// Size on the wire, bytes.
+    pub size: u32,
+    /// Index of the *next* hop in the owner's path the packet must enter
+    /// (0 before the first link). Incremented as the packet advances.
+    pub hop: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_small() {
+        // Per-packet state stays compact: the event queue holds many.
+        assert!(std::mem::size_of::<Packet>() <= 48);
+    }
+
+    #[test]
+    fn owner_equality() {
+        let a = PacketOwner::Subflow { conn: 1, sub: 0, seq: 5 };
+        let b = PacketOwner::Subflow { conn: 1, sub: 0, seq: 5 };
+        assert_eq!(a, b);
+        assert_ne!(a, PacketOwner::Cbr { src: 0 });
+    }
+}

@@ -1,0 +1,909 @@
+//! The simulator: event loop, connections, and the world's mutable state.
+
+use crate::cbr::{CbrId, CbrSource, CbrSpec};
+use crate::event::{AckInfo, EventKind, EventQueue};
+use crate::link::{Link, LinkId, LinkSpec, LinkStats};
+use crate::packet::{Packet, PacketOwner, DEFAULT_PACKET_SIZE};
+use crate::stats::{ConnectionStats, SubflowStats};
+use crate::tcp::{SubflowReceiver, SubflowSender, TcpParams};
+use crate::time::SimTime;
+use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a connection within one [`Simulator`].
+pub type ConnId = usize;
+
+/// One subflow's static configuration.
+#[derive(Debug, Clone)]
+pub struct SubflowSpec {
+    /// Forward path: links traversed in order.
+    pub path: Vec<LinkId>,
+    /// Extra fixed delay added to the ACK return (models reverse-path /
+    /// wide-area latency beyond the forward links' propagation delays).
+    pub extra_rtt: SimTime,
+}
+
+impl SubflowSpec {
+    /// A subflow over `path` with no extra return delay.
+    pub fn new(path: Vec<LinkId>) -> Self {
+        Self { path, extra_rtt: SimTime::ZERO }
+    }
+
+    /// Add extra fixed return delay.
+    pub fn extra_rtt(mut self, d: SimTime) -> Self {
+        self.extra_rtt = d;
+        self
+    }
+}
+
+/// How the connection's congestion controller is chosen.
+enum CcChoice {
+    Kind(AlgorithmKind),
+    Custom(Box<dyn MultipathCc>),
+}
+
+impl std::fmt::Debug for CcChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcChoice::Kind(k) => write!(f, "Kind({k:?})"),
+            CcChoice::Custom(c) => write!(f, "Custom({})", c.name()),
+        }
+    }
+}
+
+/// Configuration of a (possibly multipath) connection, built fluently:
+///
+/// ```
+/// # use mptcp_netsim::*;
+/// # use mptcp_cc::AlgorithmKind;
+/// let spec = ConnectionSpec::bulk(AlgorithmKind::Mptcp)
+///     .path(vec![0])
+///     .path(vec![1])
+///     .start(SimTime::from_secs(1));
+/// ```
+pub struct ConnectionSpec {
+    cc: CcChoice,
+    subflows: Vec<SubflowSpec>,
+    start: SimTime,
+    /// Number of data packets to transfer; `None` = unlimited (bulk).
+    size_pkts: Option<u64>,
+    packet_size: u32,
+    tcp: TcpParams,
+}
+
+impl ConnectionSpec {
+    /// A long-lived bulk-transfer connection using a named algorithm.
+    pub fn bulk(kind: AlgorithmKind) -> Self {
+        Self {
+            cc: CcChoice::Kind(kind),
+            subflows: Vec::new(),
+            start: SimTime::ZERO,
+            size_pkts: None,
+            packet_size: DEFAULT_PACKET_SIZE,
+            tcp: TcpParams::default(),
+        }
+    }
+
+    /// A finite transfer of `pkts` packets (for flow-arrival workloads).
+    pub fn sized(kind: AlgorithmKind, pkts: u64) -> Self {
+        let mut s = Self::bulk(kind);
+        s.size_pkts = Some(pkts.max(1));
+        s
+    }
+
+    /// A bulk connection with a custom congestion controller (for
+    /// ablations).
+    pub fn custom(cc: Box<dyn MultipathCc>) -> Self {
+        let mut s = Self::bulk(AlgorithmKind::Mptcp);
+        s.cc = CcChoice::Custom(cc);
+        s
+    }
+
+    /// Add a subflow over `path` (shorthand for a default [`SubflowSpec`]).
+    pub fn path(mut self, path: Vec<LinkId>) -> Self {
+        self.subflows.push(SubflowSpec::new(path));
+        self
+    }
+
+    /// Add a fully-specified subflow.
+    pub fn subflow(mut self, sf: SubflowSpec) -> Self {
+        self.subflows.push(sf);
+        self
+    }
+
+    /// Set the start time.
+    pub fn start(mut self, at: SimTime) -> Self {
+        self.start = at;
+        self
+    }
+
+    /// Set the packet size in bytes.
+    pub fn packet_size(mut self, bytes: u32) -> Self {
+        self.packet_size = bytes;
+        self
+    }
+
+    /// Override the TCP parameters.
+    pub fn tcp(mut self, params: TcpParams) -> Self {
+        self.tcp = params;
+        self
+    }
+}
+
+/// Runtime state of one subflow (sender and — for simulation convenience —
+/// the remote receiver state).
+struct SubflowState {
+    path: Vec<LinkId>,
+    /// Fixed delay from delivery at the destination to the ACK reaching the
+    /// sender (reverse propagation + any extra RTT).
+    ack_delay: SimTime,
+    tx: SubflowSender,
+    rx: SubflowReceiver,
+    sent_pkts: u64,
+    /// Absolute RTO deadline, if the timer is conceptually armed.
+    rto_deadline: Option<SimTime>,
+    /// Time of the earliest pending `RtoFire` event in the queue, if any
+    /// (lazy timers: the event re-schedules itself if it fires early).
+    rto_event_at: Option<SimTime>,
+}
+
+/// Runtime state of a connection.
+struct Connection {
+    cc: Box<dyn MultipathCc>,
+    subflows: Vec<SubflowState>,
+    packet_size: u32,
+    /// Remaining new packets to inject (finite flows).
+    budget: Option<u64>,
+    started_at: SimTime,
+    started: bool,
+    finished_at: Option<SimTime>,
+    rr_next: usize,
+    /// Scratch buffer for congestion-control snapshots, reused across ACKs
+    /// (this is on the per-packet hot path).
+    snap_buf: Vec<SubflowSnapshot>,
+}
+
+impl Connection {
+    fn has_data(&self) -> bool {
+        self.budget.map_or(true, |b| b > 0)
+    }
+
+    /// Refresh the snapshot scratch buffer from the live subflow state.
+    fn refresh_snapshots(&mut self) {
+        self.snap_buf.clear();
+        self.snap_buf.extend(
+            self.subflows
+                .iter()
+                .map(|s| SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6))),
+        );
+    }
+}
+
+/// The deterministic discrete-event simulator. See the crate docs for the
+/// model scope and an end-to-end example.
+pub struct Simulator {
+    now: SimTime,
+    queue: EventQueue,
+    links: Vec<Link>,
+    conns: Vec<Connection>,
+    cbrs: Vec<CbrSource>,
+    rng: StdRng,
+    /// Small uniform jitter added to each ACK's return delay, to break the
+    /// phase-locking artifacts drop-tail FIFO simulations are prone to.
+    ack_jitter: SimTime,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Create a simulator with a deterministic RNG seed. Two simulators
+    /// constructed with the same seed and fed the same calls produce
+    /// identical histories.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            links: Vec::new(),
+            conns: Vec::new(),
+            cbrs: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            ack_jitter: SimTime::from_micros(100),
+            events_processed: 0,
+        }
+    }
+
+    /// Override the ACK-return jitter (0 disables it).
+    pub fn set_ack_jitter(&mut self, jitter: SimTime) {
+        self.ack_jitter = jitter;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (a cheap progress/perf metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ------------------------------------------------------------------
+    // World construction
+    // ------------------------------------------------------------------
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        self.links.push(Link::new(spec));
+        self.links.len() - 1
+    }
+
+    /// Add a connection; returns its id. Transmission begins at the spec's
+    /// start time.
+    ///
+    /// # Panics
+    /// Panics if the spec has no subflows or references unknown links.
+    pub fn add_connection(&mut self, spec: ConnectionSpec) -> ConnId {
+        assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
+        let n = spec.subflows.len();
+        let cc = match spec.cc {
+            CcChoice::Kind(kind) => kind.build(n),
+            CcChoice::Custom(cc) => cc,
+        };
+        let subflows: Vec<SubflowState> = spec
+            .subflows
+            .into_iter()
+            .map(|sf| {
+                assert!(!sf.path.is_empty(), "subflow path must traverse at least one link");
+                let mut fwd = SimTime::ZERO;
+                for &l in &sf.path {
+                    assert!(l < self.links.len(), "unknown link {l}");
+                    fwd += self.links[l].spec.delay;
+                }
+                let ack_delay = fwd + sf.extra_rtt;
+                let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
+                SubflowState {
+                    path: sf.path,
+                    ack_delay,
+                    tx: SubflowSender::new(spec.tcp, rtt_hint),
+                    rx: SubflowReceiver::default(),
+                    sent_pkts: 0,
+                    rto_deadline: None,
+                    rto_event_at: None,
+                }
+            })
+            .collect();
+        let conn = Connection {
+            cc,
+            subflows,
+            snap_buf: Vec::new(),
+            packet_size: spec.packet_size,
+            budget: spec.size_pkts,
+            started_at: spec.start,
+            started: false,
+            finished_at: None,
+            rr_next: 0,
+        };
+        self.conns.push(conn);
+        let id = self.conns.len() - 1;
+        let start = spec.start.max(self.now);
+        self.queue.push(start, EventKind::ConnStart { conn: id });
+        id
+    }
+
+    /// Add a CBR source; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the spec references unknown links.
+    pub fn add_cbr(&mut self, spec: CbrSpec) -> CbrId {
+        for &l in &spec.path {
+            assert!(l < self.links.len(), "unknown link {l}");
+        }
+        let start = spec.start.max(self.now);
+        self.cbrs.push(CbrSource::new(spec));
+        let id = self.cbrs.len() - 1;
+        self.queue.push(start, EventKind::CbrToggle { src: id });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario scripting (call between `run_until` steps)
+    // ------------------------------------------------------------------
+
+    /// Change a link's rate (bits per second), e.g. for mobility traces.
+    pub fn set_link_rate_bps(&mut self, link: LinkId, rate_bps: f64) {
+        assert!(rate_bps > 0.0);
+        self.links[link].spec.rate_bps = rate_bps;
+    }
+
+    /// Change a link's random-loss probability.
+    pub fn set_link_loss(&mut self, link: LinkId, p: f64) {
+        assert!((0.0..1.0).contains(&p));
+        self.links[link].spec.loss_prob = p;
+    }
+
+    /// Take a link down (all arriving packets dropped, queue flushed) or
+    /// bring it back up.
+    pub fn set_link_down(&mut self, link: LinkId, down: bool) {
+        let l = &mut self.links[link];
+        l.down = down;
+        if down {
+            l.stats.dropped_queue += l.queue.len() as u64;
+            l.queue.clear();
+        }
+    }
+
+    /// Force a CBR source on or off (for externally scripted burst traces).
+    pub fn set_cbr_on(&mut self, src: CbrId, on: bool) {
+        let s = &mut self.cbrs[src];
+        if s.on == on {
+            return;
+        }
+        s.on = on;
+        s.gen += 1;
+        if on {
+            let gen = s.gen;
+            self.queue.push(self.now, EventKind::CbrSend { src, gen });
+        }
+    }
+
+    /// Stop a connection injecting new data (in-flight data still drains
+    /// and is retransmitted as needed; the connection finishes when all of
+    /// it is acknowledged). Models a flow terminating, as in the §2.4
+    /// load-change scenario (Fig. 5).
+    pub fn stop_connection(&mut self, conn: ConnId) {
+        self.conns[conn].budget = Some(0);
+        self.try_finish(conn);
+    }
+
+    /// Zero all link counters (discard a warm-up period).
+    pub fn reset_link_stats(&mut self) {
+        for l in &mut self.links {
+            l.stats = LinkStats::default();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    /// A link's accumulated counters.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link].stats
+    }
+
+    /// A link's current spec (rate/delay/queue/loss).
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.links[link].spec
+    }
+
+    /// Number of links in the world.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of connections in the world.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// A connection's statistics snapshot.
+    pub fn connection_stats(&self, conn: ConnId) -> ConnectionStats {
+        let c = &self.conns[conn];
+        ConnectionStats {
+            subflows: c
+                .subflows
+                .iter()
+                .map(|s| SubflowStats {
+                    delivered_pkts: s.rx.delivered(),
+                    sent_pkts: s.sent_pkts,
+                    retransmits: s.tx.retransmits,
+                    timeouts: s.tx.timeouts,
+                    fast_recoveries: s.tx.fast_recoveries,
+                    cwnd: s.tx.cwnd,
+                    srtt: s.tx.srtt.unwrap_or(0.0),
+                })
+                .collect(),
+            packet_size: c.packet_size,
+            started_at: c.started_at,
+            finished_at: c.finished_at,
+        }
+    }
+
+    /// Packets delivered by a CBR source.
+    pub fn cbr_delivered(&self, src: CbrId) -> u64 {
+        self.cbrs[src].delivered
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Run the world forward to `horizon` (inclusive); the clock ends at
+    /// exactly `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        assert!(horizon >= self.now, "time cannot run backwards");
+        while let Some(ev) = self.queue.pop_before(horizon) {
+            debug_assert!(ev.at >= self.now, "event from the past");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = horizon;
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TxDone { link } => self.on_tx_done(link),
+            EventKind::Arrive { pkt } => self.on_arrive(pkt),
+            EventKind::AckArrive { conn, sub, ack } => self.on_ack(conn, sub, ack),
+            EventKind::RtoFire { conn, sub } => self.on_rto(conn, sub),
+            EventKind::ConnStart { conn } => self.on_conn_start(conn),
+            EventKind::CbrSend { src, gen } => self.on_cbr_send(src, gen),
+            EventKind::CbrToggle { src } => self.on_cbr_toggle(src),
+        }
+    }
+
+    fn path_link(&self, pkt: &Packet) -> LinkId {
+        match pkt.owner {
+            PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path[pkt.hop],
+            PacketOwner::Cbr { src } => self.cbrs[src].spec.path[pkt.hop],
+        }
+    }
+
+    fn path_len(&self, pkt: &Packet) -> usize {
+        match pkt.owner {
+            PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path.len(),
+            PacketOwner::Cbr { src } => self.cbrs[src].spec.path.len(),
+        }
+    }
+
+    /// Offer a packet to the link at `pkt.hop` of its path.
+    fn enqueue_packet(&mut self, pkt: Packet) {
+        let link_id = self.path_link(&pkt);
+        let (down, loss_prob) = {
+            let l = &self.links[link_id];
+            (l.down, l.spec.loss_prob)
+        };
+        self.links[link_id].stats.offered += 1;
+        if down {
+            self.links[link_id].stats.dropped_random += 1;
+            return;
+        }
+        if loss_prob > 0.0 && self.rng.gen::<f64>() < loss_prob {
+            self.links[link_id].stats.dropped_random += 1;
+            return;
+        }
+        let l = &mut self.links[link_id];
+        if l.busy {
+            if l.queue.len() >= l.spec.queue_pkts {
+                l.stats.dropped_queue += 1;
+            } else {
+                l.queue.push_back(pkt);
+            }
+        } else {
+            l.busy = true;
+            l.in_service = Some(pkt);
+            let done = self.now + l.spec.tx_time(pkt.size);
+            self.queue.push(done, EventKind::TxDone { link: link_id });
+        }
+    }
+
+    fn on_tx_done(&mut self, link: LinkId) {
+        let (mut pkt, delay) = {
+            let l = &mut self.links[link];
+            let pkt = l.in_service.take().expect("TxDone with no packet in service");
+            l.stats.transmitted += 1;
+            l.stats.bytes += pkt.size as u64;
+            if let Some(next) = l.queue.pop_front() {
+                l.in_service = Some(next);
+                let done = self.now + l.spec.tx_time(next.size);
+                self.queue.push(done, EventKind::TxDone { link });
+            } else {
+                l.busy = false;
+            }
+            (pkt, l.spec.delay)
+        };
+        pkt.hop += 1;
+        self.queue.push(self.now + delay, EventKind::Arrive { pkt });
+    }
+
+    fn on_arrive(&mut self, pkt: Packet) {
+        if pkt.hop < self.path_len(&pkt) {
+            self.enqueue_packet(pkt);
+            return;
+        }
+        // Delivered to the destination.
+        match pkt.owner {
+            PacketOwner::Subflow { conn, sub, seq } => {
+                let (cum, _dup, sacks) = self.conns[conn].subflows[sub].rx.on_data(seq);
+                let jitter = if self.ack_jitter > SimTime::ZERO {
+                    SimTime(self.rng.gen_range(0..=self.ack_jitter.as_nanos()))
+                } else {
+                    SimTime::ZERO
+                };
+                let back = self.now + self.conns[conn].subflows[sub].ack_delay + jitter;
+                self.queue
+                    .push(back, EventKind::AckArrive { conn, sub, ack: AckInfo { cum, sacks } });
+            }
+            PacketOwner::Cbr { src } => {
+                self.cbrs[src].delivered += 1;
+            }
+        }
+    }
+
+    fn on_conn_start(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn];
+        if c.started {
+            return;
+        }
+        c.started = true;
+        c.started_at = self.now;
+        self.pump(conn);
+    }
+
+    fn on_ack(&mut self, conn: ConnId, sub: usize, ack: AckInfo) {
+        let arm = {
+            let c = &mut self.conns[conn];
+            let outcome = c.subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now);
+            if outcome.newly_acked > 0 && c.subflows[sub].tx.growth_allowed() {
+                // Grow once per newly acked packet: slow start adds one
+                // packet per ACKed packet; congestion avoidance defers to
+                // the coupled algorithm with a fresh snapshot each step
+                // (windows are interdependent).
+                for _ in 0..outcome.newly_acked {
+                    let amount = if c.subflows[sub].tx.in_slow_start() {
+                        1.0
+                    } else {
+                        c.refresh_snapshots();
+                        c.cc.increase_per_ack(sub, &c.snap_buf)
+                    };
+                    c.subflows[sub].tx.grow(amount);
+                }
+            }
+            if outcome.entered_recovery {
+                // One multiplicative decrease per loss episode, with the
+                // level chosen by the coupled algorithm.
+                c.refresh_snapshots();
+                let level = c.cc.window_after_loss(sub, &c.snap_buf);
+                let floor = c.cc.min_window();
+                c.subflows[sub].tx.shrink_to(level, floor);
+            }
+            outcome.rearm_rto
+        };
+        match arm {
+            Some(true) => self.schedule_rto(conn, sub),
+            Some(false) => self.conns[conn].subflows[sub].rto_deadline = None,
+            None => {}
+        }
+        self.try_finish(conn);
+        self.pump(conn);
+    }
+
+    fn on_rto(&mut self, conn: ConnId, sub: usize) {
+        self.conns[conn].subflows[sub].rto_event_at = None;
+        match self.conns[conn].subflows[sub].rto_deadline {
+            None => return, // disarmed since the event was queued
+            Some(d) if d > self.now => {
+                // The deadline moved later (ACK progress): lazily re-queue.
+                self.queue.push(d, EventKind::RtoFire { conn, sub });
+                self.conns[conn].subflows[sub].rto_event_at = Some(d);
+                return;
+            }
+            Some(_) => {}
+        }
+        {
+            let c = &mut self.conns[conn];
+            // The coupled decrease sets the slow-start threshold; the
+            // window itself collapses to the probing floor.
+            c.refresh_snapshots();
+            let level = c.cc.window_after_loss(sub, &c.snap_buf);
+            let floor = c.cc.min_window();
+            if !c.subflows[sub].tx.on_rto(floor) {
+                c.subflows[sub].rto_deadline = None;
+                return; // spurious
+            }
+            c.subflows[sub].tx.set_ssthresh(level);
+        }
+        self.schedule_rto(conn, sub);
+        self.pump(conn);
+    }
+
+    /// (Re)arm the conceptual RTO at `now + RTO` and make sure an event is
+    /// queued at or before that deadline. At most one pending event per
+    /// subflow: an early firing re-queues itself (see [`Self::on_rto`]).
+    fn schedule_rto(&mut self, conn: ConnId, sub: usize) {
+        let deadline = self.now + self.conns[conn].subflows[sub].tx.rto_interval();
+        let sf = &mut self.conns[conn].subflows[sub];
+        sf.rto_deadline = Some(deadline);
+        let needs_event = match sf.rto_event_at {
+            None => true,
+            Some(at) => at > deadline,
+        };
+        if needs_event {
+            sf.rto_event_at = Some(deadline);
+            self.queue.push(deadline, EventKind::RtoFire { conn, sub });
+        }
+    }
+
+    fn send_subflow_packet(&mut self, conn: ConnId, sub: usize, seq: u64, retransmit: bool) {
+        if retransmit {
+            self.conns[conn].subflows[sub].tx.on_retransmit(seq, self.now);
+        }
+        let pkt = Packet {
+            owner: PacketOwner::Subflow { conn, sub, seq },
+            size: self.conns[conn].packet_size,
+            hop: 0,
+        };
+        self.enqueue_packet(pkt);
+    }
+
+    /// Stripe new data onto whichever subflows have window space
+    /// ("An MPTCP sender stripes packets across these subflows as space in
+    /// the subflow windows becomes available", §2).
+    fn pump(&mut self, conn: ConnId) {
+        if !self.conns[conn].started || self.conns[conn].finished_at.is_some() {
+            return;
+        }
+        let n = self.conns[conn].subflows.len();
+        // Holes first: retransmissions fill the windows before new data.
+        for idx in 0..n {
+            while let Some(seq) = self.conns[conn].subflows[idx].tx.next_retransmit() {
+                self.send_subflow_packet(conn, idx, seq, true);
+            }
+        }
+        loop {
+            let mut sent_any = false;
+            for i in 0..n {
+                let idx = (self.conns[conn].rr_next + i) % n;
+                let can = {
+                    let c = &self.conns[conn];
+                    c.has_data() && c.subflows[idx].tx.can_send_new()
+                };
+                if !can {
+                    continue;
+                }
+                let (seq, newly_armed) = {
+                    let c = &mut self.conns[conn];
+                    if let Some(b) = &mut c.budget {
+                        *b -= 1;
+                    }
+                    c.subflows[idx].sent_pkts += 1;
+                    c.subflows[idx].tx.on_send_new(self.now)
+                };
+                if newly_armed {
+                    self.schedule_rto(conn, idx);
+                }
+                self.send_subflow_packet(conn, idx, seq, false);
+                sent_any = true;
+            }
+            self.conns[conn].rr_next = (self.conns[conn].rr_next + 1) % n;
+            if !sent_any {
+                break;
+            }
+        }
+    }
+
+    fn try_finish(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn];
+        if c.finished_at.is_some() || !c.started {
+            return;
+        }
+        if c.budget == Some(0) && c.subflows.iter().all(|s| s.tx.fully_acked()) {
+            c.finished_at = Some(self.now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CBR machinery
+    // ------------------------------------------------------------------
+
+    fn exp_sample(&mut self, mean: SimTime) -> SimTime {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        SimTime::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    fn on_cbr_toggle(&mut self, src: CbrId) {
+        let (has_onoff, was_on) = {
+            let s = &self.cbrs[src];
+            (s.spec.onoff.is_some(), s.on)
+        };
+        if !has_onoff {
+            // Plain start event for an always-on source.
+            if !was_on {
+                let s = &mut self.cbrs[src];
+                s.on = true;
+                s.gen += 1;
+                let gen = s.gen;
+                self.queue.push(self.now, EventKind::CbrSend { src, gen });
+            }
+            return;
+        }
+        let (mean_on, mean_off) = self.cbrs[src].spec.onoff.unwrap();
+        if was_on {
+            let s = &mut self.cbrs[src];
+            s.on = false;
+            s.gen += 1;
+            let next = self.now + self.exp_sample(mean_off);
+            self.queue.push(next, EventKind::CbrToggle { src });
+        } else {
+            {
+                let s = &mut self.cbrs[src];
+                s.on = true;
+                s.gen += 1;
+            }
+            let gen = self.cbrs[src].gen;
+            self.queue.push(self.now, EventKind::CbrSend { src, gen });
+            let next = self.now + self.exp_sample(mean_on);
+            self.queue.push(next, EventKind::CbrToggle { src });
+        }
+    }
+
+    fn on_cbr_send(&mut self, src: CbrId, gen: u64) {
+        let (on, cur_gen, size, interval) = {
+            let s = &self.cbrs[src];
+            (s.on, s.gen, s.spec.packet_size, s.spec.packet_interval())
+        };
+        if !on || cur_gen != gen {
+            return;
+        }
+        self.cbrs[src].sent += 1;
+        let pkt = Packet { owner: PacketOwner::Cbr { src }, size, hop: 0 };
+        self.enqueue_packet(pkt);
+        self.queue.push(self.now + interval, EventKind::CbrSend { src, gen });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_link_sim(mbps: f64, delay_ms: u64, queue: usize) -> (Simulator, LinkId) {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkSpec::mbps(mbps, SimTime::from_millis(delay_ms), queue));
+        (sim, l)
+    }
+
+    #[test]
+    fn single_tcp_fills_a_link() {
+        let (mut sim, l) = one_link_sim(10.0, 10, 25);
+        let c = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let bps = sim.connection_stats(c).throughput_bps(sim.now());
+        assert!(bps > 9.0e6, "single TCP should achieve >90% of 10 Mb/s, got {bps}");
+    }
+
+    #[test]
+    fn two_tcps_share_a_link_roughly_equally() {
+        let (mut sim, l) = one_link_sim(10.0, 10, 25);
+        let c1 = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        let c2 = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        sim.run_until(SimTime::from_secs(60));
+        let t1 = sim.connection_stats(c1).throughput_bps(sim.now());
+        let t2 = sim.connection_stats(c2).throughput_bps(sim.now());
+        let ratio = t1.min(t2) / t1.max(t2);
+        assert!(ratio > 0.7, "shares too unequal: {t1} vs {t2}");
+        assert!(t1 + t2 > 9.0e6, "aggregate should fill the link: {}", t1 + t2);
+    }
+
+    #[test]
+    fn finite_flow_completes_and_stops() {
+        let (mut sim, l) = one_link_sim(10.0, 5, 25);
+        let c = sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Uncoupled, 200).path(vec![l]),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let stats = sim.connection_stats(c);
+        assert_eq!(stats.delivered_pkts(), 200);
+        let done = stats.completion_time().expect("flow should finish");
+        assert!(done < SimTime::from_secs(5), "200 pkts over 10 Mb/s takes ~0.3s, got {done}");
+    }
+
+    #[test]
+    fn random_loss_reduces_throughput() {
+        let (mut sim_clean, l1) = one_link_sim(10.0, 10, 100);
+        let c1 = sim_clean
+            .add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l1]));
+        sim_clean.run_until(SimTime::from_secs(30));
+
+        let mut sim_lossy = Simulator::new(1);
+        let l2 = sim_lossy
+            .add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 100).with_loss(0.02));
+        let c2 = sim_lossy
+            .add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l2]));
+        sim_lossy.run_until(SimTime::from_secs(30));
+
+        let clean = sim_clean.connection_stats(c1).throughput_bps(sim_clean.now());
+        let lossy = sim_lossy.connection_stats(c2).throughput_bps(sim_lossy.now());
+        assert!(lossy < 0.8 * clean, "2% loss should hurt: {lossy} vs {clean}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let l = sim.add_link(LinkSpec::mbps(5.0, SimTime::from_millis(20), 20).with_loss(0.01));
+            let c = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![l]));
+            sim.run_until(SimTime::from_secs(10));
+            (sim.connection_stats(c).delivered_pkts(), sim.events_processed())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, 0);
+    }
+
+    #[test]
+    fn multipath_uses_both_links() {
+        let mut sim = Simulator::new(3);
+        let l1 = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+        let l2 = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+        let c = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![l1]).path(vec![l2]),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let stats = sim.connection_stats(c);
+        let bps = stats.throughput_bps(sim.now());
+        assert!(bps > 15.0e6, "MPTCP alone should use both 10 Mb/s links: {bps}");
+        for (i, sf) in stats.subflows.iter().enumerate() {
+            assert!(sf.delivered_pkts > 0, "subflow {i} unused");
+        }
+    }
+
+    #[test]
+    fn cbr_delivers_at_configured_rate() {
+        let (mut sim, l) = one_link_sim(100.0, 1, 100);
+        let cbr = sim.add_cbr(CbrSpec::constant(vec![l], 12e6));
+        sim.run_until(SimTime::from_secs(10));
+        // 12 Mb/s of 1500B packets = 1000 pkt/s for 10 s = ~10000 pkts.
+        let got = sim.cbr_delivered(cbr);
+        assert!((9_900..=10_100).contains(&got), "delivered {got}");
+    }
+
+    #[test]
+    fn onoff_cbr_duty_cycle_is_respected() {
+        let (mut sim, l) = one_link_sim(200.0, 1, 1000);
+        let cbr = sim.add_cbr(
+            CbrSpec::constant(vec![l], 100e6)
+                .onoff(SimTime::from_millis(10), SimTime::from_millis(100)),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        // Duty cycle 10/(10+100) ≈ 9.1% of 100 Mb/s ≈ 758 pkt/s on average.
+        let rate = sim.cbr_delivered(cbr) as f64 / 60.0;
+        assert!(
+            (400.0..1200.0).contains(&rate),
+            "on/off CBR mean rate {rate} pkt/s should be near 758"
+        );
+    }
+
+    #[test]
+    fn link_down_stops_traffic_and_up_resumes() {
+        let (mut sim, l) = one_link_sim(10.0, 10, 25);
+        let c = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        sim.run_until(SimTime::from_secs(10));
+        let before = sim.connection_stats(c).delivered_pkts();
+        sim.set_link_down(l, true);
+        sim.run_until(SimTime::from_secs(20));
+        let during = sim.connection_stats(c).delivered_pkts();
+        assert!(during - before < 30, "almost nothing delivered while down");
+        sim.set_link_down(l, false);
+        sim.run_until(SimTime::from_secs(40));
+        let after = sim.connection_stats(c).delivered_pkts();
+        assert!(after > during + 1000, "traffic should resume after link comes back");
+    }
+
+    #[test]
+    fn queue_limit_causes_drops_not_growth() {
+        let (mut sim, l) = one_link_sim(1.0, 5, 5);
+        sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        sim.run_until(SimTime::from_secs(20));
+        let stats = sim.link_stats(l);
+        assert!(stats.dropped_queue > 0, "tiny buffer must overflow");
+    }
+
+    #[test]
+    #[should_panic]
+    fn connection_without_subflows_rejected() {
+        let mut sim = Simulator::new(0);
+        sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp));
+    }
+}

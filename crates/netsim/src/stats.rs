@@ -1,0 +1,109 @@
+//! Measurement: per-subflow and per-connection statistics.
+
+use crate::time::SimTime;
+
+/// Counters for one subflow, as observed at the end of a run (or at a
+/// sampling point — callers can diff successive snapshots for time series).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubflowStats {
+    /// Packets delivered in order at the receiver (goodput, packets).
+    pub delivered_pkts: u64,
+    /// New data packets sent (excluding retransmissions).
+    pub sent_pkts: u64,
+    /// Retransmissions performed.
+    pub retransmits: u64,
+    /// Retransmission timeouts suffered.
+    pub timeouts: u64,
+    /// Fast-recovery episodes entered.
+    pub fast_recoveries: u64,
+    /// Congestion window at sampling time, packets.
+    pub cwnd: f64,
+    /// Smoothed RTT at sampling time, seconds (0 if no sample yet).
+    pub srtt: f64,
+}
+
+/// Statistics of a whole multipath connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionStats {
+    /// Per-subflow counters.
+    pub subflows: Vec<SubflowStats>,
+    /// Packet size used by this connection, bytes.
+    pub packet_size: u32,
+    /// When the connection started sending.
+    pub started_at: SimTime,
+    /// When the last byte was acknowledged (finite flows only).
+    pub finished_at: Option<SimTime>,
+}
+
+impl ConnectionStats {
+    /// Total packets delivered in order across subflows.
+    pub fn delivered_pkts(&self) -> u64 {
+        self.subflows.iter().map(|s| s.delivered_pkts).sum()
+    }
+
+    /// Goodput in bits/s measured from connection start to `now` (or to
+    /// completion for a finished finite flow).
+    pub fn throughput_bps(&self, now: SimTime) -> f64 {
+        let end = self.finished_at.unwrap_or(now);
+        let secs = end.saturating_sub(self.started_at).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivered_pkts() as f64 * self.packet_size as f64 * 8.0 / secs
+    }
+
+    /// Goodput in packets/s (the unit of several of the paper's scenarios).
+    pub fn throughput_pps(&self, now: SimTime) -> f64 {
+        let end = self.finished_at.unwrap_or(now);
+        let secs = end.saturating_sub(self.started_at).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivered_pkts() as f64 / secs
+    }
+
+    /// Completion time for a finite flow, if it finished.
+    pub fn completion_time(&self) -> Option<SimTime> {
+        self.finished_at.map(|end| end.saturating_sub(self.started_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_accounts_for_start_offset() {
+        let stats = ConnectionStats {
+            subflows: vec![SubflowStats { delivered_pkts: 1000, ..Default::default() }],
+            packet_size: 1500,
+            started_at: SimTime::from_secs(10),
+            finished_at: None,
+        };
+        let bps = stats.throughput_bps(SimTime::from_secs(20));
+        // 1000 pkts * 1500 B * 8 b / 10 s = 1.2 Mb/s.
+        assert!((bps - 1.2e6).abs() < 1.0);
+        assert!((stats.throughput_pps(SimTime::from_secs(20)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finished_flow_uses_completion_time() {
+        let stats = ConnectionStats {
+            subflows: vec![SubflowStats { delivered_pkts: 100, ..Default::default() }],
+            packet_size: 1500,
+            started_at: SimTime::ZERO,
+            finished_at: Some(SimTime::from_secs(1)),
+        };
+        assert!((stats.throughput_pps(SimTime::from_secs(100)) - 100.0).abs() < 1e-9);
+        assert_eq!(stats.completion_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn zero_elapsed_yields_zero_throughput() {
+        let stats = ConnectionStats {
+            packet_size: 1500,
+            ..Default::default()
+        };
+        assert_eq!(stats.throughput_bps(SimTime::ZERO), 0.0);
+    }
+}

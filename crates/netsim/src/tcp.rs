@@ -1,0 +1,718 @@
+//! Per-subflow TCP machinery: SACK-based loss recovery in the style of
+//! RFC 6675, with the window *amounts* delegated to the connection's
+//! [`MultipathCc`](mptcp_cc::MultipathCc).
+//!
+//! Each subflow of a multipath connection runs its own loss detection and
+//! recovery, exactly as the paper's implementation does ("The sequence
+//! numbers and cumulative ack in the TCP header are per-subflow, allowing
+//! efficient loss detection and fast retransmission", §6). Like the Linux
+//! stack the paper built on, loss recovery is selective-ACK driven: the
+//! receiver reports which out-of-order packets it holds, the sender keeps
+//! a scoreboard (sacked / lost / retransmitted), estimates the packets
+//! actually in the network (`pipe`), and retransmits all the holes of a
+//! loss burst within about a round trip — without which a slow-start
+//! overshoot would take one RTT *per lost packet* to repair and corrupt
+//! every throughput measurement.
+
+use crate::time::SimTime;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Maximum SACK ranges carried per ACK (real TCP fits 3–4 in options).
+pub(crate) const MAX_SACK_RANGES: usize = 4;
+
+/// SACK ranges: up to [`MAX_SACK_RANGES`] half-open intervals
+/// `[start, end)` of packets the receiver holds above the cumulative ACK.
+pub(crate) type SackRanges = [Option<(u64, u64)>; MAX_SACK_RANGES];
+
+/// Tunable TCP parameters shared by every subflow of a connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpParams {
+    /// Initial congestion window, packets.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, packets (∞ → slow start until first loss).
+    pub initial_ssthresh: f64,
+    /// Minimum retransmission timeout (Linux uses 200 ms).
+    pub min_rto: SimTime,
+    /// Maximum retransmission timeout.
+    pub max_rto: SimTime,
+    /// RTO before any RTT sample exists (RFC 6298 says 1 s).
+    pub initial_rto: SimTime,
+    /// Cap on the congestion window (models the receive window), packets.
+    pub max_cwnd: f64,
+    /// Packets SACKed above a hole before the hole is declared lost
+    /// (DupThresh).
+    pub dupack_threshold: u32,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        Self {
+            initial_cwnd: 2.0,
+            initial_ssthresh: f64::INFINITY,
+            min_rto: SimTime::from_millis(200),
+            max_rto: SimTime::from_secs(60),
+            initial_rto: SimTime::from_secs(1),
+            max_cwnd: f64::INFINITY,
+            dupack_threshold: 3,
+        }
+    }
+}
+
+/// Metadata the sender keeps per in-flight packet, for RTT sampling (Karn's
+/// rule: never sample a retransmitted packet).
+#[derive(Debug, Clone, Copy)]
+struct SentMeta {
+    sent_at: SimTime,
+    retransmitted: bool,
+}
+
+/// Receiver-side reassembly state of one subflow (kept with the sender for
+/// simulation convenience; content-wise it is the remote endpoint's state).
+#[derive(Debug, Default)]
+pub(crate) struct SubflowReceiver {
+    /// Next subflow sequence number expected in order.
+    pub next_expected: u64,
+    /// Out-of-order packets held for reassembly.
+    ooo: BTreeSet<u64>,
+}
+
+impl SubflowReceiver {
+    /// Process an arriving data packet; returns the ACK to send:
+    /// `(cumulative_ack, is_duplicate, sack_ranges)`.
+    pub fn on_data(&mut self, seq: u64) -> (u64, bool, SackRanges) {
+        let dup;
+        if seq == self.next_expected {
+            self.next_expected += 1;
+            while self.ooo.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+            dup = false;
+        } else if seq > self.next_expected {
+            self.ooo.insert(seq);
+            dup = true;
+        } else {
+            // Old duplicate (spurious retransmission).
+            dup = true;
+        }
+        (self.next_expected, dup, self.sack_ranges())
+    }
+
+    /// The first few contiguous ranges of out-of-order packets held.
+    fn sack_ranges(&self) -> SackRanges {
+        let mut out: SackRanges = [None; MAX_SACK_RANGES];
+        let mut it = self.ooo.iter().copied();
+        let Some(first) = it.next() else { return out };
+        let mut start = first;
+        let mut end = first + 1;
+        let mut n = 0;
+        for s in it {
+            if s == end {
+                end += 1;
+            } else {
+                out[n] = Some((start, end));
+                n += 1;
+                if n == MAX_SACK_RANGES {
+                    return out;
+                }
+                start = s;
+                end = s + 1;
+            }
+        }
+        out[n] = Some((start, end));
+        out
+    }
+
+    /// Packets delivered in order so far.
+    pub fn delivered(&self) -> u64 {
+        self.next_expected
+    }
+}
+
+/// What an ACK did to the sender's state; the caller (the simulator's
+/// connection layer) turns these into congestion-controller calls.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct AckOutcome {
+    /// Packets newly covered by the cumulative ACK.
+    pub newly_acked: u64,
+    /// The scoreboard marked new losses and recovery started now — the
+    /// caller applies the (single) multiplicative decrease.
+    pub entered_recovery: bool,
+    /// Timer must be (re)armed / disarmed.
+    pub rearm_rto: Option<bool>,
+}
+
+/// Sender-side state of one TCP subflow (SACK scoreboard variant).
+#[derive(Debug)]
+pub(crate) struct SubflowSender {
+    /// Congestion window, packets (fractional growth accumulates).
+    pub cwnd: f64,
+    /// Slow-start threshold, packets.
+    pub ssthresh: f64,
+    /// Next new sequence number to send.
+    pub next_seq: u64,
+    /// Oldest unacknowledged sequence number.
+    pub una: u64,
+    /// Sequences (≥ una) the receiver reported holding.
+    sacked: BTreeSet<u64>,
+    /// Sequences deemed lost and not yet retransmitted this episode.
+    lost: BTreeSet<u64>,
+    /// Sequences retransmitted and presumed back in the network, mapped to
+    /// the value of `sack_events` when they were retransmitted (so a
+    /// retransmission that is itself lost can be detected and re-marked
+    /// once enough *new* SACKs arrive — a RACK-style rule).
+    retx_out: std::collections::BTreeMap<u64, u64>,
+    /// Monotone count of sequences ever newly SACKed.
+    sack_events: u64,
+    /// In loss recovery (one window decrease per recovery episode).
+    pub in_recovery: bool,
+    /// The current recovery was triggered by an RTO: the window collapsed
+    /// to the floor and must slow-start back while the holes are repaired
+    /// (fast recovery, by contrast, holds the window at the post-decrease
+    /// level until the recovery point is reached).
+    pub rto_recovery: bool,
+    /// Recovery ends when `una` reaches this point.
+    pub recovery_point: u64,
+    /// Smoothed RTT (seconds), if any sample has been taken.
+    pub srtt: Option<f64>,
+    /// RTT variance (seconds).
+    pub rttvar: f64,
+    /// Current RTO (seconds), including backoff.
+    pub rto: f64,
+    /// Consecutive RTO backoffs without progress.
+    pub backoffs: u32,
+    /// Whether a timer is conceptually armed (the simulator tracks the
+    /// actual deadline and uses lazy re-scheduling).
+    pub rto_armed: bool,
+    /// Static estimate of the path's two-way propagation delay, used for
+    /// the congestion-control RTT before any sample exists.
+    pub rtt_hint: f64,
+    /// Per-packet send metadata, indexed by `seq - meta_base`.
+    meta: VecDeque<SentMeta>,
+    meta_base: u64,
+    /// Count of retransmissions performed (stats).
+    pub retransmits: u64,
+    /// Count of RTO events (stats).
+    pub timeouts: u64,
+    /// Count of fast-recovery episodes (stats).
+    pub fast_recoveries: u64,
+    params: TcpParams,
+}
+
+impl SubflowSender {
+    pub fn new(params: TcpParams, rtt_hint: f64) -> Self {
+        Self {
+            cwnd: params.initial_cwnd,
+            ssthresh: params.initial_ssthresh,
+            next_seq: 0,
+            una: 0,
+            sacked: BTreeSet::new(),
+            lost: BTreeSet::new(),
+            retx_out: std::collections::BTreeMap::new(),
+            sack_events: 0,
+            in_recovery: false,
+            rto_recovery: false,
+            recovery_point: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: params.initial_rto.as_secs_f64(),
+            backoffs: 0,
+            rto_armed: false,
+            rtt_hint,
+            meta: VecDeque::new(),
+            meta_base: 0,
+            retransmits: 0,
+            timeouts: 0,
+            fast_recoveries: 0,
+            params,
+        }
+    }
+
+    /// The RTT the congestion controller should see: the smoothed estimate,
+    /// or the propagation-delay hint before the first sample.
+    pub fn cc_rtt(&self) -> f64 {
+        self.srtt.unwrap_or(self.rtt_hint)
+    }
+
+    /// RFC 6675-style pipe: packets believed to be in the network.
+    /// Everything sent and unacked, minus what the receiver holds (sacked)
+    /// and what the scoreboard wrote off as lost; retransmissions put their
+    /// sequence back in the pipe by moving it out of `lost`.
+    pub fn pipe(&self) -> f64 {
+        let outstanding = self.next_seq - self.una;
+        (outstanding - self.sacked.len() as u64 - self.lost.len() as u64) as f64
+    }
+
+    /// Whether the window permits sending one more new packet (holes are
+    /// always retransmitted first; see [`SubflowSender::next_retransmit`]).
+    pub fn can_send_new(&self) -> bool {
+        self.lost.is_empty()
+            && self.pipe() + 1.0 <= self.cwnd.min(self.params.max_cwnd) + 1e-9
+    }
+
+    /// The next lost sequence to retransmit, if the window allows it.
+    /// Moves the sequence into the retransmitted set.
+    pub fn next_retransmit(&mut self) -> Option<u64> {
+        if self.pipe() + 1.0 > self.cwnd.min(self.params.max_cwnd) + 1e-9 {
+            return None;
+        }
+        let seq = self.lost.pop_first()?;
+        self.retx_out.insert(seq, self.sack_events);
+        Some(seq)
+    }
+
+    /// Record that a *new* packet with the next sequence number was sent at
+    /// `now`; returns the sequence number used and whether this send armed
+    /// the retransmission timer (so the caller can schedule the event).
+    pub fn on_send_new(&mut self, now: SimTime) -> (u64, bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        debug_assert_eq!(self.meta_base + self.meta.len() as u64, seq);
+        self.meta.push_back(SentMeta { sent_at: now, retransmitted: false });
+        let newly_armed = !self.rto_armed;
+        if newly_armed {
+            self.arm_rto();
+        }
+        (seq, newly_armed)
+    }
+
+    /// Record a retransmission of `seq` at `now` (Karn bookkeeping).
+    pub fn on_retransmit(&mut self, seq: u64, now: SimTime) {
+        self.retransmits += 1;
+        if seq >= self.meta_base {
+            if let Some(m) = self.meta.get_mut((seq - self.meta_base) as usize) {
+                m.sent_at = now;
+                m.retransmitted = true;
+            }
+        }
+    }
+
+    fn arm_rto(&mut self) {
+        self.rto_armed = true;
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_armed = false;
+    }
+
+    /// Current RTO as simulation time.
+    pub fn rto_interval(&self) -> SimTime {
+        let clamped = self
+            .rto
+            .clamp(self.params.min_rto.as_secs_f64(), self.params.max_rto.as_secs_f64());
+        SimTime::from_secs_f64(clamped)
+    }
+
+    /// RFC 6298 estimator update with a fresh RTT sample (seconds).
+    fn rtt_sample(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * sample);
+            }
+        }
+        self.rto = self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001);
+        self.backoffs = 0;
+    }
+
+    /// Process an incoming ACK: cumulative point `cum` plus SACK ranges.
+    pub fn on_ack(&mut self, cum: u64, sacks: &SackRanges, now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        if cum > self.una {
+            out.newly_acked = cum - self.una;
+            // RTT sample from the newest packet this ACK covers, if clean.
+            if cum - 1 >= self.meta_base {
+                let idx = (cum - 1 - self.meta_base) as usize;
+                if let Some(m) = self.meta.get(idx) {
+                    if !m.retransmitted {
+                        let sample = (now.saturating_sub(m.sent_at)).as_secs_f64();
+                        if sample > 0.0 {
+                            self.rtt_sample(sample);
+                        }
+                    }
+                }
+            }
+            while self.meta_base < cum {
+                self.meta.pop_front();
+                self.meta_base += 1;
+            }
+            self.una = cum;
+            // Drop state below the new cumulative point.
+            self.sacked = self.sacked.split_off(&cum);
+            self.lost = self.lost.split_off(&cum);
+            self.retx_out = self.retx_out.split_off(&cum);
+            if self.in_recovery && self.una >= self.recovery_point {
+                self.in_recovery = false;
+                self.rto_recovery = false;
+            }
+        } else if cum < self.una {
+            return out; // stale (reordered) ACK
+        }
+        // Fold in SACK information.
+        for range in sacks.iter().flatten() {
+            for seq in range.0.max(self.una)..range.1.min(self.next_seq) {
+                if self.sacked.insert(seq) {
+                    self.sack_events += 1;
+                    self.lost.remove(&seq);
+                    self.retx_out.remove(&seq);
+                }
+            }
+        }
+        // Loss detection (IsLost): a hole is lost once DupThresh packets
+        // above it have been SACKed.
+        let newly_lost = self.detect_losses();
+        if newly_lost && !self.in_recovery {
+            self.in_recovery = true;
+            self.rto_recovery = false;
+            self.fast_recoveries += 1;
+            self.recovery_point = self.next_seq;
+            out.entered_recovery = true;
+        }
+        if self.una < self.next_seq {
+            self.arm_rto();
+            out.rearm_rto = Some(true);
+        } else {
+            self.disarm_rto();
+            out.rearm_rto = Some(false);
+        }
+        out
+    }
+
+    /// Mark holes with ≥ DupThresh SACKed packets above them as lost.
+    /// Returns whether any sequence was newly marked.
+    fn detect_losses(&mut self) -> bool {
+        let thresh = self.params.dupack_threshold as usize;
+        if self.sacked.len() < thresh {
+            return false;
+        }
+        // The DupThresh-th highest SACKed sequence: every unsacked packet
+        // below it has at least DupThresh SACKed packets above.
+        let cutoff = *self.sacked.iter().nth_back(thresh - 1).expect("len checked");
+        let mut any = false;
+        for seq in self.una..cutoff {
+            if !self.sacked.contains(&seq)
+                && !self.retx_out.contains_key(&seq)
+                && self.lost.insert(seq)
+            {
+                any = true;
+            }
+        }
+        // RACK-style: a retransmission with ≥ DupThresh *new* SACKs since
+        // it went out was lost again.
+        let remark: Vec<u64> = self
+            .retx_out
+            .iter()
+            .filter(|&(&s, &ev)| s < cutoff && self.sack_events >= ev + thresh as u64)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in remark {
+            self.retx_out.remove(&s);
+            self.lost.insert(s);
+            any = true;
+        }
+        any
+    }
+
+    /// Handle an RTO firing (the caller verified generation freshness).
+    /// Returns whether anything was outstanding (i.e. the timeout is real);
+    /// the caller then applies the decrease and pumps retransmissions.
+    pub fn on_rto(&mut self, floor: f64) -> bool {
+        if self.una >= self.next_seq {
+            self.disarm_rto();
+            return false;
+        }
+        self.timeouts += 1;
+        self.backoffs += 1;
+        self.rto = (self.rto * 2.0).min(self.params.max_rto.as_secs_f64());
+        // Everything unsacked is presumed lost; the network is drained.
+        self.retx_out.clear();
+        for seq in self.una..self.next_seq {
+            if !self.sacked.contains(&seq) {
+                self.lost.insert(seq);
+            }
+        }
+        self.in_recovery = true;
+        self.rto_recovery = true;
+        self.recovery_point = self.next_seq;
+        self.cwnd = floor.max(1.0);
+        // Karn: every outstanding packet's RTT sample is now unreliable.
+        for m in &mut self.meta {
+            m.retransmitted = true;
+        }
+        self.arm_rto();
+        true
+    }
+
+    /// Set the slow-start threshold after a loss event (the congestion
+    /// controller decides the level; the subflow just records it).
+    pub fn set_ssthresh(&mut self, ssthresh: f64) {
+        self.ssthresh = ssthresh.max(2.0);
+    }
+
+    /// Whether congestion-window growth applies right now: always outside
+    /// recovery, and during RTO recovery (which slow-starts back); frozen
+    /// during fast recovery.
+    pub fn growth_allowed(&self) -> bool {
+        !self.in_recovery || self.rto_recovery
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Grow the window by `amount` packets (already computed by the caller
+    /// from the slow-start rule or the coupled algorithm), honoring the cap.
+    pub fn grow(&mut self, amount: f64) {
+        self.cwnd = (self.cwnd + amount).min(self.params.max_cwnd);
+    }
+
+    /// Shrink the window to `level` (a loss decrease), honoring `floor`.
+    pub fn shrink_to(&mut self, level: f64, floor: f64) {
+        self.cwnd = level.max(floor);
+        self.set_ssthresh(self.cwnd);
+    }
+
+    /// All data handed to this subflow has been acknowledged.
+    pub fn fully_acked(&self) -> bool {
+        self.una == self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_SACKS: SackRanges = [None; MAX_SACK_RANGES];
+
+    fn sender() -> SubflowSender {
+        SubflowSender::new(TcpParams::default(), 0.1)
+    }
+
+    fn sacks(ranges: &[(u64, u64)]) -> SackRanges {
+        let mut out = NO_SACKS;
+        for (i, &r) in ranges.iter().take(MAX_SACK_RANGES).enumerate() {
+            out[i] = Some(r);
+        }
+        out
+    }
+
+    #[test]
+    fn receiver_in_order_delivery() {
+        let mut rx = SubflowReceiver::default();
+        assert_eq!(rx.on_data(0).0, 1);
+        assert_eq!(rx.on_data(1).0, 2);
+        assert_eq!(rx.delivered(), 2);
+    }
+
+    #[test]
+    fn receiver_out_of_order_reports_sack_ranges() {
+        let mut rx = SubflowReceiver::default();
+        rx.on_data(0);
+        // Packet 1 lost; 2, 3 and 5 arrive.
+        let (cum, dup, s) = rx.on_data(2);
+        assert_eq!((cum, dup), (1, true));
+        assert_eq!(s[0], Some((2, 3)));
+        let (_, _, s) = rx.on_data(3);
+        assert_eq!(s[0], Some((2, 4)));
+        let (_, _, s) = rx.on_data(5);
+        assert_eq!(s[0], Some((2, 4)));
+        assert_eq!(s[1], Some((5, 6)));
+        // Retransmitted 1 fills the hole up to 4.
+        let (cum, dup, s) = rx.on_data(1);
+        assert_eq!((cum, dup), (4, false));
+        assert_eq!(s[0], Some((5, 6)));
+    }
+
+    #[test]
+    fn receiver_ignores_stale_duplicates() {
+        let mut rx = SubflowReceiver::default();
+        rx.on_data(0);
+        let (cum, dup, _) = rx.on_data(0);
+        assert_eq!((cum, dup), (1, true));
+    }
+
+    #[test]
+    fn sender_window_gates_new_packets() {
+        let mut tx = sender();
+        assert!(tx.can_send_new());
+        tx.on_send_new(SimTime::ZERO);
+        assert!(tx.can_send_new());
+        tx.on_send_new(SimTime::ZERO);
+        // initial_cwnd = 2: third packet must wait.
+        assert!(!tx.can_send_new());
+    }
+
+    #[test]
+    fn cumulative_ack_advances_and_samples_rtt() {
+        let mut tx = sender();
+        tx.on_send_new(SimTime::ZERO);
+        tx.on_send_new(SimTime::ZERO);
+        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(50));
+        assert_eq!(out.newly_acked, 2);
+        assert_eq!(tx.una, 2);
+        let srtt = tx.srtt.expect("sample taken");
+        assert!((srtt - 0.050).abs() < 1e-9);
+        assert!(tx.fully_acked());
+        assert_eq!(out.rearm_rto, Some(false));
+    }
+
+    #[test]
+    fn three_sacked_packets_mark_the_hole_lost_once() {
+        let mut tx = sender();
+        tx.cwnd = 10.0;
+        for _ in 0..6 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        // Packet 0 lost; 1..4 SACKed one at a time.
+        let out = tx.on_ack(0, &sacks(&[(1, 2)]), SimTime::from_millis(10));
+        assert!(!out.entered_recovery);
+        let out = tx.on_ack(0, &sacks(&[(1, 3)]), SimTime::from_millis(11));
+        assert!(!out.entered_recovery);
+        let out = tx.on_ack(0, &sacks(&[(1, 4)]), SimTime::from_millis(12));
+        assert!(out.entered_recovery, "DupThresh SACKed above the hole");
+        assert!(tx.in_recovery);
+        // The hole is queued for retransmission exactly once.
+        assert_eq!(tx.next_retransmit(), Some(0));
+        assert_eq!(tx.next_retransmit(), None);
+        let out = tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(13));
+        assert!(!out.entered_recovery, "one decrease per episode");
+    }
+
+    #[test]
+    fn pipe_excludes_sacked_and_lost() {
+        let mut tx = sender();
+        tx.cwnd = 20.0;
+        for _ in 0..10 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        assert_eq!(tx.pipe(), 10.0);
+        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10));
+        // 4 sacked, packet 0 lost (3+ above), 9 - 4 - 1 ... total out 10.
+        assert_eq!(tx.pipe(), 10.0 - 4.0 - 1.0);
+        // Retransmitting the hole puts it back in the pipe.
+        assert_eq!(tx.next_retransmit(), Some(0));
+        assert_eq!(tx.pipe(), 6.0);
+    }
+
+    #[test]
+    fn burst_loss_is_retransmitted_within_window_not_one_per_rtt() {
+        let mut tx = sender();
+        tx.cwnd = 40.0;
+        for _ in 0..40 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        // Packets 0..20 lost, 20..40 received.
+        tx.on_ack(0, &sacks(&[(20, 40)]), SimTime::from_millis(10));
+        assert!(tx.in_recovery);
+        let mut retx = Vec::new();
+        while let Some(seq) = tx.next_retransmit() {
+            retx.push(seq);
+        }
+        // Pipe was 40-20(sacked)-20(lost)=0, so the whole burst fits the
+        // window immediately.
+        assert_eq!(retx.len(), 20, "all holes retransmitted at once");
+        assert_eq!(retx[0], 0);
+        assert_eq!(retx[19], 19);
+    }
+
+    #[test]
+    fn recovery_exits_at_recovery_point() {
+        let mut tx = sender();
+        tx.cwnd = 10.0;
+        for _ in 0..8 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10));
+        assert!(tx.in_recovery);
+        assert_eq!(tx.recovery_point, 8);
+        tx.on_ack(5, &NO_SACKS, SimTime::from_millis(20));
+        assert!(tx.in_recovery, "partial ACK keeps recovery");
+        tx.on_ack(8, &NO_SACKS, SimTime::from_millis(30));
+        assert!(!tx.in_recovery);
+    }
+
+    #[test]
+    fn rto_marks_everything_lost_and_backs_off() {
+        let mut tx = sender();
+        tx.cwnd = 16.0;
+        for _ in 0..10 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        let before_rto = tx.rto;
+        assert!(tx.on_rto(1.0));
+        assert!((tx.cwnd - 1.0).abs() < 1e-12);
+        assert!(tx.rto > before_rto, "exponential backoff");
+        assert_eq!(tx.timeouts, 1);
+        // Window 1: exactly one retransmission allowed now.
+        assert_eq!(tx.next_retransmit(), Some(0));
+        assert_eq!(tx.next_retransmit(), None, "window of 1 is full");
+    }
+
+    #[test]
+    fn rto_with_nothing_outstanding_is_spurious() {
+        let mut tx = sender();
+        assert!(!tx.on_rto(1.0));
+        assert_eq!(tx.timeouts, 0);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_samples() {
+        let mut tx = sender();
+        tx.on_send_new(SimTime::ZERO);
+        tx.on_retransmit(0, SimTime::from_millis(10));
+        tx.on_ack(1, &NO_SACKS, SimTime::from_millis(15));
+        assert!(tx.srtt.is_none(), "no sample from a retransmitted packet");
+    }
+
+    #[test]
+    fn stale_reordered_ack_is_ignored() {
+        let mut tx = sender();
+        tx.cwnd = 10.0;
+        for _ in 0..5 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        tx.on_ack(4, &NO_SACKS, SimTime::from_millis(10));
+        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(11));
+        assert_eq!(out.newly_acked, 0);
+        assert_eq!(tx.una, 4);
+    }
+
+    #[test]
+    fn slow_start_flag_follows_ssthresh() {
+        let mut tx = sender();
+        assert!(tx.in_slow_start());
+        tx.ssthresh = 8.0;
+        tx.cwnd = 10.0;
+        assert!(!tx.in_slow_start());
+    }
+
+    #[test]
+    fn shrink_respects_floor() {
+        let mut tx = sender();
+        tx.cwnd = 12.0;
+        tx.shrink_to(-5.0, 1.0); // COUPLED's decrease can go negative
+        assert!((tx.cwnd - 1.0).abs() < 1e-12);
+        assert!(tx.ssthresh >= 2.0);
+    }
+
+    #[test]
+    fn cumulative_ack_clears_scoreboard_below_it() {
+        let mut tx = sender();
+        tx.cwnd = 20.0;
+        for _ in 0..10 {
+            tx.on_send_new(SimTime::ZERO);
+        }
+        tx.on_ack(0, &sacks(&[(2, 8)]), SimTime::from_millis(10));
+        assert!(tx.in_recovery);
+        assert_eq!(tx.next_retransmit(), Some(0));
+        assert_eq!(tx.next_retransmit(), Some(1));
+        tx.on_ack(10, &NO_SACKS, SimTime::from_millis(20));
+        assert_eq!(tx.pipe(), 0.0);
+        assert!(tx.fully_acked());
+        assert!(!tx.in_recovery);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulation time: a nanosecond-resolution monotonic clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `u64` nanoseconds cover ~584 years of simulation — far beyond any
+/// experiment in the paper — while keeping event ordering exact (no
+/// floating-point time drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From fractional seconds. Negative or non-finite inputs are invalid.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative, NaN or infinite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        let t = SimTime::from_secs_f64(0.123456789);
+        assert!((t.as_secs_f64() - 0.123456789).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!((a + b).as_nanos(), 14_000_000);
+        assert_eq!((a - b).as_nanos(), 6_000_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_rejected() {
+        let _ = SimTime::from_secs_f64(-0.1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # mptcp-proto — the Multipath TCP protocol layer of §6
+//!
+//! The paper's §6 describes the protocol changes TCP needs to carry one
+//! data stream over several subflows, and argues that "careful
+//! consideration of corner cases forced us to our specific implementation".
+//! This crate implements that design as a userspace endpoint, and also
+//! implements the *rejected* design alternatives behind feature switches so
+//! the corner cases can be demonstrated as executable tests:
+//!
+//! * **Dual sequence spaces** — subflow sequence numbers in the header for
+//!   loss detection and fast retransmission, plus a 64-bit **data sequence
+//!   number** carried in a TCP-option-like structure ([`segment::MptcpOption::Dss`])
+//!   for stream reassembly. A middlebox that rewrites one subflow's initial
+//!   sequence number (the `pf` firewall example) therefore cannot corrupt
+//!   the stream — see [`wire::WireFault::RewriteIsn`] and the tests.
+//! * **Explicit data ACKs** as options, not inferred from subflow ACKs and
+//!   not embedded in the payload. The §6 inference counterexample (ACK
+//!   reordering makes the receive-window's trailing edge unrecoverable) and
+//!   the payload-encoding deadlock are both reproduced in tests.
+//! * **A single shared receive buffer**, with the advertised window
+//!   measured from the data-level cumulative ACK. The per-subflow-buffer
+//!   deadlock (subflow 1 stalls, subflow 2's buffer fills, the missing
+//!   packet can no longer be delivered) is reproduced with the
+//!   per-subflow-buffer mode switched on.
+//! * **Subflow establishment** with `MP_CAPABLE`/`MP_JOIN`-style options and
+//!   graceful **fallback to regular TCP** when a middlebox strips them.
+//! * **Reinjection**: data unacknowledged at the data level may be
+//!   retransmitted on a different subflow after a subflow RTO, so one dead
+//!   path cannot stall the connection.
+//!
+//! Congestion control is pluggable via [`mptcp_cc::MultipathCc`]; the
+//! endpoint drives it with the same ACK/loss events the simulator uses.
+//!
+//! Everything is poll-based (smoltcp-style): [`endpoint::Endpoint::poll`]
+//! returns segments to transmit, [`endpoint::Endpoint::on_segment`] ingests
+//! arrivals, and [`wire::Wire`] provides a deterministic lossy/reordering
+//! in-memory path for tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod harness;
+pub mod scenarios;
+pub mod segment;
+pub mod wire;
+
+pub use endpoint::{Endpoint, EndpointConfig, EndpointStats, RecvBufferMode, SubflowStats};
+pub use harness::Harness;
+pub use segment::{DecodeError, MptcpOption, SegFlags, Segment};
+pub use wire::{Wire, WireFault};
+
+/// Protocol time: microseconds since an arbitrary origin. The protocol
+/// layer is driven explicitly (poll-based), so this is just a number the
+/// harness advances.
+pub type Micros = u64;

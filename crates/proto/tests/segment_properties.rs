@@ -1,0 +1,85 @@
+//! Property tests on the wire format: roundtrips, decoder robustness.
+
+use mptcp_proto::{DecodeError, MptcpOption, SegFlags, Segment};
+use proptest::prelude::*;
+
+fn arb_option() -> impl Strategy<Value = MptcpOption> {
+    prop_oneof![
+        any::<u64>().prop_map(|key| MptcpOption::MpCapable { key }),
+        any::<u64>().prop_map(|token| MptcpOption::MpJoin { token }),
+        (prop::option::of(any::<u64>()), prop::option::of(any::<u64>()))
+            .prop_map(|(data_seq, data_ack)| MptcpOption::Dss { data_seq, data_ack }),
+    ]
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u32>(),
+        prop::collection::vec(arb_option(), 0..4),
+        prop::collection::vec(any::<u8>(), 0..2000),
+    )
+        .prop_map(|(seq, ack, syn, a, fin, window, options, payload)| Segment {
+            subflow_seq: seq,
+            subflow_ack: ack,
+            flags: SegFlags { syn, ack: a, fin },
+            window,
+            options,
+            payload,
+        })
+}
+
+proptest! {
+    /// Every well-formed segment encodes and decodes to itself.
+    #[test]
+    fn encode_decode_roundtrip(seg in arb_segment()) {
+        let bytes = seg.encode();
+        prop_assert_eq!(Segment::decode(&bytes).unwrap(), seg);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns a typed
+    /// error or a valid segment.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..4000)) {
+        match Segment::decode(&bytes) {
+            Ok(seg) => {
+                // If it decoded, re-encoding must reproduce the input.
+                prop_assert_eq!(seg.encode(), bytes);
+            }
+            Err(
+                DecodeError::Truncated
+                | DecodeError::BadFlags(_)
+                | DecodeError::BadOption(_)
+                | DecodeError::TrailingBytes(_),
+            ) => {}
+        }
+    }
+
+    /// Any prefix of a valid encoding fails to decode (no silent
+    /// truncation).
+    #[test]
+    fn prefixes_are_rejected(seg in arb_segment(), cut_frac in 0.0_f64..1.0) {
+        let bytes = seg.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Segment::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Flipping one byte never panics the decoder.
+    #[test]
+    fn single_byte_corruption_is_safe(
+        seg in arb_segment(),
+        pos_frac in 0.0_f64..1.0,
+        xor in 1_u8..=255,
+    ) {
+        let mut bytes = seg.encode();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= xor;
+        let _ = Segment::decode(&bytes); // must not panic
+    }
+}

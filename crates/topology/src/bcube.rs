@@ -1,0 +1,290 @@
+//! BCube(n, k) — the server-centric data-center topology of §4 (Guo et
+//! al., Fig. 11b).
+//!
+//! A BCube(n, k) has `n^(k+1)` hosts, each with `k+1` interfaces, and
+//! `k+1` levels of `n^k` switches with `n` ports each. A host's address is
+//! a `(k+1)`-digit base-`n` number; its level-`i` interface connects to the
+//! level-`i` switch shared by all hosts that agree with it on every digit
+//! except digit `i`.
+//!
+//! The paper's configuration is `n = 5, k = 2`: "125 three-interface hosts"
+//! with five-port switches, and "for each pair of hosts we selected 3
+//! edge-disjoint paths according to the BCube routing algorithm, choosing
+//! the intermediate nodes at random when the algorithm needed a choice".
+//!
+//! Routing: a hop through a level-`i` switch changes digit `i` of the
+//! current host. BCube's `BuildPathSet` builds `k+1` edge-disjoint paths by
+//! starting the digit-correction at each level `m`: if digit `m` already
+//! matches, the path first detours through a random *different* value of
+//! digit `m` (the random intermediate node), guaranteeing disjointness.
+
+use mptcp_netsim::{LinkId, LinkSpec, Simulator};
+use rand::Rng;
+
+/// A built BCube.
+#[derive(Debug, Clone)]
+pub struct BCube {
+    /// Switch port count / digit radix.
+    pub n: usize,
+    /// Levels are `0..=k`.
+    pub k: usize,
+    /// `host_up[h][i]`: host `h` → its level-`i` switch.
+    host_up: Vec<Vec<LinkId>>,
+    /// `host_down[h][i]`: level-`i` switch → host `h`.
+    host_down: Vec<Vec<LinkId>>,
+}
+
+impl BCube {
+    /// Number of hosts: `n^(k+1)`.
+    pub fn host_count(&self) -> usize {
+        self.n.pow(self.k as u32 + 1)
+    }
+
+    /// Number of interfaces per host: `k+1`.
+    pub fn interfaces(&self) -> usize {
+        self.k + 1
+    }
+
+    /// Number of switches per level: `n^k`.
+    pub fn switches_per_level(&self) -> usize {
+        self.n.pow(self.k as u32)
+    }
+
+    /// Build a BCube(n, k) where every (simplex) link has the given spec.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn build(sim: &mut Simulator, n: usize, k: usize, link: LinkSpec) -> Self {
+        assert!(n >= 2, "BCube needs n ≥ 2");
+        let hosts = n.pow(k as u32 + 1);
+        let mut host_up = Vec::with_capacity(hosts);
+        let mut host_down = Vec::with_capacity(hosts);
+        for _h in 0..hosts {
+            let ups: Vec<LinkId> = (0..=k).map(|_| sim.add_link(link)).collect();
+            let downs: Vec<LinkId> = (0..=k).map(|_| sim.add_link(link)).collect();
+            host_up.push(ups);
+            host_down.push(downs);
+        }
+        Self { n, k, host_up, host_down }
+    }
+
+    /// Digits of host `h`, least-significant first (`digit[i]` is the
+    /// coordinate at level `i`).
+    fn digits(&self, h: usize) -> Vec<usize> {
+        let mut d = Vec::with_capacity(self.k + 1);
+        let mut x = h;
+        for _ in 0..=self.k {
+            d.push(x % self.n);
+            x /= self.n;
+        }
+        d
+    }
+
+    fn from_digits(&self, d: &[usize]) -> usize {
+        d.iter().rev().fold(0, |acc, &x| acc * self.n + x)
+    }
+
+    /// The two links of a hop from `from` to `to` through their shared
+    /// level-`i` switch (the hosts must differ only in digit `i`).
+    fn hop(&self, from: usize, to: usize, level: usize) -> [LinkId; 2] {
+        [self.host_up[from][level], self.host_down[to][level]]
+    }
+
+    /// One BCube path from `src` to `dst` correcting digits in the cyclic
+    /// level order `start, start-1, …` (mod `k+1`), with a detour through a
+    /// random value at level `start` if that digit already matches
+    /// (BCube's `BuildPathSet` / `DCRouting` with random intermediates).
+    pub fn path_starting_at<R: Rng>(
+        &self,
+        src: usize,
+        dst: usize,
+        start: usize,
+        rng: &mut R,
+    ) -> Vec<LinkId> {
+        assert!(src != dst, "no path from a host to itself");
+        let levels = self.k + 1;
+        let sd = self.digits(src);
+        let dd = self.digits(dst);
+        let mut path = Vec::new();
+        let mut cur = sd.clone();
+        let mut cur_host = src;
+
+        // Detour if the starting digit already matches (and some other digit
+        // differs — guaranteed since src != dst).
+        let needs_detour = sd[start] == dd[start];
+        let mut detour_level = None;
+        if needs_detour {
+            let mut alt = rng.gen_range(0..self.n - 1);
+            if alt >= dd[start] {
+                alt += 1; // any value except the (matching) target digit
+            }
+            cur[start] = alt;
+            let next_host = self.from_digits(&cur);
+            path.extend(self.hop(cur_host, next_host, start));
+            cur_host = next_host;
+            detour_level = Some(start);
+        }
+
+        // Correct digits in cyclic order start, start-1, ..., wrapping.
+        for step in 0..levels {
+            let level = (start + levels - step) % levels; // start, start-1, …
+            if step == 0 && needs_detour {
+                continue; // handled below, after the cycle
+            }
+            if cur[level] != dd[level] {
+                cur[level] = dd[level];
+                let next_host = self.from_digits(&cur);
+                path.extend(self.hop(cur_host, next_host, level));
+                cur_host = next_host;
+            }
+        }
+        // Undo the detour last.
+        if let Some(level) = detour_level {
+            if cur[level] != dd[level] {
+                cur[level] = dd[level];
+                let next_host = self.from_digits(&cur);
+                path.extend(self.hop(cur_host, next_host, level));
+                cur_host = next_host;
+            }
+        }
+        debug_assert_eq!(cur_host, dst);
+        path
+    }
+
+    /// The paper's selection: `k+1` paths, one starting at each level
+    /// (edge-disjoint by construction when the digit at the starting level
+    /// differs; detours keep them disjoint otherwise).
+    pub fn path_set<R: Rng>(&self, src: usize, dst: usize, rng: &mut R) -> Vec<Vec<LinkId>> {
+        (0..=self.k).map(|m| self.path_starting_at(src, dst, m, rng)).collect()
+    }
+
+    /// A single-path route: correct digits from the highest differing level
+    /// downward (BCube's default single-path routing).
+    pub fn single_path(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        let sd = self.digits(src);
+        let dd = self.digits(dst);
+        let highest = (0..=self.k)
+            .rev()
+            .find(|&i| sd[i] != dd[i])
+            .expect("src != dst required");
+        // No detour needed when starting at a differing level; rng unused.
+        let mut rng = NoRng;
+        self.path_starting_at(src, dst, highest, &mut rng)
+    }
+
+    /// Neighbors of host `h` in the level structure: for TP2 ("the
+    /// destinations are the host's neighbors in the three levels") — one
+    /// neighbor per (level, other-value) pair.
+    pub fn level_neighbors(&self, h: usize) -> Vec<usize> {
+        let d = self.digits(h);
+        let mut out = Vec::new();
+        for level in 0..=self.k {
+            for v in 0..self.n {
+                if v != d[level] {
+                    let mut nd = d.clone();
+                    nd[level] = v;
+                    out.push(self.from_digits(&nd));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An RNG that must never be consulted (used by deterministic single-path
+/// routing, which takes no detours).
+struct NoRng;
+
+impl rand::RngCore for NoRng {
+    fn next_u32(&mut self) -> u32 {
+        unreachable!("single-path BCube routing needs no randomness")
+    }
+    fn next_u64(&mut self) -> u64 {
+        unreachable!()
+    }
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        unreachable!()
+    }
+    fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
+        unreachable!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_netsim::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> (Simulator, BCube) {
+        let mut sim = Simulator::new(0);
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let b = BCube::build(&mut sim, 5, 2, spec);
+        (sim, b)
+    }
+
+    #[test]
+    fn paper_configuration_sizes() {
+        let (_sim, b) = build();
+        assert_eq!(b.host_count(), 125, "paper: 125 hosts");
+        assert_eq!(b.interfaces(), 3, "paper: three-interface hosts");
+        assert_eq!(b.switches_per_level(), 25, "paper: 25 five-port switches per level");
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let (_sim, b) = build();
+        for h in [0, 1, 24, 60, 124] {
+            assert_eq!(b.from_digits(&b.digits(h)), h);
+        }
+    }
+
+    #[test]
+    fn path_set_is_edge_disjoint() {
+        let (_sim, b) = build();
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(s, d) in &[(0usize, 124usize), (0, 1), (3, 78), (10, 35), (50, 55)] {
+            let paths = b.path_set(s, d, &mut rng);
+            assert_eq!(paths.len(), 3);
+            let mut seen = std::collections::HashSet::new();
+            for p in &paths {
+                for &l in p {
+                    assert!(seen.insert(l), "link {l} shared between paths {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_path_has_minimal_hops() {
+        let (_sim, b) = build();
+        // Hosts differing in one digit: 2 links (up, down).
+        assert_eq!(b.single_path(0, 1).len(), 2);
+        // Differing in all three digits: 6 links.
+        assert_eq!(b.single_path(0, 124).len(), 6);
+    }
+
+    #[test]
+    fn level_neighbors_count() {
+        let (_sim, b) = build();
+        // (n-1) per level × 3 levels = 12 neighbors — exactly TP2's "12
+        // flows to 12 destination hosts".
+        assert_eq!(b.level_neighbors(0).len(), 12);
+    }
+
+    #[test]
+    fn multipath_over_three_interfaces_beats_single_interface() {
+        let (mut sim, b) = build();
+        let mut rng = StdRng::seed_from_u64(9);
+        let paths = b.path_set(0, 124, &mut rng);
+        let mut spec = mptcp_netsim::ConnectionSpec::bulk(mptcp_cc::AlgorithmKind::Mptcp);
+        for p in paths {
+            spec = spec.path(p);
+        }
+        let c = sim.add_connection(spec);
+        sim.run_until(SimTime::from_secs(5));
+        let bps = sim.connection_stats(c).throughput_bps(sim.now());
+        assert!(bps > 200e6, "3 interfaces × 100 Mb/s should exceed 200 Mb/s: {bps}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The dual-homed server of §3's testbed experiments (Fig. 10).
+//!
+//! "We first ran a server dual-homed with two 100 Mb/s links and a number
+//! of client machines. We used dummynet to add 10 ms of latency to simulate
+//! a wide-area scenario."
+//!
+//! Clients attach to one of the two access links; multipath clients attach
+//! to both. The access links are the only bottlenecks.
+
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, SimTime, Simulator};
+
+/// A server with two access links.
+#[derive(Debug, Clone)]
+pub struct DualHomedServer {
+    /// The two (simplex, server→clients) access links.
+    pub links: [LinkId; 2],
+}
+
+impl DualHomedServer {
+    /// Build the two access links.
+    ///
+    /// * `mbps` — capacity of each link in Mb/s (100 in the paper);
+    /// * `one_way_delay` — added latency (10 ms in the paper);
+    /// * `queue_pkts` — buffer size per link.
+    pub fn build(
+        sim: &mut Simulator,
+        mbps: [f64; 2],
+        one_way_delay: SimTime,
+        queue_pkts: usize,
+    ) -> Self {
+        let links = [
+            sim.add_link(LinkSpec::mbps(mbps[0], one_way_delay, queue_pkts)),
+            sim.add_link(LinkSpec::mbps(mbps[1], one_way_delay, queue_pkts)),
+        ];
+        Self { links }
+    }
+
+    /// Add a single-path client downloading over access link `which`.
+    pub fn add_single_path_client(
+        &self,
+        sim: &mut Simulator,
+        which: usize,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Uncoupled)
+                .path(vec![self.links[which]])
+                .start(start),
+        )
+    }
+
+    /// Add a finite single-path download of `pkts` packets on link `which`
+    /// (used by the Poisson-arrivals experiment).
+    pub fn add_single_path_transfer(
+        &self,
+        sim: &mut Simulator,
+        which: usize,
+        pkts: u64,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Uncoupled, pkts)
+                .path(vec![self.links[which]])
+                .start(start),
+        )
+    }
+
+    /// Add a multipath client able to use both links.
+    pub fn add_multipath_client(
+        &self,
+        sim: &mut Simulator,
+        algorithm: AlgorithmKind,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::bulk(algorithm)
+                .path(vec![self.links[0]])
+                .path(vec![self.links[1]])
+                .start(start),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_clients_split_by_link() {
+        let mut sim = Simulator::new(2);
+        let srv =
+            DualHomedServer::build(&mut sim, [100.0, 100.0], SimTime::from_millis(10), 100);
+        let a = srv.add_single_path_client(&mut sim, 0, SimTime::ZERO);
+        let b = srv.add_single_path_client(&mut sim, 1, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(20));
+        // Each alone on a 100 Mb/s link: both should come close to filling it.
+        for c in [a, b] {
+            let bps = sim.connection_stats(c).throughput_bps(sim.now());
+            assert!(bps > 80e6, "client {c} got {bps}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_load_hurts_the_crowded_link() {
+        let mut sim = Simulator::new(3);
+        let srv =
+            DualHomedServer::build(&mut sim, [100.0, 100.0], SimTime::from_millis(10), 100);
+        let lone = srv.add_single_path_client(&mut sim, 0, SimTime::ZERO);
+        let crowd: Vec<ConnId> =
+            (0..4).map(|_| srv.add_single_path_client(&mut sim, 1, SimTime::ZERO)).collect();
+        sim.run_until(SimTime::from_secs(30));
+        let lone_bps = sim.connection_stats(lone).throughput_bps(sim.now());
+        let crowd_bps = sim.connection_stats(crowd[0]).throughput_bps(sim.now());
+        assert!(
+            lone_bps > 2.0 * crowd_bps,
+            "lone client {lone_bps} should beat crowded {crowd_bps}"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! FatTree(k) — the data-center topology of §4 (Al-Fares et al., Fig. 11a).
+//!
+//! A FatTree built from `k`-port switches has `k` pods, each with `k/2`
+//! edge and `k/2` aggregation switches, plus `(k/2)²` core switches, and
+//! supports `k³/4` hosts. The paper's configuration is `k = 8`: "128
+//! single-interface hosts and 80 eight-port switches".
+//!
+//! Between hosts in different pods there are `(k/2)²` shortest paths (one
+//! per core switch); within a pod but across edge switches there are `k/2`;
+//! under the same edge switch there is one. The paper selects **8 paths at
+//! random** for multipath and mimics **ECMP** by picking one shortest path
+//! at random per single-path flow.
+
+use mptcp_netsim::{LinkId, LinkSpec, Simulator};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A built FatTree: link-id tables for every adjacency, in both directions.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Switch port count; must be even.
+    pub k: usize,
+    /// `host_up[h]`: host `h` → its edge switch.
+    host_up: Vec<LinkId>,
+    /// `host_down[h]`: edge switch → host `h`.
+    host_down: Vec<LinkId>,
+    /// `edge_agg_up[e][j]`: edge switch `e` (global index) → `j`-th agg
+    /// switch of its pod.
+    edge_agg_up: Vec<Vec<LinkId>>,
+    /// `agg_edge_down[a][i]`: agg switch `a` (global) → `i`-th edge switch
+    /// of its pod.
+    agg_edge_down: Vec<Vec<LinkId>>,
+    /// `agg_core_up[a][c]`: agg switch `a` → `c`-th core switch of its
+    /// group (cores `a_pos*k/2 .. a_pos*k/2+k/2` where `a_pos` is the agg's
+    /// index within the pod).
+    agg_core_up: Vec<Vec<LinkId>>,
+    /// `core_agg_down[core][p]`: core switch → the matching agg switch of
+    /// pod `p`.
+    core_agg_down: Vec<Vec<LinkId>>,
+}
+
+impl FatTree {
+    /// Number of hosts: `k³/4`.
+    pub fn host_count(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Number of switches: `5k²/4` (k·k/2 edge + k·k/2 agg + (k/2)² core).
+    pub fn switch_count(&self) -> usize {
+        5 * self.k * self.k / 4
+    }
+
+    /// Build a FatTree of `k`-port switches where every (simplex) link has
+    /// the given spec.
+    ///
+    /// # Panics
+    /// Panics if `k` is odd or < 2.
+    pub fn build(sim: &mut Simulator, k: usize, link: LinkSpec) -> Self {
+        assert!(k >= 2 && k % 2 == 0, "FatTree requires even k ≥ 2");
+        let half = k / 2;
+        let pods = k;
+        let hosts = k * k * k / 4;
+        let edges = pods * half; // global edge index = pod*half + e
+        let aggs = pods * half; // global agg index = pod*half + j
+        let cores = half * half; // global core index = j*half + c
+
+        let mut t = FatTree {
+            k,
+            host_up: Vec::with_capacity(hosts),
+            host_down: Vec::with_capacity(hosts),
+            edge_agg_up: vec![Vec::with_capacity(half); edges],
+            agg_edge_down: vec![Vec::with_capacity(half); aggs],
+            agg_core_up: vec![Vec::with_capacity(half); aggs],
+            core_agg_down: vec![Vec::with_capacity(pods); cores],
+        };
+
+        for _h in 0..hosts {
+            t.host_up.push(sim.add_link(link));
+            t.host_down.push(sim.add_link(link));
+        }
+        for e in 0..edges {
+            let pod = e / half;
+            for j in 0..half {
+                let a = pod * half + j;
+                t.edge_agg_up[e].push(sim.add_link(link));
+                // agg→edge down links are indexed by the edge's position in
+                // the pod; create them in lockstep so indices line up.
+                let down = sim.add_link(link);
+                t.agg_edge_down[a].push(down);
+                // NOTE: agg_edge_down[a] must be indexed by edge position
+                // e%half. Since we iterate e in order and push per (e, j),
+                // agg_edge_down[a] receives its entry for edge position
+                // e%half when j matches a's position; order is correct
+                // because for fixed a = pod*half+j, the pushes happen for
+                // e = pod*half+0 .. pod*half+half-1 in order.
+            }
+        }
+        for a in 0..aggs {
+            let j = a % half; // position of agg within the pod
+            for c in 0..half {
+                let core = j * half + c;
+                t.agg_core_up[a].push(sim.add_link(link));
+                let down = sim.add_link(link);
+                // core_agg_down[core][pod]: push in pod order — a iterates
+                // pods in order for each fixed j.
+                t.core_agg_down[core].push(down);
+            }
+        }
+        t
+    }
+
+    /// Edge switch (global index) of host `h`.
+    fn edge_of(&self, h: usize) -> usize {
+        h / (self.k / 2)
+    }
+
+    /// Pod of host `h`.
+    fn pod_of(&self, h: usize) -> usize {
+        self.edge_of(h) / (self.k / 2)
+    }
+
+    /// All shortest paths from host `src` to host `dst`, as link sequences.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or either host is out of range.
+    pub fn all_paths(&self, src: usize, dst: usize) -> Vec<Vec<LinkId>> {
+        assert!(src != dst, "no path from a host to itself");
+        assert!(src < self.host_count() && dst < self.host_count());
+        let half = self.k / 2;
+        let e_src = self.edge_of(src);
+        let e_dst = self.edge_of(dst);
+        if e_src == e_dst {
+            return vec![vec![self.host_up[src], self.host_down[dst]]];
+        }
+        let p_src = self.pod_of(src);
+        let p_dst = self.pod_of(dst);
+        let mut paths = Vec::new();
+        if p_src == p_dst {
+            // Up to any agg of the pod, straight back down.
+            for j in 0..half {
+                let a = p_src * half + j;
+                paths.push(vec![
+                    self.host_up[src],
+                    self.edge_agg_up[e_src][j],
+                    self.agg_edge_down[a][e_dst % half],
+                    self.host_down[dst],
+                ]);
+            }
+        } else {
+            // Up via agg j and core c of j's group, down the same way.
+            for j in 0..half {
+                let a_src = p_src * half + j;
+                let a_dst = p_dst * half + j;
+                for c in 0..half {
+                    let core = j * half + c;
+                    paths.push(vec![
+                        self.host_up[src],
+                        self.edge_agg_up[e_src][j],
+                        self.agg_core_up[a_src][c],
+                        self.core_agg_down[core][p_dst],
+                        self.agg_edge_down[a_dst][e_dst % half],
+                        self.host_down[dst],
+                    ]);
+                }
+            }
+        }
+        paths
+    }
+
+    /// The paper's multipath path selection: up to `n` distinct paths
+    /// chosen at random ("for each pair of hosts we selected 8 paths at
+    /// random", §4).
+    pub fn random_paths<R: Rng>(
+        &self,
+        src: usize,
+        dst: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<LinkId>> {
+        let mut all = self.all_paths(src, dst);
+        all.shuffle(rng);
+        all.truncate(n.max(1));
+        all
+    }
+
+    /// The ECMP mimic: one shortest path chosen uniformly at random
+    /// (§4: "we mimicked ECMP in our simulator by making each TCP source
+    /// pick one of the shortest-hop paths at random").
+    pub fn ecmp_path<R: Rng>(&self, src: usize, dst: usize, rng: &mut R) -> Vec<LinkId> {
+        let all = self.all_paths(src, dst);
+        all[rng.gen_range(0..all.len())].clone()
+    }
+
+    /// All core-layer links (for loss-distribution plots, Fig. 13).
+    pub fn core_links(&self) -> Vec<LinkId> {
+        let mut v = Vec::new();
+        for a in &self.agg_core_up {
+            v.extend_from_slice(a);
+        }
+        for c in &self.core_agg_down {
+            v.extend_from_slice(c);
+        }
+        v
+    }
+
+    /// All access (host) links (Fig. 13 splits distributions into core vs
+    /// access links).
+    pub fn access_links(&self) -> Vec<LinkId> {
+        let mut v = self.host_up.clone();
+        v.extend_from_slice(&self.host_down);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_netsim::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_k4() -> (Simulator, FatTree) {
+        let mut sim = Simulator::new(0);
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let t = FatTree::build(&mut sim, 4, spec);
+        (sim, t)
+    }
+
+    #[test]
+    fn paper_configuration_sizes() {
+        let mut sim = Simulator::new(0);
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let t = FatTree::build(&mut sim, 8, spec);
+        assert_eq!(t.host_count(), 128, "paper: 128 hosts");
+        assert_eq!(t.switch_count(), 80, "paper: 80 eight-port switches");
+    }
+
+    #[test]
+    fn path_counts_by_locality() {
+        let (_sim, t) = build_k4();
+        // k=4: hosts 0,1 share an edge switch; 0,2 share a pod; 0,4+ differ.
+        assert_eq!(t.all_paths(0, 1).len(), 1);
+        assert_eq!(t.all_paths(0, 2).len(), 2); // k/2 aggs
+        assert_eq!(t.all_paths(0, 4).len(), 4); // (k/2)² cores
+    }
+
+    #[test]
+    fn paths_start_and_end_at_the_right_hosts() {
+        let (_sim, t) = build_k4();
+        for dst in 1..t.host_count() {
+            for p in t.all_paths(0, dst) {
+                assert_eq!(p[0], t.host_up[0]);
+                assert_eq!(*p.last().unwrap(), t.host_down[dst]);
+                // No repeated links within one shortest path.
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), p.len(), "loop in path {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_pod_paths_are_distinct() {
+        let (_sim, t) = build_k4();
+        let paths = t.all_paths(0, 15);
+        let mut dedup = paths.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), paths.len());
+    }
+
+    #[test]
+    fn random_paths_respects_n() {
+        let (_sim, t) = build_k4();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.random_paths(0, 4, 3, &mut rng).len(), 3);
+        assert_eq!(t.random_paths(0, 1, 8, &mut rng).len(), 1, "only one path exists");
+    }
+
+    #[test]
+    fn ecmp_picks_a_valid_shortest_path() {
+        let (_sim, t) = build_k4();
+        let mut rng = StdRng::seed_from_u64(2);
+        let all = t.all_paths(0, 12);
+        for _ in 0..20 {
+            let p = t.ecmp_path(0, 12, &mut rng);
+            assert!(all.contains(&p));
+        }
+    }
+
+    #[test]
+    fn simulated_transfer_crosses_the_fabric() {
+        let (mut sim, t) = build_k4();
+        let mut rng = StdRng::seed_from_u64(3);
+        let paths = t.random_paths(0, 12, 4, &mut rng);
+        let mut spec = mptcp_netsim::ConnectionSpec::bulk(mptcp_cc_kind());
+        for p in paths {
+            spec = spec.path(p);
+        }
+        let c = sim.add_connection(spec);
+        sim.run_until(SimTime::from_secs(5));
+        let bps = sim.connection_stats(c).throughput_bps(sim.now());
+        assert!(bps > 80e6, "lone flow should fill its 100 Mb/s NIC: {bps}");
+    }
+
+    fn mptcp_cc_kind() -> mptcp_cc::AlgorithmKind {
+        mptcp_cc::AlgorithmKind::Mptcp
+    }
+}

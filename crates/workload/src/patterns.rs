@@ -1,0 +1,151 @@
+//! The §4 data-center traffic patterns (TP1, TP2, TP3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// **TP1** — random permutation traffic: every host sends to exactly one
+/// destination and receives from exactly one source, never itself. "For
+/// FatTree, this is the least amount of traffic that can fully utilize the
+/// network and is a good test for overall utilization."
+///
+/// Returns `(src, dst)` pairs, one per host.
+///
+/// # Panics
+/// Panics if `hosts < 2`.
+pub fn random_permutation_pairs<R: Rng>(hosts: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    assert!(hosts >= 2, "a permutation without fixed points needs ≥ 2 hosts");
+    let mut dst: Vec<usize> = (0..hosts).collect();
+    dst.shuffle(rng);
+    // Remove fixed points by swapping with a neighbor (always possible for
+    // hosts ≥ 2; the result stays a permutation).
+    for i in 0..hosts {
+        if dst[i] == i {
+            let j = (i + 1) % hosts;
+            dst.swap(i, j);
+        }
+    }
+    // A final pass in case the last swap re-introduced a fixed point at 0.
+    for i in 0..hosts {
+        if dst[i] == i {
+            let j = (i + 1) % hosts;
+            dst.swap(i, j);
+        }
+    }
+    (0..hosts).map(|s| (s, dst[s])).collect()
+}
+
+/// **TP2** for FatTree — one-to-many: "each host opens 12 flows to 12
+/// destination hosts … in FatTree we choose 12 random destinations"
+/// (distinct, and never the host itself).
+///
+/// Returns `(src, dst)` pairs (`hosts × fanout` of them).
+///
+/// # Panics
+/// Panics if `fanout ≥ hosts`.
+pub fn one_to_many_random<R: Rng>(
+    hosts: usize,
+    fanout: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    assert!(fanout < hosts, "fanout must leave room for distinct destinations");
+    let mut pairs = Vec::with_capacity(hosts * fanout);
+    let mut others: Vec<usize> = Vec::with_capacity(hosts - 1);
+    for src in 0..hosts {
+        others.clear();
+        others.extend((0..hosts).filter(|&h| h != src));
+        others.shuffle(rng);
+        for &dst in others.iter().take(fanout) {
+            pairs.push((src, dst));
+        }
+    }
+    pairs
+}
+
+/// **TP3** — sparse traffic: "30% of the hosts open one flow to a single
+/// destination chosen uniformly at random". Sources are a random 30%
+/// subset; destinations are uniform over the other hosts.
+pub fn sparse_pairs<R: Rng>(hosts: usize, fraction: f64, rng: &mut R) -> Vec<(usize, usize)> {
+    assert!((0.0..=1.0).contains(&fraction));
+    assert!(hosts >= 2);
+    let n_src = ((hosts as f64) * fraction).round() as usize;
+    let mut all: Vec<usize> = (0..hosts).collect();
+    all.shuffle(rng);
+    all.truncate(n_src);
+    all.into_iter()
+        .map(|src| {
+            let mut dst = rng.gen_range(0..hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            (src, dst)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tp1_is_a_fixed_point_free_permutation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for hosts in [2, 3, 5, 16, 128] {
+            let pairs = random_permutation_pairs(hosts, &mut rng);
+            assert_eq!(pairs.len(), hosts);
+            let mut seen_dst = vec![false; hosts];
+            for &(s, d) in &pairs {
+                assert_ne!(s, d, "fixed point at {s}");
+                assert!(!seen_dst[d], "destination {d} receives twice");
+                seen_dst[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn tp1_varies_with_seed() {
+        let a = random_permutation_pairs(64, &mut StdRng::seed_from_u64(1));
+        let b = random_permutation_pairs(64, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tp2_gives_each_host_distinct_destinations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = one_to_many_random(16, 12, &mut rng);
+        assert_eq!(pairs.len(), 16 * 12);
+        for src in 0..16 {
+            let dsts: Vec<usize> =
+                pairs.iter().filter(|&&(s, _)| s == src).map(|&(_, d)| d).collect();
+            assert_eq!(dsts.len(), 12);
+            let mut uniq = dsts.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 12, "duplicate destinations for {src}");
+            assert!(!dsts.contains(&src));
+        }
+    }
+
+    #[test]
+    fn tp3_selects_the_right_fraction() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pairs = sparse_pairs(100, 0.3, &mut rng);
+        assert_eq!(pairs.len(), 30);
+        let mut srcs: Vec<usize> = pairs.iter().map(|&(s, _)| s).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 30, "sources must be distinct hosts");
+        for &(s, d) in &pairs {
+            assert_ne!(s, d);
+            assert!(d < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tp2_fanout_too_large_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = one_to_many_random(8, 8, &mut rng);
+    }
+}

@@ -1,0 +1,59 @@
+//! Data-center walkthrough: multipath TCP inside a FatTree.
+//!
+//! Builds a FatTree(k=4) (16 hosts), runs the TP1 random-permutation
+//! workload under single-path TCP (ECMP mimic) and under MPTCP with 1–4
+//! subflows, and prints the utilization curve — a pocket edition of the
+//! paper's §4 story ("multipath needs ~8 paths at k=8; fewer suffice at
+//! k=4 because there are only 4 distinct inter-pod paths").
+//!
+//! Run with: `cargo run --release --example datacenter`
+
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnectionSpec, LinkSpec, SimTime, Simulator};
+use mptcp_topology::FatTree;
+use mptcp_workload::random_permutation_pairs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(paths: usize, seed: u64) -> f64 {
+    let mut sim = Simulator::new(seed);
+    let ft = FatTree::build(&mut sim, 4, LinkSpec::mbps(100.0, SimTime::from_micros(10), 100));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = random_permutation_pairs(ft.host_count(), &mut rng);
+    let conns: Vec<_> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            if paths == 0 {
+                sim.add_connection(
+                    ConnectionSpec::bulk(AlgorithmKind::Uncoupled)
+                        .path(ft.ecmp_path(s, d, &mut rng)),
+                )
+            } else {
+                let mut spec = ConnectionSpec::bulk(AlgorithmKind::Mptcp);
+                for p in ft.random_paths(s, d, paths, &mut rng) {
+                    spec = spec.path(p);
+                }
+                sim.add_connection(spec)
+            }
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs(10));
+    let total: f64 =
+        conns.iter().map(|&c| sim.connection_stats(c).throughput_bps(sim.now())).sum();
+    total / conns.len() as f64 / 1e6
+}
+
+fn main() {
+    println!("FatTree(k=4), 16 hosts, TP1 random permutation, 100 Mb/s NICs");
+    println!();
+    let single = run(0, 5);
+    println!("single-path TCP (ECMP mimic): {single:5.1} Mb/s per host");
+    for paths in 1..=4 {
+        let mbps = run(paths, 5);
+        let bar = "#".repeat((mbps / 2.5) as usize);
+        println!("MPTCP, {paths} path(s)            : {mbps:5.1} Mb/s per host  {bar}");
+    }
+    println!();
+    println!("The paper's §4 shape: utilization climbs with path diversity,");
+    println!("while single-path TCP is stuck with whatever ECMP dealt it.");
+}

@@ -1,0 +1,114 @@
+//! Fig. 6, live: the §2.5 fairness constraints for a two-path flow, with
+//! every algorithm's fluid equilibrium plotted inside them.
+//!
+//! The axes are the per-path rates `w_r/RTT_r`. Constraint (3) — the
+//! incentive goal — requires the point to lie on or above the diagonal
+//! `x + y = max_r ŵTCP_r/RTT_r`; the constraints (4) require it on or
+//! below that same diagonal and inside the box `x ≤ ŵTCP_1/RTT_1`,
+//! `y ≤ ŵTCP_2/RTT_2`. The only fair points are ON the diagonal, inside
+//! the box — and MPTCP's equilibrium lands there while the strawmen miss.
+//!
+//! Run with: `cargo run --release --example fairness_box`
+
+use mptcp_cc::fluid::fairness::check_fairness;
+use mptcp_cc::fluid::{equilibrium, tcp_rate};
+use mptcp_cc::{Coupled, Ewtcp, Mptcp, MultipathCc, SemiCoupled, UncoupledReno};
+
+// The §2.3 WiFi / 3G configuration: path 1 fast & lossy, path 2 slow & clean.
+const LOSS: [f64; 2] = [0.04, 0.01];
+const RTT: [f64; 2] = [0.010, 0.100];
+
+fn main() {
+    let t1 = tcp_rate(LOSS[0], RTT[0]); // ŵTCP_1/RTT_1 ≈ 707 pkt/s
+    let t2 = tcp_rate(LOSS[1], RTT[1]); // ŵTCP_2/RTT_2 ≈ 141 pkt/s
+    let best = t1.max(t2);
+
+    let algorithms: Vec<(char, &str, Box<dyn MultipathCc>)> = vec![
+        ('U', "UNCOUPLED", Box::new(UncoupledReno::new())),
+        ('E', "EWTCP", Box::new(Ewtcp::equal_split(2))),
+        ('C', "COUPLED", Box::new(Coupled::new())),
+        ('S', "SEMICOUPLED", Box::new(SemiCoupled::new())),
+        ('M', "MPTCP", Box::new(Mptcp::new())),
+    ];
+
+    // Plot region: x in [0, 1.1·t1], y in [0, 1.6·t2].
+    let (width, height) = (64usize, 22usize);
+    let x_max = 1.15 * t1;
+    let y_max = 1.8 * t2;
+    let mut grid = vec![vec![' '; width]; height];
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+        let cy = ((1.0 - y / y_max) * (height - 1) as f64).round() as usize;
+        (cx.min(width - 1), cy.min(height - 1))
+    };
+
+    // Constraint (4) singletons: the box edges.
+    for row in grid.iter_mut() {
+        let (cx, _) = to_cell(t1, 0.0);
+        row[cx] = '|'; // x = t1 vertical line
+    }
+    let (_, cy_t2) = to_cell(0.0, t2);
+    for cell in grid[cy_t2].iter_mut() {
+        if *cell == ' ' {
+            *cell = '-'; // y = t2 horizontal line
+        }
+    }
+    // The diagonal x + y = best (constraints (3) & (4) jointly).
+    let mut x = 0.0;
+    while x <= best {
+        let y = best - x;
+        if y <= y_max {
+            let (cx, cy) = to_cell(x, y);
+            if grid[cy][cx] == ' ' {
+                grid[cy][cx] = '\\';
+            }
+        }
+        x += x_max / width as f64 / 2.0;
+    }
+
+    // Equilibria.
+    println!("Fig. 6 — fairness constraints (axes: per-path rate, pkt/s)");
+    println!("  vertical | : no more than TCP on path 1  (x ≤ {t1:.0})");
+    println!("  horizontal -: no more than TCP on path 2  (y ≤ {t2:.0})");
+    println!("  diagonal \\ : total exactly the best single path (x+y = {best:.0})");
+    println!();
+    let mut legend = Vec::new();
+    for (marker, name, cc) in &algorithms {
+        let w = equilibrium(cc.as_ref(), &LOSS, &RTT);
+        let (rx, ry) = (w[0] / RTT[0], w[1] / RTT[1]);
+        let (cx, cy) = to_cell(rx, ry);
+        grid[cy][cx] = *marker;
+        let total = rx + ry;
+        let rep = check_fairness(&w, &LOSS, &RTT, 0.05);
+        let verdict = match (rep.incentive_ok, rep.no_harm_ok) {
+            (true, true) => "FAIR ✓ (both goals)",
+            (false, true) => "violates the incentive goal (3)",
+            (true, false) => "violates the no-harm goal (4)",
+            (false, false) => "violates both goals",
+        };
+        legend.push(format!(
+            "{marker} = {name:12} ({rx:5.0}, {ry:5.0})  total {total:5.0}  {verdict}"
+        ));
+    }
+    let y_label_top = format!("{y_max:6.0}");
+    let y_label_bot = "     0";
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            y_label_top.as_str()
+        } else if i == height - 1 {
+            y_label_bot
+        } else {
+            "      "
+        };
+        println!("  {label} {}", row.iter().collect::<String>());
+    }
+    println!("         0{}{x_max:.0}", " ".repeat(width - 6));
+    println!();
+    for l in legend {
+        println!("  {l}");
+    }
+    println!();
+    println!("UNCOUPLED sits outside the box (unfair); EWTCP and COUPLED sit well");
+    println!("below the diagonal (no incentive); MPTCP sits on the diagonal inside");
+    println!("the box — the only point satisfying both §2.5 goals.");
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate; see README.

@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: §2's worked examples, cross-checked
+//! between the fluid model and the packet-level simulator.
+
+use mptcp_cc::fluid::fairness::check_fairness;
+use mptcp_cc::fluid::{equilibrium, tcp_rate};
+use mptcp_cc::{Coupled, Ewtcp, Mptcp};
+use mptcp_netsim::{ConnectionSpec, LinkSpec, SimTime, Simulator};
+
+/// §2.3's numbers from the fluid model: 707 / 424 / 141 pkt/s.
+#[test]
+fn sec23_wifi_3g_numbers() {
+    let loss = [0.04, 0.01];
+    let rtt = [0.010, 0.100];
+    let wifi = tcp_rate(loss[0], rtt[0]);
+    let threeg = tcp_rate(loss[1], rtt[1]);
+    assert!((wifi - 707.0).abs() < 2.0);
+    assert!((threeg - 141.0).abs() < 2.0);
+
+    let rate = |cc: &dyn mptcp_cc::MultipathCc| -> f64 {
+        equilibrium(cc, &loss, &rtt).iter().zip(&rtt).map(|(w, t)| w / t).sum()
+    };
+    let ewtcp = rate(&Ewtcp::equal_split(2));
+    assert!((ewtcp - 424.0).abs() < 15.0, "EWTCP ≈ (707+141)/2, got {ewtcp}");
+    let coupled = rate(&Coupled::new());
+    assert!((coupled - 141.0).abs() < 10.0, "COUPLED collapses to 3G, got {coupled}");
+    let mptcp = rate(&Mptcp::new());
+    assert!(mptcp > 0.95 * wifi, "MPTCP ≥ best single path, got {mptcp} vs {wifi}");
+}
+
+/// The appendix theorem, spot-checked at an adversarial configuration:
+/// MPTCP's equilibrium meets (3) and (4) where both reference algorithms
+/// fail one of them.
+#[test]
+fn fairness_goals_hold_only_for_mptcp() {
+    let loss = [0.04, 0.002, 0.02];
+    let rtt = [0.010, 0.300, 0.050];
+    let w = equilibrium(&Mptcp::new(), &loss, &rtt);
+    let rep = check_fairness(&w, &loss, &rtt, 0.08);
+    assert!(rep.incentive_ok && rep.no_harm_ok, "{rep:?}");
+
+    let w = equilibrium(&Ewtcp::equal_split(3), &loss, &rtt);
+    let rep_e = check_fairness(&w, &loss, &rtt, 0.08);
+    let w = equilibrium(&Coupled::new(), &loss, &rtt);
+    let rep_c = check_fairness(&w, &loss, &rtt, 0.08);
+    assert!(
+        !(rep_e.incentive_ok && rep_e.no_harm_ok) || !(rep_c.incentive_ok && rep_c.no_harm_ok),
+        "at least one strawman should fail the dual goals: {rep_e:?} {rep_c:?}"
+    );
+}
+
+/// "Trying too hard to be fair?" (§2.5): with NO competing traffic,
+/// MPTCP's throughput equals the sum of the two access links — the
+/// fairness goal does not cap it at the faster link. Simulator check.
+#[test]
+fn no_competition_gets_the_sum_of_links() {
+    let mut sim = Simulator::new(23);
+    let a = sim.add_link(LinkSpec::mbps(14.4, SimTime::from_millis(5), 24));
+    let b = sim.add_link(LinkSpec::mbps(2.0, SimTime::from_millis(75), 50));
+    let c =
+        sim.add_connection(ConnectionSpec::bulk(mptcp_cc::AlgorithmKind::Mptcp).path(vec![a]).path(vec![b]));
+    sim.run_until(SimTime::from_secs(60));
+    let bps = sim.connection_stats(c).throughput_bps(sim.now());
+    assert!(
+        bps > 0.85 * 16.4e6,
+        "uncontested MPTCP should aggregate ≈16.4 Mb/s, got {:.1} Mb/s",
+        bps / 1e6
+    );
+}
+
+/// The fluid model and the simulator agree on the §2.3 scenario within
+/// simulation noise: fixed random loss rates, measured goodputs.
+#[test]
+fn fluid_and_simulator_agree_on_rtt_mismatch() {
+    // Simulator version of fixed-loss paths: fat links (no queueing loss)
+    // with Bernoulli loss at the configured rates.
+    let run = |alg: mptcp_cc::AlgorithmKind| -> f64 {
+        let mut sim = Simulator::new(29);
+        let wifi = sim
+            .add_link(LinkSpec::pkts_per_sec(100_000.0, SimTime::from_millis(5), 1_000).with_loss(0.04));
+        let tg = sim
+            .add_link(LinkSpec::pkts_per_sec(100_000.0, SimTime::from_millis(50), 1_000).with_loss(0.01));
+        let c = sim.add_connection(ConnectionSpec::bulk(alg).path(vec![wifi]).path(vec![tg]));
+        sim.run_until(SimTime::from_secs(10));
+        let before = sim.connection_stats(c).delivered_pkts();
+        sim.run_until(SimTime::from_secs(70));
+        (sim.connection_stats(c).delivered_pkts() - before) as f64 / 60.0
+    };
+    let measured = run(mptcp_cc::AlgorithmKind::Mptcp);
+    let predicted: f64 = equilibrium(&Mptcp::new(), &[0.04, 0.01], &[0.010, 0.100])
+        .iter()
+        .zip(&[0.010, 0.100])
+        .map(|(w, t)| w / t)
+        .sum();
+    let ratio = measured / predicted;
+    assert!(
+        (0.5..1.6).contains(&ratio),
+        "simulator ({measured:.0} pkt/s) should be near fluid prediction ({predicted:.0})"
+    );
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the §2 fairness scenarios, measured in
+//! the packet-level simulator (not just the fluid model).
+
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnectionSpec, LinkSpec, SimTime, Simulator};
+
+/// Measure each connection's goodput in pkt/s over `window` after `warmup`.
+fn goodputs(sim: &mut Simulator, conns: &[usize], warmup: u64, window: u64) -> Vec<f64> {
+    sim.run_until(SimTime::from_secs(warmup));
+    let before: Vec<u64> =
+        conns.iter().map(|&c| sim.connection_stats(c).delivered_pkts()).collect();
+    sim.run_until(SimTime::from_secs(warmup + window));
+    conns
+        .iter()
+        .zip(before)
+        .map(|(&c, b)| (sim.connection_stats(c).delivered_pkts() - b) as f64 / window as f64)
+        .collect()
+}
+
+/// Fig. 1 (§2.1): a 2-subflow connection and a single-path TCP share one
+/// bottleneck. Uncoupled grabs ~2× the TCP's share; MPTCP splits ~1:1.
+#[test]
+fn fig1_shared_bottleneck_fairness() {
+    let run = |alg: AlgorithmKind| -> f64 {
+        let mut sim = Simulator::new(5);
+        let l = sim.add_link(LinkSpec::pkts_per_sec(1000.0, SimTime::from_millis(25), 50));
+        let tcp =
+            sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        let mp = sim.add_connection(ConnectionSpec::bulk(alg).path(vec![l]).path(vec![l]));
+        let g = goodputs(&mut sim, &[tcp, mp], 30, 120);
+        g[1] / g[0] // multipath share relative to the single TCP
+    };
+    let uncoupled = run(AlgorithmKind::Uncoupled);
+    let mptcp = run(AlgorithmKind::Mptcp);
+    assert!(
+        uncoupled > 1.5,
+        "two uncoupled subflows should take ~2× one TCP, got {uncoupled:.2}×"
+    );
+    assert!(
+        (0.6..1.5).contains(&mptcp),
+        "MPTCP should take ~1× one TCP at a shared bottleneck, got {mptcp:.2}×"
+    );
+    assert!(mptcp < uncoupled, "coupling must reduce aggressiveness");
+}
+
+/// §2.5 incentive goal in the simulator: on two paths with wildly
+/// different RTTs and loss environments, MPTCP's total is at least ~90% of
+/// the best single-path TCP, while COUPLED collapses to the slow path.
+#[test]
+fn rtt_mismatch_incentive() {
+    let build = |seed| {
+        let mut sim = Simulator::new(seed);
+        // Fast lossy path vs slow clean path (the §2.3 shape).
+        let fast =
+            sim.add_link(LinkSpec::pkts_per_sec(800.0, SimTime::from_millis(5), 12).with_loss(0.01));
+        let slow = sim.add_link(LinkSpec::pkts_per_sec(200.0, SimTime::from_millis(100), 150));
+        (sim, fast, slow)
+    };
+
+    // Best single path (run each alone).
+    let mut best = 0.0_f64;
+    for which in 0..2 {
+        let (mut sim, fast, slow) = build(8);
+        let l = if which == 0 { fast } else { slow };
+        let c =
+            sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+        best = best.max(goodputs(&mut sim, &[c], 20, 60)[0]);
+    }
+
+    let run = |alg| {
+        let (mut sim, fast, slow) = build(8);
+        let c = sim.add_connection(ConnectionSpec::bulk(alg).path(vec![fast]).path(vec![slow]));
+        goodputs(&mut sim, &[c], 20, 60)[0]
+    };
+    let mptcp = run(AlgorithmKind::Mptcp);
+    let coupled = run(AlgorithmKind::Coupled);
+    assert!(
+        mptcp > 0.85 * best,
+        "MPTCP {mptcp:.0} pkt/s should approach the best single path {best:.0}"
+    );
+    assert!(
+        mptcp > coupled,
+        "MPTCP ({mptcp:.0}) must beat COUPLED ({coupled:.0}) under RTT mismatch"
+    );
+}
+
+/// §2.4 in the simulator (the Fig. 9 scenario): under repeated bursts on
+/// the top link, COUPLED gets "trapped" off it — its decrease is
+/// proportional to the *total* window, so every burst evicts it entirely
+/// and its probe traffic rediscovers the free capacity slowly. MPTCP's
+/// per-subflow decrease keeps it markedly better; the bottom link stays
+/// fully used by everyone. (The paper's table: EWTCP 85 / MPTCP 83 /
+/// COUPLED 55 on top; we pin the ordering and the bottom-link utilization
+/// — absolute top-link recovery depends on loss-recovery details the
+/// paper does not specify.)
+#[test]
+fn trapping_under_repeated_bursts() {
+    let run = |alg: AlgorithmKind| -> (f64, f64) {
+        let mut sim = Simulator::new(9);
+        let top = sim.add_link(LinkSpec::mbps(100.0, SimTime::from_millis(5), 50));
+        let bottom = sim.add_link(LinkSpec::mbps(100.0, SimTime::from_millis(5), 50));
+        let conn =
+            sim.add_connection(ConnectionSpec::bulk(alg).path(vec![top]).path(vec![bottom]));
+        sim.add_cbr(
+            mptcp_netsim::CbrSpec::constant(vec![top], 100e6)
+                .onoff(SimTime::from_millis(10), SimTime::from_millis(100)),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.connection_stats(conn);
+        let (b0, b1) = (st.subflows[0].delivered_pkts, st.subflows[1].delivered_pkts);
+        sim.run_until(SimTime::from_secs(70));
+        let st = sim.connection_stats(conn);
+        let f = 1500.0 * 8.0 / 60.0 / 1e6;
+        (
+            (st.subflows[0].delivered_pkts - b0) as f64 * f,
+            (st.subflows[1].delivered_pkts - b1) as f64 * f,
+        )
+    };
+    let (mptcp_top, mptcp_bottom) = run(AlgorithmKind::Mptcp);
+    let (coupled_top, coupled_bottom) = run(AlgorithmKind::Coupled);
+    assert!(
+        mptcp_top > 1.3 * coupled_top,
+        "MPTCP top ({mptcp_top:.1}) must clearly beat trapped COUPLED ({coupled_top:.1})"
+    );
+    assert!(mptcp_bottom > 90.0, "bottom link stays full: {mptcp_bottom:.1}");
+    assert!(coupled_bottom > 90.0, "bottom link stays full: {coupled_bottom:.1}");
+}
+
+/// Drop-in property: a single-subflow MPTCP connection competes with a
+/// regular TCP like a regular TCP (±30%).
+#[test]
+fn single_subflow_mptcp_is_a_drop_in_tcp() {
+    let mut sim = Simulator::new(10);
+    let l = sim.add_link(LinkSpec::pkts_per_sec(1000.0, SimTime::from_millis(25), 50));
+    let tcp = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![l]));
+    let mp = sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![l]));
+    let g = goodputs(&mut sim, &[tcp, mp], 30, 120);
+    let ratio = g[1] / g[0];
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "single-subflow MPTCP should match TCP, ratio {ratio:.2}"
+    );
+}
+
+/// §2.4 Fig. 5: two links, two TCPs on each, one multipath flow over
+/// both. When one TCP on the top link terminates, the multipath flow must
+/// move onto the freed capacity *quickly* — within the first ten seconds
+/// it should already hold a large share of the fair target (≈ 500 pkt/s:
+/// the link now carries one TCP and one subflow).
+///
+/// Note: in this clean static scenario even COUPLED eventually adapts
+/// (its 1-packet probe gets steady feedback); the paper's "trapped"
+/// pathology needs bursty, noisy feedback and is pinned by
+/// [`trapping_under_repeated_bursts`]. Here we pin the adaptation speed
+/// the paper's design requires of MPTCP.
+#[test]
+fn fig5_load_change() {
+    let mut sim = Simulator::new(31);
+    let top = sim.add_link(LinkSpec::pkts_per_sec(1000.0, SimTime::from_millis(25), 50));
+    let bottom = sim.add_link(LinkSpec::pkts_per_sec(1000.0, SimTime::from_millis(25), 50));
+    let mut tops = Vec::new();
+    for _ in 0..2 {
+        tops.push(
+            sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![top])),
+        );
+        sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Uncoupled).path(vec![bottom]));
+    }
+    let mp = sim.add_connection(
+        ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![top]).path(vec![bottom]),
+    );
+    // Converge with 2 TCPs per link: the multipath top subflow holds about
+    // a third of the top link at most.
+    sim.run_until(SimTime::from_secs(60));
+    let before = sim.connection_stats(mp).subflows[0].delivered_pkts;
+    sim.stop_connection(tops[0]);
+    // First 10 seconds after the change: MPTCP should already be taking a
+    // large share of the freed capacity.
+    sim.run_until(SimTime::from_secs(70));
+    let after = sim.connection_stats(mp).subflows[0].delivered_pkts;
+    let rate = (after - before) as f64 / 10.0;
+    assert!(
+        rate > 0.5 * 500.0,
+        "MPTCP should claim most of its fair share within 10 s: {rate:.0} pkt/s of 500"
+    );
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration tests: the §6 protocol layer end to end,
+//! including property-based stream-integrity tests under randomized
+//! network faults.
+
+use mptcp_proto::scenarios::{
+    inferred_data_ack_drops_packet, payload_encoded_data_acks_deadlock,
+    per_subflow_buffer_wedges, AckDesign,
+};
+use mptcp_proto::{EndpointConfig, Harness, RecvBufferMode, Wire, WireFault};
+use proptest::prelude::*;
+
+fn patterned(n: usize, salt: u8) -> Vec<u8> {
+    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+}
+
+#[test]
+fn big_transfer_over_three_subflows() {
+    let wires = vec![Wire::new(2_000, 1), Wire::new(7_000, 2), Wire::new(15_000, 3)];
+    let mut h = Harness::new(EndpointConfig::default(), wires, 99);
+    let data = patterned(500_000, 1);
+    let got = h.transfer(&data, 200_000).expect("must complete");
+    assert_eq!(got, data);
+    for i in 0..3 {
+        assert!(h.client.subflow_established(i), "subflow {i} joined");
+    }
+}
+
+#[test]
+fn rejected_designs_fail_and_chosen_design_does_not() {
+    // The §6 counterexamples as a single integration check.
+    assert!(per_subflow_buffer_wedges(RecvBufferMode::Shared, 400_000).completed);
+    assert!(!per_subflow_buffer_wedges(RecvBufferMode::PerSubflow, 400_000).completed);
+    assert!(inferred_data_ack_drops_packet(AckDesign::Inferred));
+    assert!(!inferred_data_ack_drops_packet(AckDesign::Explicit));
+    assert!(payload_encoded_data_acks_deadlock(true, 10_000));
+    assert!(!payload_encoded_data_acks_deadlock(false, 10_000));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stream integrity: whatever combination of loss, jitter, and ISN
+    /// rewriting the two paths apply, the receiver reads exactly the bytes
+    /// the sender wrote.
+    #[test]
+    fn stream_is_byte_exact_under_random_faults(
+        loss0 in 0.0_f64..0.10,
+        loss1 in 0.0_f64..0.10,
+        jitter in 0_u64..3_000,
+        isn_offset in prop::option::of(1_u32..u32::MAX / 2),
+        size in 10_000_usize..80_000,
+        seed in 0_u64..1_000,
+    ) {
+        let mut w0 = Wire::new(3_000, seed).with_fault(WireFault::Loss(loss0));
+        if jitter > 0 {
+            w0 = w0.with_fault(WireFault::Jitter(jitter));
+        }
+        if let Some(off) = isn_offset {
+            w0 = w0.with_fault(WireFault::RewriteIsn(off));
+        }
+        let w1 = Wire::new(8_000, seed + 1).with_fault(WireFault::Loss(loss1));
+        let mut h = Harness::new(EndpointConfig::default(), vec![w0, w1], 5);
+        let data = patterned(size, (seed % 251) as u8);
+        let got = h.transfer(&data, 600_000);
+        prop_assert!(got.is_some(), "transfer timed out");
+        prop_assert_eq!(got.unwrap(), data);
+    }
+
+    /// Fallback safety: stripping options on the FIRST subflow must always
+    /// produce a working regular-TCP connection, never a broken hybrid.
+    #[test]
+    fn fallback_under_random_loss(
+        loss in 0.0_f64..0.05,
+        size in 5_000_usize..40_000,
+        seed in 0_u64..1_000,
+    ) {
+        let wires = vec![
+            Wire::new(3_000, seed)
+                .with_fault(WireFault::StripOptions)
+                .with_fault(WireFault::Loss(loss)),
+            Wire::new(3_000, seed + 9),
+        ];
+        let mut h = Harness::new(EndpointConfig::default(), wires, 5);
+        let data = patterned(size, 7);
+        let got = h.transfer(&data, 600_000);
+        prop_assert!(got.is_some(), "fallback transfer timed out");
+        prop_assert_eq!(got.unwrap(), data);
+        prop_assert!(h.client.is_fallback());
+    }
+}
