@@ -8,6 +8,7 @@
 
 use mptcp_bench::datacenter::{run_fattree, DcResult, Routing, Tp};
 use mptcp_bench::plot::{ranked, Chart};
+use mptcp_bench::runner::run_parallel;
 use mptcp_bench::{banner, scaled, Table};
 use mptcp_cc::fluid::fairness::jains_index;
 use mptcp_cc::AlgorithmKind;
@@ -30,31 +31,19 @@ fn main() {
     banner("FIG13", "FatTree(k=8) TP1: flow-throughput and link-loss distributions");
     let warmup = scaled(SimTime::from_secs(2));
     let window = scaled(SimTime::from_secs(5));
-    let runs: Vec<(&str, DcResult)> = vec![
-        ("SinglePath", run_fattree(8, Tp::Permutation, Routing::SinglePath, 17, warmup, window)),
-        (
-            "EWTCP",
-            run_fattree(
-                8,
-                Tp::Permutation,
-                Routing::Multipath(AlgorithmKind::Ewtcp, 8),
-                17,
-                warmup,
-                window,
-            ),
-        ),
-        (
-            "MPTCP",
-            run_fattree(
-                8,
-                Tp::Permutation,
-                Routing::Multipath(AlgorithmKind::Mptcp, 8),
-                17,
-                warmup,
-                window,
-            ),
-        ),
+    // Three independent runs fanned out over the parallel runner.
+    let schemes: [(&str, Routing); 3] = [
+        ("SinglePath", Routing::SinglePath),
+        ("EWTCP", Routing::Multipath(AlgorithmKind::Ewtcp, 8)),
+        ("MPTCP", Routing::Multipath(AlgorithmKind::Mptcp, 8)),
     ];
+    let runs: Vec<(&str, DcResult)> = schemes
+        .iter()
+        .map(|&(name, _)| name)
+        .zip(run_parallel(&schemes, |&(_, routing)| {
+            run_fattree(8, Tp::Permutation, routing, 17, warmup, window)
+        }))
+        .collect();
 
     println!("  flow throughput deciles (Mb/s), worst flow → best flow:");
     let mut t = Table::new(&[

@@ -10,6 +10,7 @@
 //! M always beats what it would get on the better link alone (average
 //! improvement 15%).
 
+use mptcp_bench::runner::run_parallel;
 use mptcp_bench::{banner, f2, measure_goodput_pps, scaled, Table};
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::{ConnectionSpec, LinkSpec, SimTime, Simulator};
@@ -37,12 +38,16 @@ fn main() {
     banner("FIG16", "ratio of M's throughput to the better of S1/S2 (paper: ≈1.0)");
     let rtts: [u64; 7] = [12, 25, 50, 100, 200, 400, 800];
     let caps = [400.0, 800.0, 1600.0, 3200.0];
+    // 28 independent (RTT2, C2) cells — fan out over the parallel runner;
+    // job order matches the table's row-major order, so output is identical
+    // to the serial loop.
+    let jobs: Vec<(u64, f64)> =
+        rtts.iter().flat_map(|&rtt2| caps.iter().map(move |&c2| (rtt2, c2))).collect();
+    let ratios = run_parallel(&jobs, |&(rtt2, c2)| run(c2, rtt2, 71));
     let mut t = Table::new(&["RTT2 (ms)", "C2=400", "C2=800", "C2=1600", "C2=3200"]);
-    for &rtt2 in &rtts {
+    for (i, &rtt2) in rtts.iter().enumerate() {
         let mut cells = vec![rtt2.to_string()];
-        for &c2 in &caps {
-            cells.push(f2(run(c2, rtt2, 71)));
-        }
+        cells.extend(ratios[i * caps.len()..(i + 1) * caps.len()].iter().map(|&r| f2(r)));
         t.row(cells);
     }
     t.print();

@@ -18,6 +18,7 @@
 //! happen to be shortest there.
 
 use mptcp_bench::datacenter::{run_bcube, Routing, Tp};
+use mptcp_bench::runner::run_parallel;
 use mptcp_bench::{banner, f1, scaled, Table};
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::SimTime;
@@ -32,15 +33,21 @@ fn main() {
         ("MPTCP", Routing::Multipath(AlgorithmKind::Mptcp, 3), ["86.5", "272", "135"]),
     ];
     let tps = [Tp::Permutation, Tp::OneToMany, Tp::Sparse];
+    // Nine independent cells, fanned out over the parallel runner in
+    // row-major order (results come back in job order).
+    let jobs: Vec<(Routing, Tp)> =
+        rows.iter().flat_map(|&(_, routing, _)| tps.map(|tp| (routing, tp))).collect();
+    let results = run_parallel(&jobs, |&(routing, tp)| {
+        run_bcube(5, 2, tp, routing, 19, warmup, window).mean_host_mbps()
+    });
     let mut t = Table::new(&[
         "scheme", "TP1 paper", "TP1", "TP2 paper", "TP2", "TP3 paper", "TP3",
     ]);
-    for (name, routing, paper) in rows {
+    for (r, (name, _, paper)) in rows.iter().enumerate() {
         let mut cells = vec![name.to_string()];
-        for (tp, p) in tps.iter().zip(paper) {
-            let res = run_bcube(5, 2, *tp, routing, 19, warmup, window);
+        for (c, p) in paper.iter().enumerate() {
             cells.push(p.to_string());
-            cells.push(f1(res.mean_host_mbps()));
+            cells.push(f1(results[r * tps.len() + c]));
         }
         t.row(cells);
     }

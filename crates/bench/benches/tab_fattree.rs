@@ -11,11 +11,20 @@
 //! | SINGLE-PATH |  51 |  94  |  60 |
 //! | EWTCP       |  92 |  92.5|  99 |
 //! | MPTCP       |  95 |  97  |  99 |
+//!
+//! The nine cells are independent simulations, so they fan out over the
+//! parallel runner (`MPTCP_JOBS` pins the worker count; results come back
+//! in job order, so the table is byte-identical to a serial run). Every
+//! cell runs on **both** event-queue backends: the heap result must match
+//! the wheel result bit-for-bit (determinism check), and the aggregate
+//! events-per-wall-second comparison lands in `BENCH_sim.json`.
 
-use mptcp_bench::datacenter::{run_fattree, Routing, Tp};
-use mptcp_bench::{banner, f1, scaled, Table};
+use mptcp_bench::datacenter::{run_fattree_with, DcResult, Routing, Tp};
+use mptcp_bench::report::{merge_bench_sim, Record};
+use mptcp_bench::runner::run_parallel;
+use mptcp_bench::{banner, f1, f2, quick_mode, scaled, Table};
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::SimTime;
+use mptcp_netsim::{queue_churn, QueueBackend, SimPerf, SimTime};
 
 fn main() {
     banner("TAB_FATTREE", "§4 FatTree(k=8) per-host throughput, Mb/s");
@@ -27,19 +36,90 @@ fn main() {
         ("MPTCP", Routing::Multipath(AlgorithmKind::Mptcp, 8), ["95", "97", "99"]),
     ];
     let tps = [Tp::Permutation, Tp::OneToMany, Tp::Sparse];
+
+    // One job per (scheme, traffic pattern, backend): 9 cells × 2 backends.
+    let jobs: Vec<(usize, usize, QueueBackend)> = (0..rows.len())
+        .flat_map(|r| {
+            (0..tps.len()).flat_map(move |c| {
+                [QueueBackend::TimerWheel, QueueBackend::BinaryHeap]
+                    .map(move |b| (r, c, b))
+            })
+        })
+        .collect();
+    let results: Vec<(DcResult, SimPerf)> = run_parallel(&jobs, |&(r, c, backend)| {
+        run_fattree_with(8, tps[c], rows[r].1, 11, warmup, window, backend)
+    });
+
     let mut t = Table::new(&[
         "scheme", "TP1 paper", "TP1", "TP2 paper", "TP2", "TP3 paper", "TP3",
     ]);
-    for (name, routing, paper) in rows {
+    let mut perf = [SimPerf::default(); 2]; // [wheel, heap] aggregates
+    for (r, (name, _, paper)) in rows.iter().enumerate() {
         let mut cells = vec![name.to_string()];
-        for (tp, p) in tps.iter().zip(paper) {
-            let res = run_fattree(8, *tp, routing, 11, warmup, window);
+        for (c, p) in paper.iter().enumerate() {
+            let (wheel, wp) = &results[(r * tps.len() + c) * 2];
+            let (heap, hp) = &results[(r * tps.len() + c) * 2 + 1];
+            assert_eq!(
+                wheel.per_flow_bps, heap.per_flow_bps,
+                "{name}/TP{}: wheel and heap runs diverged — determinism broken",
+                c + 1
+            );
+            for (agg, run) in perf.iter_mut().zip([wp, hp]) {
+                agg.events_fired += run.events_fired;
+                agg.wall += run.wall;
+            }
             cells.push(p.to_string());
-            cells.push(f1(res.mean_host_mbps()));
+            cells.push(f1(wheel.mean_host_mbps()));
         }
         t.row(cells);
     }
     t.print();
+
+    let eps = |p: &SimPerf| p.events_fired as f64 / p.wall.as_secs_f64();
+    let (wheel_eps, heap_eps) = (eps(&perf[0]), eps(&perf[1]));
     println!("\n  paper shape: multipath ≫ single-path on TP1 and TP3;");
     println!("  TP2 is NIC-bound so all schemes are close; MPTCP ≥ EWTCP throughout.");
+    println!(
+        "\n  end-to-end: wheel {} Mev/s vs heap {} Mev/s over {} events ({}x)",
+        f2(wheel_eps / 1e6),
+        f2(heap_eps / 1e6),
+        perf[0].events_fired,
+        f2(wheel_eps / heap_eps),
+    );
+
+    // Scheduler-isolated comparison at this experiment's scale: churn the
+    // bare queue with the largest pending set any cell actually reached.
+    // The end-to-end ratio above dilutes the queue with per-event TCP work;
+    // this one measures the data structure the tentpole replaced.
+    let peak = results.iter().map(|(_, p)| p.peak_pending).max().unwrap_or(0).max(1024);
+    let ops: u64 = 2_000_000;
+    let wheel_q =
+        ops as f64 / queue_churn(QueueBackend::TimerWheel, peak as usize, ops).as_secs_f64();
+    let heap_q =
+        ops as f64 / queue_churn(QueueBackend::BinaryHeap, peak as usize, ops).as_secs_f64();
+    println!(
+        "  queue only ({peak} pending): wheel {} Mev/s vs heap {} Mev/s ({}x)",
+        f2(wheel_q / 1e6),
+        f2(heap_q / 1e6),
+        f2(wheel_q / heap_q),
+    );
+    merge_bench_sim(
+        "tab_fattree/",
+        &[
+            Record::new("tab_fattree/scheduler")
+                .field("events", perf[0].events_fired)
+                .field("peak_pending", peak)
+                .field("wheel_events_per_sec", wheel_eps)
+                .field("heap_events_per_sec", heap_eps)
+                .field("speedup", wheel_eps / heap_eps)
+                .field("quick", quick_mode()),
+            Record::new("tab_fattree/queue_churn")
+                .field("pending", peak)
+                .field("ops", ops)
+                .field("wheel_events_per_sec", wheel_q)
+                .field("heap_events_per_sec", heap_q)
+                .field("speedup", wheel_q / heap_q)
+                .field("quick", quick_mode()),
+        ],
+    );
 }

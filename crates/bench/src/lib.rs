@@ -8,12 +8,17 @@
 //! Durations: every experiment honors the `MPTCP_QUICK` environment
 //! variable — when set, simulated durations shrink (useful for smoke
 //! tests); the recorded results in `EXPERIMENTS.md` come from full runs.
+//! `MPTCP_QUICK=<n>` picks the scale factor (default 8), and sweeps fan
+//! out over threads via [`runner::run_parallel`] (`MPTCP_JOBS` pins the
+//! worker count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datacenter;
 pub mod plot;
+pub mod report;
+pub mod runner;
 
 use mptcp_netsim::{ConnId, SimTime, Simulator};
 
@@ -22,12 +27,20 @@ pub fn quick_mode() -> bool {
     std::env::var_os("MPTCP_QUICK").is_some()
 }
 
-/// Scale a duration down by 8× in quick mode.
+/// The quick-mode scale factor: `None` when `MPTCP_QUICK` is unset,
+/// `Some(n)` when set to a number `n ≥ 1`, `Some(8)` when set to anything
+/// else (`MPTCP_QUICK=1` gives full durations while still marking the run
+/// as quick).
+pub fn quick_factor() -> Option<u64> {
+    let v = std::env::var_os("MPTCP_QUICK")?;
+    Some(v.to_str().and_then(|s| s.trim().parse::<u64>().ok()).map_or(8, |n| n.max(1)))
+}
+
+/// Scale a duration down by the [`quick_factor`] in quick mode.
 pub fn scaled(full: SimTime) -> SimTime {
-    if quick_mode() {
-        SimTime(full.as_nanos() / 8)
-    } else {
-        full
+    match quick_factor() {
+        Some(f) => SimTime(full.as_nanos() / f),
+        None => full,
     }
 }
 
@@ -166,5 +179,25 @@ mod tests {
     #[should_panic]
     fn table_rejects_ragged_rows() {
         Table::new(&["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn quick_factor_parses_the_env_var() {
+        // One test covers all MPTCP_QUICK shapes so the env mutation never
+        // races another test in this binary.
+        std::env::remove_var("MPTCP_QUICK");
+        assert_eq!(quick_factor(), None);
+        assert_eq!(scaled(SimTime::from_secs(8)), SimTime::from_secs(8));
+        std::env::set_var("MPTCP_QUICK", "1");
+        assert_eq!(quick_factor(), Some(1));
+        assert_eq!(scaled(SimTime::from_secs(8)), SimTime::from_secs(8));
+        std::env::set_var("MPTCP_QUICK", "16");
+        assert_eq!(quick_factor(), Some(16));
+        assert_eq!(scaled(SimTime::from_secs(8)), SimTime::from_millis(500));
+        std::env::set_var("MPTCP_QUICK", "yes");
+        assert_eq!(quick_factor(), Some(8), "non-numeric keeps the default");
+        std::env::set_var("MPTCP_QUICK", "0");
+        assert_eq!(quick_factor(), Some(1), "factor is clamped to >= 1");
+        std::env::remove_var("MPTCP_QUICK");
     }
 }

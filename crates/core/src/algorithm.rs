@@ -2,7 +2,6 @@
 
 use crate::snapshot::SubflowSnapshot;
 use crate::{Coupled, Ewtcp, Mptcp, Rfc6356, SemiCoupled, UncoupledReno};
-use serde::{Deserialize, Serialize};
 
 /// A multipath congestion-control rule: how much to open a subflow's window
 /// on each ACK, and where to set it after a loss event.
@@ -38,9 +37,9 @@ pub trait MultipathCc: Send + Sync {
     }
 }
 
-/// A serializable selector for the algorithms evaluated in the paper, used
-/// by the experiment harness to sweep algorithms from one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A selector for the algorithms evaluated in the paper, used by the
+/// experiment harness to sweep algorithms from one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// Regular TCP on every subflow, fully uncoupled (§2.1's strawman).
     Uncoupled,

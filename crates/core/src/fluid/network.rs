@@ -150,9 +150,7 @@ impl FluidNetwork {
                 }
             }
             // 2. Link loss response to offered load.
-            for l in 0..nl {
-                load[l] = 0.0;
-            }
+            load[..nl].fill(0.0);
             for (fi, flow) in self.flows.iter().enumerate() {
                 for (si, sf) in flow.subflows.iter().enumerate() {
                     for &l in &sf.links {

@@ -5,7 +5,7 @@
 //! quiet for a random duration of mean 100 ms". [`CbrSpec::onoff`] models
 //! exactly that: exponentially distributed on and off periods.
 
-use crate::link::LinkId;
+use crate::link::{LinkId, LinkPath};
 use crate::time::SimTime;
 
 /// Identifier of a CBR source within one [`Simulator`](crate::Simulator).
@@ -67,6 +67,8 @@ impl CbrSpec {
 #[derive(Debug)]
 pub(crate) struct CbrSource {
     pub spec: CbrSpec,
+    /// The spec's path in hot-path form (inline storage for short routes).
+    pub path: LinkPath,
     /// Currently in the "on" state.
     pub on: bool,
     /// Generation counter so stale send events are ignored after toggles.
@@ -79,7 +81,8 @@ pub(crate) struct CbrSource {
 
 impl CbrSource {
     pub fn new(spec: CbrSpec) -> Self {
-        Self { spec, on: false, gen: 0, sent: 0, delivered: 0 }
+        let path = LinkPath::from(spec.path.clone());
+        Self { spec, path, on: false, gen: 0, sent: 0, delivered: 0 }
     }
 }
 

@@ -60,15 +60,19 @@ mod cbr;
 mod event;
 mod link;
 mod packet;
+mod perf;
 mod sim;
 mod stats;
 mod tcp;
 mod time;
 mod trace;
+mod wheel;
 
 pub use cbr::{CbrId, CbrSpec};
+pub use event::{queue_churn, QueueBackend};
 pub use link::{LinkId, LinkSpec, LinkStats};
 pub use packet::DEFAULT_PACKET_SIZE;
+pub use perf::SimPerf;
 pub use sim::{ConnId, ConnectionSpec, Simulator, SubflowSpec};
 pub use stats::{ConnectionStats, SubflowStats};
 pub use tcp::TcpParams;

@@ -7,6 +7,53 @@ use std::collections::VecDeque;
 /// Identifier of a link within one [`Simulator`](crate::Simulator).
 pub type LinkId = usize;
 
+/// Links a path can hold without spilling to the heap. FatTree/BCube paths
+/// top out at 7 hops, so in practice every route is inline.
+const INLINE_PATH: usize = 8;
+
+/// A route: the links a packet traverses in order. Stored inline for up to
+/// [`INLINE_PATH`] hops so the per-packet `path[hop]` lookup on the
+/// simulator's hot path touches no separately-allocated buffer.
+#[derive(Debug, Clone)]
+pub(crate) enum LinkPath {
+    /// The common case: the whole route in the struct itself.
+    Inline { len: u8, ids: [LinkId; INLINE_PATH] },
+    /// Fallback for unusually long routes.
+    Heap(Vec<LinkId>),
+}
+
+impl From<Vec<LinkId>> for LinkPath {
+    fn from(v: Vec<LinkId>) -> Self {
+        if v.len() <= INLINE_PATH {
+            let mut ids = [0; INLINE_PATH];
+            ids[..v.len()].copy_from_slice(&v);
+            LinkPath::Inline { len: v.len() as u8, ids }
+        } else {
+            LinkPath::Heap(v)
+        }
+    }
+}
+
+impl LinkPath {
+    pub fn as_slice(&self) -> &[LinkId] {
+        match self {
+            LinkPath::Inline { len, ids } => &ids[..*len as usize],
+            LinkPath::Heap(v) => v,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
+impl std::ops::Index<usize> for LinkPath {
+    type Output = LinkId;
+    fn index(&self, i: usize) -> &LinkId {
+        &self.as_slice()[i]
+    }
+}
+
 /// Static configuration of a link.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkSpec {

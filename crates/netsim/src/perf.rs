@@ -1,0 +1,81 @@
+//! Simulator performance counters.
+//!
+//! [`SimPerf`] is a cheap, always-on snapshot of what the event core has
+//! done: how many events were scheduled, fired, and cancelled, how deep
+//! the queue got, and how fast simulated events are being retired per
+//! wall-clock second. The benchmark harness uses it to compare queue
+//! backends honestly (same run, same workload) and the invariant tests
+//! use it to pin down the event-accounting identities.
+
+use crate::time::SimTime;
+use std::time::Duration;
+
+/// A snapshot of the simulator's event-processing counters, obtained from
+/// [`crate::Simulator::perf`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimPerf {
+    /// Events ever pushed onto the queue.
+    pub events_scheduled: u64,
+    /// Events popped and dispatched (includes cancelled ones).
+    pub events_fired: u64,
+    /// Fired events that turned out to be stale and did no work: lazy RTO
+    /// timers that were disarmed or whose deadline had moved later, and
+    /// CBR send events from a superseded on/off generation.
+    pub events_cancelled: u64,
+    /// Events currently pending in the queue.
+    pub pending: u64,
+    /// High-water mark of simultaneously pending events.
+    pub peak_pending: u64,
+    /// Wall-clock time spent inside `run_until`.
+    pub wall: Duration,
+    /// Simulated time the clock has advanced to.
+    pub sim_elapsed: SimTime,
+}
+
+impl SimPerf {
+    /// Simulated events dispatched per wall-clock second — the headline
+    /// throughput number for backend comparisons. Zero if no wall time has
+    /// been accumulated yet.
+    pub fn events_per_wall_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_fired as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Accounting identity: every scheduled event is either fired or still
+    /// pending. Used by the invariant tests.
+    pub fn is_consistent(&self) -> bool {
+        self.events_scheduled == self.events_fired + self.pending
+            && self.events_cancelled <= self.events_fired
+            && self.pending <= self.peak_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_per_wall_sec_handles_zero_wall() {
+        let p = SimPerf::default();
+        assert_eq!(p.events_per_wall_sec(), 0.0);
+    }
+
+    #[test]
+    fn consistency_identity() {
+        let p = SimPerf {
+            events_scheduled: 100,
+            events_fired: 60,
+            events_cancelled: 5,
+            pending: 40,
+            peak_pending: 50,
+            wall: Duration::from_millis(10),
+            sim_elapsed: SimTime::from_secs(1),
+        };
+        assert!(p.is_consistent());
+        assert!(p.events_per_wall_sec() > 0.0);
+    }
+}

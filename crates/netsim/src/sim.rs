@@ -1,9 +1,10 @@
 //! The simulator: event loop, connections, and the world's mutable state.
 
 use crate::cbr::{CbrId, CbrSource, CbrSpec};
-use crate::event::{AckInfo, EventKind, EventQueue};
-use crate::link::{Link, LinkId, LinkSpec, LinkStats};
+use crate::event::{AckInfo, EventKind, EventQueue, QueueBackend};
+use crate::link::{Link, LinkId, LinkPath, LinkSpec, LinkStats};
 use crate::packet::{Packet, PacketOwner, DEFAULT_PACKET_SIZE};
+use crate::perf::SimPerf;
 use crate::stats::{ConnectionStats, SubflowStats};
 use crate::tcp::{SubflowReceiver, SubflowSender, TcpParams};
 use crate::time::SimTime;
@@ -134,7 +135,7 @@ impl ConnectionSpec {
 /// Runtime state of one subflow (sender and — for simulation convenience —
 /// the remote receiver state).
 struct SubflowState {
-    path: Vec<LinkId>,
+    path: LinkPath,
     /// Fixed delay from delivery at the destination to the ACK reaching the
     /// sender (reverse propagation + any extra RTT).
     ack_delay: SimTime,
@@ -166,7 +167,7 @@ struct Connection {
 
 impl Connection {
     fn has_data(&self) -> bool {
-        self.budget.map_or(true, |b| b > 0)
+        self.budget.is_none_or(|b| b > 0)
     }
 
     /// Refresh the snapshot scratch buffer from the live subflow state.
@@ -193,6 +194,11 @@ pub struct Simulator {
     /// phase-locking artifacts drop-tail FIFO simulations are prone to.
     ack_jitter: SimTime,
     events_processed: u64,
+    /// Dispatched events that were stale no-ops (lazy RTO timers, CBR sends
+    /// from a superseded generation).
+    events_cancelled: u64,
+    /// Wall-clock nanoseconds spent inside `run_until`.
+    wall_nanos: u64,
 }
 
 impl Simulator {
@@ -200,15 +206,24 @@ impl Simulator {
     /// constructed with the same seed and fed the same calls produce
     /// identical histories.
     pub fn new(seed: u64) -> Self {
+        Self::with_backend(seed, QueueBackend::default())
+    }
+
+    /// Create a simulator with an explicit event-queue backend. Backends
+    /// are observationally identical — same seed, same history — so this
+    /// only matters for performance measurement.
+    pub fn with_backend(seed: u64, backend: QueueBackend) -> Self {
         Self {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             links: Vec::new(),
             conns: Vec::new(),
             cbrs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             ack_jitter: SimTime::from_micros(100),
             events_processed: 0,
+            events_cancelled: 0,
+            wall_nanos: 0,
         }
     }
 
@@ -225,6 +240,24 @@ impl Simulator {
     /// Total events processed so far (a cheap progress/perf metric).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The event-queue backend this simulator runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    /// Snapshot of the event core's performance counters.
+    pub fn perf(&self) -> SimPerf {
+        SimPerf {
+            events_scheduled: self.queue.scheduled(),
+            events_fired: self.events_processed,
+            events_cancelled: self.events_cancelled,
+            pending: self.queue.len() as u64,
+            peak_pending: self.queue.peak_pending() as u64,
+            wall: std::time::Duration::from_nanos(self.wall_nanos),
+            sim_elapsed: self.now,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -262,7 +295,7 @@ impl Simulator {
                 let ack_delay = fwd + sf.extra_rtt;
                 let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
                 SubflowState {
-                    path: sf.path,
+                    path: LinkPath::from(sf.path),
                     ack_delay,
                     tx: SubflowSender::new(spec.tcp, rtt_hint),
                     rx: SubflowReceiver::default(),
@@ -422,6 +455,7 @@ impl Simulator {
     /// exactly `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         assert!(horizon >= self.now, "time cannot run backwards");
+        let started = std::time::Instant::now();
         while let Some(ev) = self.queue.pop_before(horizon) {
             debug_assert!(ev.at >= self.now, "event from the past");
             self.now = ev.at;
@@ -429,6 +463,7 @@ impl Simulator {
             self.dispatch(ev.kind);
         }
         self.now = horizon;
+        self.wall_nanos += started.elapsed().as_nanos() as u64;
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -446,14 +481,14 @@ impl Simulator {
     fn path_link(&self, pkt: &Packet) -> LinkId {
         match pkt.owner {
             PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path[pkt.hop],
-            PacketOwner::Cbr { src } => self.cbrs[src].spec.path[pkt.hop],
+            PacketOwner::Cbr { src } => self.cbrs[src].path[pkt.hop],
         }
     }
 
     fn path_len(&self, pkt: &Packet) -> usize {
         match pkt.owner {
             PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path.len(),
-            PacketOwner::Cbr { src } => self.cbrs[src].spec.path.len(),
+            PacketOwner::Cbr { src } => self.cbrs[src].path.len(),
         }
     }
 
@@ -582,9 +617,14 @@ impl Simulator {
     fn on_rto(&mut self, conn: ConnId, sub: usize) {
         self.conns[conn].subflows[sub].rto_event_at = None;
         match self.conns[conn].subflows[sub].rto_deadline {
-            None => return, // disarmed since the event was queued
+            None => {
+                // Disarmed since the event was queued.
+                self.events_cancelled += 1;
+                return;
+            }
             Some(d) if d > self.now => {
                 // The deadline moved later (ACK progress): lazily re-queue.
+                self.events_cancelled += 1;
                 self.queue.push(d, EventKind::RtoFire { conn, sub });
                 self.conns[conn].subflows[sub].rto_event_at = Some(d);
                 return;
@@ -744,6 +784,7 @@ impl Simulator {
             (s.on, s.gen, s.spec.packet_size, s.spec.packet_interval())
         };
         if !on || cur_gen != gen {
+            self.events_cancelled += 1;
             return;
         }
         self.cbrs[src].sent += 1;

@@ -163,6 +163,9 @@ pub(crate) struct SubflowSender {
     retx_out: std::collections::BTreeMap<u64, u64>,
     /// Monotone count of sequences ever newly SACKed.
     sack_events: u64,
+    /// Scratch buffer for [`Self::detect_losses`]'s re-mark pass, kept
+    /// around so recovery episodes don't allocate on the ACK hot path.
+    remark_scratch: Vec<u64>,
     /// In loss recovery (one window decrease per recovery episode).
     pub in_recovery: bool,
     /// The current recovery was triggered by an RTO: the window collapsed
@@ -209,6 +212,7 @@ impl SubflowSender {
             lost: BTreeSet::new(),
             retx_out: std::collections::BTreeMap::new(),
             sack_events: 0,
+            remark_scratch: Vec::new(),
             in_recovery: false,
             rto_recovery: false,
             recovery_point: 0,
@@ -324,7 +328,7 @@ impl SubflowSender {
         if cum > self.una {
             out.newly_acked = cum - self.una;
             // RTT sample from the newest packet this ACK covers, if clean.
-            if cum - 1 >= self.meta_base {
+            if cum > self.meta_base {
                 let idx = (cum - 1 - self.meta_base) as usize;
                 if let Some(m) = self.meta.get(idx) {
                     if !m.retransmitted {
@@ -402,17 +406,20 @@ impl SubflowSender {
         }
         // RACK-style: a retransmission with ≥ DupThresh *new* SACKs since
         // it went out was lost again.
-        let remark: Vec<u64> = self
-            .retx_out
-            .iter()
-            .filter(|&(&s, &ev)| s < cutoff && self.sack_events >= ev + thresh as u64)
-            .map(|(&s, _)| s)
-            .collect();
-        for s in remark {
+        let mut remark = std::mem::take(&mut self.remark_scratch);
+        remark.clear();
+        remark.extend(
+            self.retx_out
+                .iter()
+                .filter(|&(&s, &ev)| s < cutoff && self.sack_events >= ev + thresh as u64)
+                .map(|(&s, _)| s),
+        );
+        for &s in &remark {
             self.retx_out.remove(&s);
             self.lost.insert(s);
             any = true;
         }
+        self.remark_scratch = remark;
         any
     }
 

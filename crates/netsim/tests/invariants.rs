@@ -131,6 +131,23 @@ proptest! {
         );
     }
 
+    /// Event accounting: after any run, the perf counters obey their
+    /// identities — every scheduled event is fired or still pending,
+    /// cancellations are a subset of firings, the pending count never
+    /// exceeds its own high-water mark, and the wall/sim clocks advanced.
+    #[test]
+    fn perf_counters_stay_consistent(sc in scenario()) {
+        let (sim, _conn, _links) = build_and_run(&sc);
+        let perf = sim.perf();
+        prop_assert!(perf.is_consistent(), "inconsistent counters: {perf:?}");
+        prop_assert_eq!(perf.events_fired, sim.events_processed());
+        prop_assert!(perf.events_fired > 0, "a contended run must fire events");
+        prop_assert!(perf.peak_pending > 0);
+        prop_assert!(perf.sim_elapsed == SimTime::from_secs(sc.secs));
+        prop_assert!(perf.wall.as_nanos() > 0, "run_until must accumulate wall time");
+        prop_assert!(perf.events_per_wall_sec() > 0.0);
+    }
+
     /// A finite transfer either completes with exactly its size delivered,
     /// or is still in progress with less delivered — never overshoot.
     #[test]

@@ -260,17 +260,10 @@ impl Subflow {
             .or_insert(end);
         let before = self.rcv_next;
         // Merge contiguous ranges starting at rcv_next.
-        loop {
-            let Some((&s, &e)) = self.rcv_ranges.range(..=self.rcv_next).next_back() else {
-                break;
-            };
-            if s <= self.rcv_next {
-                self.rcv_ranges.remove(&s);
-                if e > self.rcv_next {
-                    self.rcv_next = e;
-                }
-            } else {
-                break;
+        while let Some((&s, &e)) = self.rcv_ranges.range(..=self.rcv_next).next_back() {
+            self.rcv_ranges.remove(&s);
+            if e > self.rcv_next {
+                self.rcv_next = e;
             }
         }
         self.rcv_next != before
@@ -408,11 +401,8 @@ impl Endpoint {
         // window would deadlock (TCP's window-update rule).
         if n > 0 {
             let mss = self.cfg.mss as u32;
-            for i in 0..self.subs.len() {
-                if self.subs[i].established
-                    && window_before[i] < mss
-                    && self.advertised_window(i) >= mss
-                {
+            for (i, &before) in window_before.iter().enumerate() {
+                if self.subs[i].established && before < mss && self.advertised_window(i) >= mss {
                     self.subs[i].ack_pending = true;
                 }
             }

@@ -250,18 +250,14 @@ pub fn payload_encoded_data_acks_deadlock(acks_in_payload: bool, budget: usize) 
             };
             if can_send {
                 b_wants_to_ack -= 1;
-                if a_send_buf_used > 0 {
-                    a_send_buf_used -= 1; // A frees acked response data
-                }
+                a_send_buf_used = a_send_buf_used.saturating_sub(1); // A frees acked response data
                 if acks_in_payload {
                     a_recv_used += 1; // the chunk occupies A's buffer
                 }
             }
         }
         // B's application consumes response chunks it has received.
-        if b_recv_used > 0 {
-            b_recv_used -= 1;
-        }
+        b_recv_used = b_recv_used.saturating_sub(1);
         // A's application reads its requests ONLY once it finished sending
         // the whole response (the paper's pipelining assumption).
         if a_send_queue == 0 && a_send_buf_used == 0 && a_recv_used > 0 {

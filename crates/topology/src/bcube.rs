@@ -80,7 +80,7 @@ impl BCube {
         d
     }
 
-    fn from_digits(&self, d: &[usize]) -> usize {
+    fn host_of_digits(&self, d: &[usize]) -> usize {
         d.iter().rev().fold(0, |acc, &x| acc * self.n + x)
     }
 
@@ -119,7 +119,7 @@ impl BCube {
                 alt += 1; // any value except the (matching) target digit
             }
             cur[start] = alt;
-            let next_host = self.from_digits(&cur);
+            let next_host = self.host_of_digits(&cur);
             path.extend(self.hop(cur_host, next_host, start));
             cur_host = next_host;
             detour_level = Some(start);
@@ -133,7 +133,7 @@ impl BCube {
             }
             if cur[level] != dd[level] {
                 cur[level] = dd[level];
-                let next_host = self.from_digits(&cur);
+                let next_host = self.host_of_digits(&cur);
                 path.extend(self.hop(cur_host, next_host, level));
                 cur_host = next_host;
             }
@@ -142,7 +142,7 @@ impl BCube {
         if let Some(level) = detour_level {
             if cur[level] != dd[level] {
                 cur[level] = dd[level];
-                let next_host = self.from_digits(&cur);
+                let next_host = self.host_of_digits(&cur);
                 path.extend(self.hop(cur_host, next_host, level));
                 cur_host = next_host;
             }
@@ -183,7 +183,7 @@ impl BCube {
                 if v != d[level] {
                     let mut nd = d.clone();
                     nd[level] = v;
-                    out.push(self.from_digits(&nd));
+                    out.push(self.host_of_digits(&nd));
                 }
             }
         }
@@ -236,7 +236,7 @@ mod tests {
     fn digits_roundtrip() {
         let (_sim, b) = build();
         for h in [0, 1, 24, 60, 124] {
-            assert_eq!(b.from_digits(&b.digits(h)), h);
+            assert_eq!(b.host_of_digits(&b.digits(h)), h);
         }
     }
 

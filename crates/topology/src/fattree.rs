@@ -56,7 +56,7 @@ impl FatTree {
     /// # Panics
     /// Panics if `k` is odd or < 2.
     pub fn build(sim: &mut Simulator, k: usize, link: LinkSpec) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "FatTree requires even k ≥ 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "FatTree requires even k ≥ 2");
         let half = k / 2;
         let pods = k;
         let hosts = k * k * k / 4;

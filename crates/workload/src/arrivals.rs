@@ -93,7 +93,7 @@ impl AlternatingPoisson {
         let until_s = until.as_secs_f64();
         let phase_s = self.phase.as_secs_f64();
         while t < until_s {
-            let in_a = ((t / phase_s) as u64) % 2 == 0;
+            let in_a = ((t / phase_s) as u64).is_multiple_of(2);
             let rate = if in_a { self.rate_a } else { self.rate_b };
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             t += -u.ln() / rate;

@@ -43,7 +43,7 @@ fn fairness_goals_hold_only_for_mptcp() {
     let w = equilibrium(&Coupled::new(), &loss, &rtt);
     let rep_c = check_fairness(&w, &loss, &rtt, 0.08);
     assert!(
-        !(rep_e.incentive_ok && rep_e.no_harm_ok) || !(rep_c.incentive_ok && rep_c.no_harm_ok),
+        !(rep_e.incentive_ok && rep_e.no_harm_ok && rep_c.incentive_ok && rep_c.no_harm_ok),
         "at least one strawman should fail the dual goals: {rep_e:?} {rep_c:?}"
     );
 }
