@@ -1,0 +1,122 @@
+//! Chaos smoke — fixed-seed fault schedules on the torus and a dual-homed
+//! client, run through the parallel experiment runner.
+//!
+//! This is the CI gate for the fault subsystem: a handful of known seeds
+//! expand into [`FaultPlan::randomized`] schedules (flaps, brownouts,
+//! queue squeezes, Gilbert–Elliott bursts), every sized flow must survive
+//! them with exactly-once delivery, and the whole batch must produce
+//! **bit-identical digests under `MPTCP_JOBS=1` and `MPTCP_JOBS=4`** —
+//! the determinism claim of the runner extended to fault execution.
+//! Any divergence or a lost flow aborts the process with a nonzero exit.
+
+use mptcp_bench::runner::run_parallel;
+use mptcp_bench::{banner, scaled, Table};
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnectionSpec, FaultPlan, LinkSpec, SimTime, Simulator, TcpParams};
+use mptcp_topology::Torus;
+
+/// One scenario's reproducible outcome; compared bit-for-bit across runs.
+#[derive(Debug, Clone, PartialEq)]
+struct Digest {
+    label: String,
+    events: u64,
+    faults: u64,
+    delivered: Vec<u64>,
+    dups: Vec<u64>,
+    reinjected: Vec<u64>,
+    finished: Vec<bool>,
+}
+
+#[derive(Clone, Copy)]
+enum Scenario {
+    Torus { seed: u64 },
+    DualHomed { seed: u64, pkts: u64 },
+}
+
+fn run_one(sc: &Scenario) -> Digest {
+    let horizon = scaled(SimTime::from_secs(60));
+    match *sc {
+        Scenario::Torus { seed } => {
+            let mut sim = Simulator::new(seed);
+            let t = Torus::build(&mut sim, [1000.0; 5], AlgorithmKind::Mptcp);
+            let plan = FaultPlan::randomized(seed ^ 0xFA17, &t.links, horizon);
+            sim.install_fault_plan(&plan);
+            sim.run_until(horizon);
+            digest(format!("torus/{seed}"), &sim, &t.flows)
+        }
+        Scenario::DualHomed { seed, pkts } => {
+            let mut sim = Simulator::new(seed);
+            let l1 = sim.add_link(LinkSpec::mbps(12.0, SimTime::from_millis(8), 25));
+            let l2 = sim.add_link(LinkSpec::mbps(4.0, SimTime::from_millis(30), 25));
+            let conn = sim.add_connection(
+                ConnectionSpec::sized(AlgorithmKind::Mptcp, pkts)
+                    .path(vec![l1])
+                    .path(vec![l2])
+                    .tcp(TcpParams { max_rto: SimTime::from_secs(4), ..TcpParams::default() }),
+            );
+            let plan = FaultPlan::randomized(seed ^ 0xD0A1, &[l1, l2], horizon);
+            sim.install_fault_plan(&plan);
+            sim.run_until(horizon);
+            digest(format!("dual/{seed}"), &sim, &[conn])
+        }
+    }
+}
+
+fn digest(label: String, sim: &Simulator, conns: &[usize]) -> Digest {
+    let stats: Vec<_> = conns.iter().map(|&c| sim.connection_stats(c)).collect();
+    Digest {
+        label,
+        events: sim.events_processed(),
+        faults: sim.perf().faults_applied,
+        delivered: stats.iter().map(|s| s.data_delivered).collect(),
+        dups: stats.iter().map(|s| s.dup_data_arrivals).collect(),
+        reinjected: stats.iter().map(|s| s.reinjections_sent).collect(),
+        finished: stats.iter().map(|s| s.finished_at.is_some()).collect(),
+    }
+}
+
+fn run_batch(jobs: &[Scenario]) -> Vec<Digest> {
+    run_parallel(jobs, run_one)
+}
+
+fn main() {
+    banner("CHAOS", "fixed-seed fault schedules: survival + runner determinism");
+    let mut jobs = Vec::new();
+    for seed in [11, 23, 47] {
+        jobs.push(Scenario::Torus { seed });
+    }
+    for seed in [5, 17, 29, 61] {
+        jobs.push(Scenario::DualHomed { seed, pkts: 4_000 });
+    }
+
+    std::env::set_var("MPTCP_JOBS", "1");
+    let serial = run_batch(&jobs);
+    std::env::set_var("MPTCP_JOBS", "4");
+    let parallel = run_batch(&jobs);
+    assert_eq!(serial, parallel, "MPTCP_JOBS=1 and MPTCP_JOBS=4 runs must be bit-identical");
+
+    let mut t = Table::new(&["scenario", "events", "faults", "delivered", "reinject", "dups", "done"]);
+    let mut all_ok = true;
+    for d in &serial {
+        let sized = d.label.starts_with("dual");
+        let ok = !sized || d.finished.iter().all(|&f| f);
+        all_ok &= ok;
+        t.row(vec![
+            d.label.clone(),
+            d.events.to_string(),
+            d.faults.to_string(),
+            d.delivered.iter().sum::<u64>().to_string(),
+            d.reinjected.iter().sum::<u64>().to_string(),
+            d.dups.iter().sum::<u64>().to_string(),
+            if sized {
+                if ok { "yes".into() } else { "NO".into() }
+            } else {
+                "bulk".into()
+            },
+        ]);
+    }
+    t.print();
+    assert!(all_ok, "every sized flow must complete under its fault schedule");
+    println!("\n  parallel (MPTCP_JOBS=4) and serial (MPTCP_JOBS=1) digests identical over");
+    println!("  {} scenarios — fault execution is part of the deterministic history.", jobs.len());
+}

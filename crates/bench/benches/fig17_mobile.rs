@@ -24,7 +24,11 @@ fn main() {
     let tcp_wifi = w.add_single_path_1(&mut sim, SimTime::ZERO);
     let tcp_3g = w.add_single_path_2(&mut sim, SimTime::ZERO);
     let m = w.add_multipath(&mut sim, AlgorithmKind::Mptcp, SimTime::ZERO);
-    let mut trace = MobilityTrace::paper_walk(w.link1, w.link2);
+    // The walk runs as a declarative fault plan through the simulator's own
+    // event queue, so the link changes land at their exact trace times no
+    // matter how coarsely this loop steps.
+    let plan = MobilityTrace::paper_walk(w.link1, w.link2).to_fault_plan();
+    sim.install_fault_plan(&plan);
 
     let step = SimTime::from_secs(30);
     let total = SimTime::from_secs(12 * 60);
@@ -49,7 +53,6 @@ fn main() {
     let mut now = SimTime::ZERO;
     while now < total {
         now += step;
-        trace.apply_due(&mut sim, now);
         sim.run_until(now);
         let cur = snap(&sim);
         let secs = step.as_secs_f64();

@@ -60,6 +60,18 @@ mod snapshot;
 pub mod fluid;
 
 pub use algorithm::{AlgorithmKind, MultipathCc};
+
+/// Consecutive RTO backoffs without any ACK progress after which a subflow
+/// is treated as **potentially failed**: no new data is scheduled on it
+/// (retransmission probes continue), and any stranded unacknowledged data
+/// becomes eligible for reinjection on the remaining subflows. The first
+/// ACK that shows progress clears the state ("fast revive").
+///
+/// Shared by the packet-level simulator (`mptcp-netsim`) and the userspace
+/// stack (`mptcp-proto`) so both layers agree on when a path counts as
+/// dead — the paper's §6 failure handling hinges on this threshold being
+/// small enough that a WiFi blackout fails over within a couple of RTOs.
+pub const POTENTIALLY_FAILED_RTO_BACKOFFS: u32 = 2;
 pub use coupled::Coupled;
 pub use ewtcp::Ewtcp;
 pub use lia::{lia_increase_exhaustive, lia_increase_linear, Mptcp};

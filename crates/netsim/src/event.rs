@@ -94,6 +94,11 @@ pub(crate) enum EventKind {
     CbrSend { src: CbrId, gen: u64 },
     /// A CBR source toggles between its on and off states.
     CbrToggle { src: CbrId },
+    /// A scripted fault fires: `idx` indexes the simulator's installed
+    /// fault-action table (see [`crate::Simulator::install_fault_plan`]).
+    /// Faults are ordinary events, so they execute at their exact time in
+    /// deterministic order with everything else — never "between steps".
+    Fault { idx: usize },
 }
 
 #[derive(Debug)]

@@ -58,6 +58,7 @@
 
 mod cbr;
 mod event;
+mod fault;
 mod link;
 mod packet;
 mod perf;
@@ -70,6 +71,7 @@ mod wheel;
 
 pub use cbr::{CbrId, CbrSpec};
 pub use event::{queue_churn, QueueBackend};
+pub use fault::{FaultAction, FaultPlan, GeParams};
 pub use link::{LinkId, LinkSpec, LinkStats};
 pub use packet::DEFAULT_PACKET_SIZE;
 pub use perf::SimPerf;

@@ -91,12 +91,14 @@ impl LinkSpec {
         Self { rate_bps, delay, queue_pkts, loss_prob: 0.0 }
     }
 
-    /// Add Bernoulli random loss with probability `p` on enqueue.
+    /// Add Bernoulli random loss with probability `p` on enqueue. `p = 1`
+    /// is valid and models total loss (every packet dropped) — distinct
+    /// from a *down* link only in accounting.
     ///
     /// # Panics
-    /// Panics unless `0 ≤ p < 1`.
+    /// Panics unless `0 ≤ p ≤ 1`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
         self.loss_prob = p;
         self
     }
@@ -114,8 +116,12 @@ pub struct LinkStats {
     pub offered: u64,
     /// Packets dropped because the queue was full.
     pub dropped_queue: u64,
-    /// Packets dropped by the random-loss process.
+    /// Packets dropped by the random-loss process (Bernoulli or
+    /// Gilbert–Elliott).
     pub dropped_random: u64,
+    /// Packets dropped because the link was down: in-flight arrivals at a
+    /// down link plus the queue flushed when the link went down.
+    pub dropped_down: u64,
     /// Packets fully transmitted.
     pub transmitted: u64,
     /// Bytes fully transmitted.
@@ -123,12 +129,18 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
-    /// Total packets dropped for any reason.
+    /// Total packets dropped for any reason: queue overflow
+    /// (`dropped_queue`) + random loss (`dropped_random`) + down-link
+    /// drops (`dropped_down`).
     pub fn dropped(&self) -> u64 {
-        self.dropped_queue + self.dropped_random
+        self.dropped_queue + self.dropped_random + self.dropped_down
     }
 
-    /// Loss rate: drops / offered. Zero if nothing was offered.
+    /// Loss rate: drops / offered, where drops include **all three**
+    /// categories (queue overflow, random loss, down-link). Diff
+    /// `dropped_queue` / `dropped_random` / `dropped_down` directly to
+    /// attribute loss to congestion vs. channel vs. outage. Zero if
+    /// nothing was offered.
     pub fn loss_rate(&self) -> f64 {
         if self.offered == 0 {
             0.0
@@ -148,12 +160,26 @@ impl LinkStats {
     }
 }
 
+/// Live state of a link's Gilbert–Elliott loss chain, when one is
+/// installed by a fault plan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GeState {
+    pub params: crate::fault::GeParams,
+    /// Whether the chain is currently in the bad (bursty-loss) state.
+    pub bad: bool,
+}
+
 /// Runtime state of a link.
 #[derive(Debug)]
 pub(crate) struct Link {
     /// Configuration; mutable so scenarios can change rate/loss mid-run
     /// (mobility, Fig. 17).
     pub spec: LinkSpec,
+    /// The rate the link returns to when a brownout ends; updated by
+    /// lasting rate changes ([`crate::FaultAction::SetRate`]).
+    pub nominal_rate_bps: f64,
+    /// The queue capacity restored when a queue squeeze ends.
+    pub nominal_queue_pkts: usize,
     /// Waiting packets (the packet in service is *not* in this queue).
     pub queue: VecDeque<Packet>,
     /// Whether the transmitter is currently serializing a packet.
@@ -163,6 +189,8 @@ pub(crate) struct Link {
     /// If `true`, packets are dropped at enqueue regardless of queue space —
     /// models total loss of connectivity (walking out of WiFi coverage).
     pub down: bool,
+    /// Gilbert–Elliott chain, when a bursty-loss episode is active.
+    pub ge: Option<GeState>,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -171,10 +199,13 @@ impl Link {
     pub(crate) fn new(spec: LinkSpec) -> Self {
         Self {
             spec,
+            nominal_rate_bps: spec.rate_bps,
+            nominal_queue_pkts: spec.queue_pkts,
             queue: VecDeque::new(),
             busy: false,
             in_service: None,
             down: false,
+            ge: None,
             stats: LinkStats::default(),
         }
     }
@@ -198,15 +229,23 @@ mod tests {
     }
 
     #[test]
-    fn loss_rate_counts_both_kinds_of_drops() {
+    fn loss_rate_counts_all_three_kinds_of_drops() {
         let s = LinkStats {
             offered: 100,
             dropped_queue: 5,
-            dropped_random: 5,
+            dropped_random: 3,
+            dropped_down: 2,
             transmitted: 90,
             bytes: 0,
         };
+        assert_eq!(s.dropped(), 10);
         assert!((s.loss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_loss_probability_is_expressible() {
+        let l = LinkSpec::mbps(1.0, SimTime::ZERO, 10).with_loss(1.0);
+        assert_eq!(l.loss_prob, 1.0);
     }
 
     #[test]

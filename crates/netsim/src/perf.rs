@@ -30,6 +30,17 @@ pub struct SimPerf {
     pub wall: Duration,
     /// Simulated time the clock has advanced to.
     pub sim_elapsed: SimTime,
+    /// Scripted fault actions executed so far (see
+    /// [`crate::Simulator::install_fault_plan`]).
+    pub faults_applied: u64,
+    /// When the stall watchdog declared the world stalled — no data
+    /// delivered for the armed threshold while unfinished connections
+    /// existed (see [`crate::Simulator::set_stall_watchdog`]). `run_until`
+    /// returned early at this time.
+    pub stalled_at: Option<SimTime>,
+    /// When the event queue ran dry with unfinished connections left: a
+    /// quiesced (deadlocked) world that can never make progress again.
+    pub quiesced_at: Option<SimTime>,
 }
 
 impl SimPerf {
@@ -46,11 +57,13 @@ impl SimPerf {
     }
 
     /// Accounting identity: every scheduled event is either fired or still
-    /// pending. Used by the invariant tests.
+    /// pending, and every applied fault was a fired event. Used by the
+    /// invariant tests.
     pub fn is_consistent(&self) -> bool {
         self.events_scheduled == self.events_fired + self.pending
             && self.events_cancelled <= self.events_fired
             && self.pending <= self.peak_pending
+            && self.faults_applied <= self.events_fired
     }
 }
 
@@ -74,8 +87,13 @@ mod tests {
             peak_pending: 50,
             wall: Duration::from_millis(10),
             sim_elapsed: SimTime::from_secs(1),
+            faults_applied: 3,
+            stalled_at: None,
+            quiesced_at: None,
         };
         assert!(p.is_consistent());
         assert!(p.events_per_wall_sec() > 0.0);
+        let bad = SimPerf { faults_applied: 61, ..p };
+        assert!(!bad.is_consistent(), "more faults than fired events is impossible");
     }
 }

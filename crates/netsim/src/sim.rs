@@ -2,7 +2,8 @@
 
 use crate::cbr::{CbrId, CbrSource, CbrSpec};
 use crate::event::{AckInfo, EventKind, EventQueue, QueueBackend};
-use crate::link::{Link, LinkId, LinkPath, LinkSpec, LinkStats};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::link::{GeState, Link, LinkId, LinkPath, LinkSpec, LinkStats};
 use crate::packet::{Packet, PacketOwner, DEFAULT_PACKET_SIZE};
 use crate::perf::SimPerf;
 use crate::stats::{ConnectionStats, SubflowStats};
@@ -11,6 +12,7 @@ use crate::time::SimTime;
 use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a connection within one [`Simulator`].
 pub type ConnId = usize;
@@ -149,6 +151,16 @@ struct SubflowState {
     rto_event_at: Option<SimTime>,
 }
 
+/// Exactly-once bookkeeping for a data sequence number that exists (or may
+/// exist) on more than one subflow because of reinjection.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReinjectEntry {
+    /// The dsn has reached the receiver (on any subflow copy).
+    delivered: bool,
+    /// The dsn has been acknowledged (on any subflow copy).
+    acked: bool,
+}
+
 /// Runtime state of a connection.
 struct Connection {
     cc: Box<dyn MultipathCc>,
@@ -163,6 +175,28 @@ struct Connection {
     /// Scratch buffer for congestion-control snapshots, reused across ACKs
     /// (this is on the per-packet hot path).
     snap_buf: Vec<SubflowSnapshot>,
+    /// Next connection-level data sequence number to hand to a subflow.
+    next_dsn: u64,
+    /// Data sequence numbers stranded on a potentially-failed subflow,
+    /// waiting to be reinjected on a live one (each dsn is harvested at
+    /// most once — see `reinject_reg`).
+    reinject_queue: VecDeque<u64>,
+    /// Per-dsn delivery/ack dedupe for data that was ever queued for
+    /// reinjection. Data never reinjected has exactly one subflow copy and
+    /// needs no entry here.
+    reinject_reg: BTreeMap<u64, ReinjectEntry>,
+    /// Distinct data packets that reached the receiver (each dsn counted
+    /// once, however many copies arrived).
+    data_delivered: u64,
+    /// Distinct data packets acknowledged (each dsn counted once).
+    data_acked: u64,
+    /// Arrivals of a dsn whose data the receiver already had via another
+    /// subflow copy (the waste reinjection trades for robustness).
+    dup_data_arrivals: u64,
+    /// Reinjected copies handed to live subflows.
+    reinjections_sent: u64,
+    /// Scratch for per-ACK newly-acknowledged dsns (hot path, reused).
+    acked_dsn_scratch: Vec<u64>,
 }
 
 impl Connection {
@@ -199,6 +233,21 @@ pub struct Simulator {
     events_cancelled: u64,
     /// Wall-clock nanoseconds spent inside `run_until`.
     wall_nanos: u64,
+    /// Installed fault actions, indexed by `EventKind::Fault { idx }`.
+    fault_actions: Vec<FaultAction>,
+    /// Fault actions executed so far.
+    faults_applied: u64,
+    /// Stall watchdog threshold: if set and no data is delivered for this
+    /// long while unfinished connections exist, `run_until` stops early
+    /// and reports via [`SimPerf::stalled_at`].
+    stall_watchdog: Option<SimTime>,
+    /// Last time any data packet reached a destination (watchdog input).
+    last_progress: SimTime,
+    /// When the watchdog declared the world stalled, if it did.
+    stalled_at: Option<SimTime>,
+    /// When the event queue ran dry with unfinished connections left — a
+    /// quiesced/deadlocked world (nothing will ever make progress again).
+    quiesced_at: Option<SimTime>,
 }
 
 impl Simulator {
@@ -224,6 +273,12 @@ impl Simulator {
             events_processed: 0,
             events_cancelled: 0,
             wall_nanos: 0,
+            fault_actions: Vec::new(),
+            faults_applied: 0,
+            stall_watchdog: None,
+            last_progress: SimTime::ZERO,
+            stalled_at: None,
+            quiesced_at: None,
         }
     }
 
@@ -257,6 +312,9 @@ impl Simulator {
             peak_pending: self.queue.peak_pending() as u64,
             wall: std::time::Duration::from_nanos(self.wall_nanos),
             sim_elapsed: self.now,
+            faults_applied: self.faults_applied,
+            stalled_at: self.stalled_at,
+            quiesced_at: self.quiesced_at,
         }
     }
 
@@ -315,11 +373,21 @@ impl Simulator {
             started: false,
             finished_at: None,
             rr_next: 0,
+            next_dsn: 0,
+            reinject_queue: VecDeque::new(),
+            reinject_reg: BTreeMap::new(),
+            data_delivered: 0,
+            data_acked: 0,
+            dup_data_arrivals: 0,
+            reinjections_sent: 0,
+            acked_dsn_scratch: Vec::new(),
         };
         self.conns.push(conn);
         let id = self.conns.len() - 1;
         let start = spec.start.max(self.now);
         self.queue.push(start, EventKind::ConnStart { conn: id });
+        // New work revives a previously quiesced world.
+        self.quiesced_at = None;
         id
     }
 
@@ -343,26 +411,60 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     /// Change a link's rate (bits per second), e.g. for mobility traces.
+    /// This is a lasting change: it also becomes the link's new nominal
+    /// rate (the rate a [`FaultAction::Brownout`] scales and
+    /// [`FaultAction::RestoreRate`] returns to).
     pub fn set_link_rate_bps(&mut self, link: LinkId, rate_bps: f64) {
         assert!(rate_bps > 0.0);
         self.links[link].spec.rate_bps = rate_bps;
+        self.links[link].nominal_rate_bps = rate_bps;
     }
 
-    /// Change a link's random-loss probability.
+    /// Change a link's random-loss probability. The closed range `[0, 1]`
+    /// is accepted: `p = 1` models total loss on an otherwise-up link.
     pub fn set_link_loss(&mut self, link: LinkId, p: f64) {
-        assert!((0.0..1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1], got {p}");
         self.links[link].spec.loss_prob = p;
     }
 
     /// Take a link down (all arriving packets dropped, queue flushed) or
-    /// bring it back up.
+    /// bring it back up. Both the flushed queue and subsequent arrivals
+    /// count as [`LinkStats::dropped_down`], not queue overflow.
     pub fn set_link_down(&mut self, link: LinkId, down: bool) {
         let l = &mut self.links[link];
         l.down = down;
         if down {
-            l.stats.dropped_queue += l.queue.len() as u64;
+            l.stats.dropped_down += l.queue.len() as u64;
             l.queue.clear();
         }
+    }
+
+    /// Install a fault plan: every `(time, action)` pair becomes an event
+    /// on the simulator's own queue, so faults execute at their exact
+    /// nanosecond in deterministic order with all other events — results
+    /// do not depend on how `run_until` is stepped. Actions scheduled in
+    /// the past execute at the current time. Plans can be installed
+    /// incrementally; actions from all installed plans coexist.
+    ///
+    /// # Panics
+    /// Panics if any action references an unknown link.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for &(at, action) in plan.actions() {
+            assert!(action.link() < self.links.len(), "unknown link {}", action.link());
+            let idx = self.fault_actions.len();
+            self.fault_actions.push(action);
+            self.queue.push(at.max(self.now), EventKind::Fault { idx });
+        }
+        self.quiesced_at = None;
+    }
+
+    /// Arm the stall watchdog: if no data packet reaches any destination
+    /// for `threshold` of simulated time while unfinished connections
+    /// exist, `run_until` stops early and reports the stall through
+    /// [`SimPerf::stalled_at`]. `None` disarms (the default).
+    pub fn set_stall_watchdog(&mut self, threshold: Option<SimTime>) {
+        self.stall_watchdog = threshold;
+        self.last_progress = self.now;
     }
 
     /// Force a CBR source on or off (for externally scripted burst traces).
@@ -434,11 +536,19 @@ impl Simulator {
                     fast_recoveries: s.tx.fast_recoveries,
                     cwnd: s.tx.cwnd,
                     srtt: s.tx.srtt.unwrap_or(0.0),
+                    rto_backoffs: s.tx.backoffs,
+                    potentially_failed: s.tx.potentially_failed(),
                 })
                 .collect(),
             packet_size: c.packet_size,
             started_at: c.started_at,
             finished_at: c.finished_at,
+            data_sent: c.next_dsn,
+            data_delivered: c.data_delivered,
+            data_acked: c.data_acked,
+            dup_data_arrivals: c.dup_data_arrivals,
+            reinjections_sent: c.reinjections_sent,
+            reinject_pending: c.reinject_queue.len() as u64,
         }
     }
 
@@ -453,17 +563,55 @@ impl Simulator {
 
     /// Run the world forward to `horizon` (inclusive); the clock ends at
     /// exactly `horizon`.
+    ///
+    /// Two pathological-world detectors report through [`Self::perf`]:
+    ///
+    /// * if a [stall watchdog](Self::set_stall_watchdog) is armed and no
+    ///   data is delivered for the threshold while unfinished connections
+    ///   exist, the loop stops early (the clock stays at the stall time)
+    ///   and `SimPerf::stalled_at` is set;
+    /// * if the event queue runs dry before `horizon` with unfinished
+    ///   connections left — a deadlocked world that can never progress —
+    ///   `SimPerf::quiesced_at` records when.
     pub fn run_until(&mut self, horizon: SimTime) {
         assert!(horizon >= self.now, "time cannot run backwards");
         let started = std::time::Instant::now();
+        let mut stalled = false;
         while let Some(ev) = self.queue.pop_before(horizon) {
             debug_assert!(ev.at >= self.now, "event from the past");
             self.now = ev.at;
             self.events_processed += 1;
             self.dispatch(ev.kind);
+            if let Some(threshold) = self.stall_watchdog {
+                if self.now.saturating_sub(self.last_progress) > threshold {
+                    if self.has_unfinished_connections() {
+                        if self.stalled_at.is_none() {
+                            self.stalled_at = Some(self.now);
+                        }
+                        stalled = true;
+                        break;
+                    }
+                    // Idle but with nothing left to do: not a stall.
+                    self.last_progress = self.now;
+                }
+            }
         }
-        self.now = horizon;
+        if !stalled {
+            if self.queue.len() == 0
+                && self.quiesced_at.is_none()
+                && self.has_unfinished_connections()
+            {
+                self.quiesced_at = Some(self.now);
+            }
+            self.now = horizon;
+        }
         self.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Whether any started, unfinished connection still has data it is
+    /// trying to move (the condition under which silence means deadlock).
+    fn has_unfinished_connections(&self) -> bool {
+        self.conns.iter().any(|c| c.started && c.finished_at.is_none())
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -475,6 +623,45 @@ impl Simulator {
             EventKind::ConnStart { conn } => self.on_conn_start(conn),
             EventKind::CbrSend { src, gen } => self.on_cbr_send(src, gen),
             EventKind::CbrToggle { src } => self.on_cbr_toggle(src),
+            EventKind::Fault { idx } => self.apply_fault(idx),
+        }
+    }
+
+    /// Execute one installed fault action. Reuses the public scripting
+    /// mutators so scripted and event-driven faults behave identically.
+    fn apply_fault(&mut self, idx: usize) {
+        let action = self.fault_actions[idx];
+        self.faults_applied += 1;
+        match action {
+            FaultAction::Down { link } => self.set_link_down(link, true),
+            FaultAction::Up { link } => self.set_link_down(link, false),
+            FaultAction::SetRate { link, bps } => self.set_link_rate_bps(link, bps),
+            FaultAction::Brownout { link, factor } => {
+                let l = &mut self.links[link];
+                l.spec.rate_bps = l.nominal_rate_bps * factor;
+            }
+            FaultAction::RestoreRate { link } => {
+                let l = &mut self.links[link];
+                l.spec.rate_bps = l.nominal_rate_bps;
+            }
+            FaultAction::SetLoss { link, p } => self.set_link_loss(link, p),
+            FaultAction::ShrinkQueue { link, pkts } => {
+                let l = &mut self.links[link];
+                l.spec.queue_pkts = pkts;
+                // Drop-tail semantics: excess waiting packets are shed from
+                // the back of the queue immediately.
+                while l.queue.len() > pkts {
+                    l.queue.pop_back();
+                    l.stats.dropped_queue += 1;
+                }
+            }
+            FaultAction::RestoreQueue { link } => {
+                let l = &mut self.links[link];
+                l.spec.queue_pkts = l.nominal_queue_pkts;
+            }
+            FaultAction::GilbertElliott { link, params } => {
+                self.links[link].ge = params.map(|params| GeState { params, bad: false });
+            }
         }
     }
 
@@ -501,8 +688,24 @@ impl Simulator {
         };
         self.links[link_id].stats.offered += 1;
         if down {
-            self.links[link_id].stats.dropped_random += 1;
+            self.links[link_id].stats.dropped_down += 1;
             return;
+        }
+        // Gilbert–Elliott bursty loss, when a chain is installed: one
+        // transition attempt per offered packet, then a loss draw in the
+        // resulting state. Both draws come from the simulator RNG, in
+        // packet order — fully deterministic for a fixed seed.
+        if let Some(mut ge) = self.links[link_id].ge {
+            let flip = if ge.bad { ge.params.p_exit_bad } else { ge.params.p_enter_bad };
+            if flip > 0.0 && self.rng.gen::<f64>() < flip {
+                ge.bad = !ge.bad;
+                self.links[link_id].ge = Some(ge);
+            }
+            let p = if ge.bad { ge.params.loss_bad } else { ge.params.loss_good };
+            if p > 0.0 && self.rng.gen::<f64>() < p {
+                self.links[link_id].stats.dropped_random += 1;
+                return;
+            }
         }
         if loss_prob > 0.0 && self.rng.gen::<f64>() < loss_prob {
             self.links[link_id].stats.dropped_random += 1;
@@ -550,6 +753,28 @@ impl Simulator {
         // Delivered to the destination.
         match pkt.owner {
             PacketOwner::Subflow { conn, sub, seq } => {
+                self.last_progress = self.now;
+                {
+                    let c = &mut self.conns[conn];
+                    // Exactly-once data-level accounting. A first-time
+                    // subflow arrival implies the packet is not yet
+                    // cum-acked there, so its dsn metadata still exists.
+                    if !c.subflows[sub].rx.contains(seq) {
+                        let dsn = c.subflows[sub]
+                            .tx
+                            .dsn_of(seq)
+                            .expect("unacked first arrival keeps its metadata");
+                        match c.reinject_reg.get_mut(&dsn) {
+                            Some(e) if e.delivered => c.dup_data_arrivals += 1,
+                            Some(e) => {
+                                e.delivered = true;
+                                c.data_delivered += 1;
+                            }
+                            // Never reinjected: this is the only copy.
+                            None => c.data_delivered += 1,
+                        }
+                    }
+                }
                 let (cum, _dup, sacks) = self.conns[conn].subflows[sub].rx.on_data(seq);
                 let jitter = if self.ack_jitter > SimTime::ZERO {
                     SimTime(self.rng.gen_range(0..=self.ack_jitter.as_nanos()))
@@ -573,13 +798,18 @@ impl Simulator {
         }
         c.started = true;
         c.started_at = self.now;
+        // A newly transmitting connection counts as progress (otherwise a
+        // late-starting flow trips the watchdog on its first event).
+        self.last_progress = self.now;
         self.pump(conn);
     }
 
     fn on_ack(&mut self, conn: ConnId, sub: usize, ack: AckInfo) {
         let arm = {
             let c = &mut self.conns[conn];
-            let outcome = c.subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now);
+            c.acked_dsn_scratch.clear();
+            let Connection { subflows, acked_dsn_scratch, .. } = c;
+            let outcome = subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, acked_dsn_scratch);
             if outcome.newly_acked > 0 && c.subflows[sub].tx.growth_allowed() {
                 // Grow once per newly acked packet: slow start adds one
                 // packet per ACKed packet; congestion avoidance defers to
@@ -605,6 +835,23 @@ impl Simulator {
             }
             outcome.rearm_rto
         };
+        // Data-level acknowledgment accounting: each dsn counts once,
+        // across all subflow copies a reinjection may have created.
+        {
+            let c = &mut self.conns[conn];
+            let scratch = std::mem::take(&mut c.acked_dsn_scratch);
+            for &dsn in &scratch {
+                match c.reinject_reg.get_mut(&dsn) {
+                    Some(e) if e.acked => {}
+                    Some(e) => {
+                        e.acked = true;
+                        c.data_acked += 1;
+                    }
+                    None => c.data_acked += 1,
+                }
+            }
+            c.acked_dsn_scratch = scratch;
+        }
         match arm {
             Some(true) => self.schedule_rto(conn, sub),
             Some(false) => self.conns[conn].subflows[sub].rto_deadline = None,
@@ -616,6 +863,14 @@ impl Simulator {
 
     fn on_rto(&mut self, conn: ConnId, sub: usize) {
         self.conns[conn].subflows[sub].rto_event_at = None;
+        if self.conns[conn].finished_at.is_some() {
+            // The transfer already completed at the data level (possibly
+            // via reinjection around this very subflow); stop the timer
+            // churn instead of probing a dead path forever.
+            self.conns[conn].subflows[sub].rto_deadline = None;
+            self.events_cancelled += 1;
+            return;
+        }
         match self.conns[conn].subflows[sub].rto_deadline {
             None => {
                 // Disarmed since the event was queued.
@@ -631,21 +886,52 @@ impl Simulator {
             }
             Some(_) => {}
         }
-        {
+        let newly_failed = {
             let c = &mut self.conns[conn];
             // The coupled decrease sets the slow-start threshold; the
             // window itself collapses to the probing floor.
             c.refresh_snapshots();
             let level = c.cc.window_after_loss(sub, &c.snap_buf);
             let floor = c.cc.min_window();
+            let was_failed = c.subflows[sub].tx.potentially_failed();
             if !c.subflows[sub].tx.on_rto(floor) {
                 c.subflows[sub].rto_deadline = None;
                 return; // spurious
             }
             c.subflows[sub].tx.set_ssthresh(level);
+            !was_failed && c.subflows[sub].tx.potentially_failed()
+        };
+        if newly_failed {
+            // The subflow just crossed the potentially-failed threshold:
+            // queue its stranded data for reinjection on live subflows.
+            self.harvest_stranded(conn, sub);
         }
         self.schedule_rto(conn, sub);
         self.pump(conn);
+    }
+
+    /// Move a newly potentially-failed subflow's unacknowledged data into
+    /// the reinjection queue, registering each dsn for exactly-once
+    /// delivery/ack accounting. A dsn already registered (harvested from a
+    /// previous failure episode) is never queued twice.
+    fn harvest_stranded(&mut self, conn: ConnId, sub: usize) {
+        let c = &mut self.conns[conn];
+        if c.subflows.len() < 2 {
+            return; // nowhere to reinject; RTO probing is the only recovery
+        }
+        let stranded = c.subflows[sub].tx.stranded();
+        for (seq, dsn) in stranded {
+            if c.reinject_reg.contains_key(&dsn) {
+                continue;
+            }
+            // The copy may already sit in the remote reassembly buffer
+            // with its ACK lost in the outage — seed the registry with
+            // ground truth so a reinjected copy's arrival is not counted
+            // as a fresh delivery.
+            let delivered = c.subflows[sub].rx.contains(seq);
+            c.reinject_reg.insert(dsn, ReinjectEntry { delivered, acked: false });
+            c.reinject_queue.push_back(dsn);
+        }
     }
 
     /// (Re)arm the conceptual RTO at `now + RTO` and make sure an event is
@@ -679,7 +965,10 @@ impl Simulator {
 
     /// Stripe new data onto whichever subflows have window space
     /// ("An MPTCP sender stripes packets across these subflows as space in
-    /// the subflow windows becomes available", §2).
+    /// the subflow windows becomes available", §2). Order of priority:
+    /// hole retransmissions (including on potentially-failed subflows —
+    /// those are the probes that detect restoration), then reinjections of
+    /// stranded data onto live subflows, then new data on live subflows.
     fn pump(&mut self, conn: ConnId) {
         if !self.conns[conn].started || self.conns[conn].finished_at.is_some() {
             return;
@@ -691,13 +980,16 @@ impl Simulator {
                 self.send_subflow_packet(conn, idx, seq, true);
             }
         }
+        self.pump_reinjections(conn);
         loop {
             let mut sent_any = false;
             for i in 0..n {
                 let idx = (self.conns[conn].rr_next + i) % n;
                 let can = {
                     let c = &self.conns[conn];
-                    c.has_data() && c.subflows[idx].tx.can_send_new()
+                    c.has_data()
+                        && !c.subflows[idx].tx.potentially_failed()
+                        && c.subflows[idx].tx.can_send_new()
                 };
                 if !can {
                     continue;
@@ -707,8 +999,10 @@ impl Simulator {
                     if let Some(b) = &mut c.budget {
                         *b -= 1;
                     }
+                    let dsn = c.next_dsn;
+                    c.next_dsn += 1;
                     c.subflows[idx].sent_pkts += 1;
-                    c.subflows[idx].tx.on_send_new(self.now)
+                    c.subflows[idx].tx.on_send_new(self.now, dsn)
                 };
                 if newly_armed {
                     self.schedule_rto(conn, idx);
@@ -723,13 +1017,60 @@ impl Simulator {
         }
     }
 
+    /// Drain the reinjection queue onto live subflows with window space.
+    /// Each drained dsn becomes an ordinary new-sequence send on the
+    /// chosen subflow; dsns already acknowledged (e.g. the original copy's
+    /// ACK finally got through) are discarded unsent.
+    fn pump_reinjections(&mut self, conn: ConnId) {
+        loop {
+            let (dsn, idx) = {
+                let c = &mut self.conns[conn];
+                loop {
+                    let Some(&dsn) = c.reinject_queue.front() else { return };
+                    if c.reinject_reg.get(&dsn).is_some_and(|e| e.acked) {
+                        c.reinject_queue.pop_front();
+                        continue;
+                    }
+                    break;
+                }
+                let dsn = c.reinject_queue[0];
+                let n = c.subflows.len();
+                let mut chosen = None;
+                for i in 0..n {
+                    let idx = (c.rr_next + i) % n;
+                    let sf = &c.subflows[idx].tx;
+                    if !sf.potentially_failed() && sf.can_send_new() {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+                let Some(idx) = chosen else { return };
+                c.reinject_queue.pop_front();
+                c.reinjections_sent += 1;
+                c.subflows[idx].sent_pkts += 1;
+                (dsn, idx)
+            };
+            let (seq, newly_armed) = self.conns[conn].subflows[idx].tx.on_send_new(self.now, dsn);
+            if newly_armed {
+                self.schedule_rto(conn, idx);
+            }
+            self.send_subflow_packet(conn, idx, seq, false);
+        }
+    }
+
     fn try_finish(&mut self, conn: ConnId) {
         let c = &mut self.conns[conn];
         if c.finished_at.is_some() || !c.started {
             return;
         }
-        if c.budget == Some(0) && c.subflows.iter().all(|s| s.tx.fully_acked()) {
+        // Completion is data-level: every data sequence number handed out
+        // has been acknowledged on *some* subflow. Without faults this is
+        // the moment every subflow is fully acked (each dsn has exactly
+        // one copy); with reinjection it lets the transfer complete even
+        // while a dead subflow still holds stranded sequence numbers.
+        if c.budget == Some(0) && c.data_acked == c.next_dsn {
             c.finished_at = Some(self.now);
+            c.reinject_queue.clear();
         }
     }
 

@@ -20,6 +20,12 @@ pub struct SubflowStats {
     pub cwnd: f64,
     /// Smoothed RTT at sampling time, seconds (0 if no sample yet).
     pub srtt: f64,
+    /// Consecutive RTO backoffs without ACK progress at sampling time.
+    pub rto_backoffs: u32,
+    /// Whether the subflow currently counts as potentially failed
+    /// (`rto_backoffs ≥` [`mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS`]):
+    /// no new data is scheduled on it until an ACK revives it.
+    pub potentially_failed: bool,
 }
 
 /// Statistics of a whole multipath connection.
@@ -33,12 +39,44 @@ pub struct ConnectionStats {
     pub started_at: SimTime,
     /// When the last byte was acknowledged (finite flows only).
     pub finished_at: Option<SimTime>,
+    /// Distinct data packets handed to subflows (data sequence numbers
+    /// assigned so far).
+    pub data_sent: u64,
+    /// Distinct data packets that reached the receiver — each counted
+    /// **once**, no matter how many subflow copies (original plus
+    /// reinjections) arrived.
+    pub data_delivered: u64,
+    /// Distinct data packets acknowledged (each counted once).
+    pub data_acked: u64,
+    /// Arrivals of data the receiver already held via another subflow
+    /// copy — the duplicate traffic reinjection trades for robustness.
+    /// Exactly-once delivery means `data_delivered + dup_data_arrivals`
+    /// equals total first-time subflow arrivals.
+    pub dup_data_arrivals: u64,
+    /// Reinjected copies handed to live subflows after another subflow
+    /// was declared potentially failed.
+    pub reinjections_sent: u64,
+    /// Stranded data packets still waiting for a live subflow with window
+    /// space.
+    pub reinject_pending: u64,
 }
 
 impl ConnectionStats {
     /// Total packets delivered in order across subflows.
     pub fn delivered_pkts(&self) -> u64 {
         self.subflows.iter().map(|s| s.delivered_pkts).sum()
+    }
+
+    /// Data-level goodput in bits/s from start to `now` (or completion):
+    /// distinct data packets delivered, so reinjected duplicates are not
+    /// double-counted the way per-subflow `delivered_pkts` would.
+    pub fn data_throughput_bps(&self, now: SimTime) -> f64 {
+        let end = self.finished_at.unwrap_or(now);
+        let secs = end.saturating_sub(self.started_at).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.data_delivered as f64 * self.packet_size as f64 * 8.0 / secs
     }
 
     /// Goodput in bits/s measured from connection start to `now` (or to
@@ -78,7 +116,7 @@ mod tests {
             subflows: vec![SubflowStats { delivered_pkts: 1000, ..Default::default() }],
             packet_size: 1500,
             started_at: SimTime::from_secs(10),
-            finished_at: None,
+            ..Default::default()
         };
         let bps = stats.throughput_bps(SimTime::from_secs(20));
         // 1000 pkts * 1500 B * 8 b / 10 s = 1.2 Mb/s.
@@ -91,8 +129,8 @@ mod tests {
         let stats = ConnectionStats {
             subflows: vec![SubflowStats { delivered_pkts: 100, ..Default::default() }],
             packet_size: 1500,
-            started_at: SimTime::ZERO,
             finished_at: Some(SimTime::from_secs(1)),
+            ..Default::default()
         };
         assert!((stats.throughput_pps(SimTime::from_secs(100)) - 100.0).abs() < 1e-9);
         assert_eq!(stats.completion_time(), Some(SimTime::from_secs(1)));

@@ -58,12 +58,20 @@ impl Default for TcpParams {
     }
 }
 
-/// Metadata the sender keeps per in-flight packet, for RTT sampling (Karn's
-/// rule: never sample a retransmitted packet).
+/// Metadata the sender keeps per in-flight packet: RTT sampling (Karn's
+/// rule: never sample a retransmitted packet) plus the connection-level
+/// data sequence number the packet carries, so stranded data on a failed
+/// subflow can be identified and reinjected elsewhere.
 #[derive(Debug, Clone, Copy)]
 struct SentMeta {
     sent_at: SimTime,
     retransmitted: bool,
+    /// Connection-level data sequence number carried by this packet.
+    dsn: u64,
+    /// The dsn was reported received on *this* subflow (cum-acked or
+    /// SACKed) — used to report each dsn's first acknowledgment exactly
+    /// once per subflow.
+    data_acked: bool,
 }
 
 /// Receiver-side reassembly state of one subflow (kept with the sender for
@@ -125,6 +133,11 @@ impl SubflowReceiver {
     /// Packets delivered in order so far.
     pub fn delivered(&self) -> u64 {
         self.next_expected
+    }
+
+    /// Whether the receiver already holds `seq` (in order or buffered).
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.next_expected || self.ooo.contains(&seq)
     }
 }
 
@@ -264,19 +277,50 @@ impl SubflowSender {
         Some(seq)
     }
 
-    /// Record that a *new* packet with the next sequence number was sent at
-    /// `now`; returns the sequence number used and whether this send armed
-    /// the retransmission timer (so the caller can schedule the event).
-    pub fn on_send_new(&mut self, now: SimTime) -> (u64, bool) {
+    /// Record that a *new* packet with the next sequence number, carrying
+    /// connection-level data sequence `dsn`, was sent at `now`; returns
+    /// the sequence number used and whether this send armed the
+    /// retransmission timer (so the caller can schedule the event).
+    pub fn on_send_new(&mut self, now: SimTime, dsn: u64) -> (u64, bool) {
         let seq = self.next_seq;
         self.next_seq += 1;
         debug_assert_eq!(self.meta_base + self.meta.len() as u64, seq);
-        self.meta.push_back(SentMeta { sent_at: now, retransmitted: false });
+        self.meta.push_back(SentMeta { sent_at: now, retransmitted: false, dsn, data_acked: false });
         let newly_armed = !self.rto_armed;
         if newly_armed {
             self.arm_rto();
         }
         (seq, newly_armed)
+    }
+
+    /// The data sequence number carried by outstanding packet `seq`
+    /// (`None` once the packet is cumulatively acknowledged or for
+    /// never-sent sequences).
+    pub fn dsn_of(&self, seq: u64) -> Option<u64> {
+        let idx = seq.checked_sub(self.meta_base)?;
+        self.meta.get(idx as usize).map(|m| m.dsn)
+    }
+
+    /// Whether this subflow counts as potentially failed: at least
+    /// [`mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS`] consecutive RTO
+    /// backoffs with no ACK progress. Derived state — the first ACK that
+    /// shows progress resets `backoffs` and revives the subflow.
+    pub fn potentially_failed(&self) -> bool {
+        self.backoffs >= mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS
+    }
+
+    /// Outstanding `(seq, dsn)` pairs whose data has not been reported
+    /// received on this subflow — the candidates for reinjection when the
+    /// subflow is declared potentially failed. Allocates; called only on
+    /// the (rare) failure transition, never on the per-ACK path.
+    pub fn stranded(&self) -> Vec<(u64, u64)> {
+        (self.una..self.next_seq)
+            .filter(|s| !self.sacked.contains(s))
+            .filter_map(|s| {
+                let m = self.meta.get((s - self.meta_base) as usize)?;
+                (!m.data_acked).then_some((s, m.dsn))
+            })
+            .collect()
     }
 
     /// Record a retransmission of `seq` at `now` (Karn bookkeeping).
@@ -323,10 +367,23 @@ impl SubflowSender {
     }
 
     /// Process an incoming ACK: cumulative point `cum` plus SACK ranges.
-    pub fn on_ack(&mut self, cum: u64, sacks: &SackRanges, now: SimTime) -> AckOutcome {
+    ///
+    /// Every data sequence number first reported received by this ACK
+    /// (cumulatively or via SACK) is appended to `newly_acked_dsns`, so
+    /// the connection layer can keep exactly-once data-level accounting
+    /// across subflows and reinjections.
+    pub fn on_ack(
+        &mut self,
+        cum: u64,
+        sacks: &SackRanges,
+        now: SimTime,
+        newly_acked_dsns: &mut Vec<u64>,
+    ) -> AckOutcome {
         let mut out = AckOutcome::default();
+        let mut progressed = false;
         if cum > self.una {
             out.newly_acked = cum - self.una;
+            progressed = true;
             // RTT sample from the newest packet this ACK covers, if clean.
             if cum > self.meta_base {
                 let idx = (cum - 1 - self.meta_base) as usize;
@@ -340,7 +397,11 @@ impl SubflowSender {
                 }
             }
             while self.meta_base < cum {
-                self.meta.pop_front();
+                if let Some(m) = self.meta.pop_front() {
+                    if !m.data_acked {
+                        newly_acked_dsns.push(m.dsn);
+                    }
+                }
                 self.meta_base += 1;
             }
             self.una = cum;
@@ -362,8 +423,21 @@ impl SubflowSender {
                     self.sack_events += 1;
                     self.lost.remove(&seq);
                     self.retx_out.remove(&seq);
+                    progressed = true;
+                    if let Some(m) = self.meta.get_mut((seq - self.meta_base) as usize) {
+                        if !m.data_acked {
+                            m.data_acked = true;
+                            newly_acked_dsns.push(m.dsn);
+                        }
+                    }
                 }
             }
+        }
+        // Any forward progress proves the path is alive again: clear the
+        // RTO backoff run so a potentially-failed subflow revives on the
+        // first ACK after an outage ends.
+        if progressed {
+            self.backoffs = 0;
         }
         // Loss detection (IsLost): a hole is lost once DupThresh packets
         // above it have been SACKed.
@@ -484,6 +558,7 @@ impl SubflowSender {
     }
 
     /// All data handed to this subflow has been acknowledged.
+    #[cfg(test)]
     pub fn fully_acked(&self) -> bool {
         self.una == self.next_seq
     }
@@ -546,9 +621,9 @@ mod tests {
     fn sender_window_gates_new_packets() {
         let mut tx = sender();
         assert!(tx.can_send_new());
-        tx.on_send_new(SimTime::ZERO);
+        tx.on_send_new(SimTime::ZERO, 0);
         assert!(tx.can_send_new());
-        tx.on_send_new(SimTime::ZERO);
+        tx.on_send_new(SimTime::ZERO, 0);
         // initial_cwnd = 2: third packet must wait.
         assert!(!tx.can_send_new());
     }
@@ -556,9 +631,9 @@ mod tests {
     #[test]
     fn cumulative_ack_advances_and_samples_rtt() {
         let mut tx = sender();
-        tx.on_send_new(SimTime::ZERO);
-        tx.on_send_new(SimTime::ZERO);
-        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(50));
+        tx.on_send_new(SimTime::ZERO, 0);
+        tx.on_send_new(SimTime::ZERO, 0);
+        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(50), &mut Vec::new());
         assert_eq!(out.newly_acked, 2);
         assert_eq!(tx.una, 2);
         let srtt = tx.srtt.expect("sample taken");
@@ -572,20 +647,20 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 10.0;
         for _ in 0..6 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
         // Packet 0 lost; 1..4 SACKed one at a time.
-        let out = tx.on_ack(0, &sacks(&[(1, 2)]), SimTime::from_millis(10));
+        let out = tx.on_ack(0, &sacks(&[(1, 2)]), SimTime::from_millis(10), &mut Vec::new());
         assert!(!out.entered_recovery);
-        let out = tx.on_ack(0, &sacks(&[(1, 3)]), SimTime::from_millis(11));
+        let out = tx.on_ack(0, &sacks(&[(1, 3)]), SimTime::from_millis(11), &mut Vec::new());
         assert!(!out.entered_recovery);
-        let out = tx.on_ack(0, &sacks(&[(1, 4)]), SimTime::from_millis(12));
+        let out = tx.on_ack(0, &sacks(&[(1, 4)]), SimTime::from_millis(12), &mut Vec::new());
         assert!(out.entered_recovery, "DupThresh SACKed above the hole");
         assert!(tx.in_recovery);
         // The hole is queued for retransmission exactly once.
         assert_eq!(tx.next_retransmit(), Some(0));
         assert_eq!(tx.next_retransmit(), None);
-        let out = tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(13));
+        let out = tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(13), &mut Vec::new());
         assert!(!out.entered_recovery, "one decrease per episode");
     }
 
@@ -594,10 +669,10 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 20.0;
         for _ in 0..10 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
         assert_eq!(tx.pipe(), 10.0);
-        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10));
+        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10), &mut Vec::new());
         // 4 sacked, packet 0 lost (3+ above), 9 - 4 - 1 ... total out 10.
         assert_eq!(tx.pipe(), 10.0 - 4.0 - 1.0);
         // Retransmitting the hole puts it back in the pipe.
@@ -610,10 +685,10 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 40.0;
         for _ in 0..40 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
         // Packets 0..20 lost, 20..40 received.
-        tx.on_ack(0, &sacks(&[(20, 40)]), SimTime::from_millis(10));
+        tx.on_ack(0, &sacks(&[(20, 40)]), SimTime::from_millis(10), &mut Vec::new());
         assert!(tx.in_recovery);
         let mut retx = Vec::new();
         while let Some(seq) = tx.next_retransmit() {
@@ -631,14 +706,14 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 10.0;
         for _ in 0..8 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
-        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10));
+        tx.on_ack(0, &sacks(&[(1, 5)]), SimTime::from_millis(10), &mut Vec::new());
         assert!(tx.in_recovery);
         assert_eq!(tx.recovery_point, 8);
-        tx.on_ack(5, &NO_SACKS, SimTime::from_millis(20));
+        tx.on_ack(5, &NO_SACKS, SimTime::from_millis(20), &mut Vec::new());
         assert!(tx.in_recovery, "partial ACK keeps recovery");
-        tx.on_ack(8, &NO_SACKS, SimTime::from_millis(30));
+        tx.on_ack(8, &NO_SACKS, SimTime::from_millis(30), &mut Vec::new());
         assert!(!tx.in_recovery);
     }
 
@@ -647,7 +722,7 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 16.0;
         for _ in 0..10 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
         let before_rto = tx.rto;
         assert!(tx.on_rto(1.0));
@@ -669,9 +744,9 @@ mod tests {
     #[test]
     fn karns_rule_skips_retransmitted_samples() {
         let mut tx = sender();
-        tx.on_send_new(SimTime::ZERO);
+        tx.on_send_new(SimTime::ZERO, 0);
         tx.on_retransmit(0, SimTime::from_millis(10));
-        tx.on_ack(1, &NO_SACKS, SimTime::from_millis(15));
+        tx.on_ack(1, &NO_SACKS, SimTime::from_millis(15), &mut Vec::new());
         assert!(tx.srtt.is_none(), "no sample from a retransmitted packet");
     }
 
@@ -680,10 +755,10 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 10.0;
         for _ in 0..5 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
-        tx.on_ack(4, &NO_SACKS, SimTime::from_millis(10));
-        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(11));
+        tx.on_ack(4, &NO_SACKS, SimTime::from_millis(10), &mut Vec::new());
+        let out = tx.on_ack(2, &NO_SACKS, SimTime::from_millis(11), &mut Vec::new());
         assert_eq!(out.newly_acked, 0);
         assert_eq!(tx.una, 4);
     }
@@ -711,15 +786,61 @@ mod tests {
         let mut tx = sender();
         tx.cwnd = 20.0;
         for _ in 0..10 {
-            tx.on_send_new(SimTime::ZERO);
+            tx.on_send_new(SimTime::ZERO, 0);
         }
-        tx.on_ack(0, &sacks(&[(2, 8)]), SimTime::from_millis(10));
+        tx.on_ack(0, &sacks(&[(2, 8)]), SimTime::from_millis(10), &mut Vec::new());
         assert!(tx.in_recovery);
         assert_eq!(tx.next_retransmit(), Some(0));
         assert_eq!(tx.next_retransmit(), Some(1));
-        tx.on_ack(10, &NO_SACKS, SimTime::from_millis(20));
+        tx.on_ack(10, &NO_SACKS, SimTime::from_millis(20), &mut Vec::new());
         assert_eq!(tx.pipe(), 0.0);
         assert!(tx.fully_acked());
         assert!(!tx.in_recovery);
+    }
+
+    #[test]
+    fn each_dsn_is_reported_acked_exactly_once() {
+        let mut tx = sender();
+        tx.cwnd = 10.0;
+        for dsn in [100, 101, 102, 103] {
+            tx.on_send_new(SimTime::ZERO, dsn);
+        }
+        // SACK packet 2 (dsn 102) first, then cum-ack everything: dsn 102
+        // must not be reported twice.
+        let mut acked = Vec::new();
+        tx.on_ack(0, &sacks(&[(2, 3)]), SimTime::from_millis(5), &mut acked);
+        assert_eq!(acked, vec![102]);
+        acked.clear();
+        tx.on_ack(4, &NO_SACKS, SimTime::from_millis(10), &mut acked);
+        assert_eq!(acked, vec![100, 101, 103]);
+    }
+
+    #[test]
+    fn stranded_excludes_sacked_and_acked_data() {
+        let mut tx = sender();
+        tx.cwnd = 10.0;
+        for dsn in [7, 8, 9, 10] {
+            tx.on_send_new(SimTime::ZERO, dsn);
+        }
+        tx.on_ack(1, &sacks(&[(2, 3)]), SimTime::from_millis(5), &mut Vec::new());
+        // seq 0 (dsn 7) cum-acked, seq 2 (dsn 9) sacked → stranded: 1, 3.
+        assert_eq!(tx.stranded(), vec![(1, 8), (3, 10)]);
+        assert_eq!(tx.dsn_of(1), Some(8));
+        assert_eq!(tx.dsn_of(0), None, "cum-acked metadata is gone");
+    }
+
+    #[test]
+    fn ack_progress_revives_a_potentially_failed_subflow() {
+        let mut tx = sender();
+        tx.cwnd = 4.0;
+        for dsn in 0..4 {
+            tx.on_send_new(SimTime::ZERO, dsn);
+        }
+        assert!(tx.on_rto(1.0));
+        assert!(tx.on_rto(1.0));
+        assert!(tx.potentially_failed(), "two consecutive backoffs");
+        // SACK-only progress also revives (the path demonstrably works).
+        tx.on_ack(0, &sacks(&[(1, 2)]), SimTime::from_millis(10), &mut Vec::new());
+        assert!(!tx.potentially_failed(), "first ACK after restore revives");
     }
 }

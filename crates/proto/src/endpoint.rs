@@ -467,7 +467,7 @@ impl Endpoint {
                     bytes_in_flight: s.bytes_in_flight(),
                     retransmits: s.retransmits,
                     timeouts: s.timeouts,
-                    potentially_failed: s.rto_backoffs >= 2,
+                    potentially_failed: s.rto_backoffs >= mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS,
                 })
                 .collect(),
         }
@@ -986,7 +986,10 @@ impl Endpoint {
             // it keeps probing via its own retransmissions, but gets no
             // new data mappings and no reinjections until it recovers.
             (0..self.subs.len())
-                .filter(|&i| self.subs[i].established && self.subs[i].rto_backoffs < 2)
+                .filter(|&i| {
+                    self.subs[i].established
+                        && self.subs[i].rto_backoffs < mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS
+                })
                 .collect()
         };
         if usable.is_empty() {

@@ -1,0 +1,164 @@
+//! Chaos tests for the userspace protocol stack: randomized lossy,
+//! jittery and partitioned wires must never corrupt the stream and must
+//! never hang `transfer`.
+//!
+//! The contract mirrors the simulator's fault chaos suite
+//! (`crates/netsim/tests/fault_chaos.rs`) one layer up: whatever the
+//! wires do — short of blacking out *every* path — the byte stream
+//! arrives exactly once and in order, because loss detection, reinjection
+//! and reassembly all work in the data sequence space. Case counts scale
+//! with `MPTCP_CHAOS_CASES` for the nightly CI job.
+
+use mptcp_proto::{EndpointConfig, Harness, Wire, WireFault};
+use proptest::prelude::*;
+
+fn chaos_cases() -> u32 {
+    std::env::var("MPTCP_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(12)
+}
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i % 251) as u8).collect()
+}
+
+#[derive(Debug, Clone)]
+struct WirePlan {
+    key: u64,
+    seed0: u64,
+    seed1: u64,
+    delay0: u64,
+    delay1: u64,
+    /// Primary-path loss. Kept moderate so the handshake and the stream
+    /// always have one usable path (an RTO marks the whole in-flight queue
+    /// retransmitted, so under sustained heavy loss Karn's rule starves the
+    /// RTT estimator and the backed-off RTO pushes completion times toward
+    /// minutes); the secondary may be arbitrarily bad.
+    loss0: f64,
+    loss1: f64,
+    jitter1: u64,
+    /// Black-hole the secondary entirely from t = 0 (its SYN/JOIN never
+    /// arrives — the connection must simply not use it).
+    black1: bool,
+    /// Strip MPTCP options on the secondary (middlebox): join fails,
+    /// stream continues single-path.
+    strip1: bool,
+    size: usize,
+}
+
+fn wire_plan() -> impl Strategy<Value = WirePlan> {
+    (
+        (1_u64..1_000, 0_u64..1_000, 0_u64..1_000),
+        (500_u64..8_000, 500_u64..12_000),
+        (0.0_f64..0.12, 0.0_f64..0.9, 0_u64..4_000),
+        any::<bool>(),
+        any::<bool>(),
+        8_000_usize..30_000,
+    )
+        .prop_map(|((key, seed0, seed1), (delay0, delay1), (loss0, loss1, jitter1), black1, strip1, size)| {
+            WirePlan { key, seed0, seed1, delay0, delay1, loss0, loss1, jitter1, black1, strip1, size }
+        })
+}
+
+fn build(plan: &WirePlan) -> Harness {
+    let w0 = Wire::new(plan.delay0, plan.seed0).with_fault(WireFault::Loss(plan.loss0));
+    let mut w1 = Wire::new(plan.delay1, plan.seed1)
+        .with_fault(WireFault::Jitter(plan.jitter1))
+        .with_fault(WireFault::Loss(if plan.black1 { 1.0 - 1e-12 } else { plan.loss1 }));
+    if plan.strip1 {
+        w1 = w1.with_fault(WireFault::StripOptions);
+    }
+    Harness::new(EndpointConfig::default(), vec![w0, w1], plan.key)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Whatever the wires do, `transfer` terminates with the exact byte
+    /// stream — lossy handshakes retry, dead or stripped secondaries are
+    /// simply not used, reinjection repairs stranded data.
+    #[test]
+    fn transfer_is_exactly_once_in_order_under_wire_chaos(plan in wire_plan()) {
+        let mut h = build(&plan);
+        let data = payload(plan.size);
+        let got = h.transfer(&data, 4_000_000);
+        prop_assert!(got.is_some(), "transfer hung under {:?}", plan);
+        let got = got.unwrap();
+        prop_assert_eq!(got.len(), data.len(), "no loss, no duplication");
+        prop_assert_eq!(got, data, "stream must be byte-exact and in order");
+    }
+
+    /// Mid-transfer blackout of one path: the stream finishes on the
+    /// survivor via reinjection, still exactly once and in order.
+    #[test]
+    fn mid_transfer_blackout_is_survived(
+        key in 1_u64..1_000,
+        seed in 0_u64..1_000,
+        size in 60_000_usize..120_000,
+        kill_at in 10_000_u64..30_000,
+    ) {
+        let cfg = EndpointConfig::default();
+        let mut h = Harness::new(
+            cfg,
+            vec![Wire::new(3_000, seed), Wire::new(3_000, seed.wrapping_add(1))],
+            key,
+        );
+        let data = payload(size);
+        let mut received = Vec::new();
+        let mut buf = [0u8; 4096];
+        let mut written = 0;
+        // Warm up until both subflows carry data, then cut the secondary.
+        let mut warm = false;
+        for _ in 0..1_000_000 {
+            if h.client.peer_data_acked() >= kill_at {
+                warm = true;
+                break;
+            }
+            if written < data.len() {
+                written += h.client.write(&data[written..]);
+            }
+            h.step();
+            loop {
+                let n = h.server.read(&mut buf);
+                if n == 0 { break; }
+                received.extend_from_slice(&buf[..n]);
+            }
+        }
+        prop_assert!(warm, "warmup must make progress on clean wires");
+        h.wires[1] = Wire::new(3_000, seed.wrapping_add(2))
+            .with_fault(WireFault::Loss(1.0 - 1e-12));
+        let mut closed = false;
+        let done = (0..2_000_000).any(|_| {
+            if written < data.len() {
+                written += h.client.write(&data[written..]);
+            } else if !closed {
+                h.client.close();
+                closed = true;
+            }
+            h.step();
+            loop {
+                let n = h.server.read(&mut buf);
+                if n == 0 { break; }
+                received.extend_from_slice(&buf[..n]);
+            }
+            closed && h.server.at_eof()
+        });
+        prop_assert!(done, "stream must survive the blackout");
+        prop_assert_eq!(received, data, "exactly-once, in-order despite reinjection");
+    }
+}
+
+/// Options stripped on *both* wires: the handshake can never negotiate
+/// multipath. The endpoints must settle into regular-TCP fallback and
+/// complete — a hang here would mean fallback detection leaks into the
+/// steady state.
+#[test]
+fn fully_stripped_handshake_falls_back_and_completes() {
+    let wires = vec![
+        Wire::new(3_000, 1).with_fault(WireFault::StripOptions),
+        Wire::new(3_000, 2).with_fault(WireFault::StripOptions),
+    ];
+    let mut h = Harness::new(EndpointConfig::default(), wires, 9);
+    let data = payload(30_000);
+    let got = h.transfer(&data, 300_000).expect("fallback transfer completes");
+    assert_eq!(got, data);
+    assert!(h.client.is_fallback() && h.server.is_fallback());
+}

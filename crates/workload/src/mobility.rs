@@ -8,7 +8,7 @@
 //! link-condition changes and applies them to a simulator between
 //! `run_until` steps.
 
-use mptcp_netsim::{LinkId, SimTime, Simulator};
+use mptcp_netsim::{FaultAction, FaultPlan, LinkId, SimTime, Simulator};
 
 /// A condition to apply to one link at a point in the trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +115,36 @@ impl MobilityTrace {
     pub fn exhausted(&self) -> bool {
         self.next >= self.events.len()
     }
+
+    /// Re-express the trace as a declarative [`FaultPlan`] executed through
+    /// the simulator's own event queue.
+    ///
+    /// Unlike [`apply_due`](Self::apply_due), which only takes effect at
+    /// whatever granularity the caller steps `run_until`, a fault plan fires
+    /// at the *exact* trace timestamps regardless of stepping — so results
+    /// are identical whether the driver steps every 100 ms or every second.
+    /// Within one timestamp the rate change is queued before the loss change
+    /// before the up/down change, matching `apply_due`'s in-event ordering.
+    pub fn to_fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for ev in &self.events {
+            if let Some(bps) = ev.condition.rate_bps {
+                plan.push(ev.at, FaultAction::SetRate { link: ev.link, bps });
+            }
+            if let Some(p) = ev.condition.loss {
+                plan.push(ev.at, FaultAction::SetLoss { link: ev.link, p });
+            }
+            if let Some(down) = ev.condition.down {
+                let action = if down {
+                    FaultAction::Down { link: ev.link }
+                } else {
+                    FaultAction::Up { link: ev.link }
+                };
+                plan.push(ev.at, action);
+            }
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +190,89 @@ mod tests {
         trace.apply_due(&mut sim, SimTime::from_secs_f64(11.0 * 60.0));
         assert!(trace.exhausted());
         assert!((sim.link_spec(wifi).rate_bps - 10e6).abs() < 1.0, "new basestation rate");
+    }
+
+    #[test]
+    fn one_apply_due_straddling_many_events_fires_each_exactly_once() {
+        // A coarse driver may step `run_until` right over several trace
+        // events; one `apply_due` call must fire each of them exactly once,
+        // in time order, ending on the last event's state.
+        let mut sim = Simulator::new(3);
+        let wifi = sim.add_link(LinkSpec::mbps(14.0, SimTime::from_millis(5), 20));
+        let mut trace = MobilityTrace::new(vec![
+            TraceEvent { at: SimTime::from_secs(1), link: wifi, condition: LinkCondition::rate(5e6) },
+            TraceEvent { at: SimTime::from_secs(2), link: wifi, condition: LinkCondition::outage() },
+            TraceEvent {
+                at: SimTime::from_secs(3),
+                link: wifi,
+                condition: LinkCondition::restore(Some(7e6)),
+            },
+        ]);
+        assert_eq!(trace.apply_due(&mut sim, SimTime::from_secs(10)), 3);
+        assert!(trace.exhausted());
+        assert!((sim.link_spec(wifi).rate_bps - 7e6).abs() < 1.0, "last event wins");
+        assert_eq!(trace.apply_due(&mut sim, SimTime::from_secs(20)), 0, "no re-fire");
+    }
+
+    #[test]
+    fn to_fault_plan_preserves_times_and_per_event_ordering() {
+        use mptcp_netsim::FaultAction;
+        let plan = MobilityTrace::paper_walk(0, 1).to_fault_plan();
+        // 5 trace events expand to 7 actions: rate+loss, rate, down, rate,
+        // rate+up — with rate ordered before loss before up/down at each
+        // timestamp, exactly as `apply_due` applies them.
+        assert_eq!(plan.len(), 7);
+        let kinds: Vec<&str> = plan
+            .actions()
+            .iter()
+            .map(|(_, a)| match a {
+                FaultAction::SetRate { .. } => "rate",
+                FaultAction::SetLoss { .. } => "loss",
+                FaultAction::Down { .. } => "down",
+                FaultAction::Up { .. } => "up",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, ["rate", "loss", "rate", "down", "rate", "rate", "up"]);
+        assert!(plan.actions().windows(2).all(|w| w[0].0 <= w[1].0), "time-sorted");
+        assert_eq!(plan.actions()[3].0, SimTime::from_secs_f64(9.0 * 60.0));
+    }
+
+    /// Drive the paper walk as a fault plan under two different outer
+    /// stepping granularities and return the recorder samples.
+    fn walk_samples(outer_step: SimTime) -> Vec<mptcp_netsim::Sample> {
+        use mptcp_cc::AlgorithmKind;
+        use mptcp_netsim::Recorder;
+        use mptcp_topology::{AccessLink, WirelessClient};
+
+        let mut sim = Simulator::new(81);
+        let w = WirelessClient::build(&mut sim, AccessLink::wifi(), AccessLink::three_g());
+        let conn = w.add_multipath(&mut sim, AlgorithmKind::Mptcp, SimTime::ZERO);
+        let plan = MobilityTrace::paper_walk(w.link1, w.link2).to_fault_plan();
+        sim.install_fault_plan(&plan);
+        let mut rec = Recorder::new(&sim, SimTime::from_secs(15), vec![conn], vec![w.link1]);
+        let horizon = SimTime::from_secs(11 * 60);
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            now = (now + outer_step).min(horizon);
+            rec.advance_to(&mut sim, now);
+        }
+        rec.samples().to_vec()
+    }
+
+    #[test]
+    fn paper_walk_fault_plan_is_stepping_granularity_invariant() {
+        // Faults fire from the event queue at their exact timestamps, so
+        // how coarsely the driver slices `run_until` cannot change the
+        // physics: 100 ms steps and 1 s steps must agree bit-for-bit.
+        let fine = walk_samples(SimTime::from_millis(100));
+        let coarse = walk_samples(SimTime::from_secs(1));
+        assert_eq!(fine.len(), coarse.len());
+        for (a, b) in fine.iter().zip(&coarse) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.conn_subflow_bps, b.conn_subflow_bps, "goodput differs at {:?}", a.at);
+            assert_eq!(a.conn_cwnd, b.conn_cwnd, "cwnd differs at {:?}", a.at);
+            assert_eq!(a.link_loss, b.link_loss, "loss differs at {:?}", a.at);
+        }
     }
 }
