@@ -1,0 +1,90 @@
+//! FLUID_CHECK — the differential oracle as a runnable report.
+//!
+//! Sweeps every core algorithm over the oracle's three scenarios (two
+//! equal paths, RTT mismatch, Fig. 7 torus), printing measured vs
+//! fluid-predicted equilibrium windows and recording the deviations in
+//! `BENCH_sim.json` under `fluid_check/<algorithm>_<scenario>`.
+//!
+//! Also exports one full probe trace (MPTCP on the two-path scenario) as
+//! JSONL under `target/traces/` — the raw material for the cwnd/queue
+//! time-series plots described in `EXPERIMENTS.md`.
+//!
+//! Exits non-zero if any cell fails, so CI can run it as a check. The
+//! same check also runs as a tier-1 test (`tests/fluid_oracle.rs`); this
+//! bench exists for the human-readable sweep and the trace artifact.
+
+use mptcp_bench::oracle::{checked_algorithms, fluid_check, Scenario};
+use mptcp_bench::report::{export_trace, merge_bench_sim, Record};
+use mptcp_bench::{banner, f2, quick_mode, Table};
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{ConnectionSpec, LinkSpec, ProbeSpec, SimTime, Simulator};
+
+fn export_demo_trace() {
+    let mut sim = Simulator::new(7);
+    let a = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(20), 50).with_loss(0.01));
+    let b = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(20), 50).with_loss(0.01));
+    sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![a]).path(vec![b]));
+    sim.enable_probe(ProbeSpec::every(SimTime::from_millis(50)));
+    sim.run_until(SimTime::from_secs(30));
+    let log = sim.disable_probe().expect("probe enabled");
+    match export_trace("fluid_check_mptcp_two_path", &log) {
+        Ok(path) => println!("  exported probe trace to {}", path.display()),
+        Err(e) => eprintln!("warning: trace export failed: {e}"),
+    }
+}
+
+fn main() {
+    banner("FLUID_CHECK", "packet-level simulator vs fluid balance equations");
+    let quick = quick_mode();
+    let mut t = Table::new(&[
+        "algorithm",
+        "scenario",
+        "measured Σw",
+        "predicted Σw",
+        "total_dev",
+        "split_dev",
+        "verdict",
+    ]);
+    let mut records = Vec::new();
+    let mut failures = Vec::new();
+    for kind in checked_algorithms() {
+        for scenario in Scenario::all() {
+            let r = fluid_check(kind, scenario);
+            let meas: f64 = r.paths.iter().map(|p| p.measured_w).sum();
+            let pred: f64 = r.paths.iter().map(|p| p.predicted_w).sum();
+            t.row(vec![
+                format!("{kind:?}"),
+                scenario.name().to_string(),
+                f2(meas),
+                f2(pred),
+                format!("{:.3}", r.total_dev),
+                format!("{:.3}", r.split_dev),
+                if r.pass { "PASS".into() } else { "FAIL".into() },
+            ]);
+            records.push(
+                Record::new(format!("fluid_check/{kind:?}_{}", scenario.name()))
+                    .field("measured_total_w", meas)
+                    .field("predicted_total_w", pred)
+                    .field("total_dev", r.total_dev)
+                    .field("split_dev", r.split_dev)
+                    .field("tol_total", r.tol_total)
+                    .field("pass", r.pass)
+                    .field("quick", quick),
+            );
+            if !r.pass {
+                failures.push(r);
+            }
+        }
+    }
+    t.print();
+    println!();
+    export_demo_trace();
+    merge_bench_sim("fluid_check/", &records);
+    if !failures.is_empty() {
+        eprintln!("\nfluid oracle FAILURES:");
+        for r in &failures {
+            eprint!("{r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,11 +15,12 @@
 //! The end-to-end runs also double as a determinism check: both backends
 //! must process the exact same number of events.
 
-use mptcp_bench::report::{merge_bench_sim, Record};
+use mptcp_bench::report::{merge_bench_sim, read_bench_field, Record};
 use mptcp_bench::{banner, f2, quick_mode, Table};
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::{
-    queue_churn, ConnectionSpec, LinkSpec, QueueBackend, SimPerf, SimTime, Simulator,
+    queue_churn, ConnectionSpec, LinkSpec, ProbeSpec, QueueBackend, SimPerf, SimTime,
+    Simulator,
 };
 
 const WHEEL: QueueBackend = QueueBackend::TimerWheel;
@@ -49,6 +50,32 @@ fn run_multipath(backend: QueueBackend) -> SimPerf {
     sim.add_connection(spec);
     sim.run_until(SimTime::from_secs(1));
     sim.perf()
+}
+
+/// The multipath scenario once more, with a 1 ms telemetry probe enabled —
+/// the worst realistic sampling rate. Returns perf plus a packet-history
+/// fingerprint for the neutrality assertion.
+fn run_multipath_probed(probe: bool) -> (SimPerf, Vec<(u64, u64, u64, u64)>) {
+    let mut sim = Simulator::with_backend(2, WHEEL);
+    let mut spec = ConnectionSpec::bulk(AlgorithmKind::Mptcp);
+    for i in 0..4 {
+        let l = sim.add_link(
+            LinkSpec::mbps(50.0, SimTime::from_millis(5 + 10 * i), 50).with_loss(0.001),
+        );
+        spec = spec.path(vec![l]);
+    }
+    let conn = sim.add_connection(spec);
+    if probe {
+        sim.enable_probe(ProbeSpec::every(SimTime::from_millis(1)));
+    }
+    sim.run_until(SimTime::from_secs(1));
+    let fp = sim
+        .connection_stats(conn)
+        .subflows
+        .iter()
+        .map(|s| (s.delivered_pkts, s.retransmits, s.timeouts, s.cwnd.to_bits()))
+        .collect();
+    (sim.perf(), fp)
 }
 
 /// Best (highest events/wall-s) of `reps` runs — minimum wall time is the
@@ -129,6 +156,65 @@ fn main() {
                 .field("quick", quick),
         );
     }
+
+    // --- telemetry probe guard ---------------------------------------
+    // The probe subsystem must (a) never perturb the simulated packet
+    // history and (b) cost nothing on the hot path while disabled. (a) is
+    // asserted unconditionally: probed and unprobed runs must produce the
+    // identical per-subflow history. For (b), the disabled run above
+    // (`mptcp4`) is compared against the baseline checked into
+    // BENCH_sim.json; wall-clock comparisons across machines are noise, so
+    // the hard <2% assertion only arms under MPTCP_PERF_GUARD=1 (set it
+    // when re-validating on the machine that recorded the baseline).
+    let (plain_perf, plain_fp) = run_multipath_probed(false);
+    let probed_reps = if quick { 3 } else { 5 };
+    let mut probed_best = f64::INFINITY;
+    let mut probed_fp = Vec::new();
+    for _ in 0..probed_reps {
+        let (perf, fp) = run_multipath_probed(true);
+        probed_best = probed_best.min(perf.wall.as_secs_f64());
+        probed_fp = fp;
+    }
+    assert_eq!(
+        plain_fp, probed_fp,
+        "probe guard: telemetry sampling perturbed the packet history"
+    );
+    let (disabled_perf, disabled_eps) = best_eps(reps, || run_multipath_probed(false).0);
+    assert_eq!(plain_perf.events_fired, disabled_perf.events_fired);
+    let probed_eps = disabled_perf.events_fired as f64 / probed_best;
+    let overhead = disabled_eps / probed_eps - 1.0;
+    println!(
+        "  probe guard: history identical; probing at 1 ms costs {:.1}% \
+         ({:.2} vs {:.2} Mev/s disabled)",
+        overhead * 100.0,
+        probed_eps / 1e6,
+        disabled_eps / 1e6,
+    );
+    let baseline = read_bench_field("sim_micro/mptcp4", "wheel_events_per_sec");
+    if let Some(base) = baseline {
+        let regression = 1.0 - disabled_eps / base;
+        println!(
+            "  probe guard: probes-disabled run at {:.1}% of the recorded baseline",
+            100.0 * disabled_eps / base
+        );
+        if std::env::var_os("MPTCP_PERF_GUARD").is_some() {
+            assert!(
+                regression < 0.02,
+                "probes-disabled hot path regressed {:.1}% vs BENCH_sim.json \
+                 (baseline {base:.0} ev/s, now {disabled_eps:.0} ev/s)",
+                regression * 100.0
+            );
+        }
+    }
+    records.push(
+        Record::new("sim_micro/probe_guard")
+            .field("probe_interval_ms", 1u64)
+            .field("disabled_events_per_sec", disabled_eps)
+            .field("probed_events_per_sec", probed_eps)
+            .field("probe_overhead", overhead)
+            .field("identical_history", true)
+            .field("quick", quick),
+    );
 
     t.print();
     println!();

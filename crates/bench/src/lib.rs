@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod datacenter;
+pub mod oracle;
 pub mod plot;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,311 @@
+//! Fluid-model differential oracle: the packet-level simulator and the
+//! fluid balance equations must agree on equilibrium windows.
+//!
+//! The paper's whole argument runs through the fluid model (§2): every
+//! algorithm is a pair of window rules whose balance point the paper
+//! derives analytically, then checks against its packet-level simulator.
+//! This module automates that cross-check. For a scenario we
+//!
+//! 1. run the packet-level simulator with telemetry probes enabled,
+//! 2. measure the **time-averaged** per-subflow congestion window, smoothed
+//!    RTT and per-path loss rate over a post-warmup window,
+//! 3. feed the *measured* `(p_r, RTT_r)` into the generic fluid solver
+//!    [`mptcp_cc::fluid::equilibrium`] for the same algorithm, and
+//! 4. assert that measured and predicted windows agree within a documented
+//!    tolerance.
+//!
+//! Because the fluid solver and the simulator share nothing but the
+//! [`MultipathCc`] rule objects themselves, a drift between the
+//! implementation and the model — a misscaled increase, a wrong decrease
+//! denominator — shows up as a disagreement here even when every
+//! conventional unit test still passes (see
+//! `fluid_check_with_model` and the perturbation tests).
+//!
+//! ## Tolerances
+//!
+//! The comparison can never be exact, for well-understood reasons:
+//!
+//! * **Sawtooth mean vs fixed point.** The fluid equilibrium is the balance
+//!   point of the rules; a real AIMD sender oscillates around it. For a
+//!   halving sawtooth the time-average sits at `√(3/(2p)) / √(2/p) ≈ 0.87`
+//!   of the fluid fixed point, so predictions are scaled by
+//!   [`SAWTOOTH_MEAN_FACTOR`] before comparison.
+//! * **Loss model.** The fluid model assumes independent per-packet loss.
+//!   The two-path scenarios use Bernoulli-loss links with empty queues to
+//!   match that assumption tightly; the torus scenario keeps the paper's
+//!   drop-tail buffers, whose synchronized losses and queueing delay widen
+//!   the spread — its tolerance is correspondingly looser.
+//! * **COUPLED's split is not unique.** With equal measured loss rates the
+//!   COUPLED balance equations pin the *total* window but barely constrain
+//!   the split (the paper's "flappiness", §2.3), so for COUPLED only the
+//!   total is checked against tolerance.
+
+use mptcp_cc::fluid::equilibrium;
+use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
+use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, ProbeSpec, SimTime, Simulator};
+use mptcp_topology::Torus;
+
+/// Time-average of a halving sawtooth relative to its fluid fixed point:
+/// `√(3/(2p)) / √(2/p) = √3/2`.
+pub const SAWTOOTH_MEAN_FACTOR: f64 = 0.866;
+
+/// The scenarios the oracle runs (one per row of the paper's core story).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Two equal 10 Mb/s paths, 40 ms RTT each, 1% Bernoulli loss: the §2
+    /// baseline where every algorithm has a clean equilibrium.
+    TwoPath,
+    /// Same loss on both paths but RTTs of 20 ms vs 200 ms: the §2.2 RTT
+    /// mismatch that separates the algorithms.
+    RttMismatch,
+    /// The Fig. 7 five-link torus (drop-tail, 100 ms RTT): flow 0's
+    /// windows are checked against the fluid solution for the measured
+    /// loss on its two links.
+    Torus,
+}
+
+impl Scenario {
+    /// All scenarios, in presentation order.
+    pub fn all() -> [Scenario; 3] {
+        [Scenario::TwoPath, Scenario::RttMismatch, Scenario::Torus]
+    }
+
+    /// Stable name for reports and `BENCH_sim.json` sources.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::TwoPath => "two_path",
+            Scenario::RttMismatch => "rtt_mismatch",
+            Scenario::Torus => "torus",
+        }
+    }
+
+    /// `(total, split)` relative tolerances (see module docs).
+    pub fn tolerances(self) -> (f64, f64) {
+        match self {
+            Scenario::TwoPath => (0.25, 0.30),
+            Scenario::RttMismatch => (0.25, 0.30),
+            Scenario::Torus => (0.35, 0.45),
+        }
+    }
+}
+
+/// One subflow's measured-vs-predicted comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PathCheck {
+    /// Time-averaged congestion window from the probe series, packets.
+    pub measured_w: f64,
+    /// Fluid equilibrium window scaled by [`SAWTOOTH_MEAN_FACTOR`], packets.
+    pub predicted_w: f64,
+    /// Measured loss rate fed to the solver.
+    pub loss: f64,
+    /// Measured mean smoothed RTT fed to the solver, seconds.
+    pub rtt: f64,
+}
+
+/// The oracle's verdict for one `(algorithm, scenario)` cell.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Algorithm checked.
+    pub algorithm: AlgorithmKind,
+    /// Model the prediction came from (normally the same algorithm).
+    pub model_name: &'static str,
+    /// Scenario run.
+    pub scenario: Scenario,
+    /// Per-subflow comparison.
+    pub paths: Vec<PathCheck>,
+    /// `|Σ measured − Σ predicted| / Σ predicted`.
+    pub total_dev: f64,
+    /// `max_r |measured_r − predicted_r| / Σ predicted`.
+    pub split_dev: f64,
+    /// Tolerance applied to `total_dev`.
+    pub tol_total: f64,
+    /// Tolerance applied to `split_dev` (∞ when the split is unchecked).
+    pub tol_split: f64,
+    /// Whether both deviations sit within tolerance.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fluid_check {:?} on {}: {} (model {}, total_dev {:.3} ≤ {:.2}, split_dev {:.3} ≤ {:.2})",
+            self.algorithm,
+            self.scenario.name(),
+            if self.pass { "PASS" } else { "FAIL" },
+            self.model_name,
+            self.total_dev,
+            self.tol_total,
+            self.split_dev,
+            self.tol_split,
+        )?;
+        for (r, p) in self.paths.iter().enumerate() {
+            writeln!(
+                f,
+                "  path {r}: measured {:7.2} pkts vs predicted {:7.2} pkts  (p {:.4}, rtt {:.1} ms)",
+                p.measured_w,
+                p.predicted_w,
+                p.loss,
+                p.rtt * 1e3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What the simulator measured for one connection: per-path time-averaged
+/// windows, RTTs and loss rates.
+struct Measured {
+    windows: Vec<f64>,
+    rtts: Vec<f64>,
+    losses: Vec<f64>,
+}
+
+/// Simulated durations: long enough for hundreds of loss events per path,
+/// short enough for tier-1 test budgets.
+const WARMUP: SimTime = SimTime(20_000_000_000);
+const WINDOW: SimTime = SimTime(60_000_000_000);
+
+fn measure(sim: &mut Simulator, conn: ConnId, links: &[LinkId]) -> Measured {
+    sim.enable_probe(ProbeSpec::every(SimTime::from_millis(25)).conns(vec![conn]));
+    sim.run_until(sim.now() + WARMUP);
+    let from = sim.now();
+    sim.reset_link_stats();
+    sim.run_until(sim.now() + WINDOW);
+    let log = sim.disable_probe().expect("probe enabled above");
+    let n = sim.connection_stats(conn).subflows.len();
+    assert_eq!(n, links.len(), "one bottleneck link per subflow");
+    let mut m = Measured { windows: Vec::new(), rtts: Vec::new(), losses: Vec::new() };
+    for (r, &l) in links.iter().enumerate() {
+        m.windows.push(log.mean_cwnd(conn, r, from).expect("samples recorded"));
+        m.rtts.push(log.mean_srtt(conn, r, from).expect("srtt sampled"));
+        // Defensive clamp: the solver needs p ∈ (0, 1], and a pathological
+        // run with zero observed drops would otherwise divide by zero.
+        m.losses.push(sim.link_stats(l).loss_rate().clamp(1e-5, 0.5));
+    }
+    m
+}
+
+fn run_scenario(kind: AlgorithmKind, scenario: Scenario) -> Measured {
+    match scenario {
+        Scenario::TwoPath => {
+            let mut sim = Simulator::new(7);
+            let a = sim
+                .add_link(LinkSpec::mbps(10.0, SimTime::from_millis(20), 50).with_loss(0.01));
+            let b = sim
+                .add_link(LinkSpec::mbps(10.0, SimTime::from_millis(20), 50).with_loss(0.01));
+            let c = sim
+                .add_connection(ConnectionSpec::bulk(kind).path(vec![a]).path(vec![b]));
+            measure(&mut sim, c, &[a, b])
+        }
+        Scenario::RttMismatch => {
+            let mut sim = Simulator::new(7);
+            let fast = sim
+                .add_link(LinkSpec::mbps(20.0, SimTime::from_millis(10), 50).with_loss(0.01));
+            let slow = sim
+                .add_link(LinkSpec::mbps(20.0, SimTime::from_millis(100), 50).with_loss(0.01));
+            let c = sim
+                .add_connection(ConnectionSpec::bulk(kind).path(vec![fast]).path(vec![slow]));
+            measure(&mut sim, c, &[fast, slow])
+        }
+        Scenario::Torus => {
+            let mut sim = Simulator::new(7);
+            let t = Torus::build(&mut sim, [1000.0; 5], kind);
+            measure(&mut sim, t.flows[0], &[t.links[0], t.links[1]])
+        }
+    }
+}
+
+/// Run the oracle for `kind` on `scenario`, predicting with the same
+/// algorithm's own rule object (the normal differential check).
+pub fn fluid_check(kind: AlgorithmKind, scenario: Scenario) -> OracleReport {
+    let model = kind.build(2);
+    fluid_check_with_model(kind, scenario, model.as_ref())
+}
+
+/// Run the oracle with an explicit model. The simulator runs `kind`; the
+/// prediction comes from `model`. Handing in a perturbed model (or running
+/// a perturbed implementation against the clean model) must make the check
+/// fail — that is the oracle's reason to exist, and the negative tests in
+/// `tests/fluid_oracle.rs` pin it.
+pub fn fluid_check_with_model(
+    kind: AlgorithmKind,
+    scenario: Scenario,
+    model: &dyn MultipathCc,
+) -> OracleReport {
+    let m = run_scenario(kind, scenario);
+    let predicted_raw = equilibrium(model, &m.losses, &m.rtts);
+    let paths: Vec<PathCheck> = (0..m.windows.len())
+        .map(|r| PathCheck {
+            measured_w: m.windows[r],
+            predicted_w: SAWTOOTH_MEAN_FACTOR * predicted_raw[r],
+            loss: m.losses[r],
+            rtt: m.rtts[r],
+        })
+        .collect();
+    let meas_total: f64 = paths.iter().map(|p| p.measured_w).sum();
+    let pred_total: f64 = paths.iter().map(|p| p.predicted_w).sum();
+    let total_dev = (meas_total - pred_total).abs() / pred_total;
+    let split_dev = paths
+        .iter()
+        .map(|p| (p.measured_w - p.predicted_w).abs() / pred_total)
+        .fold(0.0_f64, f64::max);
+    let (tol_total, mut tol_split) = scenario.tolerances();
+    if kind == AlgorithmKind::Coupled {
+        tol_split = f64::INFINITY; // split not unique; total only (§2.3)
+    }
+    OracleReport {
+        algorithm: kind,
+        model_name: model.name(),
+        scenario,
+        paths,
+        total_dev,
+        split_dev,
+        tol_total,
+        tol_split,
+        pass: total_dev <= tol_total && split_dev <= tol_split,
+    }
+}
+
+/// A deliberately broken model: the inner algorithm's increase rule scaled
+/// by a constant factor. Used to demonstrate the oracle *fails* when the
+/// implementation and the model drift apart — exactly the class of bug
+/// (misscaled aggressiveness) the paper's eq. (1) derivation is about.
+pub struct ScaledIncrease {
+    inner: Box<dyn MultipathCc>,
+    factor: f64,
+}
+
+impl ScaledIncrease {
+    /// Wrap `inner`, multiplying every per-ACK increase by `factor`.
+    pub fn new(inner: Box<dyn MultipathCc>, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0);
+        Self { inner, factor }
+    }
+}
+
+impl MultipathCc for ScaledIncrease {
+    fn name(&self) -> &'static str {
+        "SCALED"
+    }
+
+    fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        self.factor * self.inner.increase_per_ack(r, subs)
+    }
+
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        self.inner.window_after_loss(r, subs)
+    }
+}
+
+/// The five algorithms of the paper's core comparison (RFC 6356 is a
+/// restatement of MPTCP and adds nothing to the oracle's coverage).
+pub fn checked_algorithms() -> [AlgorithmKind; 5] {
+    [
+        AlgorithmKind::Uncoupled,
+        AlgorithmKind::Ewtcp,
+        AlgorithmKind::Coupled,
+        AlgorithmKind::SemiCoupled,
+        AlgorithmKind::Mptcp,
+    ]
+}

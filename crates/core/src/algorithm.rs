@@ -35,6 +35,25 @@ pub trait MultipathCc: Send + Sync {
     fn min_window(&self) -> f64 {
         1.0
     }
+
+    /// [`MultipathCc::window_after_loss`] with the probing floor applied —
+    /// the value an actual sender sets its window to.
+    ///
+    /// The raw decrease rules can go below one packet or even negative
+    /// (COUPLED subtracts `w_total/2` from any subflow, which the fluid
+    /// model integrates verbatim to show path abandonment, footnote 5).
+    /// A packet-level sender must never do that: a window under one MSS
+    /// strands the subflow — it can neither send nor sample its path.
+    /// Every simulator/protocol loss event goes through this method.
+    fn clamped_window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        let raw = self.window_after_loss(r, subs);
+        let floor = self.min_window();
+        if raw.is_finite() {
+            raw.max(floor)
+        } else {
+            floor
+        }
+    }
 }
 
 /// A selector for the algorithms evaluated in the paper, used by the

@@ -55,6 +55,65 @@ mod tests {
         assert!((threeg - 141.4).abs() < 1.0, "3g {threeg}");
     }
 
+    /// §2's baseline scenario, as a worked example: two paths with equal
+    /// 1% loss and equal 100 ms RTTs. The balance solver must land on the
+    /// closed-form equilibria the paper derives for each §2 algorithm.
+    #[test]
+    fn section2_equal_rtt_two_path_equilibria() {
+        let p = [0.01, 0.01];
+        let rtt = [0.1, 0.1];
+        let tcp = tcp_window(0.01); // √200 ≈ 14.14 pkts
+
+        // Uncoupled Reno (§2.1 strawman): each subflow is a full TCP, so
+        // the flow takes twice a single TCP's window.
+        let w = equilibrium(&crate::UncoupledReno::new(), &p, &rtt);
+        for &wr in &w {
+            assert!((wr / tcp - 1.0).abs() < 0.01, "reno path ≈ one TCP: {w:?}");
+        }
+
+        // EWTCP at weight 1/2 (§2.1): each subflow is half a TCP, so the
+        // flow in total takes exactly one TCP's window.
+        let w = equilibrium(&crate::Ewtcp::equal_split(2), &p, &rtt);
+        for &wr in &w {
+            assert!((wr / (tcp / 2.0) - 1.0).abs() < 0.01, "ewtcp path ≈ ½ TCP: {w:?}");
+        }
+
+        // MPTCP / LIA (§2.5, eq. (1)): the coupled increase makes the
+        // *total* equal one TCP's window, split equally on symmetric paths.
+        let w = equilibrium(&crate::Mptcp::new(), &p, &rtt);
+        let total: f64 = w.iter().sum();
+        assert!((total / tcp - 1.0).abs() < 0.01, "LIA total ≈ one TCP: {w:?}");
+        assert!((w[0] - w[1]).abs() < 0.05 * total, "symmetric split: {w:?}");
+    }
+
+    /// §2.2's RTT-mismatch scenario: equal 1% loss, but RTTs of 10 ms vs
+    /// 100 ms. EWTCP's windows ignore RTT entirely, while the paper's
+    /// final algorithm compensates — its total *throughput* matches what
+    /// the best single path alone would achieve (design goal 2, §2.5).
+    #[test]
+    fn section22_rtt_mismatch_worked_example() {
+        let p = [0.01, 0.01];
+        let rtt = [0.010, 0.100];
+
+        // EWTCP: per-path windows are a pure function of that path's loss,
+        // so the RTT mismatch leaves them identical.
+        let w = equilibrium(&crate::Ewtcp::equal_split(2), &p, &rtt);
+        assert!(
+            (w[0] - w[1]).abs() < 0.01 * w[0],
+            "EWTCP windows must not depend on RTT: {w:?}"
+        );
+
+        // MPTCP / LIA: total throughput ≈ the best single path's
+        // √(2/p)/RTT (here the 10 ms path: ≈ 1414 pkt/s).
+        let w = equilibrium(&crate::Mptcp::new(), &p, &rtt);
+        let rate: f64 = w.iter().zip(&rtt).map(|(&wr, &t)| wr / t).sum();
+        let best = tcp_rate(0.01, 0.010);
+        assert!(
+            (rate / best - 1.0).abs() < 0.02,
+            "LIA pools resources to the best path's rate: {rate:.1} vs {best:.1}"
+        );
+    }
+
     #[test]
     fn window_decreases_with_loss() {
         assert!(tcp_window(0.001) > tcp_window(0.01));

@@ -56,6 +56,11 @@ impl MultipathCc for Mptcp {
     }
 }
 
+/// A snapshot eq. (1) can evaluate: positive finite window and RTT.
+fn is_sane(s: &SubflowSnapshot) -> bool {
+    s.cwnd.is_finite() && s.cwnd > 0.0 && s.rtt.is_finite() && s.rtt > 0.0
+}
+
 /// The subset term of eq. (1):
 /// `max_{s∈S} (w_s/RTT_s²) / (Σ_{s∈S} w_s/RTT_s)²`.
 fn subset_term(subset: &[usize], subs: &[SubflowSnapshot]) -> f64 {
@@ -119,6 +124,15 @@ pub fn lia_increase_exhaustive(r: usize, subs: &[SubflowSnapshot]) -> f64 {
 pub fn lia_increase_linear(r: usize, subs: &[SubflowSnapshot]) -> f64 {
     assert!(r < subs.len(), "subflow index out of range");
     let n = subs.len();
+    // Degenerate snapshots (rtt == 0 before the first sample, NaN/∞ windows
+    // mid-handover) would make the sort keys incomparable and the prefix
+    // sums meaningless. Fall back to the singleton bound 1/w_r, the term
+    // eq. (1) yields for S = {r}: it never over-increases relative to the
+    // true minimum, and it only depends on our own window.
+    if subs.iter().any(|s| !is_sane(s)) {
+        let w = subs[r].cwnd;
+        return if w.is_finite() && w > 0.0 { 1.0 / w } else { 0.0 };
+    }
     if n == 1 {
         return 1.0 / subs[0].cwnd;
     }
@@ -140,7 +154,7 @@ pub fn lia_increase_linear(r: usize, subs: &[SubflowSnapshot]) -> f64 {
     order.sort_unstable_by(|&a, &b| {
         let ka = subs[a].cwnd / (subs[a].rtt * subs[a].rtt);
         let kb = subs[b].cwnd / (subs[b].rtt * subs[b].rtt);
-        ka.partial_cmp(&kb).expect("windows and RTTs are finite")
+        ka.total_cmp(&kb)
     });
     let pos_r = order.iter().position(|&i| i == r).expect("r is in the order");
 
@@ -215,6 +229,25 @@ mod tests {
         let cc = Mptcp::new();
         let subs = snap(&[(10.0, 0.01), (6.0, 0.2)]);
         assert!((cc.window_after_loss(1, &subs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rtt_snapshot_falls_back_to_singleton_bound() {
+        // Before the first RTT sample a subflow can legitimately report
+        // rtt == 0; the increase must not panic and must stay at the
+        // singleton cap 1/w_r.
+        let subs = snap(&[(10.0, 0.1), (4.0, 0.0)]);
+        assert!((lia_increase_linear(0, &subs) - 0.1).abs() < 1e-12);
+        assert!((lia_increase_linear(1, &subs) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_window_snapshot_does_not_panic() {
+        let subs = snap(&[(f64::NAN, 0.1), (4.0, 0.2)]);
+        assert_eq!(lia_increase_linear(0, &subs), 0.0);
+        assert!((lia_increase_linear(1, &subs) - 0.25).abs() < 1e-12);
+        let subs = snap(&[(f64::INFINITY, 0.1), (4.0, 0.2)]);
+        assert_eq!(lia_increase_linear(0, &subs), 0.0);
     }
 
     #[test]

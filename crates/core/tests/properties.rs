@@ -65,6 +65,91 @@ proptest! {
         }
     }
 
+    /// The clamped decrease every sender uses never drops a subflow below
+    /// the probing floor (≥ 1 packet), for all five algorithms — even on
+    /// tiny windows where the raw COUPLED rule goes negative.
+    #[test]
+    fn clamped_decrease_never_strands_a_subflow(
+        subs in prop::collection::vec(
+            // Include sub-packet windows: repeated losses can leave the
+            // snapshot below 1.0 before the next decrease fires.
+            (0.01_f64..1000.0, 0.001_f64..2.0)
+                .prop_map(|(w, rtt)| SubflowSnapshot::new(w, rtt)),
+            1..=6,
+        )
+    ) {
+        let ccs: Vec<Box<dyn MultipathCc>> = vec![
+            Box::new(UncoupledReno::new()),
+            Box::new(Ewtcp::equal_split(subs.len())),
+            Box::new(Coupled::new()),
+            Box::new(SemiCoupled::new()),
+            Box::new(Mptcp::new()),
+        ];
+        for cc in &ccs {
+            for r in 0..subs.len() {
+                let w = cc.clamped_window_after_loss(r, &subs);
+                prop_assert!(
+                    w >= cc.min_window() && w.is_finite(),
+                    "{}: clamped post-loss window {w} below floor", cc.name()
+                );
+            }
+        }
+    }
+
+    /// eq. (1)'s linear form must not panic and must return a finite,
+    /// non-negative increase for *any* snapshot contents, including the
+    /// degenerate rtt == 0 / NaN / ∞ states reachable before the first RTT
+    /// sample; on fully sane inputs it must still match the exhaustive
+    /// enumeration.
+    #[test]
+    fn lia_linear_survives_degenerate_snapshots(
+        raw in prop::collection::vec(
+            (
+                // The sane range is repeated so most draws are valid and the
+                // mixed sane/degenerate combinations get exercised too.
+                prop_oneof![
+                    0.5_f64..1000.0,
+                    0.5_f64..1000.0,
+                    0.5_f64..1000.0,
+                    Just(0.0),
+                    Just(f64::NAN),
+                    Just(f64::INFINITY),
+                ],
+                prop_oneof![
+                    0.001_f64..2.0,
+                    0.001_f64..2.0,
+                    0.001_f64..2.0,
+                    Just(0.0),
+                    Just(f64::NAN),
+                ],
+            ),
+            1..=6,
+        )
+    ) {
+        let subs: Vec<SubflowSnapshot> =
+            raw.iter().map(|&(w, rtt)| SubflowSnapshot::new(w, rtt)).collect();
+        let sane = subs
+            .iter()
+            .all(|s| s.cwnd.is_finite() && s.cwnd > 0.0 && s.rtt.is_finite() && s.rtt > 0.0);
+        for r in 0..subs.len() {
+            let inc = lia_increase_linear(r, &subs);
+            prop_assert!(inc.is_finite() && inc >= 0.0, "r={r}: inc {inc} subs={subs:?}");
+            if sane {
+                let exh = lia_increase_exhaustive(r, &subs);
+                prop_assert!(
+                    (inc - exh).abs() <= 1e-9 * exh.max(1e-30),
+                    "r={r}: linear {inc} vs exhaustive {exh}"
+                );
+            } else {
+                // Degenerate input: pinned to the singleton bound.
+                let w = subs[r].cwnd;
+                let expect =
+                    if w.is_finite() && w > 0.0 { 1.0 / w } else { 0.0 };
+                prop_assert!((inc - expect).abs() < 1e-12, "r={r}: {inc} vs {expect}");
+            }
+        }
+    }
+
     /// Jain's index is always in (0, 1] and is exactly 1 for equal rates.
     #[test]
     fn jain_index_bounds(rates in prop::collection::vec(0.0_f64..1e6, 1..20)) {

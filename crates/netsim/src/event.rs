@@ -99,6 +99,10 @@ pub(crate) enum EventKind {
     /// Faults are ordinary events, so they execute at their exact time in
     /// deterministic order with everything else — never "between steps".
     Fault { idx: usize },
+    /// The telemetry probe samples the world and re-schedules itself (see
+    /// [`crate::Simulator::enable_probe`]). Sampling draws no randomness
+    /// and emits no packets, so the tick cannot perturb packet history.
+    ProbeTick,
 }
 
 #[derive(Debug)]

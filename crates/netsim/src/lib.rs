@@ -62,6 +62,7 @@ mod fault;
 mod link;
 mod packet;
 mod perf;
+mod probe;
 mod sim;
 mod stats;
 mod tcp;
@@ -75,8 +76,11 @@ pub use fault::{FaultAction, FaultPlan, GeParams};
 pub use link::{LinkId, LinkSpec, LinkStats};
 pub use packet::DEFAULT_PACKET_SIZE;
 pub use perf::SimPerf;
+pub use probe::{
+    CcPhase, LinkPoint, ProbeLog, ProbeSpec, SubflowPoint, Transition, TransitionKind,
+};
 pub use sim::{ConnId, ConnectionSpec, Simulator, SubflowSpec};
 pub use stats::{ConnectionStats, SubflowStats};
 pub use tcp::TcpParams;
 pub use time::SimTime;
-pub use trace::{Recorder, Sample};
+pub use trace::{Recorder, Sample, TraceWriter};

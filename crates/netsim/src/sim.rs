@@ -6,6 +6,9 @@ use crate::fault::{FaultAction, FaultPlan};
 use crate::link::{GeState, Link, LinkId, LinkPath, LinkSpec, LinkStats};
 use crate::packet::{Packet, PacketOwner, DEFAULT_PACKET_SIZE};
 use crate::perf::SimPerf;
+use crate::probe::{
+    CcPhase, LinkPoint, ProbeLog, ProbeSpec, ProbeState, SubflowPoint, Transition, TransitionKind,
+};
 use crate::stats::{ConnectionStats, SubflowStats};
 use crate::tcp::{SubflowReceiver, SubflowSender, TcpParams};
 use crate::time::SimTime;
@@ -248,6 +251,12 @@ pub struct Simulator {
     /// When the event queue ran dry with unfinished connections left — a
     /// quiesced/deadlocked world (nothing will ever make progress again).
     quiesced_at: Option<SimTime>,
+    /// Telemetry probe, when enabled (boxed: the log can grow large and
+    /// the disabled case should cost one pointer).
+    probe: Option<Box<ProbeState>>,
+    /// Whether a `ProbeTick` event is pending in the queue (at most one,
+    /// like the lazy RTO timers).
+    probe_tick_pending: bool,
 }
 
 impl Simulator {
@@ -279,6 +288,8 @@ impl Simulator {
             last_progress: SimTime::ZERO,
             stalled_at: None,
             quiesced_at: None,
+            probe: None,
+            probe_tick_pending: false,
         }
     }
 
@@ -490,6 +501,55 @@ impl Simulator {
         self.try_finish(conn);
     }
 
+    /// Enable the telemetry probe: every `spec.interval` the simulator
+    /// records one [`SubflowPoint`] per watched subflow and one
+    /// [`LinkPoint`] per watched link, plus congestion transitions as they
+    /// happen. Empty watch lists mean "everything that exists now".
+    ///
+    /// Enabling is history-neutral: sampling draws no randomness and sends
+    /// nothing, so the packet-level run is bit-identical with the probe on
+    /// or off. While enabled, the pending tick keeps the event queue
+    /// non-empty, so quiesce detection ([`SimPerf::quiesced_at`]) is
+    /// inhibited; the stall watchdog still works. Enabling again replaces
+    /// the current probe and discards its log.
+    ///
+    /// # Panics
+    /// Panics if the interval is zero or a watch list references an
+    /// unknown connection or link.
+    pub fn enable_probe(&mut self, spec: ProbeSpec) {
+        assert!(spec.interval > SimTime::ZERO, "probe interval must be positive");
+        let mut spec = spec;
+        if spec.conns.is_empty() {
+            spec.conns = (0..self.conns.len()).collect();
+        }
+        if spec.links.is_empty() {
+            spec.links = (0..self.links.len()).collect();
+        }
+        for &c in &spec.conns {
+            assert!(c < self.conns.len(), "unknown connection {c}");
+        }
+        for &l in &spec.links {
+            assert!(l < self.links.len(), "unknown link {l}");
+        }
+        let first = self.now + spec.interval;
+        self.probe = Some(Box::new(ProbeState { spec, log: ProbeLog::default() }));
+        if !self.probe_tick_pending {
+            self.probe_tick_pending = true;
+            self.queue.push(first, EventKind::ProbeTick);
+        }
+    }
+
+    /// Disable the probe and return everything it collected (or `None` if
+    /// no probe was enabled). The pending tick becomes a stale no-op.
+    pub fn disable_probe(&mut self) -> Option<ProbeLog> {
+        self.probe.take().map(|p| p.log)
+    }
+
+    /// The currently collected probe log, if a probe is enabled.
+    pub fn probe_log(&self) -> Option<&ProbeLog> {
+        self.probe.as_deref().map(|p| &p.log)
+    }
+
     /// Zero all link counters (discard a warm-up period).
     pub fn reset_link_stats(&mut self) {
         for l in &mut self.links {
@@ -535,7 +595,10 @@ impl Simulator {
                     timeouts: s.tx.timeouts,
                     fast_recoveries: s.tx.fast_recoveries,
                     cwnd: s.tx.cwnd,
+                    ssthresh: s.tx.ssthresh,
                     srtt: s.tx.srtt.unwrap_or(0.0),
+                    rto: s.tx.rto_interval().as_secs_f64(),
+                    in_flight: s.tx.pipe(),
                     rto_backoffs: s.tx.backoffs,
                     potentially_failed: s.tx.potentially_failed(),
                 })
@@ -624,7 +687,77 @@ impl Simulator {
             EventKind::CbrSend { src, gen } => self.on_cbr_send(src, gen),
             EventKind::CbrToggle { src } => self.on_cbr_toggle(src),
             EventKind::Fault { idx } => self.apply_fault(idx),
+            EventKind::ProbeTick => self.on_probe_tick(),
         }
+    }
+
+    /// Take one probe sample of every watched subflow and link, then
+    /// re-schedule the tick. Stale ticks (probe disabled since the event
+    /// was queued) are no-ops, like lazy RTO timers.
+    fn on_probe_tick(&mut self) {
+        let Some(probe) = self.probe.as_deref_mut() else {
+            self.probe_tick_pending = false;
+            self.events_cancelled += 1;
+            return;
+        };
+        let at = self.now;
+        for &conn in &probe.spec.conns {
+            let c = &self.conns[conn];
+            for (sub, s) in c.subflows.iter().enumerate() {
+                let phase = if s.tx.in_recovery {
+                    if s.tx.rto_recovery {
+                        CcPhase::RtoRecovery
+                    } else {
+                        CcPhase::FastRecovery
+                    }
+                } else if s.tx.in_slow_start() {
+                    CcPhase::SlowStart
+                } else {
+                    CcPhase::CongestionAvoidance
+                };
+                probe.log.subflow_points.push(SubflowPoint {
+                    at,
+                    conn,
+                    sub,
+                    cwnd: s.tx.cwnd,
+                    ssthresh: s.tx.ssthresh,
+                    srtt: s.tx.srtt.unwrap_or(0.0),
+                    rto: s.tx.rto_interval().as_secs_f64(),
+                    backoffs: s.tx.backoffs,
+                    in_flight: s.tx.pipe(),
+                    phase,
+                });
+            }
+        }
+        for &link in &probe.spec.links {
+            let l = &self.links[link];
+            probe.log.link_points.push(LinkPoint {
+                at,
+                link,
+                queue_depth: l.queue.len() + usize::from(l.in_service.is_some()),
+                offered: l.stats.offered,
+                dropped_queue: l.stats.dropped_queue,
+                dropped_random: l.stats.dropped_random,
+                dropped_down: l.stats.dropped_down,
+                transmitted: l.stats.transmitted,
+            });
+        }
+        let next = at + probe.spec.interval;
+        self.queue.push(next, EventKind::ProbeTick);
+    }
+
+    /// Append a congestion transition to the probe log (the caller already
+    /// checked the connection is watched).
+    fn record_transition(&mut self, conn: ConnId, sub: usize, kind: TransitionKind) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.log.transitions.push(Transition { at: self.now, conn, sub, kind });
+        }
+    }
+
+    /// Whether the probe is enabled and watching `conn` — the single
+    /// branch congestion hooks pay when telemetry is disabled.
+    fn probe_watches(&self, conn: ConnId) -> bool {
+        self.probe.as_deref().is_some_and(|p| p.spec.conns.contains(&conn))
     }
 
     /// Execute one installed fault action. Reuses the public scripting
@@ -805,11 +938,29 @@ impl Simulator {
     }
 
     fn on_ack(&mut self, conn: ConnId, sub: usize, ack: AckInfo) {
+        let watching = self.probe_watches(conn);
+        let mut transitions: [Option<TransitionKind>; 3] = [None; 3];
         let arm = {
             let c = &mut self.conns[conn];
             c.acked_dsn_scratch.clear();
             let Connection { subflows, acked_dsn_scratch, .. } = c;
+            let (was_recovering, was_failed) = if watching {
+                (subflows[sub].tx.in_recovery, subflows[sub].tx.potentially_failed())
+            } else {
+                (false, false)
+            };
             let outcome = subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, acked_dsn_scratch);
+            if watching {
+                if outcome.entered_recovery {
+                    transitions[0] = Some(TransitionKind::EnterFastRecovery);
+                }
+                if was_recovering && !subflows[sub].tx.in_recovery {
+                    transitions[1] = Some(TransitionKind::ExitRecovery);
+                }
+                if was_failed && !subflows[sub].tx.potentially_failed() {
+                    transitions[2] = Some(TransitionKind::Revived);
+                }
+            }
             if outcome.newly_acked > 0 && c.subflows[sub].tx.growth_allowed() {
                 // Grow once per newly acked packet: slow start adds one
                 // packet per ACKed packet; congestion avoidance defers to
@@ -829,12 +980,15 @@ impl Simulator {
                 // One multiplicative decrease per loss episode, with the
                 // level chosen by the coupled algorithm.
                 c.refresh_snapshots();
-                let level = c.cc.window_after_loss(sub, &c.snap_buf);
+                let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
                 let floor = c.cc.min_window();
                 c.subflows[sub].tx.shrink_to(level, floor);
             }
             outcome.rearm_rto
         };
+        for kind in transitions.into_iter().flatten() {
+            self.record_transition(conn, sub, kind);
+        }
         // Data-level acknowledgment accounting: each dsn counts once,
         // across all subflow copies a reinjection may have created.
         {
@@ -891,7 +1045,7 @@ impl Simulator {
             // The coupled decrease sets the slow-start threshold; the
             // window itself collapses to the probing floor.
             c.refresh_snapshots();
-            let level = c.cc.window_after_loss(sub, &c.snap_buf);
+            let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
             let floor = c.cc.min_window();
             let was_failed = c.subflows[sub].tx.potentially_failed();
             if !c.subflows[sub].tx.on_rto(floor) {
@@ -901,6 +1055,12 @@ impl Simulator {
             c.subflows[sub].tx.set_ssthresh(level);
             !was_failed && c.subflows[sub].tx.potentially_failed()
         };
+        if self.probe_watches(conn) {
+            self.record_transition(conn, sub, TransitionKind::RtoFired);
+            if newly_failed {
+                self.record_transition(conn, sub, TransitionKind::PotentiallyFailed);
+            }
+        }
         if newly_failed {
             // The subflow just crossed the potentially-failed threshold:
             // queue its stranded data for reinjection on live subflows.

@@ -18,8 +18,16 @@ pub struct SubflowStats {
     pub fast_recoveries: u64,
     /// Congestion window at sampling time, packets.
     pub cwnd: f64,
+    /// Slow-start threshold at sampling time, packets (∞ before the first
+    /// loss).
+    pub ssthresh: f64,
     /// Smoothed RTT at sampling time, seconds (0 if no sample yet).
     pub srtt: f64,
+    /// Effective (min/max-clamped) retransmission timeout at sampling
+    /// time, seconds.
+    pub rto: f64,
+    /// Estimated packets in the network at sampling time (SACK `pipe`).
+    pub in_flight: f64,
     /// Consecutive RTO backoffs without ACK progress at sampling time.
     pub rto_backoffs: u32,
     /// Whether the subflow currently counts as potentially failed

@@ -362,8 +362,12 @@ impl SubflowSender {
                 self.srtt = Some(0.875 * srtt + 0.125 * sample);
             }
         }
+        // A valid sample recomputes the RTO from fresh srtt/rttvar,
+        // discarding any backed-off value (RFC 6298 §5.7). It does NOT
+        // touch `backoffs`: only forward ACK progress proves the path is
+        // alive (a sample can only arrive on such an ACK, but keeping the
+        // reset in one place makes the revive rule auditable).
         self.rto = self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001);
-        self.backoffs = 0;
     }
 
     /// Process an incoming ACK: cumulative point `cum` plus SACK ranges.
@@ -507,7 +511,13 @@ impl SubflowSender {
         }
         self.timeouts += 1;
         self.backoffs += 1;
-        self.rto = (self.rto * 2.0).min(self.params.max_rto.as_secs_f64());
+        // Exponential backoff doubles the *effective* (min_rto-clamped)
+        // timeout, per RFC 6298 §5.5. Doubling the raw value lets a small
+        // sampled rto (e.g. 60 ms on a LAN) sit below min_rto for several
+        // backoffs, so consecutive timeouts all fire at min_rto with no
+        // backoff at all.
+        self.rto = (self.rto.max(self.params.min_rto.as_secs_f64()) * 2.0)
+            .min(self.params.max_rto.as_secs_f64());
         // Everything unsacked is presumed lost; the network is drained.
         self.retx_out.clear();
         for seq in self.una..self.next_seq {
@@ -827,6 +837,62 @@ mod tests {
         assert_eq!(tx.stranded(), vec![(1, 8), (3, 10)]);
         assert_eq!(tx.dsn_of(1), Some(8));
         assert_eq!(tx.dsn_of(0), None, "cum-acked metadata is gone");
+    }
+
+    #[test]
+    fn backoff_doubles_the_effective_min_clamped_rto() {
+        // A LAN-grade RTT sample leaves the raw rto (srtt + 4·rttvar) well
+        // below min_rto. The first backoff must still double the *effective*
+        // timeout: doubling only the raw value keeps rto_interval() pinned
+        // at min_rto for several consecutive timeouts — no backoff at all.
+        let mut tx = sender();
+        tx.cwnd = 4.0;
+        for dsn in 0..4 {
+            tx.on_send_new(SimTime::ZERO, dsn);
+        }
+        tx.on_ack(1, &NO_SACKS, SimTime::from_millis(20), &mut Vec::new());
+        let min_rto = tx.params.min_rto;
+        assert_eq!(tx.rto_interval(), min_rto, "sampled rto clamps up to min_rto");
+        assert!(tx.on_rto(1.0));
+        assert!(
+            tx.rto_interval().as_secs_f64() >= 2.0 * min_rto.as_secs_f64(),
+            "one backoff must at least double the effective timeout: {:?}",
+            tx.rto_interval()
+        );
+        assert!(tx.on_rto(1.0));
+        assert!(
+            tx.rto_interval().as_secs_f64() >= 4.0 * min_rto.as_secs_f64(),
+            "second backoff doubles again"
+        );
+    }
+
+    #[test]
+    fn fresh_sample_after_backoff_recomputes_rto_from_estimator() {
+        // RFC 6298 §5.7: once retransmission stops, the next valid sample
+        // recomputes rto from srtt/rttvar — the backed-off value is not
+        // inherited. Karn's rule means the sample must come from a packet
+        // sent after the timeouts.
+        let mut tx = sender();
+        tx.cwnd = 4.0;
+        for dsn in 0..4 {
+            tx.on_send_new(SimTime::ZERO, dsn);
+        }
+        tx.on_ack(1, &NO_SACKS, SimTime::from_millis(20), &mut Vec::new());
+        assert!(tx.on_rto(1.0));
+        assert!(tx.on_rto(1.0));
+        let backed_off = tx.rto_interval();
+        assert!(backed_off.as_secs_f64() >= 4.0 * tx.params.min_rto.as_secs_f64());
+        // The outage ends: everything outstanding is acked (no sample —
+        // all retransmitted under Karn), then a fresh round trip completes.
+        tx.on_ack(4, &NO_SACKS, SimTime::from_secs(2), &mut Vec::new());
+        assert_eq!(tx.backoffs, 0, "forward progress clears the backoff run");
+        tx.on_send_new(SimTime::from_secs(3), 4);
+        tx.on_ack(5, &NO_SACKS, SimTime::from_secs(3) + SimTime::from_millis(30), &mut Vec::new());
+        assert_eq!(
+            tx.rto_interval(),
+            tx.params.min_rto,
+            "post-recovery rto returns to the sampled (min_rto-clamped) range"
+        );
     }
 
     #[test]

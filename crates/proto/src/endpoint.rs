@@ -125,6 +125,8 @@ pub struct EndpointStats {
     pub reinjections_queued: usize,
     /// Distinct data ranges ever reinjected.
     pub reinjections_total: usize,
+    /// Zero-window persist probes sent.
+    pub persist_probes: u64,
     /// Per-subflow snapshots.
     pub subflows: Vec<SubflowStats>,
 }
@@ -312,6 +314,16 @@ pub struct Endpoint {
     /// Data seq of the peer's FIN, once seen.
     peer_fin: Option<u64>,
 
+    // --- zero-window persist (RFC 9293 §3.8.6.1) ---
+    /// Armed when data is queued but every subflow is flow-control-blocked
+    /// with nothing in flight: no ACK can ever arrive to reopen the window
+    /// (the reopening window update is a pure ACK, which is never
+    /// retransmitted), so without this timer a single lost window update
+    /// would deadlock the connection.
+    persist_deadline: Option<Micros>,
+    /// Zero-window probes sent (diagnostics).
+    persist_probes: u64,
+
     /// Total application bytes received in order (diagnostics).
     pub total_received: u64,
 }
@@ -352,6 +364,8 @@ impl Endpoint {
             recv_app: VecDeque::new(),
             recv_attribution: VecDeque::new(),
             peer_fin: None,
+            persist_deadline: None,
+            persist_probes: 0,
             total_received: 0,
         }
     }
@@ -457,6 +471,7 @@ impl Endpoint {
             recv_out_of_order: self.recv_ooo.values().map(|(_, v)| v.len()).sum(),
             reinjections_queued: self.reinject_queue.len(),
             reinjections_total: self.reinjected.len(),
+            persist_probes: self.persist_probes,
             subflows: self
                 .subs
                 .iter()
@@ -667,10 +682,7 @@ impl Endpoint {
                 // Fast retransmit + coupled multiplicative decrease.
                 let snaps = self.snapshots();
                 let mss = self.cfg.mss as f64;
-                let new_pkts = self
-                    .cc
-                    .window_after_loss(sub, &snaps)
-                    .max(self.cc.min_window());
+                let new_pkts = self.cc.clamped_window_after_loss(sub, &snaps);
                 let s = &mut self.subs[sub];
                 s.in_recovery = true;
                 s.recovery_point = s.snd_next;
@@ -699,8 +711,12 @@ impl Endpoint {
     fn on_data(&mut self, sub: usize, seg: &Segment) {
         let len = seg.payload.len();
         // Buffer admission control: a receiver out of window drops the
-        // segment as if the network had lost it (no subflow ACK either).
+        // payload as if the network had lost it — but it still owes the
+        // peer an ACK carrying the current window (RFC 9293 §3.10.7.4:
+        // an unacceptable segment elicits an ACK). Without this, a
+        // zero-window probe could never learn that the window reopened.
         if !self.admissible(sub, seg, len) {
+            self.subs[sub].ack_pending = true;
             return;
         }
         // Subflow-level bookkeeping → drives the peer's loss detection.
@@ -794,6 +810,7 @@ impl Endpoint {
         self.poll_handshake(now, &mut out);
         self.poll_timers(now, &mut out);
         self.poll_data(now, &mut out);
+        self.poll_persist(now, &mut out);
         self.poll_acks(&mut out);
         out
     }
@@ -803,7 +820,57 @@ impl Endpoint {
 
     /// The earliest timer deadline, if any (for event-driven harnesses).
     pub fn next_deadline(&self) -> Option<Micros> {
-        self.subs.iter().filter_map(|s| s.rto_deadline).min()
+        self.subs
+            .iter()
+            .filter_map(|s| s.rto_deadline)
+            .chain(self.persist_deadline)
+            .min()
+    }
+
+    /// Zero-window persist timer. After `poll_data`, if the connection
+    /// still has work queued but *nothing in flight on any subflow*, no ACK
+    /// will ever arrive: the peer's window-reopening update is a pure ACK
+    /// and pure ACKs are not retransmitted, so its loss would wedge the
+    /// connection forever. Arm a timer; when it fires, force one byte of
+    /// data out past the flow-control limit. The probe either gets accepted
+    /// (the window really had reopened) or is dropped by the receiver's
+    /// admission control — which still elicits an ACK carrying the current
+    /// window. Either way the probe sits in `inflight`, so the ordinary RTO
+    /// machinery provides the exponential persist backoff for free.
+    fn poll_persist(&mut self, now: Micros, out: &mut Vec<(usize, Segment)>) {
+        if self.mp_enabled.is_none() {
+            return; // handshake unresolved; SYN timers own liveness
+        }
+        let unsent = (self.snd_data_base + self.send_buf.len() as u64)
+            .saturating_sub(self.snd_data_next);
+        let work = unsent > 0 || !self.reinject_queue.is_empty();
+        let idle = self.subs.iter().all(|s| s.inflight.is_empty());
+        let Some(sub) = self.subs.iter().position(|s| s.established) else {
+            return;
+        };
+        if !(work && idle) {
+            self.persist_deadline = None;
+            return;
+        }
+        match self.persist_deadline {
+            None => self.persist_deadline = Some(now + self.subs[sub].rto_us),
+            Some(d) if d <= now => {
+                self.persist_deadline = None;
+                self.persist_probes += 1;
+                if unsent > 0 {
+                    let off = (self.snd_data_next - self.snd_data_base) as usize;
+                    let byte = self.send_buf[off];
+                    let dseq = self.snd_data_next;
+                    self.snd_data_next += 1;
+                    self.transmit_mapped(now, sub, dseq, vec![byte], false, out);
+                } else if let Some((dseq, data, is_fin)) = self.reinject_queue.pop_front() {
+                    // A stranded reinjection with nothing in flight is the
+                    // same trap: force it out on the probe subflow.
+                    self.transmit_mapped(now, sub, dseq, data, is_fin, out);
+                }
+            }
+            Some(_) => {}
+        }
     }
 
     fn poll_handshake(&mut self, now: Micros, out: &mut Vec<(usize, Segment)>) {
@@ -1276,6 +1343,82 @@ mod tests {
         assert!(buf[..n].iter().all(|&b| b == 9));
         assert_eq!(c.peer_data_acked(), 5_000, "data ACK must cover the stream");
         assert!(c.write(&vec![1u8; 1_000]) > 0, "buffer space freed");
+    }
+
+    /// Single subflow, a 2-MSS shared receive buffer, and a 10 kB stream:
+    /// the sender must fill the window, stall, and resume cleanly when the
+    /// application drains the buffer.
+    fn small_window_pair() -> (Endpoint, Endpoint) {
+        let cfg = EndpointConfig {
+            mss: 1000,
+            send_buf: 10_000,
+            recv_buf: 2_000,
+            initial_cwnd: 2.0,
+            ..Default::default()
+        };
+        (Endpoint::client(cfg, 1, 7), Endpoint::server(cfg, 1, 7))
+    }
+
+    /// Drive a `small_window_pair` to the zero-window stall: 2 000 bytes
+    /// buffered at the receiver, nothing in flight, 8 000 still queued.
+    fn fill_to_zero_window(c: &mut Endpoint, s: &mut Endpoint) {
+        for t in 1..4 {
+            exchange(t * 1000, c, s);
+        }
+        assert_eq!(c.write(&vec![8u8; 10_000]), 10_000);
+        for t in 4..50 {
+            exchange(t * 1000, c, s);
+        }
+        assert_eq!(s.stats().recv_buffered, 2_000, "receive buffer must be full");
+        assert_eq!(c.peer_data_acked(), 2_000);
+        assert_eq!(c.stats().subflows[0].bytes_in_flight, 0, "all copies acked");
+        assert_eq!(c.stats().send_buffered, 8_000);
+    }
+
+    #[test]
+    fn zero_window_fill_drain_resume() {
+        let (mut c, mut s) = small_window_pair();
+        fill_to_zero_window(&mut c, &mut s);
+        // Drain; the reader's window update lets the sender resume at once.
+        let mut buf = [0u8; 4096];
+        let mut total = s.read(&mut buf);
+        assert_eq!(total, 2_000);
+        for t in 50..1500 {
+            exchange(t * 1000, &mut c, &mut s);
+            total += s.read(&mut buf);
+        }
+        assert_eq!(total, 10_000, "stream must complete after the drain");
+        assert_eq!(
+            c.stats().persist_probes,
+            0,
+            "window update arrived promptly; no probe should have fired"
+        );
+    }
+
+    #[test]
+    fn lost_window_update_does_not_deadlock() {
+        let (mut c, mut s) = small_window_pair();
+        fill_to_zero_window(&mut c, &mut s);
+        let mut buf = [0u8; 4096];
+        let mut total = s.read(&mut buf);
+        assert_eq!(total, 2_000);
+        // The window-update ACK is a pure ACK: lose it. Pre-persist-timer,
+        // this wedged the connection forever (sender flow-control-blocked
+        // with an empty inflight has no timer left to fire).
+        let lost = s.poll(50 * 1000);
+        assert!(
+            lost.iter().any(|(_, seg)| seg.flags.ack && seg.payload.is_empty()),
+            "the drain must have produced a window update to lose: {lost:?}"
+        );
+        for t in 51..3000 {
+            exchange(t * 1000, &mut c, &mut s);
+            total += s.read(&mut buf);
+        }
+        assert_eq!(total, 10_000, "persist probe must rescue the transfer");
+        assert!(
+            c.stats().persist_probes >= 1,
+            "recovery must have come from the zero-window probe"
+        );
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The fluid-model differential oracle as a tier-1 test: for every core
+//! algorithm and scenario, the packet-level simulator's time-averaged
+//! equilibrium windows must agree with the fluid balance-equation
+//! prediction computed from the *measured* loss rates and RTTs — within
+//! the tolerances documented in `mptcp_bench::oracle`.
+//!
+//! The negative test at the bottom is as important as the positive ones:
+//! it perturbs the model the oracle predicts with and demands a FAILURE,
+//! proving the tolerances are tight enough to catch a misscaled increase
+//! rule (the implementation-drift bug class this oracle exists for).
+
+use mptcp_bench::oracle::{
+    checked_algorithms, fluid_check, fluid_check_with_model, OracleReport, ScaledIncrease,
+    Scenario,
+};
+use mptcp_cc::AlgorithmKind;
+
+fn assert_all_pass(scenario: Scenario) {
+    let mut failures: Vec<OracleReport> = Vec::new();
+    for kind in checked_algorithms() {
+        let report = fluid_check(kind, scenario);
+        print!("{report}");
+        if !report.pass {
+            failures.push(report);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fluid oracle disagreements on {}:\n{}",
+        scenario.name(),
+        failures.iter().map(ToString::to_string).collect::<String>()
+    );
+}
+
+#[test]
+fn oracle_agrees_on_two_equal_paths() {
+    assert_all_pass(Scenario::TwoPath);
+}
+
+#[test]
+fn oracle_agrees_under_rtt_mismatch() {
+    assert_all_pass(Scenario::RttMismatch);
+}
+
+#[test]
+fn oracle_agrees_on_the_fig7_torus() {
+    assert_all_pass(Scenario::Torus);
+}
+
+/// A 3× more aggressive increase rule predicts windows ~√3 larger, far
+/// outside tolerance: the oracle must flag the drift, on the scenario with
+/// the *loosest* tolerances, for the paper's final algorithm.
+#[test]
+fn oracle_flags_a_perturbed_model() {
+    let perturbed = ScaledIncrease::new(AlgorithmKind::Mptcp.build(2), 3.0);
+    let report =
+        fluid_check_with_model(AlgorithmKind::Mptcp, Scenario::Torus, &perturbed);
+    print!("{report}");
+    assert!(
+        !report.pass,
+        "a 3x-scaled increase rule must not slip through the oracle:\n{report}"
+    );
+}
