@@ -12,7 +12,9 @@
 use mptcp_bench::runner::run_parallel;
 use mptcp_bench::{banner, scaled, Table};
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::{ConnectionSpec, FaultPlan, LinkSpec, SimTime, Simulator, TcpParams};
+use mptcp_netsim::{
+    ConnectionSpec, DetDigest, DigestWriter, FaultPlan, LinkSpec, SimTime, Simulator, TcpParams,
+};
 use mptcp_topology::Torus;
 
 /// One scenario's reproducible outcome; compared bit-for-bit across runs.
@@ -25,6 +27,13 @@ struct Digest {
     dups: Vec<u64>,
     reinjected: Vec<u64>,
     finished: Vec<bool>,
+    /// Structural [`DetDigest`] fold over every connection's full
+    /// [`ConnectionStats`](mptcp_netsim::ConnectionStats) and the run's
+    /// `SimPerf` — the whole digest-surface, not just the hand-picked
+    /// columns above. New sim-state fields enter this digest automatically
+    /// (the `impl_det_digest!` destructuring is exhaustive, and `cargo
+    /// xtask lint` requires the impl for every digest-surface struct).
+    state: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -64,6 +73,10 @@ fn run_one(sc: &Scenario) -> Digest {
 
 fn digest(label: String, sim: &Simulator, conns: &[usize]) -> Digest {
     let stats: Vec<_> = conns.iter().map(|&c| sim.connection_stats(c)).collect();
+    let mut w = DigestWriter::new();
+    stats.det_digest(&mut w);
+    sim.perf().det_digest(&mut w);
+    let state = w.finish();
     Digest {
         label,
         events: sim.events_processed(),
@@ -72,6 +85,7 @@ fn digest(label: String, sim: &Simulator, conns: &[usize]) -> Digest {
         dups: stats.iter().map(|s| s.dup_data_arrivals).collect(),
         reinjected: stats.iter().map(|s| s.reinjections_sent).collect(),
         finished: stats.iter().map(|s| s.finished_at.is_some()).collect(),
+        state,
     }
 }
 

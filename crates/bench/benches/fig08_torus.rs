@@ -42,11 +42,12 @@ fn main() {
     let algs = [AlgorithmKind::Ewtcp, AlgorithmKind::Mptcp, AlgorithmKind::Coupled];
     let mut t = Table::new(&["C (pkt/s)", "EWTCP", "MPTCP", "COUPLED"]);
     let mut jain_at_100 = [0.0f64; 3];
-    for &c in &[100.0, 250.0, 500.0, 750.0, 1000.0] {
+    for (ci, &c) in [100.0, 250.0, 500.0, 750.0, 1000.0].iter().enumerate() {
         let mut cells = vec![format!("{c:.0}")];
         for (i, &alg) in algs.iter().enumerate() {
             let (ratio, jain) = run(c, alg, 42 + i as u64);
-            if c == 100.0 {
+            if ci == 0 {
+                // The C = 100 pkt/s column is the paper's Jain's-index row.
                 jain_at_100[i] = jain;
             }
             cells.push(f2(ratio));

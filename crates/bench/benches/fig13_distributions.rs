@@ -7,25 +7,12 @@
 //! We print deciles of both distributions for the three schemes.
 
 use mptcp_bench::datacenter::{run_fattree, DcResult, Routing, Tp};
-use mptcp_bench::plot::{ranked, Chart};
+use mptcp_bench::plot::{deciles, ranked, Chart};
 use mptcp_bench::runner::run_parallel;
 use mptcp_bench::{banner, scaled, Table};
 use mptcp_cc::fluid::fairness::jains_index;
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::SimTime;
-
-fn deciles(mut xs: Vec<f64>) -> Vec<f64> {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    if xs.is_empty() {
-        return vec![0.0; 11];
-    }
-    (0..=10)
-        .map(|d| {
-            let idx = (d * (xs.len() - 1)) / 10;
-            xs[idx]
-        })
-        .collect()
-}
 
 fn main() {
     banner("FIG13", "FatTree(k=8) TP1: flow-throughput and link-loss distributions");

@@ -86,10 +86,24 @@ impl Chart {
 }
 
 /// Sort values descending — "rank of flow/link" as in Fig. 13's x axes.
+///
+/// Uses `total_cmp` (determinism policy, DESIGN.md §3.2d): a NaN slipping
+/// into a measurement series must sort to a stable position, not panic an
+/// `unwrap` or — worse — produce an ordering that varies with input order.
 pub fn ranked(values: &[f64]) -> Vec<f64> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    v.sort_by(|a, b| b.total_cmp(a));
     v
+}
+
+/// Deciles (0th..=100th percentile in steps of 10) of a sample, sorted
+/// ascending with `total_cmp`. Empty input yields eleven zeros.
+pub fn deciles(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        return vec![0.0; 11];
+    }
+    (0..=10).map(|d| xs[(d * (xs.len() - 1)) / 10]).collect()
 }
 
 #[cfg(test)]
@@ -119,6 +133,41 @@ mod tests {
     #[test]
     fn ranked_sorts_descending() {
         assert_eq!(ranked(&[1.0, 3.0, 2.0]), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn ranked_is_total_on_nan_adjacent_inputs() {
+        // NaN-adjacent: NaN itself, ±inf, ±0.0 — must not panic, and the
+        // finite values must still come out in descending order with NaN
+        // at a stable (total-order) position: +NaN sorts above +inf.
+        let v = ranked(&[1.0, f64::NAN, -f64::INFINITY, 3.0, 0.0, -0.0, f64::INFINITY]);
+        assert!(v[0].is_nan(), "positive NaN ranks first under total_cmp: {v:?}");
+        assert_eq!(&v[1..], &[f64::INFINITY, 3.0, 1.0, 0.0, -0.0, -f64::INFINITY]);
+        // total_cmp puts -0.0 after +0.0 in descending order.
+        assert!(v[4].is_sign_positive() && v[5].is_sign_negative());
+        // Stable across permutations of the same multiset.
+        let w = ranked(&[f64::INFINITY, -0.0, 0.0, 3.0, -f64::INFINITY, f64::NAN, 1.0]);
+        assert_eq!(v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                   w.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deciles_cover_min_and_max() {
+        let d = deciles((0..=100).map(f64::from).collect());
+        assert_eq!(d.len(), 11);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[5], 50.0);
+        assert_eq!(d[10], 100.0);
+        assert_eq!(deciles(Vec::new()), vec![0.0; 11]);
+    }
+
+    #[test]
+    fn deciles_are_total_on_nan_adjacent_inputs() {
+        // A NaN sample must not panic the sort; under total_cmp it lands
+        // at the top decile (above +inf), leaving the rest well-ordered.
+        let d = deciles(vec![2.0, f64::NAN, 1.0, f64::INFINITY, -1.0]);
+        assert_eq!(d[0], -1.0);
+        assert!(d[10].is_nan(), "{d:?}");
     }
 
     #[test]

@@ -57,9 +57,11 @@ mod rfc6356;
 mod semicoupled;
 mod snapshot;
 
+pub mod digest;
 pub mod fluid;
 
 pub use algorithm::{AlgorithmKind, MultipathCc};
+pub use digest::{DetDigest, DigestWriter};
 
 /// Consecutive RTO backoffs without any ACK progress after which a subflow
 /// is treated as **potentially failed**: no new data is scheduled on it

@@ -1,5 +1,8 @@
 //! The per-subflow state visible to a congestion-control rule.
 
+// lint:digest-surface — every pub struct here is sim-visible state and must
+// implement `DetDigest` (enforced by `cargo xtask lint`).
+
 /// A read-only snapshot of one subflow's congestion state, in the units the
 /// paper uses: congestion windows in **packets** and round-trip times in
 /// **seconds**.
@@ -16,6 +19,8 @@ pub struct SubflowSnapshot {
     /// ("We use a smoothed RTT estimator, computed similarly to TCP", §2).
     pub rtt: f64,
 }
+
+crate::impl_det_digest!(SubflowSnapshot { cwnd, rtt });
 
 impl SubflowSnapshot {
     /// Convenience constructor.

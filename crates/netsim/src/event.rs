@@ -246,7 +246,7 @@ pub fn queue_churn(backend: QueueBackend, pending: usize, ops: u64) -> std::time
     for _ in 0..pending {
         q.push(SimTime(next() % SPREAD), EventKind::ConnStart { conn: 0 });
     }
-    let started = std::time::Instant::now();
+    let started = crate::perf::wall_clock();
     for _ in 0..ops {
         let e = q.pop_before(SimTime::MAX).expect("queue stays at `pending` events");
         q.push(SimTime(e.at.as_nanos() + 1 + next() % SPREAD), EventKind::ConnStart { conn: 0 });

@@ -78,6 +78,7 @@ impl GeParams {
     /// Long-run fraction of time spent in the bad state.
     pub fn stationary_bad(&self) -> f64 {
         let denom = self.p_enter_bad + self.p_exit_bad;
+        // lint:allow(float-ord, reason = "exact zero-guard against division by zero; no ordering or window arithmetic feeds off this comparison")
         if denom == 0.0 {
             0.0
         } else {

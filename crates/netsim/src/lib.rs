@@ -76,6 +76,9 @@ pub use fault::{FaultAction, FaultPlan, GeParams};
 pub use link::{LinkId, LinkSpec, LinkStats};
 pub use packet::DEFAULT_PACKET_SIZE;
 pub use perf::SimPerf;
+// Re-exported so downstream crates digest sim state without naming the core
+// crate (the trait behind the chaos_smoke bit-identity gate).
+pub use mptcp_cc::{DetDigest, DigestWriter};
 pub use probe::{
     CcPhase, LinkPoint, ProbeLog, ProbeSpec, SubflowPoint, Transition, TransitionKind,
 };

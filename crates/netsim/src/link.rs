@@ -152,6 +152,7 @@ impl LinkStats {
     /// Mean utilization over `elapsed`, as delivered bits / capacity.
     pub fn utilization(&self, rate_bps: f64, elapsed: SimTime) -> f64 {
         let secs = elapsed.as_secs_f64();
+        // lint:allow(float-ord, reason = "exact zero-guard against division by zero; no ordering or window arithmetic feeds off this comparison")
         if secs == 0.0 {
             0.0
         } else {

@@ -638,7 +638,7 @@ impl Simulator {
     ///   `SimPerf::quiesced_at` records when.
     pub fn run_until(&mut self, horizon: SimTime) {
         assert!(horizon >= self.now, "time cannot run backwards");
-        let started = std::time::Instant::now();
+        let started = crate::perf::wall_clock();
         let mut stalled = false;
         while let Some(ev) = self.queue.pop_before(horizon) {
             debug_assert!(ev.at >= self.now, "event from the past");

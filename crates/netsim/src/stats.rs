@@ -1,6 +1,11 @@
 //! Measurement: per-subflow and per-connection statistics.
 
+// lint:digest-surface — every pub struct here is sim-visible state and must
+// implement `DetDigest` (enforced by `cargo xtask lint`), so it feeds the
+// chaos_smoke bit-identity digest and cannot silently drift.
+
 use crate::time::SimTime;
+use mptcp_cc::impl_det_digest;
 
 /// Counters for one subflow, as observed at the end of a run (or at a
 /// sampling point — callers can diff successive snapshots for time series).
@@ -36,6 +41,21 @@ pub struct SubflowStats {
     pub potentially_failed: bool,
 }
 
+impl_det_digest!(SubflowStats {
+    delivered_pkts,
+    sent_pkts,
+    retransmits,
+    timeouts,
+    fast_recoveries,
+    cwnd,
+    ssthresh,
+    srtt,
+    rto,
+    in_flight,
+    rto_backoffs,
+    potentially_failed,
+});
+
 /// Statistics of a whole multipath connection.
 #[derive(Debug, Clone, Default)]
 pub struct ConnectionStats {
@@ -68,6 +88,19 @@ pub struct ConnectionStats {
     /// space.
     pub reinject_pending: u64,
 }
+
+impl_det_digest!(ConnectionStats {
+    subflows,
+    packet_size,
+    started_at,
+    finished_at,
+    data_sent,
+    data_delivered,
+    data_acked,
+    dup_data_arrivals,
+    reinjections_sent,
+    reinject_pending,
+});
 
 impl ConnectionStats {
     /// Total packets delivered in order across subflows.

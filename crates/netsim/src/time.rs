@@ -77,6 +77,12 @@ impl Sub for SimTime {
     }
 }
 
+impl mptcp_cc::DetDigest for SimTime {
+    fn det_digest(&self, h: &mut mptcp_cc::DigestWriter) {
+        h.write_u64(self.0);
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}s", self.as_secs_f64())

@@ -247,7 +247,9 @@ mod tests {
         for &(s, d) in &[(0usize, 124usize), (0, 1), (3, 78), (10, 35), (50, 55)] {
             let paths = b.path_set(s, d, &mut rng);
             assert_eq!(paths.len(), 3);
-            let mut seen = std::collections::HashSet::new();
+            // BTreeSet, not HashSet: no per-process hasher seed anywhere
+            // near path enumeration (determinism policy, DESIGN.md §3.2d).
+            let mut seen = std::collections::BTreeSet::new();
             for p in &paths {
                 for &l in p {
                     assert!(seen.insert(l), "link {l} shared between paths {s}->{d}");

@@ -1,0 +1,379 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The offline build environment has no `syn`/`proc-macro2`, so the lint
+//! pass works on a token stream produced here instead of a full AST. The
+//! lexer understands everything that matters for not mis-firing inside
+//! non-code text: line/block comments (kept as tokens — the annotation
+//! layer reads them), string/char/byte/raw-string literals, lifetimes
+//! versus char literals, numeric literals (with float detection), and a
+//! handful of multi-character operators (`::`, `==`, `!=`, …) merged so
+//! the rule scanners can match on them directly.
+//!
+//! It does not attempt full fidelity (no interned spans, no nested token
+//! trees); every token carries its 1-based source line, which is all the
+//! findings need.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `pub`, `struct`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (including hex/oct/bin).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// String, char, byte or raw-string literal (contents opaque).
+    Str,
+    /// Operator / punctuation; multi-char operators in
+    /// [`MERGED_PUNCT`] arrive as a single token.
+    Punct,
+    /// `// …` (including `///` and `//!`), text preserved.
+    LineComment,
+    /// `/* … */` (nesting handled), text preserved.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this a comment token?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators merged into single tokens, longest first
+/// (maximal munch). Only operators a rule scanner matches on need to be
+/// here, plus their longer supersets so `..=` never lexes as `..` `=`.
+const MERGED_PUNCT: &[&str] = &["..=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", ".."];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Unterminated literals/comments are tolerated
+/// (the remainder becomes one token): the linter must degrade gracefully
+/// on fixture files that never compile.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Skip shebang.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while i < b.len() && b[i] != '\n' {
+            i += 1;
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            i += 2;
+            let mut depth = 1;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Identifiers — possibly a raw-string/byte-string prefix.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+            if is_str_prefix && i < b.len() && (b[i] == '"' || b[i] == '#') {
+                // Raw (or byte) string: r"…", r#"…"#, br##"…"##.
+                let mut hashes = 0usize;
+                let mut j = i;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    j += 1;
+                    // Scan for `"` followed by `hashes` hashes.
+                    'scan: while j < b.len() {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[start..j].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            if is_str_prefix && i < b.len() && b[i] == '\'' {
+                // b'…' byte char.
+                let j = scan_quoted(&b, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: ident, line: start_line });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            // Fractional part: `.` followed by a digit, or a bare trailing
+            // `.` that is not `..` and not a method call (`1.max(2)`).
+            if i < b.len() && b[i] == '.' {
+                let next = b.get(i + 1).copied();
+                let fractional = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('.') => false,
+                    Some(d) if is_ident_start(d) => false,
+                    _ => true, // `1.` at end of expression
+                };
+                if fractional {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            // Signed exponent (`1e-9`): the alnum scan stops at the sign.
+            if i < b.len()
+                && (b[i] == '+' || b[i] == '-')
+                && b[i - 1].is_ascii_alphabetic()
+                && (b[i - 1] == 'e' || b[i - 1] == 'E')
+                && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            let lower = text.to_ascii_lowercase();
+            let hexish = lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b");
+            let is_float = text.contains('.')
+                || (!hexish && lower.contains('e') && lower.chars().next().is_some_and(|d| d.is_ascii_digit()))
+                || (!hexish && (lower.ends_with("f32") || lower.ends_with("f64")));
+            toks.push(Tok {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let start = i;
+            let j = scan_quoted(&b, i, &mut line);
+            toks.push(Tok { kind: TokKind::Str, text: b[start..j].iter().collect(), line: start_line });
+            i = j;
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(d) if is_ident_start(d) => after == Some('\''),
+                Some(_) => true, // '(' etc: a char literal like '(' or ' '
+                None => true,
+            };
+            if is_char {
+                let start = i;
+                let j = scan_quoted(&b, i, &mut line);
+                toks.push(Tok { kind: TokKind::Str, text: b[start..j].iter().collect(), line: start_line });
+                i = j;
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+
+        // Punctuation with maximal munch over the merged set.
+        let mut matched = false;
+        for op in MERGED_PUNCT {
+            let n = op.chars().count();
+            if i + n <= b.len() && b[i..i + n].iter().collect::<String>() == **op {
+                toks.push(Tok { kind: TokKind::Punct, text: (*op).to_string(), line: start_line });
+                i += n;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line: start_line });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Scan a `'…'` or `"…"` literal starting at the opening quote at `pos`;
+/// returns the index one past the closing quote (or end of input).
+fn scan_quoted(b: &[char], pos: usize, line: &mut u32) -> usize {
+    let quote = b[pos];
+    let mut i = pos + 1;
+    while i < b.len() {
+        match b[i] {
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_idents() {
+        let t = kinds("let x = \"// not a comment\"; // real\n/* block */ y");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("not a comment")));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::LineComment && s == "// real"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::BlockComment && s == "/* block */"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'b'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, s)| *k == TokKind::Str && s.starts_with('\'')).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_swallow_operators() {
+        let t = kinds("let s = r#\"a == 1.0\"#; s != 2.0");
+        // The == inside the raw string must not surface as a Punct.
+        assert_eq!(t.iter().filter(|(k, s)| *k == TokKind::Punct && s == "==").count(), 0);
+        assert_eq!(t.iter().filter(|(k, s)| *k == TokKind::Punct && s == "!=").count(), 1);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Float).count(), 1);
+    }
+
+    #[test]
+    fn float_forms() {
+        for src in ["1.0", "0.5e3", "1e-9", "2f64", "3."] {
+            let t = kinds(src);
+            assert_eq!(t[0].0, TokKind::Float, "{src}: {t:?}");
+        }
+        for src in ["1", "0xfe", "1_000", "0b1010"] {
+            let t = kinds(src);
+            assert_eq!(t[0].0, TokKind::Int, "{src}: {t:?}");
+        }
+        // Method call on an int literal is not a float.
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn merged_operators_and_lines() {
+        let t = lex("a::b\n== c ..= d");
+        assert_eq!(t[1].text, "::");
+        assert_eq!(t[1].line, 1);
+        let eq = t.iter().find(|x| x.text == "==").unwrap();
+        assert_eq!(eq.line, 2);
+        assert!(t.iter().any(|x| x.text == "..="));
+    }
+}

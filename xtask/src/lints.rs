@@ -1,0 +1,554 @@
+//! The determinism & invariant lint rules.
+//!
+//! Four domain rules the stock compiler and clippy cannot express (see
+//! DESIGN.md §3.2d for the policy they enforce):
+//!
+//! * **`unordered-iter`** (D1) — no `HashMap`/`HashSet` in simulation
+//!   crates' library code. Hash containers iterate in per-process
+//!   `RandomState` order; one `.iter()` into an ordered sink and the run
+//!   is no longer a function of the seed. Conservatively type-level: the
+//!   *type* is banned, which bans every iteration of it.
+//! * **`wall-clock`** (D2) — no `Instant::now`, `SystemTime`,
+//!   `thread_rng`, `RandomState` or `DefaultHasher` anywhere: the only
+//!   audited entropy site is `mptcp_netsim::perf::wall_clock()`.
+//! * **`float-ord`** (D3) — no `.partial_cmp(…)` call sites (use
+//!   `total_cmp`), no `==`/`!=` against float literals (annotate exact
+//!   zero-guards), no `f32` in simulation crates (event ordering and
+//!   window arithmetic are `f64`/`SimTime`).
+//! * **`digest-surface`** (D4) — every `pub struct` in a file marked
+//!   `// lint:digest-surface` must have a `DetDigest` impl (normally via
+//!   `impl_det_digest!`) somewhere in its crate, so new sim state cannot
+//!   escape the `chaos_smoke` bit-identity digest.
+//!
+//! The escape hatch is a machine-checked annotation:
+//!
+//! ```text
+//! // lint:allow(<rule>, reason = "<non-empty explanation>")
+//! ```
+//!
+//! placed on the offending line or alone on the line directly above it.
+//! Malformed or unknown-rule annotations are themselves findings
+//! (`bad-annotation`), as are annotations that suppress nothing
+//! (`unused-allow`) — allows cannot rot silently.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// A lint rule identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// D1: hash containers in sim library code.
+    UnorderedIter,
+    /// D2: wall-clock / entropy sources.
+    WallClock,
+    /// D3: partial float comparisons feeding ordering.
+    FloatOrd,
+    /// D4: pub sim-state structs missing the determinism-digest impl.
+    DigestSurface,
+    /// A `lint:` annotation that is malformed, names an unknown rule, or
+    /// has an empty reason.
+    BadAnnotation,
+    /// A well-formed allow that suppressed no finding.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// Kebab-case name used in diagnostics and annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatOrd => "float-ord",
+            Rule::DigestSurface => "digest-surface",
+            Rule::BadAnnotation => "bad-annotation",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// The rules an annotation may allow (the meta rules cannot be
+    /// annotated away).
+    pub fn allowable() -> &'static [Rule] {
+        &[Rule::UnorderedIter, Rule::WallClock, Rule::FloatOrd, Rule::DigestSurface]
+    }
+
+    /// Parse an allowable rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::allowable().iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// Whether a file is simulation *library* code (D1 and the `f32` ban
+/// apply) or supporting code (tests, benches, the umbrella crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// `crates/{core,netsim,proto,topology,workload}/src` — full rule set.
+    Sim,
+    /// Everything else under lint: D2/D3/D4 but not the type-level D1 ban.
+    General,
+}
+
+/// One file handed to the linter.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Path used in findings (workspace-relative by convention).
+    pub path: PathBuf,
+    /// Full source text.
+    pub source: String,
+    /// Rule scope.
+    pub scope: Scope,
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix it (or annotate it).
+    pub suggestion: String,
+}
+
+/// A parsed `lint:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+    /// The allowed rule.
+    pub rule: Rule,
+    /// The stated reason (non-empty by construction).
+    pub reason: String,
+}
+
+/// Parse every `lint:allow(...)` annotation in `source`. Returns the
+/// well-formed allows and a finding for each malformed one.
+pub fn collect_allows(path: &Path, source: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let toks = lex(source);
+    collect_allows_from_tokens(path, source, &toks)
+}
+
+/// A `lint:` directive must *lead* its comment (after the comment sigils),
+/// so prose that merely mentions the grammar — e.g. module docs quoting
+/// `// lint:allow(…)` — is not parsed as a directive.
+fn comment_directive(text: &str) -> Option<&str> {
+    let body = text.trim_start_matches(['/', '!', '*']).trim_start();
+    body.starts_with("lint:").then_some(body)
+}
+
+fn collect_allows_from_tokens(path: &Path, source: &str, toks: &[Tok]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if !t.is_comment() || !comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:allow")) {
+            continue;
+        }
+        let target_line = allow_target_line(toks, idx);
+        match parse_allow(&t.text) {
+            Ok((rule, reason)) => {
+                allows.push(Allow { line: t.line, target_line, rule, reason });
+            }
+            Err(why) => bad.push(Finding {
+                rule: Rule::BadAnnotation,
+                path: path.to_path_buf(),
+                line: t.line,
+                message: format!("malformed lint annotation: {why}"),
+                snippet: snippet_at(source, t.line),
+                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface".into(),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// The line an allow-comment at token `idx` governs: its own line if code
+/// precedes it there (trailing comment), otherwise the line of the next
+/// code token (comment-on-its-own-line form).
+fn allow_target_line(toks: &[Tok], idx: usize) -> u32 {
+    let line = toks[idx].line;
+    let trailing = toks[..idx].iter().rev().take_while(|t| t.line == line).any(|t| !t.is_comment());
+    if trailing {
+        return line;
+    }
+    toks[idx + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+/// Parse `lint:allow(<rule>, reason = "<text>")` out of a comment.
+fn parse_allow(comment: &str) -> Result<(Rule, String), String> {
+    let rest = comment.split("lint:allow").nth(1).ok_or("missing `lint:allow`")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after `lint:allow`")?;
+    let (rule_name, rest) = rest.split_once(',').ok_or("expected `,` after the rule name")?;
+    let rule_name = rule_name.trim();
+    let rule = Rule::from_name(rule_name)
+        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface)"))?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("reason").ok_or("expected `reason = \"…\"`")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=').ok_or("expected `=` after `reason`")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"').ok_or("reason must be a quoted string")?;
+    let (reason, _) = rest.split_once('"').ok_or("unterminated reason string")?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((rule, reason.trim().to_string()))
+}
+
+fn snippet_at(source: &str, line: u32) -> String {
+    source.lines().nth(line as usize - 1).unwrap_or("").trim().to_string()
+}
+
+/// Scan one file's code tokens for D1–D3 findings and D4 facts.
+struct FileScan {
+    findings: Vec<Finding>,
+    /// `pub struct` names declared here, with lines.
+    pub_structs: Vec<(String, u32)>,
+    /// File carries the `lint:digest-surface` marker.
+    digest_surface: bool,
+    /// Struct names with `DetDigest` impl evidence in this file.
+    digest_impls: Vec<String>,
+}
+
+fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
+    let toks = lex(&f.source);
+    let (allows, bad) = collect_allows_from_tokens(&f.path, &f.source, &toks);
+    let digest_surface = toks.iter().any(|t| {
+        t.is_comment()
+            && comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:digest-surface"))
+    });
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut findings = Vec::new();
+    let mut pub_structs = Vec::new();
+    let mut digest_impls = Vec::new();
+
+    let push = |findings: &mut Vec<Finding>, rule: Rule, line: u32, message: String, suggestion: String| {
+        findings.push(Finding {
+            rule,
+            path: f.path.clone(),
+            line,
+            message,
+            snippet: snippet_at(&f.source, line),
+            suggestion,
+        });
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        let next = code.get(i + 1);
+        let next2 = code.get(i + 2);
+
+        if t.kind == TokKind::Ident {
+            // ---- D1: hash containers (sim library code only) ----
+            if f.scope == Scope::Sim
+                && matches!(t.text.as_str(), "HashMap" | "HashSet" | "hash_map" | "hash_set")
+            {
+                push(
+                    &mut findings,
+                    Rule::UnorderedIter,
+                    t.line,
+                    format!(
+                        "`{}` in simulation library code: iteration order depends on the per-process hasher seed",
+                        t.text
+                    ),
+                    format!(
+                        "use `BTree{}`/`Vec` (deterministic order), or annotate: // lint:allow(unordered-iter, reason = \"…\")",
+                        if t.text.contains("Set") || t.text.contains("set") { "Set" } else { "Map" }
+                    ),
+                );
+            }
+
+            // ---- D2: wall-clock / entropy sources ----
+            let wall = match t.text.as_str() {
+                "Instant"
+                    if next.is_some_and(|n| n.text == "::")
+                        && next2.is_some_and(|n| n.text == "now") =>
+                {
+                    Some("`Instant::now()` reads the host clock")
+                }
+                "SystemTime" => Some("`SystemTime` reads the host clock"),
+                "thread_rng" => Some("`thread_rng` is OS-seeded entropy"),
+                "RandomState" => Some("`RandomState` is a per-process-seeded hasher"),
+                "DefaultHasher" => Some("`DefaultHasher::new()` hides a seeded `RandomState`"),
+                _ => None,
+            };
+            if let Some(what) = wall {
+                push(
+                    &mut findings,
+                    Rule::WallClock,
+                    t.line,
+                    format!("{what}: simulation logic must advance only on `SimTime`"),
+                    "route perf measurements through `mptcp_netsim::perf::wall_clock()` (the one audited site), seed RNGs from the sim seed, or annotate: // lint:allow(wall-clock, reason = \"…\")".into(),
+                );
+            }
+
+            // ---- D3: f32 in sim library code ----
+            if f.scope == Scope::Sim && t.text == "f32" {
+                push(
+                    &mut findings,
+                    Rule::FloatOrd,
+                    t.line,
+                    "`f32` in simulation library code: window arithmetic and orderings are `f64`/`SimTime`".into(),
+                    "use `f64` (or `SimTime` for times), or annotate: // lint:allow(float-ord, reason = \"…\")".into(),
+                );
+            }
+
+            // ---- D4 facts: pub structs + DetDigest impl evidence ----
+            if t.text == "pub" {
+                // Skip a `pub(crate)` / `pub(in …)` restriction.
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|n| n.text == "(") {
+                    let mut depth = 1;
+                    j += 1;
+                    while depth > 0 {
+                        match code.get(j) {
+                            Some(n) if n.text == "(" => depth += 1,
+                            Some(n) if n.text == ")" => depth -= 1,
+                            None => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                if code.get(j).is_some_and(|n| n.text == "struct") {
+                    if let Some(name) = code.get(j + 1) {
+                        pub_structs.push((name.text.clone(), name.line));
+                    }
+                }
+            }
+            if t.text == "impl_det_digest"
+                && next.is_some_and(|n| n.text == "!")
+                && next2.is_some_and(|n| n.text == "(")
+            {
+                if let Some(name) = code.get(i + 3).filter(|n| n.kind == TokKind::Ident) {
+                    digest_impls.push(name.text.clone());
+                }
+            }
+            if t.text == "DetDigest" && next.is_some_and(|n| n.text == "for") {
+                if let Some(name) = code.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                    digest_impls.push(name.text.clone());
+                }
+            }
+        }
+
+        // ---- D3: `.partial_cmp(` call sites ----
+        if t.kind == TokKind::Punct
+            && t.text == "."
+            && next.is_some_and(|n| n.kind == TokKind::Ident && n.text == "partial_cmp")
+        {
+            push(
+                &mut findings,
+                Rule::FloatOrd,
+                next.unwrap().line,
+                "`.partial_cmp(…)` call site: partial float orderings panic or drift on NaN".into(),
+                "use `f64::total_cmp` (IEEE 754 total order), or annotate: // lint:allow(float-ord, reason = \"…\")".into(),
+            );
+        }
+
+        // ---- D3: `==` / `!=` against a float literal ----
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let prev_float = i > 0 && code[i - 1].kind == TokKind::Float;
+            let next_float = next.is_some_and(|n| n.kind == TokKind::Float);
+            if prev_float || next_float {
+                push(
+                    &mut findings,
+                    Rule::FloatOrd,
+                    t.line,
+                    format!("float `{}` comparison against a literal: exact float equality is a determinism hazard near computed values", t.text),
+                    "compare with an explicit tolerance or restructure; for exact zero-guards annotate: // lint:allow(float-ord, reason = \"…\")".into(),
+                );
+            }
+        }
+    }
+
+    (
+        FileScan { findings, pub_structs, digest_surface, digest_impls },
+        allows,
+        bad,
+    )
+}
+
+/// Lint a group of files that form one crate (D4 impl evidence is
+/// resolved crate-wide). Returns all findings, sorted by path then line.
+pub fn lint_group(files: &[FileInput]) -> Vec<Finding> {
+    let mut per_file: Vec<(FileScan, Vec<Allow>, Vec<Finding>)> =
+        files.iter().map(scan_file).collect();
+
+    // D4: resolve digest-surface structs against crate-wide impl evidence.
+    let impls: Vec<String> =
+        per_file.iter().flat_map(|(s, _, _)| s.digest_impls.iter().cloned()).collect();
+    for (idx, f) in files.iter().enumerate() {
+        let (scan, _, _) = &per_file[idx];
+        if !scan.digest_surface {
+            continue;
+        }
+        let missing: Vec<(String, u32)> = scan
+            .pub_structs
+            .iter()
+            .filter(|(name, _)| !impls.iter().any(|i| i == name))
+            .cloned()
+            .collect();
+        for (name, line) in missing {
+            let snippet = snippet_at(&f.source, line);
+            per_file[idx].0.findings.push(Finding {
+                rule: Rule::DigestSurface,
+                path: f.path.clone(),
+                line,
+                message: format!(
+                    "`pub struct {name}` in a `lint:digest-surface` file has no `DetDigest` impl: its state escapes the chaos_smoke determinism digest"
+                ),
+                snippet,
+                suggestion: format!(
+                    "add `impl_det_digest!({name} {{ <every field> }});` (use the `skip {{ … }}` block for wall-clock-only fields), or annotate the struct: // lint:allow(digest-surface, reason = \"…\")"
+                ),
+            });
+        }
+    }
+
+    // Suppression: an allow kills same-rule findings on its target line.
+    let mut out = Vec::new();
+    for (idx, (scan, allows, bad)) in per_file.iter_mut().enumerate() {
+        let f = &files[idx];
+        let mut used = vec![false; allows.len()];
+        for finding in scan.findings.drain(..) {
+            let suppressed = allows.iter().enumerate().find(|(_, a)| {
+                a.rule == finding.rule && a.target_line == finding.line
+            });
+            match suppressed {
+                Some((i, _)) => used[i] = true,
+                None => out.push(finding),
+            }
+        }
+        for (i, a) in allows.iter().enumerate() {
+            if !used[i] {
+                out.push(Finding {
+                    rule: Rule::UnusedAllow,
+                    path: f.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`lint:allow({}, …)` suppresses nothing on line {}: stale annotations must be removed",
+                        a.rule.name(),
+                        a.target_line
+                    ),
+                    snippet: snippet_at(&f.source, a.line),
+                    suggestion: "delete the annotation (or move it onto the offending line)".into(),
+                });
+            }
+        }
+        out.append(bad);
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str, scope: Scope) -> FileInput {
+        FileInput { path: PathBuf::from("test.rs"), source: src.to_string(), scope }
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_in_sim_scope_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let sim = lint_group(&[file(src, Scope::Sim)]);
+        assert!(sim.iter().all(|f| f.rule == Rule::UnorderedIter));
+        assert_eq!(sim.len(), 3, "{sim:?}");
+        let gen = lint_group(&[file(src, Scope::General)]);
+        assert!(gen.is_empty(), "{gen:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src = "// lint:allow(unordered-iter, reason = \"order-insensitive count\")\nlet m = std::collections::HashMap::new();\n";
+        assert!(lint_group(&[file(src, Scope::Sim)]).is_empty());
+        // Trailing form.
+        let src = "let m = std::collections::HashMap::new(); // lint:allow(unordered-iter, reason = \"count\")\n";
+        assert!(lint_group(&[file(src, Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_and_bad_annotation_are_findings() {
+        let src = "// lint:allow(unordered-iter, reason = \"nothing here\")\nlet x = 1;\n";
+        assert_eq!(rules(&lint_group(&[file(src, Scope::Sim)])), vec![Rule::UnusedAllow]);
+        let src = "// lint:allow(no-such-rule, reason = \"x\")\nlet x = 1;\n";
+        assert_eq!(rules(&lint_group(&[file(src, Scope::Sim)])), vec![Rule::BadAnnotation]);
+        let src = "// lint:allow(wall-clock, reason = \"\")\nlet t = std::time::Instant::now();\n";
+        let f = lint_group(&[file(src, Scope::Sim)]);
+        // Empty reason: the annotation is bad AND the site is unprotected.
+        assert!(rules(&f).contains(&Rule::BadAnnotation), "{f:?}");
+        assert!(rules(&f).contains(&Rule::WallClock), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_sources_flagged_everywhere() {
+        for src in [
+            "let t = Instant::now();",
+            "let t = std::time::SystemTime::now();",
+            "let mut r = rand::thread_rng();",
+            "let s = RandomState::new();",
+            "let h = DefaultHasher::new();",
+        ] {
+            let f = lint_group(&[file(src, Scope::General)]);
+            assert_eq!(rules(&f), vec![Rule::WallClock], "{src}");
+        }
+        // `Instant` alone (e.g. storing one handed in) is fine.
+        assert!(lint_group(&[file("fn f(t: Instant) {}", Scope::General)]).is_empty());
+    }
+
+    #[test]
+    fn float_ord_variants() {
+        let f = lint_group(&[file("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());", Scope::General)]);
+        assert_eq!(rules(&f), vec![Rule::FloatOrd]);
+        let f = lint_group(&[file("if x == 0.0 { }", Scope::General)]);
+        assert_eq!(rules(&f), vec![Rule::FloatOrd]);
+        let f = lint_group(&[file("if 1e-9 != y { }", Scope::General)]);
+        assert_eq!(rules(&f), vec![Rule::FloatOrd]);
+        // fn definitions of partial_cmp (PartialOrd impls) are not calls.
+        assert!(lint_group(&[file("fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }", Scope::General)]).is_empty());
+        // Integer equality is fine.
+        assert!(lint_group(&[file("if x == 0 { }", Scope::General)]).is_empty());
+        // f32 only in sim scope.
+        assert_eq!(rules(&lint_group(&[file("let x: f32 = 0.5;", Scope::Sim)])), vec![Rule::FloatOrd]);
+        assert!(lint_group(&[file("let x: f32 = 0.5;", Scope::General)]).is_empty());
+    }
+
+    #[test]
+    fn digest_surface_requires_impl_crate_wide() {
+        let surface = "// lint:digest-surface\npub struct Stats { pub a: u64 }\n";
+        let f = lint_group(&[file(surface, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::DigestSurface]);
+        // Impl in a *different* file of the same group satisfies it.
+        let impl_file = FileInput {
+            path: PathBuf::from("other.rs"),
+            source: "impl_det_digest!(Stats { a });\n".into(),
+            scope: Scope::Sim,
+        };
+        assert!(lint_group(&[file(surface, Scope::Sim), impl_file]).is_empty());
+        // A manual `impl DetDigest for` also counts.
+        let manual = FileInput {
+            path: PathBuf::from("manual.rs"),
+            source: "impl DetDigest for Stats { fn det_digest(&self, h: &mut DigestWriter) {} }\n".into(),
+            scope: Scope::Sim,
+        };
+        assert!(lint_group(&[file(surface, Scope::Sim), manual]).is_empty());
+        // Unmarked files carry no obligation.
+        assert!(lint_group(&[file("pub struct Free { pub a: u64 }\n", Scope::Sim)]).is_empty());
+    }
+}

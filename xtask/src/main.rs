@@ -1,0 +1,180 @@
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! ```text
+//! cargo xtask lint            # run the determinism & invariant lints
+//! cargo xtask lint --fix      # …and print mechanical rewrite suggestions
+//! cargo xtask lint --rules    # describe the rule set
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+//! or I/O errors — so CI can treat the lint like `clippy -D warnings`.
+
+use xtask::{find_workspace_root, lint_workspace, mechanical_fix, Finding, Rule};
+
+const USAGE: &str = "usage: cargo xtask lint [--fix] [--rules] [PATH...]
+
+subcommands:
+  lint          run the determinism & invariant lint pass over the workspace
+    --fix       additionally print mechanical rewrite suggestions (no files
+                are modified)
+    --rules     print the rule set and the annotation grammar, then exit
+    PATH...     lint only these .rs files, under the strictest (sim library)
+                scope — used to try a file or a fixture in isolation
+";
+
+const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
+
+  unordered-iter   no HashMap/HashSet in simulation library code
+                   (crates/{core,netsim,proto,topology,workload}/src):
+                   hash iteration order is seeded per process.
+  wall-clock       no Instant::now / SystemTime / thread_rng / RandomState /
+                   DefaultHasher anywhere: the single audited entropy site
+                   is mptcp_netsim::perf::wall_clock().
+  float-ord        no .partial_cmp() call sites (use f64::total_cmp), no
+                   ==/!= against float literals, no f32 in sim library code.
+  digest-surface   every pub struct in a file marked `// lint:digest-surface`
+                   must implement DetDigest (impl_det_digest!), so its state
+                   feeds the chaos_smoke bit-identity digest.
+
+meta (not annotatable):
+
+  bad-annotation   a lint: annotation that is malformed, names an unknown
+                   rule, or has an empty reason.
+  unused-allow     a lint:allow that suppresses nothing.
+
+annotation grammar, on the offending line or alone on the line above it:
+
+  // lint:allow(<rule>, reason = \"<non-empty explanation>\")
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {}
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            return if args.is_empty() { 2 } else { 0 };
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return 2;
+        }
+    }
+    let mut fix = false;
+    let mut paths: Vec<String> = Vec::new();
+    for flag in it {
+        match flag {
+            "--fix" => fix = true,
+            "--rules" => {
+                print!("{RULES}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if !paths.is_empty() {
+        return lint_paths(&paths, fix);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask: cannot read current directory: {e}");
+            return 2;
+        }
+    };
+    let root = find_workspace_root(&cwd)
+        .or_else(|| find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))))
+        .unwrap_or_else(|| {
+            eprintln!("xtask: no workspace root found above {}", cwd.display());
+            std::process::exit(2);
+        });
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask: I/O error while linting: {e}");
+            return 2;
+        }
+    };
+
+    if findings.is_empty() {
+        println!("xtask lint: workspace clean (0 findings)");
+        return 0;
+    }
+    for f in &findings {
+        print_finding(f, fix);
+    }
+    let by_rule = summarize(&findings);
+    println!("xtask lint: {} finding(s): {}", findings.len(), by_rule);
+    println!("  (run `cargo xtask lint --rules` for the policy, `--fix` for rewrite suggestions)");
+    1
+}
+
+/// Lint explicitly-given files as one group, under the strictest scope.
+fn lint_paths(paths: &[String], fix: bool) -> i32 {
+    let mut files = Vec::new();
+    for p in paths {
+        let source = match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask: {p}: {e}");
+                return 2;
+            }
+        };
+        files.push(xtask::FileInput { path: p.into(), source, scope: xtask::Scope::Sim });
+    }
+    let findings = xtask::lint_group(&files);
+    if findings.is_empty() {
+        println!("xtask lint: {} file(s) clean", files.len());
+        return 0;
+    }
+    for f in &findings {
+        print_finding(f, fix);
+    }
+    println!("xtask lint: {} finding(s): {}", findings.len(), summarize(&findings));
+    1
+}
+
+fn print_finding(f: &Finding, fix: bool) {
+    println!("error[{}]: {}:{}", f.rule.name(), f.path.display(), f.line);
+    println!("  {}", f.message);
+    if !f.snippet.is_empty() {
+        println!("  --> {}", f.snippet);
+    }
+    println!("  = help: {}", f.suggestion);
+    if fix {
+        if let Some((before, after)) = mechanical_fix(f) {
+            println!("  = fix:");
+            println!("    - {before}");
+            println!("    + {after}");
+        }
+    }
+    println!();
+}
+
+fn summarize(findings: &[Finding]) -> String {
+    let mut counts: Vec<(Rule, usize)> = Vec::new();
+    for f in findings {
+        match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((f.rule, 1)),
+        }
+    }
+    counts
+        .iter()
+        .map(|(r, n)| format!("{} x{}", r.name(), n))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

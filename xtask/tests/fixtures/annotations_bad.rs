@@ -1,0 +1,17 @@
+//! Deliberately-bad fixture: the annotation meta-rules.
+//! Unknown rule names, empty reasons, malformed grammar, and a stale
+//! allow — every way an escape hatch can rot.
+
+// lint:allow(no-such-rule, reason = "typo'd rule name")
+pub fn a() {}
+
+// lint:allow(wall-clock, reason = "")
+pub fn b() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// lint:allow(float-ord)
+pub fn c() {}
+
+// lint:allow(unordered-iter, reason = "there is no hash container anywhere near this line")
+pub fn d() {}

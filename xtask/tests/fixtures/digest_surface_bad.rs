@@ -1,0 +1,18 @@
+//! Deliberately-bad fixture: D4 `digest-surface`.
+//! A marked sim-state file with a pub struct that never implements
+//! `DetDigest`: its fields silently escape the chaos_smoke bit-identity
+//! digest, so a nondeterminism bug in them would go unnoticed.
+
+// lint:digest-surface
+
+/// Per-path reinjection accounting (sim-visible outcome state).
+pub struct ReinjectStats {
+    pub attempted: u64,
+    pub succeeded: u64,
+}
+
+impl ReinjectStats {
+    pub fn failure_count(&self) -> u64 {
+        self.attempted - self.succeeded
+    }
+}

@@ -1,0 +1,20 @@
+//! Good fixture: D4 `digest-surface`.
+//! Every pub struct in this marked file either implements `DetDigest`
+//! (via the exhaustive-destructuring macro) or is annotated as pure
+//! configuration that cannot drift at runtime.
+
+// lint:digest-surface
+
+/// Sim-visible outcome state: digested.
+pub struct ReinjectStats {
+    pub attempted: u64,
+    pub succeeded: u64,
+    pub wall_secs: f64,
+}
+
+impl_det_digest!(ReinjectStats { attempted, succeeded } skip { wall_secs });
+
+// lint:allow(digest-surface, reason = "pure input configuration, set before the run and never mutated; cannot carry nondeterminism")
+pub struct ReinjectConfig {
+    pub max_attempts: u32,
+}

@@ -1,0 +1,16 @@
+//! Deliberately-bad fixture: D3 `float-ord`.
+//! Partial float orderings and exact float equality feeding event order /
+//! window arithmetic: NaN panics the unwrap, and `==` against a computed
+//! value flips with rounding.
+
+pub fn rank_windows(ws: &mut Vec<f64>) {
+    ws.sort_by(|a, b| a.partial_cmp(b).unwrap()); // panics on NaN
+}
+
+pub fn is_saturated(cwnd: f64) -> bool {
+    cwnd == 64.0 // exact equality on a computed window
+}
+
+pub fn precision_loss(srtt: f32) -> f32 {
+    srtt * 0.875 // f32 in window arithmetic
+}

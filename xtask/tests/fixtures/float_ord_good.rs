@@ -1,0 +1,19 @@
+//! Good fixture: D3 `float-ord`.
+//! Total orderings (`total_cmp`), tolerance comparisons, and one annotated
+//! exact zero-guard.
+
+pub fn rank_windows(ws: &mut [f64]) {
+    ws.sort_by(|a, b| a.total_cmp(b)); // IEEE 754 total order, NaN-safe
+}
+
+pub fn is_saturated(cwnd: f64, limit: f64) -> bool {
+    (cwnd - limit).abs() < 1e-9
+}
+
+pub fn mean_rate(bytes: f64, secs: f64) -> f64 {
+    // lint:allow(float-ord, reason = "exact zero-guard against division by zero; no ordering depends on it")
+    if secs == 0.0 {
+        return 0.0;
+    }
+    bytes / secs
+}

@@ -1,0 +1,21 @@
+//! Deliberately-bad fixture: D1 `unordered-iter`.
+//! Hash containers in simulation library code — iteration order is a
+//! function of the per-process `RandomState` seed, so folding one into an
+//! ordered sink (the Vec below) diverges across processes.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn per_link_totals(samples: &[(usize, u64)]) -> Vec<(usize, u64)> {
+    let mut totals: HashMap<usize, u64> = HashMap::new();
+    for &(link, bytes) in samples {
+        *totals.entry(link).or_insert(0) += bytes;
+    }
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for (link, bytes) in totals.iter() {
+        if seen.insert(*link) {
+            out.push((*link, *bytes)); // hash order escapes into the Vec
+        }
+    }
+    out
+}

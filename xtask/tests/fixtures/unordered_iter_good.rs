@@ -1,0 +1,19 @@
+//! Good fixture: D1 `unordered-iter`.
+//! Ordered containers everywhere, plus one annotated hash map whose use is
+//! provably order-insensitive (a pure count) — the escape hatch in action.
+
+use std::collections::BTreeMap;
+
+pub fn per_link_totals(samples: &[(usize, u64)]) -> Vec<(usize, u64)> {
+    let mut totals: BTreeMap<usize, u64> = BTreeMap::new();
+    for &(link, bytes) in samples {
+        *totals.entry(link).or_insert(0) += bytes;
+    }
+    totals.into_iter().collect() // BTreeMap: key order, seed-free
+}
+
+pub fn distinct_links(samples: &[(usize, u64)]) -> usize {
+    // lint:allow(unordered-iter, reason = "only the cardinality is read; no iteration order can escape")
+    let set: std::collections::HashSet<usize> = samples.iter().map(|s| s.0).collect();
+    set.len()
+}

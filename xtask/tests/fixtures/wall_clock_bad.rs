@@ -1,0 +1,15 @@
+//! Deliberately-bad fixture: D2 `wall-clock`.
+//! Host-clock and OS-entropy reads inside simulation logic: the run is no
+//! longer a pure function of the seed.
+
+pub fn jittered_deadline(base_ns: u64) -> u64 {
+    let t = std::time::Instant::now(); // host clock in sim logic
+    let wall = std::time::SystemTime::now(); // ditto, non-monotonic too
+    let mut rng = rand::thread_rng(); // OS-seeded entropy
+    let _ = (t, wall);
+    base_ns + rng.gen_range(0..100)
+}
+
+pub fn seeded_state() -> RandomState {
+    RandomState::new() // per-process hasher seed
+}
