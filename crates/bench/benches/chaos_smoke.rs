@@ -109,6 +109,23 @@ fn main() {
     let parallel = run_batch(&jobs);
     assert_eq!(serial, parallel, "MPTCP_JOBS=1 and MPTCP_JOBS=4 runs must be bit-identical");
 
+    // Persist the digests so CI can `diff` them across feature builds: the
+    // bitmap and `btree-scoreboard` flow-state layouts must produce the
+    // same history down to the event count (DESIGN.md §3.2e).
+    {
+        use std::fmt::Write as _;
+        let dir = mptcp_bench::report::trace_dir();
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        let path = dir.join("chaos_digest.txt");
+        let mut body = String::new();
+        for d in &serial {
+            writeln!(body, "{} events={} faults={} state={:016x}", d.label, d.events, d.faults, d.state)
+                .expect("format digest line");
+        }
+        std::fs::write(&path, body).expect("write chaos digest");
+        println!("  digest file for cross-feature comparison: {}", path.display());
+    }
+
     let mut t = Table::new(&["scenario", "events", "faults", "delivered", "reinject", "dups", "done"]);
     let mut all_ok = true;
     for d in &serial {

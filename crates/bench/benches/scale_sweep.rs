@@ -1,0 +1,90 @@
+//! **Scale sweep** — end-to-end simulator throughput vs world size.
+//!
+//! The hot-path work (timer-wheel queue, bitmap scoreboards, pooled ACK
+//! scratch) is justified by how the simulator behaves as the world grows,
+//! not by any single scenario. This bench runs the §4 FatTree MPTCP
+//! workload at three rungs — k = 4 (16 hosts), k = 8 (128 hosts, the
+//! `tab_fattree` scale) and k = 16 (1024 hosts) — and records events/sec
+//! plus the process peak RSS for each rung in `BENCH_sim.json` under
+//! `scale_sweep/*`, so both time *and* memory regressions at scale are
+//! visible to `cargo xtask bench-check`.
+//!
+//! Simulated durations shrink as k grows so every rung retires a
+//! comparable event count (event rate scales roughly linearly with hosts);
+//! `MPTCP_QUICK` shrinks them further. Peak RSS is read from
+//! `/proc/self/status` (`VmHWM`) and is a process-wide high-water mark:
+//! rungs run in ascending size order, so each reading is dominated by the
+//! largest world built so far.
+
+use mptcp_bench::datacenter::{run_fattree_with, Routing, Tp};
+use mptcp_bench::report::{merge_bench_sim, Record};
+use mptcp_bench::{banner, f1, f2, quick_mode, scaled, Table};
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{QueueBackend, SimTime};
+
+/// The process's peak resident set size in bytes (`VmHWM`), or `None` off
+/// Linux or if the field is missing — the record then carries 0 and the
+/// table a dash, rather than failing the bench.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn main() {
+    banner("SCALE_SWEEP", "FatTree MPTCP events/sec and peak RSS vs host count");
+    let quick = quick_mode();
+
+    // (k, warmup, window): durations shrink with k so each rung fires a
+    // comparable number of events. All durations also honor MPTCP_QUICK.
+    let rungs: [(usize, SimTime, SimTime); 3] = [
+        (4, SimTime::from_secs(2), SimTime::from_secs(6)),
+        (8, SimTime::from_secs(1), SimTime::from_secs(2)),
+        (16, SimTime::from_millis(250), SimTime::from_millis(750)),
+    ];
+
+    let mut t = Table::new(&[
+        "k", "hosts", "sim s", "events", "Mev/s", "peak RSS MiB", "host Mb/s",
+    ]);
+    let mut records = Vec::new();
+    for (k, warmup, window) in rungs {
+        let (warmup, window) = (scaled(warmup), scaled(window));
+        let (res, perf) = run_fattree_with(
+            k,
+            Tp::Permutation,
+            Routing::Multipath(AlgorithmKind::Mptcp, 8),
+            11,
+            warmup,
+            window,
+            QueueBackend::TimerWheel,
+        );
+        assert!(perf.is_consistent(), "perf counters out of balance: {perf:?}");
+        let hosts = k * k * k / 4;
+        let eps = perf.events_per_wall_sec();
+        let rss = peak_rss_bytes();
+        let sim_s = (warmup + window).as_secs_f64();
+        t.row(vec![
+            k.to_string(),
+            hosts.to_string(),
+            f2(sim_s),
+            perf.events_fired.to_string(),
+            f2(eps / 1e6),
+            rss.map_or("-".into(), |b| f1(b as f64 / (1 << 20) as f64)),
+            f1(res.mean_host_mbps()),
+        ]);
+        records.push(
+            Record::new(format!("scale_sweep/fattree_k{k}"))
+                .field("hosts", hosts as u64)
+                .field("sim_seconds", sim_s)
+                .field("events", perf.events_fired)
+                .field("peak_pending", perf.peak_pending)
+                .field("events_per_sec", eps)
+                .field("peak_rss_bytes", rss.unwrap_or(0))
+                .field("mean_host_mbps", res.mean_host_mbps())
+                .field("quick", quick),
+        );
+    }
+    t.print();
+    merge_bench_sim("scale_sweep/", &records);
+}

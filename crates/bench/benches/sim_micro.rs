@@ -19,8 +19,8 @@ use mptcp_bench::report::{merge_bench_sim, read_bench_field, Record};
 use mptcp_bench::{banner, f2, quick_mode, Table};
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::{
-    queue_churn, ConnectionSpec, LinkSpec, ProbeSpec, QueueBackend, SimPerf, SimTime,
-    Simulator,
+    queue_churn, scoreboard_churn, ConnectionSpec, LinkSpec, ProbeSpec, QueueBackend,
+    ScoreboardKind, SimPerf, SimTime, Simulator,
 };
 
 const WHEEL: QueueBackend = QueueBackend::TimerWheel;
@@ -126,6 +126,39 @@ fn main() {
             .field("wheel_events_per_sec", wheel_eps)
             .field("heap_events_per_sec", heap_eps)
             .field("speedup", wheel_eps / heap_eps)
+            .field("quick", quick),
+    );
+
+    // Scoreboard-only churn: the structure the per-ACK path spends its
+    // time in, isolated from the event loop — the rotating bitmap vs the
+    // BTreeSet reference it replaced, driven through the identical
+    // synthetic SACK/loss/retransmit cycle (see
+    // `mptcp_netsim::scoreboard_churn`).
+    let sb_window = 512u64;
+    let sb_ops: u64 = if quick { 400_000 } else { 4_000_000 };
+    let mut bitmap_best = f64::INFINITY;
+    let mut btree_best = f64::INFINITY;
+    for _ in 0..reps {
+        bitmap_best = bitmap_best
+            .min(scoreboard_churn(ScoreboardKind::Bitmap, sb_window, sb_ops).as_secs_f64());
+        btree_best = btree_best
+            .min(scoreboard_churn(ScoreboardKind::BTree, sb_window, sb_ops).as_secs_f64());
+    }
+    let bitmap_ops = sb_ops as f64 / bitmap_best;
+    let btree_ops = sb_ops as f64 / btree_best;
+    println!(
+        "  scoreboard churn (window {sb_window}): bitmap {} Mop/s vs btree {} Mop/s ({}x)",
+        f2(bitmap_ops / 1e6),
+        f2(btree_ops / 1e6),
+        f2(bitmap_ops / btree_ops),
+    );
+    records.push(
+        Record::new("sim_micro/scoreboard_churn")
+            .field("window", sb_window)
+            .field("ops", sb_ops)
+            .field("bitmap_ops_per_sec", bitmap_ops)
+            .field("btree_ops_per_sec", btree_ops)
+            .field("speedup", bitmap_ops / btree_ops)
             .field("quick", quick),
     );
 

@@ -81,8 +81,13 @@ pub(crate) enum EventKind {
     /// A packet finished propagating and arrives at `pkt.hop` of its path
     /// (or at the destination if the path is exhausted).
     Arrive { pkt: Packet },
-    /// An ACK reaches the sender of `conn`/`sub`.
-    AckArrive { conn: ConnId, sub: usize, ack: AckInfo },
+    /// An ACK reaches the sender of `conn`/`sub`. The ACK's content (fixed
+    /// at delivery time) lives in the simulator's [`AckInfo`] pool; `ack`
+    /// is its slot index, freed when the event is dispatched. Carrying the
+    /// 4-byte slot instead of the ~100-byte `AckInfo` inline keeps every
+    /// queued `Event` small, which matters because the timer wheel copies
+    /// events between slabs as time advances.
+    AckArrive { conn: ConnId, sub: usize, ack: u32 },
     /// A retransmission-timer event. Timers are lazy: at most one event is
     /// pending per subflow, and a firing that arrives before the current
     /// deadline simply re-schedules itself — this keeps the event queue at
@@ -433,6 +438,17 @@ mod tests {
             prop_assert_eq!(wheel.len(), 0);
             prop_assert_eq!(heap.len(), 0);
         }
+    }
+
+    /// The wheel copies events between slabs as time advances, so `Event`
+    /// size is a real throughput knob. `AckArrive` must carry its pool
+    /// slot, never an inline `AckInfo` (which alone is bigger than this
+    /// whole bound).
+    #[test]
+    fn queued_events_stay_small() {
+        assert!(std::mem::size_of::<AckInfo>() > 64, "payload belongs in the pool");
+        let sz = std::mem::size_of::<Event>();
+        assert!(sz <= 72, "Event grew to {sz} bytes; keep it lean");
     }
 
     /// Regression pinned from a proptest shrink: two horizon-bounded pops

@@ -63,6 +63,8 @@ mod link;
 mod packet;
 mod perf;
 mod probe;
+mod scoreboard;
+mod scoreboard_ref;
 mod sim;
 mod stats;
 mod tcp;
@@ -82,6 +84,7 @@ pub use mptcp_cc::{DetDigest, DigestWriter};
 pub use probe::{
     CcPhase, LinkPoint, ProbeLog, ProbeSpec, SubflowPoint, Transition, TransitionKind,
 };
+pub use scoreboard::{scoreboard_churn, ScoreboardKind};
 pub use sim::{ConnId, ConnectionSpec, Simulator, SubflowSpec};
 pub use stats::{ConnectionStats, SubflowStats};
 pub use tcp::TcpParams;

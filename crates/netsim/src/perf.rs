@@ -46,6 +46,14 @@ pub struct SimPerf {
     /// When the event queue ran dry with unfinished connections left: a
     /// quiesced (deadlocked) world that can never make progress again.
     pub quiesced_at: Option<SimTime>,
+    /// Logical allocation events on the simulator's hot paths: scoreboard
+    /// ring growth and interval-fallback spills, send-metadata growth,
+    /// ACK-pool growth, and per-connection scratch growth. After warmup
+    /// this must stop moving — the steady-state ACK path is allocation-
+    /// free (asserted by tests). The crate forbids `unsafe`, so this is
+    /// tracked by the owning structures rather than a global allocator
+    /// hook.
+    pub hot_allocs: u64,
 }
 
 impl_det_digest!(SimPerf {
@@ -62,6 +70,10 @@ impl_det_digest!(SimPerf {
     // Wall-clock measurement: legitimately differs run to run and must not
     // perturb the determinism digest.
     wall,
+    // Capacity growth is backend-specific (the bitmap and B-tree
+    // scoreboards legitimately count different things), so it stays out
+    // of the cross-feature determinism digest, like `wall`.
+    hot_allocs,
 });
 
 /// The workspace's **single audited wall-clock read**.
@@ -124,6 +136,7 @@ mod tests {
             faults_applied: 3,
             stalled_at: None,
             quiesced_at: None,
+            hot_allocs: 0,
         };
         assert!(p.is_consistent());
         assert!(p.events_per_wall_sec() > 0.0);

@@ -239,6 +239,10 @@ fn mean(it: impl Iterator<Item = f64>) -> Option<f64> {
 pub(crate) struct ProbeState {
     pub spec: ProbeSpec,
     pub log: ProbeLog,
+    /// `watch[conn]` — dense O(1) mirror of `spec.conns`, consulted on
+    /// every ACK and RTO while the probe is enabled (a watch-list scan
+    /// there would put a per-event O(conns) term back on the hot path).
+    pub watch: Vec<bool>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,1034 @@
+//! Rotating bitmap scoreboards for the per-ACK hot path.
+//!
+//! The SACK scoreboard (`sacked` / `lost` / retransmitted-out) and the
+//! receiver's out-of-order buffer are *windowed* sets: every member lies in
+//! `[una, una + w)` for a window `w` bounded by the congestion-window cap,
+//! and the window only ever slides forward. A `BTreeSet<u64>` pays an
+//! allocation plus O(log w) pointer-chasing per operation for ordering
+//! guarantees the access pattern never needs; a rotating bitmap indexed by
+//! `seq & mask` gives O(1) insert/remove/contains with zero steady-state
+//! allocations, and the ordered queries the scoreboard *does* make
+//! (pop-lowest-lost, DupThresh-th-highest-sacked, first-k SACK runs) are
+//! short masked word scans bounded by lo/hi hints.
+//!
+//! Pathological gaps — a sequence landing far above the ring capacity —
+//! first grow the ring (doubling, up to [`MAX_CAP`] bits) and beyond that
+//! spill into a sorted-interval fallback, so correctness never depends on
+//! the sizing heuristic. Growth and spills are counted as allocation
+//! events and surface in [`crate::SimPerf::hot_allocs`], which is how the
+//! zero-alloc steady-state claim is asserted rather than assumed.
+//!
+//! The previous `BTreeSet`-based bookkeeping is preserved verbatim in
+//! [`crate::scoreboard_ref`] behind the same traits; the `btree-scoreboard`
+//! feature flips the default back (mirroring `heap-queue` for the event
+//! queue), and differential proptests in `tcp.rs` drive both through
+//! identical ACK/SACK/loss sequences asserting bit-identical outcomes.
+
+// lint:hot-path — no BTreeSet/BTreeMap in this file: it *is* the structure
+// that replaced them on the per-ACK path.
+
+use crate::tcp::{SackRanges, MAX_SACK_RANGES};
+
+/// Default ring capacity in bits when no (finite) window hint is available.
+const DEFAULT_CAP: u64 = 1 << 10;
+
+/// Rings never grow beyond this many bits (128 KiB of words); sequences
+/// further above `base` go to the sorted-interval fallback instead.
+const MAX_CAP: u64 = 1 << 20;
+
+/// Sender-side SACK scoreboard: the set operations `SubflowSender` performs
+/// per ACK, abstracted so a bitmap and the reference `BTreeSet` bookkeeping
+/// can be driven through identical sequences and compared bit-for-bit.
+pub(crate) trait Scoreboard: std::fmt::Debug {
+    /// Fresh scoreboard sized for windows up to `max_window` packets
+    /// (`f64::INFINITY` when uncapped — sizing is a hint, never a limit).
+    fn with_window_hint(max_window: f64) -> Self;
+    /// Number of sequences the receiver reported holding (≥ `una`).
+    fn sacked_len(&self) -> u64;
+    /// Whether `seq` has been SACKed.
+    fn sacked_contains(&self, seq: u64) -> bool;
+    /// Number of sequences currently deemed lost and not yet retransmitted.
+    fn lost_len(&self) -> u64;
+    /// Whether no sequence is waiting for retransmission.
+    fn lost_is_empty(&self) -> bool;
+    /// Pop the lowest lost sequence and record it as retransmitted-out at
+    /// SACK-event count `sack_events` (for the RACK-style re-mark rule).
+    fn pop_lost_for_retx(&mut self, sack_events: u64) -> Option<u64>;
+    /// Drop all state below the new cumulative ACK point.
+    fn advance_to(&mut self, cum: u64);
+    /// Mark `seq` SACKed; returns whether it is newly marked. A newly
+    /// SACKed sequence leaves the lost and retransmitted-out sets.
+    fn sack_one(&mut self, seq: u64) -> bool;
+    /// The `n`-th highest SACKed sequence (0 = highest), if it exists.
+    fn nth_highest_sacked(&self, n: usize) -> Option<u64>;
+    /// Mark every hole in `[una, cutoff)` — neither SACKed nor already
+    /// lost nor retransmitted-out — as lost. Returns whether any was new.
+    fn mark_holes_lost(&mut self, una: u64, cutoff: u64) -> bool;
+    /// RACK-style re-mark: retransmissions below `cutoff` with ≥ `thresh`
+    /// *new* SACK events since they went out are moved back to lost.
+    /// Returns whether any was moved.
+    fn remark_lost_retx(&mut self, cutoff: u64, sack_events: u64, thresh: u64) -> bool;
+    /// RTO collapse: clear retransmitted-out, mark everything unsacked in
+    /// `[una, next_seq)` lost (the network is presumed drained).
+    fn rto_collapse(&mut self, una: u64, next_seq: u64);
+    /// Allocation events so far (ring growth / interval-fallback spills for
+    /// the bitmap; an insert-count proxy for the reference impl). Feeds
+    /// [`crate::SimPerf::hot_allocs`].
+    fn alloc_events(&self) -> u64;
+}
+
+/// Receiver-side out-of-order buffer: what `SubflowReceiver` needs.
+pub(crate) trait OooBuf: std::fmt::Debug + Default {
+    /// Buffer out-of-order sequence `seq` (idempotent).
+    fn insert(&mut self, seq: u64);
+    /// Remove `seq`; returns whether it was held.
+    fn remove(&mut self, seq: u64) -> bool;
+    /// Whether `seq` is buffered.
+    fn contains(&self, seq: u64) -> bool;
+    /// Tell the buffer in-order delivery reached `next_expected` (every
+    /// remaining member is above it) — lets a windowed impl slide its base.
+    fn advance_watermark(&mut self, next_expected: u64);
+    /// The first [`MAX_SACK_RANGES`] contiguous runs, in ascending order.
+    fn sack_ranges(&self) -> SackRanges;
+    /// Allocation events so far (see [`Scoreboard::alloc_events`]).
+    fn alloc_events(&self) -> u64;
+}
+
+#[cfg(not(feature = "btree-scoreboard"))]
+pub(crate) type DefaultScoreboard = BitmapScoreboard;
+#[cfg(feature = "btree-scoreboard")]
+pub(crate) type DefaultScoreboard = crate::scoreboard_ref::BTreeScoreboard;
+
+#[cfg(not(feature = "btree-scoreboard"))]
+pub(crate) type DefaultOoo = BitmapOoo;
+#[cfg(feature = "btree-scoreboard")]
+pub(crate) type DefaultOoo = crate::scoreboard_ref::BTreeOoo;
+
+/// A set of `u64` sequence numbers stored as a rotating bitmap: a power-of-
+/// two ring of bits indexed by `seq & mask`, valid for members in
+/// `[base, base + capacity)`, with a sorted-interval fallback for members
+/// at or above `base + capacity`. `base` only moves forward
+/// ([`BitRing::advance_to`]), clearing as it goes, so a slot is never
+/// ambiguous: within the valid span each slot maps to exactly one sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct BitRing {
+    /// Lowest sequence the ring can represent; members are ≥ `base`.
+    base: u64,
+    /// Ring capacity minus one (capacity is a power of two ≥ 64 bits).
+    mask: u64,
+    /// The bits; `words.len() * 64 == mask + 1`.
+    words: Box<[u64]>,
+    /// Set bits in `words`.
+    len: u64,
+    /// Lower bound on the smallest bitmap member (`≥ base` once clamped).
+    lo: u64,
+    /// One past an upper bound on the largest bitmap member.
+    hi: u64,
+    /// Sorted, disjoint, non-adjacent half-open intervals holding members
+    /// ≥ `base + capacity` (the pathological-gap fallback).
+    ovf: Vec<(u64, u64)>,
+    /// Total sequences held in `ovf`.
+    ovf_len: u64,
+    /// Ring growths + fallback-vector growths (allocation events).
+    allocs: u64,
+}
+
+impl BitRing {
+    pub fn with_capacity(cap_bits: u64) -> Self {
+        let cap = cap_bits.clamp(64, MAX_CAP).next_power_of_two();
+        Self {
+            base: 0,
+            mask: cap - 1,
+            words: vec![0u64; (cap / 64) as usize].into_boxed_slice(),
+            len: 0,
+            lo: 0,
+            hi: 0,
+            ovf: Vec::new(),
+            ovf_len: 0,
+            allocs: 0,
+        }
+    }
+
+    /// Ring capacity for a window hint: 4× headroom over the cap (loss
+    /// episodes keep sacked+lost sequences beyond the instantaneous cwnd),
+    /// clamped to a sane range. Infinite hints get [`DEFAULT_CAP`].
+    pub fn for_window_hint(max_window: f64) -> Self {
+        let cap = if max_window.is_finite() && max_window >= 1.0 {
+            ((max_window * 4.0) as u64).clamp(256, 1 << 16)
+        } else {
+            DEFAULT_CAP
+        };
+        Self::with_capacity(cap)
+    }
+
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len + self.ovf_len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.ovf_len == 0
+    }
+
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    #[inline]
+    fn cap(&self) -> u64 {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn word_bit(&self, seq: u64) -> (usize, u64) {
+        let slot = seq & self.mask;
+        ((slot >> 6) as usize, 1u64 << (slot & 63))
+    }
+
+    #[inline]
+    pub fn contains(&self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        if seq - self.base < self.cap() {
+            let (w, bit) = self.word_bit(seq);
+            self.words[w] & bit != 0
+        } else {
+            ovf_contains(&self.ovf, seq)
+        }
+    }
+
+    /// Insert `seq` (must be ≥ `base`); returns whether it is new.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        debug_assert!(seq >= self.base, "insert below ring base");
+        if seq - self.base >= self.cap() {
+            if seq - self.base < MAX_CAP {
+                self.grow_to_fit(seq);
+            } else {
+                return self.ovf_insert(seq);
+            }
+        }
+        let (w, bit) = self.word_bit(seq);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        if self.len == 0 {
+            self.lo = seq;
+            self.hi = seq + 1;
+        } else {
+            self.lo = self.lo.min(seq);
+            self.hi = self.hi.max(seq + 1);
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Remove `seq`; returns whether it was held.
+    pub fn remove(&mut self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        if seq - self.base < self.cap() {
+            let (w, bit) = self.word_bit(seq);
+            if self.words[w] & bit == 0 {
+                return false;
+            }
+            self.words[w] &= !bit;
+            self.len -= 1;
+            if self.len == 0 {
+                self.lo = self.base;
+                self.hi = self.base;
+            }
+            true
+        } else {
+            self.ovf_remove(seq)
+        }
+    }
+
+    /// Slide the window: drop every member below `new_base` and make
+    /// `new_base` the new floor. O(1) when empty (the steady-state case),
+    /// otherwise a masked word-range clear plus fallback migration.
+    pub fn advance_to(&mut self, new_base: u64) {
+        if new_base <= self.base {
+            return;
+        }
+        if self.len > 0 {
+            let from = self.lo.max(self.base);
+            let to = new_base.min(self.hi);
+            if to > from {
+                self.clear_seq_span(from, to);
+            }
+            if self.len == 0 {
+                self.lo = new_base;
+                self.hi = new_base;
+            } else {
+                self.lo = self.lo.max(new_base);
+            }
+        } else {
+            self.lo = new_base;
+            self.hi = new_base;
+        }
+        self.base = new_base;
+        if !self.ovf.is_empty() {
+            self.migrate_ovf();
+        }
+    }
+
+    /// Pop the smallest member.
+    pub fn pop_first(&mut self) -> Option<u64> {
+        if self.len > 0 {
+            let seq = self
+                .first_in(self.lo.max(self.base), self.hi)
+                .expect("len > 0 within [lo, hi)");
+            self.remove(seq);
+            if self.len > 0 {
+                self.lo = seq + 1;
+            }
+            return Some(seq);
+        }
+        if self.ovf_len > 0 {
+            let (s, e) = self.ovf[0];
+            if s + 1 == e {
+                self.ovf.remove(0);
+            } else {
+                self.ovf[0] = (s + 1, e);
+            }
+            self.ovf_len -= 1;
+            return Some(s);
+        }
+        None
+    }
+
+    /// The `n`-th highest member (0 = highest).
+    pub fn nth_back(&self, n: usize) -> Option<u64> {
+        let mut n = n as u64;
+        if n < self.ovf_len {
+            for &(s, e) in self.ovf.iter().rev() {
+                let run = e - s;
+                if n < run {
+                    return Some(e - 1 - n);
+                }
+                n -= run;
+            }
+            unreachable!("ovf_len covers n");
+        }
+        n -= self.ovf_len;
+        if n >= self.len {
+            return None;
+        }
+        self.nth_back_in(self.lo.max(self.base), self.hi, n)
+    }
+
+    /// Visit members in ascending order; stop early when `f` returns false.
+    pub fn for_each_ascending(&self, mut f: impl FnMut(u64) -> bool) {
+        if self.len > 0 {
+            let (from, to) = (self.lo.max(self.base), self.hi);
+            let cont = self.spans(from, to, |words, a, b, seq_at_a| {
+                let mut slot = a;
+                while let Some(s) = span_first(words, slot, b) {
+                    if !f(seq_at_a + (s - a)) {
+                        return false;
+                    }
+                    slot = s + 1;
+                }
+                true
+            });
+            if !cont {
+                return;
+            }
+        }
+        'outer: for &(s, e) in &self.ovf {
+            for seq in s..e {
+                if !f(seq) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    /// Decompose the seq range `[from, to)` (within the valid span) into
+    /// ≤ 2 linear slot spans and fold `f` over them; `f` gets
+    /// `(words, slot_start, slot_end, seq_at_slot_start)` and returns
+    /// whether to continue. Returns whether every span ran to completion.
+    fn spans(&self, from: u64, to: u64, mut f: impl FnMut(&[u64], u64, u64, u64) -> bool) -> bool {
+        debug_assert!(to - from <= self.cap());
+        let a = from & self.mask;
+        let d = to - from;
+        if a + d <= self.cap() {
+            f(&self.words, a, a + d, from)
+        } else {
+            let first_len = self.cap() - a;
+            f(&self.words, a, self.cap(), from)
+                && f(&self.words, 0, d - first_len, from + first_len)
+        }
+    }
+
+    fn first_in(&self, from: u64, to: u64) -> Option<u64> {
+        let mut found = None;
+        self.spans(from, to, |words, a, b, seq0| {
+            if let Some(slot) = span_first(words, a, b) {
+                found = Some(seq0 + (slot - a));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    fn nth_back_in(&self, from: u64, to: u64, mut n: u64) -> Option<u64> {
+        // Collect the ≤2 spans, then walk them from the top.
+        let mut spans: [(u64, u64, u64); 2] = [(0, 0, 0); 2];
+        let mut count = 0;
+        self.spans(from, to, |_, a, b, seq0| {
+            spans[count] = (a, b, seq0);
+            count += 1;
+            true
+        });
+        for &(a, b, seq0) in spans[..count].iter().rev() {
+            if let Some(slot) = span_nth_back(&self.words, a, b, &mut n) {
+                return Some(seq0 + (slot - a));
+            }
+        }
+        None
+    }
+
+    /// Clear bits for the seq range `[from, to)`, updating `len`.
+    fn clear_seq_span(&mut self, from: u64, to: u64) {
+        let mask = self.mask;
+        let mut cleared = 0u64;
+        let words = &mut self.words;
+        // Inline `spans` logic over &mut words.
+        let cap = mask + 1;
+        let a = from & mask;
+        let d = to - from;
+        let ranges = if a + d <= cap { [(a, a + d), (0, 0)] } else { [(a, cap), (0, a + d - cap)] };
+        for (s, e) in ranges {
+            if s >= e {
+                continue;
+            }
+            let first_w = (s / 64) as usize;
+            let last_w = ((e - 1) / 64) as usize;
+            for (w, word) in words.iter_mut().enumerate().take(last_w + 1).skip(first_w) {
+                let mut m = !0u64;
+                if w == first_w {
+                    m &= !0u64 << (s % 64);
+                }
+                if w == last_w {
+                    let top = e % 64;
+                    if top != 0 {
+                        m &= (1u64 << top) - 1;
+                    }
+                }
+                cleared += (*word & m).count_ones() as u64;
+                *word &= !m;
+            }
+        }
+        self.len -= cleared;
+    }
+
+    /// Grow the ring (doubling) until `seq` fits, re-placing members and
+    /// pulling in any fallback intervals that now fit.
+    fn grow_to_fit(&mut self, seq: u64) {
+        let mut new_cap = self.cap();
+        while seq - self.base >= new_cap {
+            new_cap *= 2;
+        }
+        debug_assert!(new_cap <= MAX_CAP);
+        let new_words = vec![0u64; (new_cap / 64) as usize].into_boxed_slice();
+        let old = std::mem::replace(&mut self.words, new_words);
+        let old_mask = self.mask;
+        self.mask = new_cap - 1;
+        self.allocs += 1;
+        if self.len > 0 {
+            // Re-place every member: slots move when the mask changes.
+            let (from, to) = (self.lo.max(self.base), self.hi);
+            let relocated = self.len;
+            self.len = 0;
+            let lo = self.lo;
+            let hi = self.hi;
+            for_each_in_ring(&old, old_mask, from, to, |s| {
+                let (w, bit) = self.word_bit(s);
+                self.words[w] |= bit;
+            });
+            self.len = relocated;
+            self.lo = lo;
+            self.hi = hi;
+        }
+        if !self.ovf.is_empty() {
+            self.migrate_ovf();
+        }
+    }
+
+    /// Move fallback intervals that now fit the ring (or fell below
+    /// `base`) out of `ovf`.
+    fn migrate_ovf(&mut self) {
+        let fit_end = self.base + self.cap();
+        while let Some(&(s, e)) = self.ovf.first() {
+            if s >= fit_end {
+                break;
+            }
+            self.ovf.remove(0);
+            self.ovf_len -= e - s;
+            let into_ring_end = e.min(fit_end);
+            for seq in s.max(self.base)..into_ring_end {
+                self.insert(seq);
+            }
+            if e > fit_end {
+                self.ovf.insert(0, (fit_end, e));
+                self.ovf_len += e - fit_end;
+                break;
+            }
+        }
+    }
+
+    fn ovf_insert(&mut self, seq: u64) -> bool {
+        // Position of the first interval with start > seq.
+        let i = self.ovf.partition_point(|&(s, _)| s <= seq);
+        if i > 0 && seq < self.ovf[i - 1].1 {
+            return false; // already contained
+        }
+        let joins_prev = i > 0 && self.ovf[i - 1].1 == seq;
+        let joins_next = i < self.ovf.len() && self.ovf[i].0 == seq + 1;
+        match (joins_prev, joins_next) {
+            (true, true) => {
+                self.ovf[i - 1].1 = self.ovf[i].1;
+                self.ovf.remove(i);
+            }
+            (true, false) => self.ovf[i - 1].1 = seq + 1,
+            (false, true) => self.ovf[i].0 = seq,
+            (false, false) => {
+                if self.ovf.len() == self.ovf.capacity() {
+                    self.allocs += 1;
+                }
+                self.ovf.insert(i, (seq, seq + 1));
+            }
+        }
+        self.ovf_len += 1;
+        true
+    }
+
+    fn ovf_remove(&mut self, seq: u64) -> bool {
+        let i = self.ovf.partition_point(|&(s, _)| s <= seq);
+        if i == 0 || seq >= self.ovf[i - 1].1 {
+            return false;
+        }
+        let (s, e) = self.ovf[i - 1];
+        match (seq == s, seq + 1 == e) {
+            (true, true) => {
+                self.ovf.remove(i - 1);
+            }
+            (true, false) => self.ovf[i - 1].0 = seq + 1,
+            (false, true) => self.ovf[i - 1].1 = seq,
+            (false, false) => {
+                self.ovf[i - 1].1 = seq;
+                if self.ovf.len() == self.ovf.capacity() {
+                    self.allocs += 1;
+                }
+                self.ovf.insert(i, (seq + 1, e));
+            }
+        }
+        self.ovf_len -= 1;
+        true
+    }
+}
+
+fn ovf_contains(ovf: &[(u64, u64)], seq: u64) -> bool {
+    let i = ovf.partition_point(|&(s, _)| s <= seq);
+    i > 0 && seq < ovf[i - 1].1
+}
+
+/// First set slot in the linear slot span `[a, b)`.
+#[inline]
+fn span_first(words: &[u64], a: u64, b: u64) -> Option<u64> {
+    if a >= b {
+        return None;
+    }
+    let first_w = (a / 64) as usize;
+    let last_w = ((b - 1) / 64) as usize;
+    for (w, &word) in words.iter().enumerate().take(last_w + 1).skip(first_w) {
+        let mut m = word;
+        if w == first_w {
+            m &= !0u64 << (a % 64);
+        }
+        if w == last_w {
+            let top = b % 64;
+            if top != 0 {
+                m &= (1u64 << top) - 1;
+            }
+        }
+        if m != 0 {
+            return Some(w as u64 * 64 + m.trailing_zeros() as u64);
+        }
+    }
+    None
+}
+
+/// The slot of the `(*n)`-th highest set bit in the linear slot span
+/// `[a, b)`, decrementing `*n` past the bits it skips when there are not
+/// enough.
+#[inline]
+fn span_nth_back(words: &[u64], a: u64, b: u64, n: &mut u64) -> Option<u64> {
+    if a >= b {
+        return None;
+    }
+    let first_w = (a / 64) as usize;
+    let last_w = ((b - 1) / 64) as usize;
+    for w in (first_w..=last_w).rev() {
+        let mut m = words[w];
+        if w == first_w {
+            m &= !0u64 << (a % 64);
+        }
+        if w == last_w {
+            let top = b % 64;
+            if top != 0 {
+                m &= (1u64 << top) - 1;
+            }
+        }
+        let cnt = m.count_ones() as u64;
+        if *n >= cnt {
+            *n -= cnt;
+            continue;
+        }
+        for _ in 0..*n {
+            m &= !(1u64 << (63 - m.leading_zeros()));
+        }
+        return Some(w as u64 * 64 + (63 - m.leading_zeros()) as u64);
+    }
+    None
+}
+
+/// Visit set bits of a foreign ring (used while re-placing during growth).
+fn for_each_in_ring(words: &[u64], mask: u64, from: u64, to: u64, mut f: impl FnMut(u64)) {
+    let cap = mask + 1;
+    debug_assert!(to - from <= cap);
+    let a = from & mask;
+    let d = to - from;
+    let ranges = if a + d <= cap { [(a, a + d, from), (0, 0, 0)] } else { [(a, cap, from), (0, a + d - cap, from + (cap - a))] };
+    for (s, e, seq0) in ranges {
+        if s >= e {
+            continue;
+        }
+        let mut slot = s;
+        while let Some(found) = span_first(words, slot, e) {
+            f(seq0 + (found - s));
+            slot = found + 1;
+        }
+    }
+}
+
+/// The allocation-free sender scoreboard: two [`BitRing`]s plus a small
+/// sorted vector for retransmitted-out sequences (a handful of entries at
+/// most — binary-searched, cache-resident).
+#[derive(Debug)]
+pub(crate) struct BitmapScoreboard {
+    sacked: BitRing,
+    lost: BitRing,
+    /// `(seq, sack_events at retransmit)`, sorted by `seq`.
+    retx: Vec<(u64, u64)>,
+    retx_allocs: u64,
+}
+
+impl BitmapScoreboard {
+    #[inline]
+    fn retx_contains(&self, seq: u64) -> bool {
+        self.retx.binary_search_by_key(&seq, |&(s, _)| s).is_ok()
+    }
+
+    fn retx_remove(&mut self, seq: u64) {
+        if let Ok(i) = self.retx.binary_search_by_key(&seq, |&(s, _)| s) {
+            self.retx.remove(i);
+        }
+    }
+}
+
+impl Scoreboard for BitmapScoreboard {
+    fn with_window_hint(max_window: f64) -> Self {
+        Self {
+            sacked: BitRing::for_window_hint(max_window),
+            lost: BitRing::for_window_hint(max_window),
+            retx: Vec::new(),
+            retx_allocs: 0,
+        }
+    }
+
+    fn sacked_len(&self) -> u64 {
+        self.sacked.len()
+    }
+
+    fn sacked_contains(&self, seq: u64) -> bool {
+        self.sacked.contains(seq)
+    }
+
+    fn lost_len(&self) -> u64 {
+        self.lost.len()
+    }
+
+    fn lost_is_empty(&self) -> bool {
+        self.lost.is_empty()
+    }
+
+    fn pop_lost_for_retx(&mut self, sack_events: u64) -> Option<u64> {
+        let seq = self.lost.pop_first()?;
+        let i = self.retx.partition_point(|&(s, _)| s < seq);
+        if self.retx.len() == self.retx.capacity() {
+            self.retx_allocs += 1;
+        }
+        self.retx.insert(i, (seq, sack_events));
+        Some(seq)
+    }
+
+    fn advance_to(&mut self, cum: u64) {
+        self.sacked.advance_to(cum);
+        self.lost.advance_to(cum);
+        let below = self.retx.partition_point(|&(s, _)| s < cum);
+        if below > 0 {
+            self.retx.drain(..below);
+        }
+    }
+
+    fn sack_one(&mut self, seq: u64) -> bool {
+        if !self.sacked.insert(seq) {
+            return false;
+        }
+        self.lost.remove(seq);
+        self.retx_remove(seq);
+        true
+    }
+
+    fn nth_highest_sacked(&self, n: usize) -> Option<u64> {
+        self.sacked.nth_back(n)
+    }
+
+    fn mark_holes_lost(&mut self, una: u64, cutoff: u64) -> bool {
+        let mut any = false;
+        for seq in una..cutoff {
+            if self.sacked.contains(seq) || self.lost.contains(seq) || self.retx_contains(seq) {
+                continue;
+            }
+            self.lost.insert(seq);
+            any = true;
+        }
+        any
+    }
+
+    fn remark_lost_retx(&mut self, cutoff: u64, sack_events: u64, thresh: u64) -> bool {
+        let lost = &mut self.lost;
+        let mut any = false;
+        self.retx.retain(|&(s, ev)| {
+            if s < cutoff && sack_events >= ev + thresh {
+                lost.insert(s);
+                any = true;
+                false
+            } else {
+                true
+            }
+        });
+        any
+    }
+
+    fn rto_collapse(&mut self, una: u64, next_seq: u64) {
+        self.retx.clear();
+        for seq in una..next_seq {
+            if !self.sacked.contains(seq) {
+                self.lost.insert(seq);
+            }
+        }
+    }
+
+    fn alloc_events(&self) -> u64 {
+        self.sacked.alloc_events() + self.lost.alloc_events() + self.retx_allocs
+    }
+}
+
+/// The allocation-free receiver out-of-order buffer.
+#[derive(Debug)]
+pub(crate) struct BitmapOoo {
+    ring: BitRing,
+}
+
+impl Default for BitmapOoo {
+    fn default() -> Self {
+        Self { ring: BitRing::with_capacity(DEFAULT_CAP) }
+    }
+}
+
+impl OooBuf for BitmapOoo {
+    fn insert(&mut self, seq: u64) {
+        self.ring.insert(seq);
+    }
+
+    fn remove(&mut self, seq: u64) -> bool {
+        self.ring.remove(seq)
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        self.ring.contains(seq)
+    }
+
+    fn advance_watermark(&mut self, next_expected: u64) {
+        self.ring.advance_to(next_expected);
+    }
+
+    fn sack_ranges(&self) -> SackRanges {
+        let mut out: SackRanges = [None; MAX_SACK_RANGES];
+        let mut cur: Option<(u64, u64)> = None;
+        let mut n = 0;
+        self.ring.for_each_ascending(|s| {
+            match cur {
+                Some((_, ref mut end)) if s == *end => *end += 1,
+                Some(range) => {
+                    out[n] = Some(range);
+                    n += 1;
+                    if n == MAX_SACK_RANGES {
+                        cur = None;
+                        return false;
+                    }
+                    cur = Some((s, s + 1));
+                }
+                None => cur = Some((s, s + 1)),
+            }
+            true
+        });
+        if let Some(range) = cur {
+            out[n] = Some(range);
+        }
+        out
+    }
+
+    fn alloc_events(&self) -> u64 {
+        self.ring.alloc_events()
+    }
+}
+
+/// Which scoreboard implementation [`scoreboard_churn`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreboardKind {
+    /// The rotating-bitmap scoreboard (the default).
+    Bitmap,
+    /// The reference `BTreeSet`-based bookkeeping it replaced.
+    BTree,
+}
+
+/// Micro-benchmark hook: drive a scoreboard through a synthetic
+/// SACK/loss/retransmit/advance cycle and return the wall time, the
+/// counterpart of [`crate::queue_churn`] for the structure the per-ACK
+/// path spends its time in. The workload holds `window` packets
+/// outstanding, SACKs every other one (worst-case fragmentation), marks
+/// the holes lost past a DupThresh cutoff, retransmits them, then advances
+/// cumulatively — at least `ops` scoreboard operations in total. Both
+/// kinds run the identical sequence, so the ratio isolates the data
+/// structure.
+pub fn scoreboard_churn(kind: ScoreboardKind, window: u64, ops: u64) -> std::time::Duration {
+    match kind {
+        ScoreboardKind::Bitmap => churn::<BitmapScoreboard>(window, ops),
+        ScoreboardKind::BTree => churn::<crate::scoreboard_ref::BTreeScoreboard>(window, ops),
+    }
+}
+
+fn churn<SB: Scoreboard>(window: u64, ops: u64) -> std::time::Duration {
+    let window = window.max(8);
+    let mut board = SB::with_window_hint(window as f64);
+    let mut una = 0u64;
+    let mut sack_events = 0u64;
+    let mut done = 0u64;
+    let start = crate::perf::wall_clock();
+    while done < ops {
+        let next = una + window;
+        // Receiver holds every other packet above the first hole.
+        let mut seq = una + 1;
+        while seq < next {
+            if board.sack_one(seq) {
+                sack_events += 1;
+            }
+            done += 1;
+            seq += 2;
+        }
+        // DupThresh reached: everything below the cutoff not SACKed is lost.
+        if let Some(cutoff) = board.nth_highest_sacked(2) {
+            board.mark_holes_lost(una, cutoff);
+            done += cutoff - una;
+        }
+        // Retransmit every hole, then re-mark a late loss episode.
+        while board.pop_lost_for_retx(sack_events).is_some() {
+            done += 1;
+        }
+        // Three further SACK arrivals without the retransmissions being
+        // covered: the re-mark rule sends them again.
+        sack_events += 3;
+        board.remark_lost_retx(next, sack_events, 3);
+        while board.pop_lost_for_retx(sack_events).is_some() {
+            done += 1;
+        }
+        // The cumulative ACK catches up; the window slides forward whole.
+        una = next;
+        board.advance_to(una);
+        done += 1;
+    }
+    std::hint::black_box(board.sacked_len());
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut r = BitRing::with_capacity(64);
+        assert!(r.is_empty());
+        assert!(r.insert(5));
+        assert!(!r.insert(5), "duplicate insert");
+        assert!(r.contains(5));
+        assert!(!r.contains(4));
+        assert!(r.remove(5));
+        assert!(!r.remove(5));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn advance_drops_members_below() {
+        let mut r = BitRing::with_capacity(64);
+        for s in [1, 3, 10, 40] {
+            r.insert(s);
+        }
+        r.advance_to(10);
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(1));
+        assert!(!r.contains(3));
+        assert!(r.contains(10));
+        assert!(r.contains(40));
+    }
+
+    #[test]
+    fn ring_wraps_across_the_boundary() {
+        // cap 64: seqs 60..68 straddle the slot wrap at 64.
+        let mut r = BitRing::with_capacity(64);
+        r.advance_to(60);
+        for s in 60..68 {
+            assert!(r.insert(s));
+        }
+        assert_eq!(r.len(), 8);
+        for s in 60..68 {
+            assert!(r.contains(s), "seq {s} across the wrap");
+        }
+        assert_eq!(r.pop_first(), Some(60));
+        assert_eq!(r.nth_back(0), Some(67));
+        assert_eq!(r.nth_back(2), Some(65));
+        let mut seen = Vec::new();
+        r.for_each_ascending(|s| {
+            seen.push(s);
+            true
+        });
+        assert_eq!(seen, (61..68).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_preserves_members() {
+        let mut r = BitRing::with_capacity(64);
+        r.insert(0);
+        r.insert(63);
+        assert_eq!(r.alloc_events(), 0);
+        r.insert(100); // forces a grow
+        assert!(r.alloc_events() >= 1);
+        for s in [0, 63, 100] {
+            assert!(r.contains(s));
+        }
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn far_sequences_fall_back_to_intervals_and_migrate() {
+        let mut r = BitRing::with_capacity(64);
+        r.insert(1);
+        let far = MAX_CAP + 5; // beyond any growth
+        assert!(r.insert(far));
+        assert!(r.insert(far + 1));
+        assert!(!r.insert(far), "fallback dedups");
+        assert!(r.contains(far));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.nth_back(0), Some(far + 1));
+        assert_eq!(r.nth_back(1), Some(far));
+        assert_eq!(r.nth_back(2), Some(1));
+        // Advancing close to the fallback pulls it into the ring.
+        r.advance_to(far - 10);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(far));
+        assert!(r.contains(far + 1));
+        assert_eq!(r.pop_first(), Some(far));
+    }
+
+    #[test]
+    fn pop_first_orders_ring_before_fallback() {
+        let mut r = BitRing::with_capacity(64);
+        r.insert(7);
+        r.insert(MAX_CAP + 2);
+        assert_eq!(r.pop_first(), Some(7));
+        assert_eq!(r.pop_first(), Some(MAX_CAP + 2));
+        assert_eq!(r.pop_first(), None);
+    }
+
+    #[test]
+    fn ovf_interval_merge_and_split() {
+        let mut r = BitRing::with_capacity(64);
+        let f = MAX_CAP + 100;
+        r.insert(f);
+        r.insert(f + 2);
+        r.insert(f + 1); // merges the two intervals
+        assert_eq!(r.ovf.len(), 1);
+        assert_eq!(r.ovf[0], (f, f + 3));
+        assert!(r.remove(f + 1)); // splits again
+        assert_eq!(r.ovf.len(), 2);
+        assert!(r.contains(f) && !r.contains(f + 1) && r.contains(f + 2));
+    }
+
+    #[test]
+    fn sack_ranges_match_reference_shape() {
+        let mut ooo = BitmapOoo::default();
+        ooo.advance_watermark(1);
+        for s in [2, 3, 5, 8, 9] {
+            ooo.insert(s);
+        }
+        let r = ooo.sack_ranges();
+        assert_eq!(r[0], Some((2, 4)));
+        assert_eq!(r[1], Some((5, 6)));
+        assert_eq!(r[2], Some((8, 10)));
+        assert_eq!(r[3], None);
+    }
+
+    #[test]
+    fn sack_ranges_stop_after_four_runs() {
+        let mut ooo = BitmapOoo::default();
+        for s in [1, 3, 5, 7, 9, 11] {
+            ooo.insert(s);
+        }
+        let r = ooo.sack_ranges();
+        assert_eq!(r[3], Some((7, 8)));
+    }
+
+    #[test]
+    fn scoreboard_basic_recovery_cycle() {
+        let mut b = BitmapScoreboard::with_window_hint(f64::INFINITY);
+        // 0..6 outstanding; 1..5 sacked, hole at 0.
+        for s in 1..5 {
+            assert!(b.sack_one(s));
+            assert!(!b.sack_one(s));
+        }
+        assert_eq!(b.sacked_len(), 4);
+        assert_eq!(b.nth_highest_sacked(2), Some(2));
+        assert!(b.mark_holes_lost(0, 2));
+        assert!(!b.mark_holes_lost(0, 2), "idempotent");
+        assert_eq!(b.lost_len(), 1);
+        assert_eq!(b.pop_lost_for_retx(4), Some(0));
+        assert!(b.lost_is_empty());
+        // The retransmission is itself lost: 3 new sack events re-mark it.
+        assert!(!b.remark_lost_retx(2, 6, 3));
+        assert!(b.remark_lost_retx(2, 7, 3));
+        assert_eq!(b.pop_lost_for_retx(7), Some(0));
+        b.advance_to(6);
+        assert_eq!(b.sacked_len(), 0);
+        assert!(b.lost_is_empty());
+    }
+}

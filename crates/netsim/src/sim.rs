@@ -200,6 +200,12 @@ struct Connection {
     reinjections_sent: u64,
     /// Scratch for per-ACK newly-acknowledged dsns (hot path, reused).
     acked_dsn_scratch: Vec<u64>,
+    /// Scratch for harvesting a failed subflow's stranded `(seq, dsn)`
+    /// pairs (reused; see `SubflowSender::stranded`).
+    stranded_scratch: Vec<(u64, u64)>,
+    /// Capacity-growth events of the scratch buffers above (allocation
+    /// accounting for [`SimPerf::hot_allocs`]).
+    scratch_allocs: u64,
 }
 
 impl Connection {
@@ -209,12 +215,16 @@ impl Connection {
 
     /// Refresh the snapshot scratch buffer from the live subflow state.
     fn refresh_snapshots(&mut self) {
+        let cap = self.snap_buf.capacity();
         self.snap_buf.clear();
         self.snap_buf.extend(
             self.subflows
                 .iter()
                 .map(|s| SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6))),
         );
+        if self.snap_buf.capacity() != cap {
+            self.scratch_allocs += 1;
+        }
     }
 }
 
@@ -257,6 +267,15 @@ pub struct Simulator {
     /// Whether a `ProbeTick` event is pending in the queue (at most one,
     /// like the lazy RTO timers).
     probe_tick_pending: bool,
+    /// Pool of in-flight ACK payloads; `EventKind::AckArrive` carries a
+    /// slot index into this table instead of the ~100-byte payload itself,
+    /// keeping queued events small and the steady-state ACK path free of
+    /// allocation (slots are recycled through `ack_free`).
+    ack_pool: Vec<AckInfo>,
+    /// Recycled `ack_pool` slots.
+    ack_free: Vec<u32>,
+    /// Capacity-growth events of the ACK pool (allocation accounting).
+    ack_pool_allocs: u64,
 }
 
 impl Simulator {
@@ -290,7 +309,37 @@ impl Simulator {
             quiesced_at: None,
             probe: None,
             probe_tick_pending: false,
+            ack_pool: Vec::new(),
+            ack_free: Vec::new(),
+            ack_pool_allocs: 0,
         }
+    }
+
+    /// Park an ACK payload in the pool, returning the slot to carry in the
+    /// event. Slots are recycled, so after warmup this never allocates.
+    fn alloc_ack(&mut self, info: AckInfo) -> u32 {
+        match self.ack_free.pop() {
+            Some(slot) => {
+                self.ack_pool[slot as usize] = info;
+                slot
+            }
+            None => {
+                if self.ack_pool.len() == self.ack_pool.capacity() {
+                    self.ack_pool_allocs += 1;
+                }
+                self.ack_pool.push(info);
+                (self.ack_pool.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Read an ACK payload out of the pool and recycle its slot.
+    fn take_ack(&mut self, slot: u32) -> AckInfo {
+        if self.ack_free.len() == self.ack_free.capacity() {
+            self.ack_pool_allocs += 1;
+        }
+        self.ack_free.push(slot);
+        self.ack_pool[slot as usize]
     }
 
     /// Override the ACK-return jitter (0 disables it).
@@ -326,7 +375,25 @@ impl Simulator {
             faults_applied: self.faults_applied,
             stalled_at: self.stalled_at,
             quiesced_at: self.quiesced_at,
+            hot_allocs: self.hot_allocs(),
         }
+    }
+
+    /// Sum of all logical allocation events on the hot paths — see
+    /// [`SimPerf::hot_allocs`].
+    fn hot_allocs(&self) -> u64 {
+        let conns: u64 = self
+            .conns
+            .iter()
+            .map(|c| {
+                c.scratch_allocs
+                    + c.subflows
+                        .iter()
+                        .map(|s| s.tx.alloc_events() + s.rx.alloc_events())
+                        .sum::<u64>()
+            })
+            .sum();
+        self.ack_pool_allocs + conns
     }
 
     // ------------------------------------------------------------------
@@ -392,6 +459,8 @@ impl Simulator {
             dup_data_arrivals: 0,
             reinjections_sent: 0,
             acked_dsn_scratch: Vec::new(),
+            stranded_scratch: Vec::new(),
+            scratch_allocs: 0,
         };
         self.conns.push(conn);
         let id = self.conns.len() - 1;
@@ -532,7 +601,11 @@ impl Simulator {
             assert!(l < self.links.len(), "unknown link {l}");
         }
         let first = self.now + spec.interval;
-        self.probe = Some(Box::new(ProbeState { spec, log: ProbeLog::default() }));
+        let mut watch = vec![false; self.conns.len()];
+        for &c in &spec.conns {
+            watch[c] = true;
+        }
+        self.probe = Some(Box::new(ProbeState { spec, log: ProbeLog::default(), watch }));
         if !self.probe_tick_pending {
             self.probe_tick_pending = true;
             self.queue.push(first, EventKind::ProbeTick);
@@ -591,13 +664,13 @@ impl Simulator {
                 .map(|s| SubflowStats {
                     delivered_pkts: s.rx.delivered(),
                     sent_pkts: s.sent_pkts,
-                    retransmits: s.tx.retransmits,
-                    timeouts: s.tx.timeouts,
-                    fast_recoveries: s.tx.fast_recoveries,
+                    retransmits: s.tx.stats.retransmits,
+                    timeouts: s.tx.stats.timeouts,
+                    fast_recoveries: s.tx.stats.fast_recoveries,
                     cwnd: s.tx.cwnd,
                     ssthresh: s.tx.ssthresh,
                     srtt: s.tx.srtt.unwrap_or(0.0),
-                    rto: s.tx.rto_interval().as_secs_f64(),
+                    rto: s.tx.rto_secs(),
                     in_flight: s.tx.pipe(),
                     rto_backoffs: s.tx.backoffs,
                     potentially_failed: s.tx.potentially_failed(),
@@ -681,7 +754,10 @@ impl Simulator {
         match kind {
             EventKind::TxDone { link } => self.on_tx_done(link),
             EventKind::Arrive { pkt } => self.on_arrive(pkt),
-            EventKind::AckArrive { conn, sub, ack } => self.on_ack(conn, sub, ack),
+            EventKind::AckArrive { conn, sub, ack } => {
+                let ack = self.take_ack(ack);
+                self.on_ack(conn, sub, ack);
+            }
             EventKind::RtoFire { conn, sub } => self.on_rto(conn, sub),
             EventKind::ConnStart { conn } => self.on_conn_start(conn),
             EventKind::CbrSend { src, gen } => self.on_cbr_send(src, gen),
@@ -722,7 +798,7 @@ impl Simulator {
                     cwnd: s.tx.cwnd,
                     ssthresh: s.tx.ssthresh,
                     srtt: s.tx.srtt.unwrap_or(0.0),
-                    rto: s.tx.rto_interval().as_secs_f64(),
+                    rto: s.tx.rto_secs(),
                     backoffs: s.tx.backoffs,
                     in_flight: s.tx.pipe(),
                     phase,
@@ -757,7 +833,7 @@ impl Simulator {
     /// Whether the probe is enabled and watching `conn` — the single
     /// branch congestion hooks pay when telemetry is disabled.
     fn probe_watches(&self, conn: ConnId) -> bool {
-        self.probe.as_deref().is_some_and(|p| p.spec.conns.contains(&conn))
+        self.probe.as_deref().is_some_and(|p| p.watch.get(conn).copied().unwrap_or(false))
     }
 
     /// Execute one installed fault action. Reuses the public scripting
@@ -915,8 +991,8 @@ impl Simulator {
                     SimTime::ZERO
                 };
                 let back = self.now + self.conns[conn].subflows[sub].ack_delay + jitter;
-                self.queue
-                    .push(back, EventKind::AckArrive { conn, sub, ack: AckInfo { cum, sacks } });
+                let ack = self.alloc_ack(AckInfo { cum, sacks });
+                self.queue.push(back, EventKind::AckArrive { conn, sub, ack });
             }
             PacketOwner::Cbr { src } => {
                 self.cbrs[src].delivered += 1;
@@ -943,13 +1019,17 @@ impl Simulator {
         let arm = {
             let c = &mut self.conns[conn];
             c.acked_dsn_scratch.clear();
-            let Connection { subflows, acked_dsn_scratch, .. } = c;
+            let Connection { subflows, acked_dsn_scratch, scratch_allocs, .. } = c;
             let (was_recovering, was_failed) = if watching {
                 (subflows[sub].tx.in_recovery, subflows[sub].tx.potentially_failed())
             } else {
                 (false, false)
             };
+            let scratch_cap = acked_dsn_scratch.capacity();
             let outcome = subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, acked_dsn_scratch);
+            if acked_dsn_scratch.capacity() != scratch_cap {
+                *scratch_allocs += 1;
+            }
             if watching {
                 if outcome.entered_recovery {
                     transitions[0] = Some(TransitionKind::EnterFastRecovery);
@@ -965,12 +1045,25 @@ impl Simulator {
                 // Grow once per newly acked packet: slow start adds one
                 // packet per ACKed packet; congestion avoidance defers to
                 // the coupled algorithm with a fresh snapshot each step
-                // (windows are interdependent).
+                // (windows are interdependent). Only *this* subflow's
+                // window can change between steps, so the full snapshot
+                // refresh happens once and later steps patch a single
+                // entry in place instead of re-reading every subflow.
+                let mut refreshed = false;
                 for _ in 0..outcome.newly_acked {
                     let amount = if c.subflows[sub].tx.in_slow_start() {
                         1.0
                     } else {
-                        c.refresh_snapshots();
+                        if refreshed {
+                            let s = &c.subflows[sub];
+                            c.snap_buf[sub] = SubflowSnapshot::new(
+                                s.tx.cwnd.max(1e-9),
+                                s.tx.cc_rtt().max(1e-6),
+                            );
+                        } else {
+                            c.refresh_snapshots();
+                            refreshed = true;
+                        }
                         c.cc.increase_per_ack(sub, &c.snap_buf)
                     };
                     c.subflows[sub].tx.grow(amount);
@@ -1079,8 +1172,13 @@ impl Simulator {
         if c.subflows.len() < 2 {
             return; // nowhere to reinject; RTO probing is the only recovery
         }
-        let stranded = c.subflows[sub].tx.stranded();
-        for (seq, dsn) in stranded {
+        let mut stranded = std::mem::take(&mut c.stranded_scratch);
+        let cap = stranded.capacity();
+        c.subflows[sub].tx.stranded(&mut stranded);
+        if stranded.capacity() != cap {
+            c.scratch_allocs += 1;
+        }
+        for &(seq, dsn) in &stranded {
             if c.reinject_reg.contains_key(&dsn) {
                 continue;
             }
@@ -1092,6 +1190,7 @@ impl Simulator {
             c.reinject_reg.insert(dsn, ReinjectEntry { delivered, acked: false });
             c.reinject_queue.push_back(dsn);
         }
+        c.stranded_scratch = stranded;
     }
 
     /// (Re)arm the conceptual RTO at `now + RTO` and make sure an event is
@@ -1447,5 +1546,34 @@ mod tests {
     fn connection_without_subflows_rejected() {
         let mut sim = Simulator::new(0);
         sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp));
+    }
+
+    /// The headline zero-alloc claim: once scratch buffers, the metadata
+    /// ring, and the ACK pool have warmed up, a steady-state run — losses,
+    /// retransmissions, SACK churn and all — performs no further hot-path
+    /// allocation. Only meaningful on the bitmap scoreboards: the B-tree
+    /// reference allocates a node per insert by design.
+    #[cfg(not(feature = "btree-scoreboard"))]
+    #[test]
+    fn steady_state_run_is_allocation_free() {
+        let mut sim = Simulator::new(42);
+        let l1 = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 25).with_loss(0.01));
+        let l2 = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(20), 25).with_loss(0.01));
+        let c = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![l1]).path(vec![l2]),
+        );
+        sim.run_until(SimTime::from_secs(20));
+        let warmed = sim.perf().hot_allocs;
+        let delivered_warm = sim.connection_stats(c).delivered_pkts();
+        sim.run_until(SimTime::from_secs(60));
+        assert!(
+            sim.connection_stats(c).delivered_pkts() > delivered_warm + 10_000,
+            "the steady-state window must carry real traffic"
+        );
+        assert_eq!(
+            sim.perf().hot_allocs,
+            warmed,
+            "hot paths must not allocate after warmup"
+        );
     }
 }

@@ -13,9 +13,19 @@
 //! loss burst within about a round trip — without which a slow-start
 //! overshoot would take one RTT *per lost packet* to repair and corrupt
 //! every throughput measurement.
+//!
+//! The scoreboard sets themselves live behind the
+//! [`Scoreboard`]/[`OooBuf`] traits in [`crate::scoreboard`]: rotating
+//! bitmaps by default, the original B-tree bookkeeping behind the
+//! `btree-scoreboard` feature, with differential proptests below driving
+//! both through identical sequences.
 
+// lint:hot-path — per-ACK state must stay on the bitmap scoreboards; the
+// B-tree reference implementation lives in scoreboard_ref.rs.
+
+use crate::scoreboard::{DefaultOoo, DefaultScoreboard, OooBuf, Scoreboard};
 use crate::time::SimTime;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Maximum SACK ranges carried per ACK (real TCP fits 3–4 in options).
 pub(crate) const MAX_SACK_RANGES: usize = 4;
@@ -77,23 +87,24 @@ struct SentMeta {
 /// Receiver-side reassembly state of one subflow (kept with the sender for
 /// simulation convenience; content-wise it is the remote endpoint's state).
 #[derive(Debug, Default)]
-pub(crate) struct SubflowReceiver {
+pub(crate) struct SubflowReceiver<B: OooBuf = DefaultOoo> {
     /// Next subflow sequence number expected in order.
     pub next_expected: u64,
     /// Out-of-order packets held for reassembly.
-    ooo: BTreeSet<u64>,
+    ooo: B,
 }
 
-impl SubflowReceiver {
+impl<B: OooBuf> SubflowReceiver<B> {
     /// Process an arriving data packet; returns the ACK to send:
     /// `(cumulative_ack, is_duplicate, sack_ranges)`.
     pub fn on_data(&mut self, seq: u64) -> (u64, bool, SackRanges) {
         let dup;
         if seq == self.next_expected {
             self.next_expected += 1;
-            while self.ooo.remove(&self.next_expected) {
+            while self.ooo.remove(self.next_expected) {
                 self.next_expected += 1;
             }
+            self.ooo.advance_watermark(self.next_expected);
             dup = false;
         } else if seq > self.next_expected {
             self.ooo.insert(seq);
@@ -102,32 +113,7 @@ impl SubflowReceiver {
             // Old duplicate (spurious retransmission).
             dup = true;
         }
-        (self.next_expected, dup, self.sack_ranges())
-    }
-
-    /// The first few contiguous ranges of out-of-order packets held.
-    fn sack_ranges(&self) -> SackRanges {
-        let mut out: SackRanges = [None; MAX_SACK_RANGES];
-        let mut it = self.ooo.iter().copied();
-        let Some(first) = it.next() else { return out };
-        let mut start = first;
-        let mut end = first + 1;
-        let mut n = 0;
-        for s in it {
-            if s == end {
-                end += 1;
-            } else {
-                out[n] = Some((start, end));
-                n += 1;
-                if n == MAX_SACK_RANGES {
-                    return out;
-                }
-                start = s;
-                end = s + 1;
-            }
-        }
-        out[n] = Some((start, end));
-        out
+        (self.next_expected, dup, self.ooo.sack_ranges())
     }
 
     /// Packets delivered in order so far.
@@ -137,7 +123,13 @@ impl SubflowReceiver {
 
     /// Whether the receiver already holds `seq` (in order or buffered).
     pub fn contains(&self, seq: u64) -> bool {
-        seq < self.next_expected || self.ooo.contains(&seq)
+        seq < self.next_expected || self.ooo.contains(seq)
+    }
+
+    /// Allocation events in the reassembly buffer (ring growth /
+    /// fallback spills); feeds [`crate::SimPerf::hot_allocs`].
+    pub fn alloc_events(&self) -> u64 {
+        self.ooo.alloc_events()
     }
 }
 
@@ -154,9 +146,29 @@ pub(crate) struct AckOutcome {
     pub rearm_rto: Option<bool>,
 }
 
+/// Cold per-subflow counters, split out of [`SubflowSender`] so the
+/// cache lines the per-ACK path touches stay free of write-rarely stats.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SenderCounters {
+    /// Count of retransmissions performed.
+    pub retransmits: u64,
+    /// Count of RTO events.
+    pub timeouts: u64,
+    /// Count of fast-recovery episodes.
+    pub fast_recoveries: u64,
+}
+
 /// Sender-side state of one TCP subflow (SACK scoreboard variant).
+///
+/// Field order is deliberate (`repr(C)` keeps the compiler from
+/// rearranging it): the scalars every ACK reads and writes — window,
+/// sequence edges, RTT estimator — sit first, packed into the leading
+/// cache line; the scoreboard and send metadata follow; rarely-touched
+/// counters and static parameters trail at the end.
 #[derive(Debug)]
-pub(crate) struct SubflowSender {
+#[repr(C)]
+pub(crate) struct SubflowSender<SB: Scoreboard = DefaultScoreboard> {
+    // --- hot: read/written on every ACK ---
     /// Congestion window, packets (fractional growth accumulates).
     pub cwnd: f64,
     /// Slow-start threshold, packets.
@@ -165,20 +177,14 @@ pub(crate) struct SubflowSender {
     pub next_seq: u64,
     /// Oldest unacknowledged sequence number.
     pub una: u64,
-    /// Sequences (≥ una) the receiver reported holding.
-    sacked: BTreeSet<u64>,
-    /// Sequences deemed lost and not yet retransmitted this episode.
-    lost: BTreeSet<u64>,
-    /// Sequences retransmitted and presumed back in the network, mapped to
-    /// the value of `sack_events` when they were retransmitted (so a
-    /// retransmission that is itself lost can be detected and re-marked
-    /// once enough *new* SACKs arrive — a RACK-style rule).
-    retx_out: std::collections::BTreeMap<u64, u64>,
+    /// Smoothed RTT (seconds), if any sample has been taken.
+    pub srtt: Option<f64>,
+    /// RTT variance (seconds).
+    pub rttvar: f64,
+    /// Current RTO (seconds), including backoff.
+    pub rto: f64,
     /// Monotone count of sequences ever newly SACKed.
     sack_events: u64,
-    /// Scratch buffer for [`Self::detect_losses`]'s re-mark pass, kept
-    /// around so recovery episodes don't allocate on the ACK hot path.
-    remark_scratch: Vec<u64>,
     /// In loss recovery (one window decrease per recovery episode).
     pub in_recovery: bool,
     /// The current recovery was triggered by an RTO: the window collapsed
@@ -186,60 +192,51 @@ pub(crate) struct SubflowSender {
     /// (fast recovery, by contrast, holds the window at the post-decrease
     /// level until the recovery point is reached).
     pub rto_recovery: bool,
-    /// Recovery ends when `una` reaches this point.
-    pub recovery_point: u64,
-    /// Smoothed RTT (seconds), if any sample has been taken.
-    pub srtt: Option<f64>,
-    /// RTT variance (seconds).
-    pub rttvar: f64,
-    /// Current RTO (seconds), including backoff.
-    pub rto: f64,
-    /// Consecutive RTO backoffs without progress.
-    pub backoffs: u32,
     /// Whether a timer is conceptually armed (the simulator tracks the
     /// actual deadline and uses lazy re-scheduling).
     pub rto_armed: bool,
+    /// Consecutive RTO backoffs without progress.
+    pub backoffs: u32,
+    /// Recovery ends when `una` reaches this point.
+    pub recovery_point: u64,
     /// Static estimate of the path's two-way propagation delay, used for
     /// the congestion-control RTT before any sample exists.
     pub rtt_hint: f64,
     /// Per-packet send metadata, indexed by `seq - meta_base`.
     meta: VecDeque<SentMeta>,
     meta_base: u64,
-    /// Count of retransmissions performed (stats).
-    pub retransmits: u64,
-    /// Count of RTO events (stats).
-    pub timeouts: u64,
-    /// Count of fast-recovery episodes (stats).
-    pub fast_recoveries: u64,
+    /// SACK scoreboard: sacked / lost / retransmitted-out sets.
+    board: SB,
+    // --- cold: stats and configuration ---
+    /// Growth events of `meta` (allocation accounting).
+    meta_allocs: u64,
+    /// Retransmit / timeout / recovery counters (stats reads only).
+    pub stats: SenderCounters,
     params: TcpParams,
 }
 
-impl SubflowSender {
+impl<SB: Scoreboard> SubflowSender<SB> {
     pub fn new(params: TcpParams, rtt_hint: f64) -> Self {
         Self {
             cwnd: params.initial_cwnd,
             ssthresh: params.initial_ssthresh,
             next_seq: 0,
             una: 0,
-            sacked: BTreeSet::new(),
-            lost: BTreeSet::new(),
-            retx_out: std::collections::BTreeMap::new(),
-            sack_events: 0,
-            remark_scratch: Vec::new(),
-            in_recovery: false,
-            rto_recovery: false,
-            recovery_point: 0,
             srtt: None,
             rttvar: 0.0,
             rto: params.initial_rto.as_secs_f64(),
-            backoffs: 0,
+            sack_events: 0,
+            in_recovery: false,
+            rto_recovery: false,
             rto_armed: false,
+            backoffs: 0,
+            recovery_point: 0,
             rtt_hint,
             meta: VecDeque::new(),
             meta_base: 0,
-            retransmits: 0,
-            timeouts: 0,
-            fast_recoveries: 0,
+            board: SB::with_window_hint(params.max_cwnd),
+            meta_allocs: 0,
+            stats: SenderCounters::default(),
             params,
         }
     }
@@ -256,13 +253,13 @@ impl SubflowSender {
     /// sequence back in the pipe by moving it out of `lost`.
     pub fn pipe(&self) -> f64 {
         let outstanding = self.next_seq - self.una;
-        (outstanding - self.sacked.len() as u64 - self.lost.len() as u64) as f64
+        (outstanding - self.board.sacked_len() - self.board.lost_len()) as f64
     }
 
     /// Whether the window permits sending one more new packet (holes are
     /// always retransmitted first; see [`SubflowSender::next_retransmit`]).
     pub fn can_send_new(&self) -> bool {
-        self.lost.is_empty()
+        self.board.lost_is_empty()
             && self.pipe() + 1.0 <= self.cwnd.min(self.params.max_cwnd) + 1e-9
     }
 
@@ -272,9 +269,7 @@ impl SubflowSender {
         if self.pipe() + 1.0 > self.cwnd.min(self.params.max_cwnd) + 1e-9 {
             return None;
         }
-        let seq = self.lost.pop_first()?;
-        self.retx_out.insert(seq, self.sack_events);
-        Some(seq)
+        self.board.pop_lost_for_retx(self.sack_events)
     }
 
     /// Record that a *new* packet with the next sequence number, carrying
@@ -285,6 +280,9 @@ impl SubflowSender {
         let seq = self.next_seq;
         self.next_seq += 1;
         debug_assert_eq!(self.meta_base + self.meta.len() as u64, seq);
+        if self.meta.len() == self.meta.capacity() {
+            self.meta_allocs += 1;
+        }
         self.meta.push_back(SentMeta { sent_at: now, retransmitted: false, dsn, data_acked: false });
         let newly_armed = !self.rto_armed;
         if newly_armed {
@@ -309,23 +307,27 @@ impl SubflowSender {
         self.backoffs >= mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS
     }
 
-    /// Outstanding `(seq, dsn)` pairs whose data has not been reported
-    /// received on this subflow — the candidates for reinjection when the
-    /// subflow is declared potentially failed. Allocates; called only on
-    /// the (rare) failure transition, never on the per-ACK path.
-    pub fn stranded(&self) -> Vec<(u64, u64)> {
-        (self.una..self.next_seq)
-            .filter(|s| !self.sacked.contains(s))
-            .filter_map(|s| {
-                let m = self.meta.get((s - self.meta_base) as usize)?;
-                (!m.data_acked).then_some((s, m.dsn))
-            })
-            .collect()
+    /// Collect into `out` the outstanding `(seq, dsn)` pairs whose data has
+    /// not been reported received on this subflow — the candidates for
+    /// reinjection when the subflow is declared potentially failed. Takes
+    /// caller-owned scratch (cleared first) so the rare failure transition
+    /// stays allocation-free once the scratch has warmed up.
+    pub fn stranded(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        for s in self.una..self.next_seq {
+            if self.board.sacked_contains(s) {
+                continue;
+            }
+            let Some(m) = self.meta.get((s - self.meta_base) as usize) else { continue };
+            if !m.data_acked {
+                out.push((s, m.dsn));
+            }
+        }
     }
 
     /// Record a retransmission of `seq` at `now` (Karn bookkeeping).
     pub fn on_retransmit(&mut self, seq: u64, now: SimTime) {
-        self.retransmits += 1;
+        self.stats.retransmits += 1;
         if seq >= self.meta_base {
             if let Some(m) = self.meta.get_mut((seq - self.meta_base) as usize) {
                 m.sent_at = now;
@@ -344,10 +346,13 @@ impl SubflowSender {
 
     /// Current RTO as simulation time.
     pub fn rto_interval(&self) -> SimTime {
-        let clamped = self
-            .rto
-            .clamp(self.params.min_rto.as_secs_f64(), self.params.max_rto.as_secs_f64());
-        SimTime::from_secs_f64(clamped)
+        SimTime::from_secs_f64(self.rto_secs())
+    }
+
+    /// The clamped RTO in seconds, without the `SimTime` round-trip —
+    /// telemetry sampling reads this every probe tick.
+    pub fn rto_secs(&self) -> f64 {
+        self.rto.clamp(self.params.min_rto.as_secs_f64(), self.params.max_rto.as_secs_f64())
     }
 
     /// RFC 6298 estimator update with a fresh RTT sample (seconds).
@@ -409,10 +414,8 @@ impl SubflowSender {
                 self.meta_base += 1;
             }
             self.una = cum;
-            // Drop state below the new cumulative point.
-            self.sacked = self.sacked.split_off(&cum);
-            self.lost = self.lost.split_off(&cum);
-            self.retx_out = self.retx_out.split_off(&cum);
+            // Drop scoreboard state below the new cumulative point.
+            self.board.advance_to(cum);
             if self.in_recovery && self.una >= self.recovery_point {
                 self.in_recovery = false;
                 self.rto_recovery = false;
@@ -423,10 +426,8 @@ impl SubflowSender {
         // Fold in SACK information.
         for range in sacks.iter().flatten() {
             for seq in range.0.max(self.una)..range.1.min(self.next_seq) {
-                if self.sacked.insert(seq) {
+                if self.board.sack_one(seq) {
                     self.sack_events += 1;
-                    self.lost.remove(&seq);
-                    self.retx_out.remove(&seq);
                     progressed = true;
                     if let Some(m) = self.meta.get_mut((seq - self.meta_base) as usize) {
                         if !m.data_acked {
@@ -449,7 +450,7 @@ impl SubflowSender {
         if newly_lost && !self.in_recovery {
             self.in_recovery = true;
             self.rto_recovery = false;
-            self.fast_recoveries += 1;
+            self.stats.fast_recoveries += 1;
             self.recovery_point = self.next_seq;
             out.entered_recovery = true;
         }
@@ -466,38 +467,20 @@ impl SubflowSender {
     /// Mark holes with ≥ DupThresh SACKed packets above them as lost.
     /// Returns whether any sequence was newly marked.
     fn detect_losses(&mut self) -> bool {
-        let thresh = self.params.dupack_threshold as usize;
-        if self.sacked.len() < thresh {
+        let thresh = self.params.dupack_threshold as u64;
+        if self.board.sacked_len() < thresh {
             return false;
         }
         // The DupThresh-th highest SACKed sequence: every unsacked packet
         // below it has at least DupThresh SACKed packets above.
-        let cutoff = *self.sacked.iter().nth_back(thresh - 1).expect("len checked");
-        let mut any = false;
-        for seq in self.una..cutoff {
-            if !self.sacked.contains(&seq)
-                && !self.retx_out.contains_key(&seq)
-                && self.lost.insert(seq)
-            {
-                any = true;
-            }
-        }
+        let cutoff =
+            self.board.nth_highest_sacked(thresh as usize - 1).expect("len checked");
+        let mut any = self.board.mark_holes_lost(self.una, cutoff);
         // RACK-style: a retransmission with ≥ DupThresh *new* SACKs since
         // it went out was lost again.
-        let mut remark = std::mem::take(&mut self.remark_scratch);
-        remark.clear();
-        remark.extend(
-            self.retx_out
-                .iter()
-                .filter(|&(&s, &ev)| s < cutoff && self.sack_events >= ev + thresh as u64)
-                .map(|(&s, _)| s),
-        );
-        for &s in &remark {
-            self.retx_out.remove(&s);
-            self.lost.insert(s);
+        if self.board.remark_lost_retx(cutoff, self.sack_events, thresh) {
             any = true;
         }
-        self.remark_scratch = remark;
         any
     }
 
@@ -509,7 +492,7 @@ impl SubflowSender {
             self.disarm_rto();
             return false;
         }
-        self.timeouts += 1;
+        self.stats.timeouts += 1;
         self.backoffs += 1;
         // Exponential backoff doubles the *effective* (min_rto-clamped)
         // timeout, per RFC 6298 §5.5. Doubling the raw value lets a small
@@ -519,12 +502,7 @@ impl SubflowSender {
         self.rto = (self.rto.max(self.params.min_rto.as_secs_f64()) * 2.0)
             .min(self.params.max_rto.as_secs_f64());
         // Everything unsacked is presumed lost; the network is drained.
-        self.retx_out.clear();
-        for seq in self.una..self.next_seq {
-            if !self.sacked.contains(&seq) {
-                self.lost.insert(seq);
-            }
-        }
+        self.board.rto_collapse(self.una, self.next_seq);
         self.in_recovery = true;
         self.rto_recovery = true;
         self.recovery_point = self.next_seq;
@@ -567,6 +545,12 @@ impl SubflowSender {
         self.set_ssthresh(self.cwnd);
     }
 
+    /// Allocation events since creation: send-metadata growth plus
+    /// scoreboard growth/spills. Feeds [`crate::SimPerf::hot_allocs`].
+    pub fn alloc_events(&self) -> u64 {
+        self.meta_allocs + self.board.alloc_events()
+    }
+
     /// All data handed to this subflow has been acknowledged.
     #[cfg(test)]
     pub fn fully_acked(&self) -> bool {
@@ -577,6 +561,8 @@ impl SubflowSender {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scoreboard::BitmapScoreboard;
+    use crate::scoreboard_ref::BTreeScoreboard;
 
     const NO_SACKS: SackRanges = [None; MAX_SACK_RANGES];
 
@@ -594,7 +580,7 @@ mod tests {
 
     #[test]
     fn receiver_in_order_delivery() {
-        let mut rx = SubflowReceiver::default();
+        let mut rx: SubflowReceiver = SubflowReceiver::default();
         assert_eq!(rx.on_data(0).0, 1);
         assert_eq!(rx.on_data(1).0, 2);
         assert_eq!(rx.delivered(), 2);
@@ -602,7 +588,7 @@ mod tests {
 
     #[test]
     fn receiver_out_of_order_reports_sack_ranges() {
-        let mut rx = SubflowReceiver::default();
+        let mut rx: SubflowReceiver = SubflowReceiver::default();
         rx.on_data(0);
         // Packet 1 lost; 2, 3 and 5 arrive.
         let (cum, dup, s) = rx.on_data(2);
@@ -621,7 +607,7 @@ mod tests {
 
     #[test]
     fn receiver_ignores_stale_duplicates() {
-        let mut rx = SubflowReceiver::default();
+        let mut rx: SubflowReceiver = SubflowReceiver::default();
         rx.on_data(0);
         let (cum, dup, _) = rx.on_data(0);
         assert_eq!((cum, dup), (1, true));
@@ -738,7 +724,7 @@ mod tests {
         assert!(tx.on_rto(1.0));
         assert!((tx.cwnd - 1.0).abs() < 1e-12);
         assert!(tx.rto > before_rto, "exponential backoff");
-        assert_eq!(tx.timeouts, 1);
+        assert_eq!(tx.stats.timeouts, 1);
         // Window 1: exactly one retransmission allowed now.
         assert_eq!(tx.next_retransmit(), Some(0));
         assert_eq!(tx.next_retransmit(), None, "window of 1 is full");
@@ -748,7 +734,7 @@ mod tests {
     fn rto_with_nothing_outstanding_is_spurious() {
         let mut tx = sender();
         assert!(!tx.on_rto(1.0));
-        assert_eq!(tx.timeouts, 0);
+        assert_eq!(tx.stats.timeouts, 0);
     }
 
     #[test]
@@ -834,7 +820,9 @@ mod tests {
         }
         tx.on_ack(1, &sacks(&[(2, 3)]), SimTime::from_millis(5), &mut Vec::new());
         // seq 0 (dsn 7) cum-acked, seq 2 (dsn 9) sacked → stranded: 1, 3.
-        assert_eq!(tx.stranded(), vec![(1, 8), (3, 10)]);
+        let mut stranded = vec![(99, 99)]; // stale content must be cleared
+        tx.stranded(&mut stranded);
+        assert_eq!(stranded, vec![(1, 8), (3, 10)]);
         assert_eq!(tx.dsn_of(1), Some(8));
         assert_eq!(tx.dsn_of(0), None, "cum-acked metadata is gone");
     }
@@ -908,5 +896,288 @@ mod tests {
         // SACK-only progress also revives (the path demonstrably works).
         tx.on_ack(0, &sacks(&[(1, 2)]), SimTime::from_millis(10), &mut Vec::new());
         assert!(!tx.potentially_failed(), "first ACK after restore revives");
+    }
+
+    #[test]
+    fn retransmission_lost_again_is_remarked_without_reneging() {
+        // A retransmitted hole that is itself lost must be re-marked once
+        // DupThresh *new* SACK events accumulate — and re-marking must not
+        // renege already-SACKed sequences back into the pipe.
+        let mut tx = sender();
+        tx.cwnd = 20.0;
+        for _ in 0..12 {
+            tx.on_send_new(SimTime::ZERO, 0);
+        }
+        // Hole at 0, SACKs 1..4 mark it lost; retransmit it.
+        tx.on_ack(0, &sacks(&[(1, 4)]), SimTime::from_millis(10), &mut Vec::new());
+        assert_eq!(tx.next_retransmit(), Some(0));
+        tx.on_retransmit(0, SimTime::from_millis(11));
+        let pipe_after_retx = tx.pipe();
+        // Three more *new* SACKs (4..7): the retransmission is declared
+        // lost again and queued once more.
+        tx.on_ack(0, &sacks(&[(1, 7)]), SimTime::from_millis(12), &mut Vec::new());
+        assert_eq!(tx.next_retransmit(), Some(0), "re-marked after 3 new SACKs");
+        assert_eq!(tx.next_retransmit(), None, "exactly once");
+        // No reneging: every SACKed sequence stays out of the pipe.
+        assert!(tx.pipe() <= pipe_after_retx, "re-mark cannot grow the pipe");
+        // Re-delivering identical SACK ranges changes nothing.
+        let fp_before = tx.pipe();
+        let ev_before = tx.sack_events;
+        tx.on_ack(0, &sacks(&[(1, 7)]), SimTime::from_millis(13), &mut Vec::new());
+        assert_eq!(tx.sack_events, ev_before, "duplicate SACKs are no-ops");
+        assert_eq!(tx.pipe().to_bits(), fp_before.to_bits());
+    }
+
+    // ---- differential: bitmap scoreboard vs the B-tree reference ----
+
+    /// Everything observable about a sender, bit-exact, for equivalence
+    /// checks between scoreboard backends.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Fingerprint {
+        cwnd: u64,
+        ssthresh: u64,
+        una: u64,
+        next_seq: u64,
+        pipe: u64,
+        rto: u64,
+        srtt: Option<u64>,
+        rttvar: u64,
+        sack_events: u64,
+        flags: (bool, bool, bool),
+        recovery_point: u64,
+        backoffs: u32,
+        sacked_len: u64,
+        lost_len: u64,
+        retransmits: u64,
+        timeouts: u64,
+        stranded: Vec<(u64, u64)>,
+    }
+
+    fn fingerprint<SB: Scoreboard>(tx: &SubflowSender<SB>) -> Fingerprint {
+        let mut stranded = Vec::new();
+        tx.stranded(&mut stranded);
+        Fingerprint {
+            cwnd: tx.cwnd.to_bits(),
+            ssthresh: tx.ssthresh.to_bits(),
+            una: tx.una,
+            next_seq: tx.next_seq,
+            pipe: tx.pipe().to_bits(),
+            rto: tx.rto.to_bits(),
+            srtt: tx.srtt.map(f64::to_bits),
+            rttvar: tx.rttvar.to_bits(),
+            sack_events: tx.sack_events,
+            flags: (tx.in_recovery, tx.rto_recovery, tx.rto_armed),
+            recovery_point: tx.recovery_point,
+            backoffs: tx.backoffs,
+            sacked_len: tx.board.sacked_len(),
+            lost_len: tx.board.lost_len(),
+            retransmits: tx.stats.retransmits,
+            timeouts: tx.stats.timeouts,
+            stranded,
+        }
+    }
+
+    /// Interpret a byte script as a send/ack/sack/rto/retransmit sequence,
+    /// driving both senders in lock-step and asserting bit-identical
+    /// outcomes after every step.
+    fn run_differential(script: &[(u8, u8, u8, u8)], params: TcpParams) {
+        let mut a: SubflowSender<BitmapScoreboard> = SubflowSender::new(params, 0.05);
+        let mut b: SubflowSender<BTreeScoreboard> = SubflowSender::new(params, 0.05);
+        let mut now = SimTime::ZERO;
+        let mut dsn = 0u64;
+        for (step, &(op, x, y, z)) in script.iter().enumerate() {
+            now = now + SimTime::from_micros(500 + x as u64 * 97);
+            match op % 4 {
+                0 => {
+                    // Send up to x%8+1 new packets, window permitting.
+                    for _ in 0..(x % 8 + 1) {
+                        if !a.can_send_new() {
+                            assert!(!b.can_send_new(), "step {step}: window gate differs");
+                            break;
+                        }
+                        assert!(b.can_send_new(), "step {step}: window gate differs");
+                        let ra = a.on_send_new(now, dsn);
+                        let rb = b.on_send_new(now, dsn);
+                        assert_eq!(ra, rb, "step {step}: on_send_new");
+                        dsn += 1;
+                    }
+                }
+                1 => {
+                    // ACK: cum somewhere in [una, next_seq], plus up to two
+                    // SACK ranges placed relative to cum.
+                    let outstanding = a.next_seq - a.una;
+                    let cum = a.una + (x as u64 % (outstanding + 1));
+                    let s1 = cum + 1 + (y as u64 % 16);
+                    let e1 = s1 + 1 + (z as u64 % 8);
+                    let s2 = e1 + 1 + (z as u64 % 4);
+                    let e2 = s2 + 1 + (y as u64 % 4);
+                    let ranges = if y % 3 == 0 {
+                        sacks(&[])
+                    } else if y % 3 == 1 {
+                        sacks(&[(s1, e1)])
+                    } else {
+                        sacks(&[(s1, e1), (s2, e2)])
+                    };
+                    let mut dsns_a = Vec::new();
+                    let mut dsns_b = Vec::new();
+                    let oa = a.on_ack(cum, &ranges, now, &mut dsns_a);
+                    let ob = b.on_ack(cum, &ranges, now, &mut dsns_b);
+                    assert_eq!(
+                        (oa.newly_acked, oa.entered_recovery, oa.rearm_rto),
+                        (ob.newly_acked, ob.entered_recovery, ob.rearm_rto),
+                        "step {step}: AckOutcome"
+                    );
+                    assert_eq!(dsns_a, dsns_b, "step {step}: newly-acked dsns");
+                }
+                2 => {
+                    assert_eq!(a.on_rto(1.0), b.on_rto(1.0), "step {step}: on_rto");
+                }
+                _ => {
+                    // Drain the retransmission queue in lock-step.
+                    loop {
+                        let ra = a.next_retransmit();
+                        let rb = b.next_retransmit();
+                        assert_eq!(ra, rb, "step {step}: next_retransmit");
+                        match ra {
+                            Some(seq) => {
+                                a.on_retransmit(seq, now);
+                                b.on_retransmit(seq, now);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+            assert_eq!(fingerprint(&a), fingerprint(&b), "step {step}: state diverged");
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn scoreboards_are_bit_identical_under_random_traffic(
+            script in prop::collection::vec(
+                (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..200),
+        ) {
+            run_differential(&script, TcpParams::default());
+        }
+
+        #[test]
+        fn scoreboards_agree_with_a_tiny_ring_forced_to_wrap_and_grow(
+            script in prop::collection::vec(
+                (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..200),
+        ) {
+            // max_cwnd 8 → ring capacity 64 bits (the floor): long scripts
+            // wrap the ring many times and SACK offsets above the window
+            // force growth, exercising re-placement against the reference.
+            let params = TcpParams { max_cwnd: 8.0, ..TcpParams::default() };
+            run_differential(&script, params);
+        }
+
+        #[test]
+        fn receivers_are_bit_identical_under_reordered_arrivals(
+            seqs in prop::collection::vec(0u64..64, 1..300),
+        ) {
+            let mut a: SubflowReceiver<crate::scoreboard::BitmapOoo> =
+                SubflowReceiver::default();
+            let mut b: SubflowReceiver<crate::scoreboard_ref::BTreeOoo> =
+                SubflowReceiver::default();
+            for &seq in &seqs {
+                assert_eq!(a.on_data(seq), b.on_data(seq));
+                assert_eq!(a.delivered(), b.delivered());
+                for probe in 0..64 {
+                    assert_eq!(a.contains(probe), b.contains(probe), "seq {probe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoreboard_survives_many_ring_wraps_at_max_window() {
+        // Deterministic long-run: a window pinned at the cap (ring capacity
+        // 256 bits) driven far past the ring size, with a loss pattern in
+        // every congestion epoch. The B-tree reference must agree bit-for-
+        // bit the whole way, including across every ring-boundary crossing.
+        let params = TcpParams { max_cwnd: 64.0, ..TcpParams::default() };
+        let mut a: SubflowSender<BitmapScoreboard> = SubflowSender::new(params, 0.01);
+        let mut b: SubflowSender<BTreeScoreboard> = SubflowSender::new(params, 0.01);
+        a.cwnd = 64.0;
+        b.cwnd = 64.0;
+        let mut now = SimTime::ZERO;
+        let mut warmed_allocs = 0;
+        for epoch in 0u64..200 {
+            if epoch == 20 {
+                warmed_allocs = a.alloc_events();
+            }
+            now = now + SimTime::from_millis(10);
+            // Fill the window.
+            while a.can_send_new() {
+                assert!(b.can_send_new());
+                let dsn = a.next_seq;
+                assert_eq!(a.on_send_new(now, dsn), b.on_send_new(now, dsn));
+            }
+            let una = a.una;
+            let sent = a.next_seq;
+            // Every 3rd epoch: drop the first two packets of the window,
+            // SACK the rest, recover; otherwise ack everything.
+            if epoch % 3 == 0 && sent - una > 4 {
+                let r = sacks(&[(una + 2, sent)]);
+                assert_eq!(
+                    a.on_ack(una, &r, now, &mut Vec::new()).entered_recovery,
+                    b.on_ack(una, &r, now, &mut Vec::new()).entered_recovery,
+                );
+                loop {
+                    let (ra, rb) = (a.next_retransmit(), b.next_retransmit());
+                    assert_eq!(ra, rb);
+                    let Some(seq) = ra else { break };
+                    a.on_retransmit(seq, now);
+                    b.on_retransmit(seq, now);
+                }
+                now = now + SimTime::from_millis(10);
+            }
+            let da = a.on_ack(sent, &NO_SACKS, now, &mut Vec::new());
+            let db = b.on_ack(sent, &NO_SACKS, now, &mut Vec::new());
+            assert_eq!(da.newly_acked, db.newly_acked);
+            assert_eq!(fingerprint(&a), fingerprint(&b), "epoch {epoch}");
+        }
+        assert!(a.next_seq > 8_000, "ran far past the 256-bit ring: {}", a.next_seq);
+        assert_eq!(
+            a.alloc_events(),
+            warmed_allocs,
+            "after warmup, wrapping the ring forever allocates nothing"
+        );
+    }
+
+    #[test]
+    fn steady_state_ack_path_stops_allocating() {
+        // After the first few windows warm the metadata ring up, a loss-free
+        // send/ack cycle must not allocate at all.
+        let mut tx = sender();
+        tx.cwnd = 32.0;
+        let mut now = SimTime::ZERO;
+        let mut scratch = Vec::with_capacity(64);
+        for _ in 0..10 {
+            now = now + SimTime::from_millis(1);
+            while tx.can_send_new() {
+                let dsn = tx.next_seq;
+                tx.on_send_new(now, dsn);
+            }
+            scratch.clear();
+            tx.on_ack(tx.next_seq, &NO_SACKS, now, &mut scratch);
+        }
+        let warmed = tx.alloc_events();
+        for _ in 0..1000 {
+            now = now + SimTime::from_millis(1);
+            while tx.can_send_new() {
+                let dsn = tx.next_seq;
+                tx.on_send_new(now, dsn);
+            }
+            scratch.clear();
+            tx.on_ack(tx.next_seq, &NO_SACKS, now, &mut scratch);
+        }
+        assert_eq!(tx.alloc_events(), warmed, "zero allocations in steady state");
     }
 }

@@ -1,0 +1,197 @@
+//! `cargo xtask bench-check` — the performance-regression gate.
+//!
+//! `BENCH_sim.json` (workspace root) holds one JSON object per line, each
+//! with a `"source"` identity and measured fields (see
+//! `crates/bench/src/report.rs`, which writes it). This module compares a
+//! freshly regenerated file against a committed baseline copy and reports
+//! every *throughput* field — a field named `events_per_sec` or ending in
+//! `_per_sec` (higher is better) — that regressed by more than the
+//! threshold (default 20%).
+//!
+//! Sources present in only one file are skipped, not failed: a quick CI
+//! run regenerates only a subset of benches, and a brand-new bench has no
+//! baseline yet. The comparison itself always runs and always prints; the
+//! *verdict* has two modes, because wall-clock numbers from a loaded CI
+//! box are noise:
+//!
+//! * default (smoke): regressions are listed but the exit code stays 0 —
+//!   CI proves the gate is wired without flaking on machine noise;
+//! * strict (`--strict` or `MPTCP_BENCH_STRICT=1`): any regression beyond
+//!   the threshold fails — run on the machine that recorded the baseline.
+//!
+//! Like the report writer, parsing is textual (no JSON parser in the
+//! offline workspace): one object per line, `"key":value` pairs.
+
+/// One parsed benchmark record: its source identity and numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The `"source"` merge key (e.g. `sim_micro/mptcp4`).
+    pub source: String,
+    /// Every numeric field, in file order.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Look up a numeric field by name.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Parse every record line of a `BENCH_sim.json` body. Lines that are not
+/// record objects (the array brackets, blanks) are skipped; a record line
+/// that fails to parse is reported by source in the error.
+pub fn parse_bench(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"source\":\"") {
+            continue;
+        }
+        let rest = &line["{\"source\":\"".len()..];
+        let end = rest.find('"').ok_or_else(|| format!("unterminated source in: {line}"))?;
+        let source = rest[..end].to_string();
+        let mut fields = Vec::new();
+        let mut body = &rest[end + 1..];
+        while let Some(q) = body.find(",\"") {
+            body = &body[q + 2..];
+            let Some(kq) = body.find('"') else { break };
+            let key = body[..kq].to_string();
+            let Some(colon) = body[kq..].strip_prefix("\":") else {
+                return Err(format!("{source}: malformed field after `{key}`"));
+            };
+            let vend = colon.find([',', '}']).unwrap_or(colon.len());
+            if let Ok(v) = colon[..vend].trim().parse::<f64>() {
+                fields.push((key, v));
+            }
+            body = colon;
+        }
+        out.push(BenchRecord { source, fields });
+    }
+    Ok(out)
+}
+
+/// Whether a field is a throughput metric (higher is better) that the
+/// regression gate compares.
+pub fn is_throughput_field(key: &str) -> bool {
+    key == "events_per_sec" || key.ends_with("_per_sec")
+}
+
+/// One baseline-vs-current comparison of a throughput field.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Record source.
+    pub source: String,
+    /// Field name.
+    pub field: String,
+    /// Baseline value (events or ops per second).
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Comparison {
+    /// Fractional regression: 0.25 means 25% slower than baseline.
+    /// Negative when the current run is faster.
+    pub fn regression(&self) -> f64 {
+        1.0 - self.current / self.baseline
+    }
+}
+
+/// Compare every throughput field of every source present in **both**
+/// files. Returns all comparisons (for the report) in baseline file order.
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.source == b.source) else {
+            continue;
+        };
+        for (key, bval) in &b.fields {
+            if !is_throughput_field(key) || *bval <= 0.0 {
+                continue;
+            }
+            if let Some(cval) = c.get(key) {
+                out.push(Comparison {
+                    source: b.source.clone(),
+                    field: key.clone(),
+                    baseline: *bval,
+                    current: cval,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+{"source":"sim_micro/mptcp4","events":14150,"wheel_events_per_sec":6750000.5,"heap_events_per_sec":7250000,"speedup":0.93,"quick":false},
+{"source":"sim_micro/probe_guard","probe_overhead":0.044,"disabled_events_per_sec":7690000,"identical_history":true},
+{"source":"scale_sweep/fattree_k8","hosts":128,"events_per_sec":5100000,"peak_rss_bytes":8388608}
+]"#;
+
+    #[test]
+    fn parses_records_and_numeric_fields_only() {
+        let recs = parse_bench(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].source, "sim_micro/mptcp4");
+        assert_eq!(recs[0].get("events"), Some(14150.0));
+        assert_eq!(recs[0].get("wheel_events_per_sec"), Some(6750000.5));
+        // Booleans and strings are not numeric fields.
+        assert_eq!(recs[1].get("identical_history"), None);
+        assert_eq!(recs[2].get("events_per_sec"), Some(5100000.0));
+    }
+
+    #[test]
+    fn throughput_fields_are_the_per_sec_ones() {
+        assert!(is_throughput_field("events_per_sec"));
+        assert!(is_throughput_field("wheel_events_per_sec"));
+        assert!(is_throughput_field("bitmap_ops_per_sec"));
+        assert!(!is_throughput_field("probe_overhead"));
+        assert!(!is_throughput_field("peak_rss_bytes"));
+        assert!(!is_throughput_field("events"));
+    }
+
+    #[test]
+    fn compare_matches_sources_and_flags_regressions() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let fresh = parse_bench(
+            r#"{"source":"sim_micro/mptcp4","wheel_events_per_sec":5000000,"heap_events_per_sec":7300000}
+{"source":"scale_sweep/fattree_k8","events_per_sec":5200000}
+{"source":"new_bench/only_current","events_per_sec":1}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &fresh);
+        // probe_guard is baseline-only, only_current is fresh-only: skipped.
+        let sources: Vec<&str> = cmp.iter().map(|c| c.source.as_str()).collect();
+        assert!(!sources.contains(&"sim_micro/probe_guard"));
+        assert!(!sources.contains(&"new_bench/only_current"));
+        let wheel = cmp
+            .iter()
+            .find(|c| c.field == "wheel_events_per_sec")
+            .expect("wheel field compared");
+        assert!(wheel.regression() > 0.20, "{:?}", wheel);
+        let k8 = cmp.iter().find(|c| c.field == "events_per_sec").unwrap();
+        assert!(k8.regression() < 0.0, "faster run is a negative regression");
+    }
+
+    #[test]
+    fn the_real_checked_in_file_parses_and_self_compares_clean() {
+        let root = crate::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let text = std::fs::read_to_string(root.join("BENCH_sim.json")).expect("BENCH_sim.json");
+        let recs = parse_bench(&text).expect("checked-in file parses");
+        assert!(!recs.is_empty());
+        assert!(
+            recs.iter().any(|r| r.fields.iter().any(|(k, _)| is_throughput_field(k))),
+            "no throughput fields — the gate would compare nothing"
+        );
+        // A file compared against itself has zero regression everywhere.
+        let cmp = compare(&recs, &recs);
+        assert!(!cmp.is_empty());
+        assert!(cmp.iter().all(|c| c.regression().abs() < 1e-12));
+    }
+}

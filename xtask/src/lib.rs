@@ -1,16 +1,19 @@
 //! `xtask` — workspace automation for the MPTCP reproduction.
 //!
-//! Currently one subcommand: `cargo xtask lint`, the determinism &
-//! invariant lint pass described in DESIGN.md §3.2d. The library half
-//! exists so the fixture self-tests (`xtask/tests/`) can drive the exact
-//! code the CLI runs.
+//! Two subcommands: `cargo xtask lint`, the determinism & invariant lint
+//! pass described in DESIGN.md §3.2d, and `cargo xtask bench-check`, the
+//! `BENCH_sim.json` performance-regression gate. The library half exists
+//! so the fixture self-tests (`xtask/tests/`) can drive the exact code the
+//! CLI runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod lexer;
 pub mod lints;
 
+pub use bench::{compare, is_throughput_field, parse_bench, BenchRecord, Comparison};
 pub use lints::{collect_allows, lint_group, Allow, FileInput, Finding, Rule, Scope};
 
 use std::io;

@@ -19,6 +19,11 @@
 //!   `// lint:digest-surface` must have a `DetDigest` impl (normally via
 //!   `impl_det_digest!`) somewhere in its crate, so new sim state cannot
 //!   escape the `chaos_smoke` bit-identity digest.
+//! * **`hot-path`** (D5) — no `BTreeSet`/`BTreeMap` in a file marked
+//!   `// lint:hot-path`. Those files are the per-ACK/per-packet hot path
+//!   whose ordered-tree bookkeeping was replaced by rotating bitmap
+//!   scoreboards; a tree creeping back in reintroduces per-operation
+//!   allocation and O(log w) pointer-chasing silently.
 //!
 //! The escape hatch is a machine-checked annotation:
 //!
@@ -45,6 +50,8 @@ pub enum Rule {
     FloatOrd,
     /// D4: pub sim-state structs missing the determinism-digest impl.
     DigestSurface,
+    /// D5: ordered-tree containers in `lint:hot-path` files.
+    HotPath,
     /// A `lint:` annotation that is malformed, names an unknown rule, or
     /// has an empty reason.
     BadAnnotation,
@@ -60,6 +67,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::FloatOrd => "float-ord",
             Rule::DigestSurface => "digest-surface",
+            Rule::HotPath => "hot-path",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -68,7 +76,7 @@ impl Rule {
     /// The rules an annotation may allow (the meta rules cannot be
     /// annotated away).
     pub fn allowable() -> &'static [Rule] {
-        &[Rule::UnorderedIter, Rule::WallClock, Rule::FloatOrd, Rule::DigestSurface]
+        &[Rule::UnorderedIter, Rule::WallClock, Rule::FloatOrd, Rule::DigestSurface, Rule::HotPath]
     }
 
     /// Parse an allowable rule name.
@@ -161,7 +169,7 @@ fn collect_allows_from_tokens(path: &Path, source: &str, toks: &[Tok]) -> (Vec<A
                 line: t.line,
                 message: format!("malformed lint annotation: {why}"),
                 snippet: snippet_at(source, t.line),
-                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface".into(),
+                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface, hot-path".into(),
             }),
         }
     }
@@ -192,7 +200,7 @@ fn parse_allow(comment: &str) -> Result<(Rule, String), String> {
     let (rule_name, rest) = rest.split_once(',').ok_or("expected `,` after the rule name")?;
     let rule_name = rule_name.trim();
     let rule = Rule::from_name(rule_name)
-        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface)"))?;
+        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface, hot-path)"))?;
     let rest = rest.trim_start();
     let rest = rest.strip_prefix("reason").ok_or("expected `reason = \"…\"`")?;
     let rest = rest.trim_start();
@@ -227,6 +235,10 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
     let digest_surface = toks.iter().any(|t| {
         t.is_comment()
             && comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:digest-surface"))
+    });
+    let hot_path = toks.iter().any(|t| {
+        t.is_comment()
+            && comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:hot-path"))
     });
     let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
 
@@ -266,6 +278,20 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
                         "use `BTree{}`/`Vec` (deterministic order), or annotate: // lint:allow(unordered-iter, reason = \"…\")",
                         if t.text.contains("Set") || t.text.contains("set") { "Set" } else { "Map" }
                     ),
+                );
+            }
+
+            // ---- D5: ordered trees in declared hot-path files ----
+            if hot_path && matches!(t.text.as_str(), "BTreeSet" | "BTreeMap") {
+                push(
+                    &mut findings,
+                    Rule::HotPath,
+                    t.line,
+                    format!(
+                        "`{}` in a `lint:hot-path` file: ordered-tree bookkeeping pays an allocation plus O(log w) pointer-chasing per operation on the per-ACK path",
+                        t.text
+                    ),
+                    "use the rotating-bitmap scoreboards (crates/netsim/src/scoreboard.rs) or a windowed array, or annotate: // lint:allow(hot-path, reason = \"…\")".into(),
                 );
             }
 
@@ -527,6 +553,22 @@ mod tests {
         // f32 only in sim scope.
         assert_eq!(rules(&lint_group(&[file("let x: f32 = 0.5;", Scope::Sim)])), vec![Rule::FloatOrd]);
         assert!(lint_group(&[file("let x: f32 = 0.5;", Scope::General)]).is_empty());
+    }
+
+    #[test]
+    fn hot_path_bans_trees_in_marked_files_only() {
+        let marked = "// lint:hot-path\nuse std::collections::BTreeSet;\nfn f(m: &BTreeMap<u64, u64>) {}\n";
+        let f = lint_group(&[file(marked, Scope::General)]);
+        assert_eq!(rules(&f), vec![Rule::HotPath, Rule::HotPath], "{f:?}");
+        // Unmarked files carry no obligation (scope-independent rule).
+        let free = "use std::collections::BTreeSet;\n";
+        assert!(lint_group(&[file(free, Scope::Sim)]).is_empty());
+        // A tree mentioned only in comments/docs of a marked file is fine.
+        let comment_only = "// lint:hot-path\n// A BTreeSet would pay O(log w) here.\nlet x = 1;\n";
+        assert!(lint_group(&[file(comment_only, Scope::General)]).is_empty());
+        // The escape hatch works like every other rule's.
+        let allowed = "// lint:hot-path\n// lint:allow(hot-path, reason = \"cold config map, touched once at setup\")\nuse std::collections::BTreeMap;\n";
+        assert!(lint_group(&[file(allowed, Scope::General)]).is_empty());
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! `cargo xtask` — workspace automation CLI.
 //!
 //! ```text
-//! cargo xtask lint            # run the determinism & invariant lints
-//! cargo xtask lint --fix      # …and print mechanical rewrite suggestions
-//! cargo xtask lint --rules    # describe the rule set
+//! cargo xtask lint                      # run the determinism & invariant lints
+//! cargo xtask lint --fix                # …and print mechanical rewrite suggestions
+//! cargo xtask lint --rules              # describe the rule set
+//! cargo xtask bench-check BASELINE.json # BENCH_sim.json perf-regression gate
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 //! or I/O errors — so CI can treat the lint like `clippy -D warnings`.
 
-use xtask::{find_workspace_root, lint_workspace, mechanical_fix, Finding, Rule};
+use xtask::{compare, find_workspace_root, lint_workspace, mechanical_fix, parse_bench, Finding, Rule};
 
 const USAGE: &str = "usage: cargo xtask lint [--fix] [--rules] [PATH...]
+       cargo xtask bench-check BASELINE [CURRENT] [--threshold-pct N] [--strict]
 
 subcommands:
   lint          run the determinism & invariant lint pass over the workspace
@@ -20,6 +22,18 @@ subcommands:
     --rules     print the rule set and the annotation grammar, then exit
     PATH...     lint only these .rs files, under the strictest (sim library)
                 scope — used to try a file or a fixture in isolation
+  bench-check   compare the throughput fields (events/ops per second) of a
+                freshly regenerated BENCH_sim.json against a baseline copy
+    BASELINE    the committed baseline (e.g. a copy made before re-running
+                the benches)
+    CURRENT     the fresh file; defaults to BENCH_sim.json at the
+                workspace root
+    --threshold-pct N
+                regression tolerance in percent (default 20)
+    --strict    exit 1 on any regression beyond the threshold; also armed
+                by MPTCP_BENCH_STRICT=1. Without it the comparison is a
+                smoke check: regressions print but the exit code stays 0
+                (wall-clock numbers from shared CI machines are noise)
 ";
 
 const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
@@ -35,6 +49,9 @@ const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
   digest-surface   every pub struct in a file marked `// lint:digest-surface`
                    must implement DetDigest (impl_det_digest!), so its state
                    feeds the chaos_smoke bit-identity digest.
+  hot-path         no BTreeSet/BTreeMap in a file marked `// lint:hot-path`:
+                   those files are the per-ACK path whose ordered-tree
+                   bookkeeping was replaced by rotating bitmap scoreboards.
 
 meta (not annotatable):
 
@@ -57,6 +74,9 @@ fn run(args: &[String]) -> i32 {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("lint") => {}
+        Some("bench-check") => {
+            return bench_check(&args[1..]);
+        }
         Some("-h") | Some("--help") | None => {
             print!("{USAGE}");
             return if args.is_empty() { 2 } else { 0 };
@@ -120,6 +140,117 @@ fn run(args: &[String]) -> i32 {
     println!("xtask lint: {} finding(s): {}", findings.len(), by_rule);
     println!("  (run `cargo xtask lint --rules` for the policy, `--fix` for rewrite suggestions)");
     1
+}
+
+/// `cargo xtask bench-check BASELINE [CURRENT] [--threshold-pct N] [--strict]`
+/// — see the module docs of `xtask::bench` for the policy.
+fn bench_check(args: &[String]) -> i32 {
+    let mut strict = std::env::var_os("MPTCP_BENCH_STRICT").is_some_and(|v| v != "0");
+    let mut threshold = 0.20;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--strict" => strict = true,
+            "--threshold-pct" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold-pct needs a number\n{USAGE}");
+                    return 2;
+                };
+                threshold = v / 100.0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path),
+        }
+    }
+    let Some(&baseline_path) = paths.first() else {
+        eprintln!("bench-check needs a baseline file\n{USAGE}");
+        return 2;
+    };
+    let current_path = match paths.get(1) {
+        Some(&p) => std::path::PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_default();
+            let root = find_workspace_root(&cwd)
+                .or_else(|| find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))));
+            match root {
+                Some(r) => r.join("BENCH_sim.json"),
+                None => {
+                    eprintln!("xtask: no workspace root found for the default CURRENT file");
+                    return 2;
+                }
+            }
+        }
+    };
+    if paths.len() > 2 {
+        eprintln!("bench-check takes at most two files\n{USAGE}");
+        return 2;
+    }
+
+    let read = |p: &std::path::Path| match std::fs::read_to_string(p) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("xtask: {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(base_text), Some(cur_text)) =
+        (read(std::path::Path::new(baseline_path)), read(&current_path))
+    else {
+        return 2;
+    };
+    let (base, cur) = match (parse_bench(&base_text), parse_bench(&cur_text)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask: bench-check parse error: {e}");
+            return 2;
+        }
+    };
+
+    let comparisons = compare(&base, &cur);
+    if comparisons.is_empty() {
+        eprintln!(
+            "xtask bench-check: no overlapping throughput fields between {} and {} — nothing was checked",
+            baseline_path,
+            current_path.display()
+        );
+        return 2;
+    }
+    let mut regressed = 0;
+    for c in &comparisons {
+        let r = c.regression();
+        let verdict = if r > threshold {
+            regressed += 1;
+            "REGRESSED"
+        } else if r < 0.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<42} {:<26} {:>12.0} -> {:>12.0}  {:+6.1}%  {}",
+            c.source,
+            c.field,
+            c.baseline,
+            c.current,
+            -r * 100.0,
+            verdict
+        );
+    }
+    println!(
+        "xtask bench-check: {} field(s) compared, {} beyond the {:.0}% threshold{}",
+        comparisons.len(),
+        regressed,
+        threshold * 100.0,
+        if strict { " (strict)" } else { " (smoke — informational)" }
+    );
+    if regressed > 0 && strict {
+        return 1;
+    }
+    0
 }
 
 /// Lint explicitly-given files as one group, under the strictest scope.

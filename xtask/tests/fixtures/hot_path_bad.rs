@@ -1,0 +1,20 @@
+//! Deliberately-bad fixture: D5 `hot-path`.
+//! Ordered trees in a file declaring itself the per-ACK hot path — each
+//! insert/remove pays an allocation plus O(log w) pointer-chasing for
+//! ordering the scoreboard access pattern never needs.
+
+// lint:hot-path — this file models SACK bookkeeping on the per-ACK path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Scoreboard {
+    sacked: BTreeSet<u64>,
+    retx_out: BTreeMap<u64, u64>,
+}
+
+impl Scoreboard {
+    pub fn sack_one(&mut self, seq: u64) -> bool {
+        self.retx_out.remove(&seq);
+        self.sacked.insert(seq) // tree insert on every SACKed sequence
+    }
+}

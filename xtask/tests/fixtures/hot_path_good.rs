@@ -1,0 +1,35 @@
+//! Good fixture: D5 `hot-path`.
+//! A marked hot-path file using windowed bitmap state (words indexed by
+//! `seq & mask`), plus one annotated tree whose use is provably cold — the
+//! escape hatch in action. A BTreeSet mentioned only in prose like this
+//! line is fine: comments are not code.
+
+// lint:hot-path — per-ACK scoreboard bookkeeping.
+
+pub struct Bitmap {
+    words: Vec<u64>,
+    base: u64,
+}
+
+impl Bitmap {
+    pub fn insert(&mut self, seq: u64) {
+        let bit = seq & (self.words.len() as u64 * 64 - 1);
+        self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+    }
+
+    pub fn contains(&self, seq: u64) -> bool {
+        let bit = seq & (self.words.len() as u64 * 64 - 1);
+        self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+    }
+
+    pub fn advance_to(&mut self, cum: u64) {
+        self.base = cum;
+    }
+}
+
+pub fn config_lookup(name: &str) -> Option<u64> {
+    // lint:allow(hot-path, reason = "cold path: built once at startup, read outside the ACK loop")
+    let table: std::collections::BTreeMap<&str, u64> =
+        [("dup_thresh", 3), ("max_sack", 4)].into_iter().collect();
+    table.get(name).copied()
+}

@@ -31,6 +31,7 @@ fn every_bad_fixture_fails_with_its_rule() {
         ("wall_clock_bad.rs", Rule::WallClock, 4),         // Instant::now, SystemTime, thread_rng, RandomState
         ("float_ord_bad.rs", Rule::FloatOrd, 3),           // partial_cmp, == literal, f32
         ("digest_surface_bad.rs", Rule::DigestSurface, 1),
+        ("hot_path_bad.rs", Rule::HotPath, 3), // use BTreeMap+BTreeSet, 2 field types, insert/remove sites
     ] {
         let findings = lint_one(name);
         assert!(!findings.is_empty(), "{name} must fail");
@@ -51,6 +52,7 @@ fn every_good_fixture_passes_clean() {
         "wall_clock_good.rs",
         "float_ord_good.rs",
         "digest_surface_good.rs",
+        "hot_path_good.rs",
     ] {
         let findings = lint_one(name);
         assert!(findings.is_empty(), "{name} must be clean, got {findings:#?}");
@@ -125,12 +127,19 @@ fn cli_exit_codes_match_the_ci_contract() {
         "wall_clock_bad.rs",
         "float_ord_bad.rs",
         "digest_surface_bad.rs",
+        "hot_path_bad.rs",
         "annotations_bad.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(1), "{name} must exit 1");
     }
-    for name in ["unordered_iter_good.rs", "wall_clock_good.rs", "float_ord_good.rs", "digest_surface_good.rs"] {
+    for name in [
+        "unordered_iter_good.rs",
+        "wall_clock_good.rs",
+        "float_ord_good.rs",
+        "digest_surface_good.rs",
+        "hot_path_good.rs",
+    ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(0), "{name} must exit 0");
     }
@@ -141,6 +150,32 @@ fn cli_exit_codes_match_the_ci_contract() {
 fn workspace_is_lint_clean() {
     let findings = lint_workspace(&repo_root()).expect("walk workspace");
     assert!(findings.is_empty(), "`cargo xtask lint` would fail:\n{findings:#?}");
+}
+
+#[test]
+fn hot_path_rule_is_live_on_the_real_scoreboard_files() {
+    // The files that replaced the BTreeSet bookkeeping must carry the
+    // marker, be clean, and actually be protected: a tree sneaking back in
+    // must be flagged.
+    let root = repo_root();
+    for rel in ["crates/netsim/src/scoreboard.rs", "crates/netsim/src/tcp.rs"] {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lint = |source: String| {
+            lint_group(&[FileInput { path: PathBuf::from(rel), source, scope: Scope::Sim }])
+        };
+        assert!(
+            src.lines().any(|l| l.trim_start().starts_with("// lint:hot-path")),
+            "{rel}: hot-path marker is gone"
+        );
+        assert!(lint(src.clone()).is_empty(), "{rel} must be lint-clean");
+        let poisoned =
+            format!("{src}\nfn sneaky(s: &std::collections::BTreeSet<u64>) -> usize {{ s.len() }}\n");
+        let findings = lint(poisoned);
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::HotPath),
+            "{rel}: marker not live, a reintroduced tree went unflagged: {findings:#?}"
+        );
+    }
 }
 
 #[test]
