@@ -8,12 +8,19 @@
 //! **bit-identical digests under `MPTCP_JOBS=1` and `MPTCP_JOBS=4`** —
 //! the determinism claim of the runner extended to fault execution.
 //! Any divergence or a lost flow aborts the process with a nonzero exit.
+//!
+//! Two scenarios run on the **sharded engine** ([`ShardedSimulator`]) with
+//! their intra-sim worker count tied to `MPTCP_JOBS`, so the same batch
+//! comparison also proves the stronger claim: a *single* sharded
+//! simulation's merged `DetDigest` is bit-identical at jobs = 1 vs
+//! jobs = N (DESIGN.md §3.2f).
 
-use mptcp_bench::runner::run_parallel;
+use mptcp_bench::runner::{run_parallel, worker_count};
 use mptcp_bench::{banner, scaled, Table};
 use mptcp_cc::AlgorithmKind;
 use mptcp_netsim::{
-    ConnectionSpec, DetDigest, DigestWriter, FaultPlan, LinkSpec, SimTime, Simulator, TcpParams,
+    ConnectionSpec, DetDigest, DigestWriter, FaultPlan, LinkSpec, ShardedSimulator, SimPerf,
+    SimTime, Simulator, TcpParams,
 };
 use mptcp_topology::Torus;
 
@@ -40,6 +47,11 @@ struct Digest {
 enum Scenario {
     Torus { seed: u64 },
     DualHomed { seed: u64, pkts: u64 },
+    /// The torus, partitioned over 3 shards with the worker count tied to
+    /// `MPTCP_JOBS` — the intra-sim jobs=1 vs jobs=N bit-identity gate.
+    ShardedTorus { seed: u64 },
+    /// The dual-homed download, its two access links on different shards.
+    ShardedDualHomed { seed: u64, pkts: u64 },
 }
 
 fn run_one(sc: &Scenario) -> Digest {
@@ -68,19 +80,56 @@ fn run_one(sc: &Scenario) -> Digest {
             sim.run_until(horizon);
             digest(format!("dual/{seed}"), &sim, &[conn])
         }
+        Scenario::ShardedTorus { seed } => {
+            let mut sim = ShardedSimulator::new(seed, 3);
+            let t = Torus::build_sharded(&mut sim, [1000.0; 5], AlgorithmKind::Mptcp);
+            let plan = FaultPlan::randomized(seed ^ 0xFA17, &t.links, horizon);
+            sim.install_fault_plan(&plan);
+            sim.set_jobs(worker_count(8));
+            sim.run_until(horizon);
+            let stats: Vec<_> = t.flows.iter().map(|&c| sim.connection_stats(c)).collect();
+            digest_parts(format!("storus/{seed}"), stats, sim.perf())
+        }
+        Scenario::ShardedDualHomed { seed, pkts } => {
+            let mut sim = ShardedSimulator::new(seed, 2);
+            let l1 = sim.add_link(0, LinkSpec::mbps(12.0, SimTime::from_millis(8), 25));
+            let l2 = sim.add_link(1, LinkSpec::mbps(4.0, SimTime::from_millis(30), 25));
+            // Both subflows enter on shard 0 (the owner) via uncongested
+            // 1 ms ingress stubs, then cross to their access links.
+            let stub = LinkSpec::pkts_per_sec(100_000.0, SimTime::from_millis(1), 10_000);
+            let s1 = sim.add_link(0, stub);
+            let s2 = sim.add_link(0, stub);
+            let conn = sim.add_connection(
+                ConnectionSpec::sized(AlgorithmKind::Mptcp, pkts)
+                    .path(vec![s1, l1])
+                    .path(vec![s2, l2])
+                    .tcp(TcpParams { max_rto: SimTime::from_secs(4), ..TcpParams::default() }),
+            );
+            let plan = FaultPlan::randomized(seed ^ 0xD0A1, &[l1, l2], horizon);
+            sim.install_fault_plan(&plan);
+            sim.set_jobs(worker_count(8));
+            sim.run_until(horizon);
+            digest_parts(format!("sdual/{seed}"), vec![sim.connection_stats(conn)], sim.perf())
+        }
     }
 }
 
 fn digest(label: String, sim: &Simulator, conns: &[usize]) -> Digest {
+    // `events_processed() == perf().events_fired`, so serial and sharded
+    // digests share one constructor.
     let stats: Vec<_> = conns.iter().map(|&c| sim.connection_stats(c)).collect();
+    digest_parts(label, stats, sim.perf())
+}
+
+fn digest_parts(label: String, stats: Vec<mptcp_netsim::ConnectionStats>, perf: SimPerf) -> Digest {
     let mut w = DigestWriter::new();
     stats.det_digest(&mut w);
-    sim.perf().det_digest(&mut w);
+    perf.det_digest(&mut w);
     let state = w.finish();
     Digest {
         label,
-        events: sim.events_processed(),
-        faults: sim.perf().faults_applied,
+        events: perf.events_fired,
+        faults: perf.faults_applied,
         delivered: stats.iter().map(|s| s.data_delivered).collect(),
         dups: stats.iter().map(|s| s.dup_data_arrivals).collect(),
         reinjected: stats.iter().map(|s| s.reinjections_sent).collect(),
@@ -101,6 +150,12 @@ fn main() {
     }
     for seed in [5, 17, 29, 61] {
         jobs.push(Scenario::DualHomed { seed, pkts: 4_000 });
+    }
+    for seed in [11, 23] {
+        jobs.push(Scenario::ShardedTorus { seed });
+    }
+    for seed in [5, 17] {
+        jobs.push(Scenario::ShardedDualHomed { seed, pkts: 4_000 });
     }
 
     std::env::set_var("MPTCP_JOBS", "1");
@@ -129,7 +184,7 @@ fn main() {
     let mut t = Table::new(&["scenario", "events", "faults", "delivered", "reinject", "dups", "done"]);
     let mut all_ok = true;
     for d in &serial {
-        let sized = d.label.starts_with("dual");
+        let sized = d.label.contains("dual");
         let ok = !sized || d.finished.iter().all(|&f| f);
         all_ok &= ok;
         t.row(vec![
@@ -149,5 +204,7 @@ fn main() {
     t.print();
     assert!(all_ok, "every sized flow must complete under its fault schedule");
     println!("\n  parallel (MPTCP_JOBS=4) and serial (MPTCP_JOBS=1) digests identical over");
-    println!("  {} scenarios — fault execution is part of the deterministic history.", jobs.len());
+    println!("  {} scenarios — fault execution is part of the deterministic history,", jobs.len());
+    println!("  and the sharded scenarios (storus/sdual) tie their intra-sim worker count");
+    println!("  to MPTCP_JOBS, so jobs=1 vs jobs=N on a single sharded sim is gated too.");
 }

@@ -106,18 +106,28 @@ fn main() {
     merge_bench_sim(
         "tab_fattree/",
         &[
+            // Each cell is one single-threaded simulation (the fan-out is
+            // across cells) and `wall` sums per-cell walls, so the
+            // aggregate events/sec here is per-core by construction:
+            // jobs = 1 and the per-core field equals the aggregate.
             Record::new("tab_fattree/scheduler")
                 .field("events", perf[0].events_fired)
                 .field("peak_pending", peak)
+                .field("jobs", 1u64)
                 .field("wheel_events_per_sec", wheel_eps)
+                .field("wheel_events_per_sec_per_core", wheel_eps)
                 .field("heap_events_per_sec", heap_eps)
+                .field("heap_events_per_sec_per_core", heap_eps)
                 .field("speedup", wheel_eps / heap_eps)
                 .field("quick", quick_mode()),
             Record::new("tab_fattree/queue_churn")
                 .field("pending", peak)
                 .field("ops", ops)
+                .field("jobs", 1u64)
                 .field("wheel_events_per_sec", wheel_q)
+                .field("wheel_events_per_sec_per_core", wheel_q)
                 .field("heap_events_per_sec", heap_q)
+                .field("heap_events_per_sec_per_core", heap_q)
                 .field("speedup", wheel_q / heap_q)
                 .field("quick", quick_mode()),
         ],

@@ -1,7 +1,9 @@
 //! Shared machinery for the §4 data-center experiments (FatTree & BCube).
 
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::{ConnId, ConnectionSpec, LinkSpec, QueueBackend, SimPerf, SimTime, Simulator};
+use mptcp_netsim::{
+    ConnId, ConnectionSpec, LinkSpec, QueueBackend, ShardedSimulator, SimPerf, SimTime, Simulator,
+};
 use mptcp_topology::{BCube, FatTree};
 use mptcp_workload::{one_to_many_random, random_permutation_pairs, sparse_pairs};
 use rand::rngs::StdRng;
@@ -140,6 +142,98 @@ pub fn run_fattree_with(
     let access = ft.access_links();
     let res = finish(&mut sim, &conns, ft.host_count(), warmup, window, &core, &access);
     (res, sim.perf())
+}
+
+/// Result of one sharded FatTree run: the usual [`DcResult`], the merged
+/// perf counters for the whole run, and warm-up-excluded measurement-window
+/// deltas so steady-state events/sec can be reported without the
+/// connection-setup transient.
+pub struct ShardedDcRun {
+    /// Goodput results over the measurement window.
+    pub res: DcResult,
+    /// Merged perf counters for the whole run (warm-up included).
+    pub perf: SimPerf,
+    /// Events fired during the measurement window only.
+    pub window_events: u64,
+    /// Wall-clock time spent simulating the measurement window only.
+    pub window_wall: std::time::Duration,
+    /// Deterministic digest of the final state (per-connection stats +
+    /// per-shard perf), for jobs-invariance checks.
+    pub digest: u64,
+}
+
+/// [`run_fattree`] on a [`ShardedSimulator`]: the same topology, workload
+/// rng and path selection, but partitioned pod-by-pod over `num_shards`
+/// shards advanced by `jobs` worker threads. The merged deterministic
+/// history is independent of `jobs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fattree_sharded(
+    k: usize,
+    tp: Tp,
+    routing: Routing,
+    seed: u64,
+    warmup: SimTime,
+    window: SimTime,
+    num_shards: usize,
+    jobs: usize,
+) -> ShardedDcRun {
+    let mut sim = ShardedSimulator::new(seed, num_shards);
+    let ft = FatTree::build_sharded(&mut sim, k, dc_link());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let pairs = host_pairs(tp, ft.host_count(), &mut rng);
+    let conns: Vec<(usize, ConnId)> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            let conn = match routing {
+                Routing::SinglePath => sim.add_connection(
+                    ConnectionSpec::bulk(AlgorithmKind::Uncoupled)
+                        .path(ft.ecmp_path(s, d, &mut rng)),
+                ),
+                Routing::Multipath(alg, n) => {
+                    let mut spec = ConnectionSpec::bulk(alg);
+                    for p in ft.random_paths(s, d, n, &mut rng) {
+                        spec = spec.path(p);
+                    }
+                    sim.add_connection(spec)
+                }
+            };
+            (s, conn)
+        })
+        .collect();
+    sim.set_jobs(jobs);
+    sim.run_until(warmup);
+    sim.reset_link_stats();
+    let perf_before = sim.perf();
+    let before: Vec<u64> =
+        conns.iter().map(|&(_, c)| sim.connection_stats(c).delivered_pkts()).collect();
+    sim.run_until(warmup + window);
+    let perf = sim.perf();
+    let secs = window.as_secs_f64();
+    let per_flow_bps: Vec<f64> = conns
+        .iter()
+        .zip(&before)
+        .map(|(&(_, c), &b)| {
+            let st = sim.connection_stats(c);
+            (st.delivered_pkts() - b) as f64 * st.packet_size as f64 * 8.0 / secs
+        })
+        .collect();
+    let mut per_host = vec![0.0; ft.host_count()];
+    for (&(src, _), &bps) in conns.iter().zip(&per_flow_bps) {
+        per_host[src] += bps;
+    }
+    let res = DcResult {
+        per_host_bps: per_host,
+        per_flow_bps,
+        core_loss: ft.core_links().iter().map(|&l| sim.link_stats(l).loss_rate()).collect(),
+        access_loss: ft.access_links().iter().map(|&l| sim.link_stats(l).loss_rate()).collect(),
+    };
+    ShardedDcRun {
+        res,
+        window_events: perf.events_fired - perf_before.events_fired,
+        window_wall: perf.wall.saturating_sub(perf_before.wall),
+        digest: sim.det_digest(),
+        perf,
+    }
 }
 
 /// Run one BCube experiment.

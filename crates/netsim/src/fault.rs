@@ -174,6 +174,24 @@ impl FaultAction {
             | FaultAction::GilbertElliott { link, .. } => link,
         }
     }
+
+    /// The same action retargeted at `link` — used by the sharded
+    /// simulator to translate world-level link ids into shard-local ones
+    /// when splitting a plan across shards.
+    pub(crate) fn with_link(mut self, link: LinkId) -> FaultAction {
+        match &mut self {
+            FaultAction::Down { link: l }
+            | FaultAction::Up { link: l }
+            | FaultAction::SetRate { link: l, .. }
+            | FaultAction::Brownout { link: l, .. }
+            | FaultAction::RestoreRate { link: l }
+            | FaultAction::SetLoss { link: l, .. }
+            | FaultAction::ShrinkQueue { link: l, .. }
+            | FaultAction::RestoreQueue { link: l }
+            | FaultAction::GilbertElliott { link: l, .. } => *l = link,
+        }
+        self
+    }
 }
 
 /// A declarative fault schedule: `(time, action)` pairs executed through

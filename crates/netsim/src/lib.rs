@@ -65,6 +65,7 @@ mod perf;
 mod probe;
 mod scoreboard;
 mod scoreboard_ref;
+mod shard;
 mod sim;
 mod stats;
 mod tcp;
@@ -85,6 +86,7 @@ pub use probe::{
     CcPhase, LinkPoint, ProbeLog, ProbeSpec, SubflowPoint, Transition, TransitionKind,
 };
 pub use scoreboard::{scoreboard_churn, ScoreboardKind};
+pub use shard::ShardedSimulator;
 pub use sim::{ConnId, ConnectionSpec, Simulator, SubflowSpec};
 pub use stats::{ConnectionStats, SubflowStats};
 pub use tcp::TcpParams;

@@ -1,5 +1,8 @@
 //! Links: rate, propagation delay, drop-tail queue, optional random loss.
 
+// lint:shard-state — links are per-shard state and move onto worker
+// threads in the sharded engine; they must stay Send.
+
 use crate::packet::Packet;
 use crate::time::SimTime;
 use std::collections::VecDeque;

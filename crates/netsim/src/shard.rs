@@ -1,0 +1,608 @@
+//! Sharded intra-simulation parallelism: one world partitioned across
+//! several [`Simulator`] shards, synchronized with conservative lookahead.
+//!
+//! ## Model
+//!
+//! A [`ShardedSimulator`] owns `num_shards` ordinary [`Simulator`]s. Every
+//! link is added to exactly one shard (`add_link(shard, spec)`); every
+//! connection lives in the shard that owns the first link of its first
+//! subflow (the *owner* shard), and the first link of **every** subflow
+//! must live there — the sender side of all subflows is one host. Packets
+//! carry world-level connection ids; each shard resolves them through a
+//! shared immutable [`WorldMap`].
+//!
+//! ## Synchronization (conservative lookahead)
+//!
+//! The only events that cross shards are packet arrivals, and a crossing
+//! arrival is always scheduled at least `lookahead` after the event that
+//! produced it, where `lookahead` is the minimum propagation delay over
+//! all *boundary-crossing* links (a packet leaves a link in shard A for a
+//! link — or final delivery — in shard B no earlier than A's clock plus
+//! that link's delay). Time therefore advances in epochs of length
+//! `lookahead`: within an epoch every shard processes its queue
+//! independently, buffering cross-shard arrivals in per-destination
+//! outboxes; at the epoch barrier outboxes are flushed into a mailbox
+//! matrix and drained — in ascending source-shard order — into the
+//! destination queues. Every cross-shard arrival lands in a strictly
+//! later epoch than the one that produced it, so no shard ever receives
+//! an event in its past.
+//!
+//! ## Determinism
+//!
+//! Each shard's `(at, seq)` event history is a pure function of the seed
+//! and the (deterministic) sequence of epoch boundaries and mailbox
+//! drains, none of which depend on the worker-thread count: `jobs = 1`
+//! and `jobs = N` produce bit-identical merged [`DetDigest`]s
+//! ([`ShardedSimulator::det_digest`]), gated by `chaos_smoke` and the
+//! `shard_determinism` proptest.
+
+use crate::event::QueueBackend;
+use crate::fault::FaultPlan;
+use crate::link::{LinkId, LinkSpec, LinkStats};
+use crate::packet::Packet;
+use crate::perf::SimPerf;
+use crate::sim::{ConnId, ConnectionSpec, ShardCtx, Simulator};
+use crate::stats::ConnectionStats;
+use crate::time::SimTime;
+use mptcp_cc::{DetDigest, DigestWriter};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Immutable placement and routing tables shared by every shard of a
+/// partitioned world (struct-of-arrays: dense ids indexing flat vectors).
+pub struct WorldMap {
+    /// Per global link id: `(owning shard, shard-local link id)`.
+    link_home: Vec<(u32, u32)>,
+    /// Per global connection id: owning shard.
+    conn_owner: Vec<u32>,
+    /// Per global connection id: local id within the owner shard.
+    conn_local: Vec<u32>,
+    /// Prefix sums: global subflow index of each connection's first
+    /// subflow (`len = conns + 1`).
+    conn_sub_base: Vec<u32>,
+    /// Prefix sums: index of each global subflow's first hop in `hops`
+    /// (`len = total_subflows + 1`).
+    sub_hop_base: Vec<u32>,
+    /// Flattened per-subflow paths: `(shard, shard-local link id)` per hop.
+    hops: Vec<(u32, u32)>,
+    /// Minimum propagation delay over boundary-crossing links — the epoch
+    /// length. `SimTime(u64::MAX)` when nothing ever crosses (the whole
+    /// horizon becomes one epoch).
+    lookahead: SimTime,
+}
+
+impl WorldMap {
+    #[inline]
+    fn gsub(&self, conn: ConnId, sub: usize) -> usize {
+        self.conn_sub_base[conn] as usize + sub
+    }
+
+    /// `(shard, local link id)` of one hop of a subflow's path.
+    #[inline]
+    pub(crate) fn hop(&self, conn: ConnId, sub: usize, hop: usize) -> (u32, u32) {
+        self.hops[self.sub_hop_base[self.gsub(conn, sub)] as usize + hop]
+    }
+
+    /// Number of links on a subflow's path.
+    #[inline]
+    pub(crate) fn path_len(&self, conn: ConnId, sub: usize) -> usize {
+        let g = self.gsub(conn, sub);
+        (self.sub_hop_base[g + 1] - self.sub_hop_base[g]) as usize
+    }
+
+    /// The shard owning a connection (where delivery and ACK processing
+    /// happen).
+    #[inline]
+    pub(crate) fn owner_of(&self, conn: ConnId) -> u32 {
+        self.conn_owner[conn]
+    }
+
+    /// A connection's local id within its owner shard.
+    #[inline]
+    pub(crate) fn local_of(&self, conn: ConnId) -> ConnId {
+        self.conn_local[conn] as ConnId
+    }
+}
+
+/// A single simulated world partitioned across shards, each with its own
+/// event queue, advanced in lockstep epochs of one conservative lookahead
+/// (see the [module docs](self)). The thread count is a pure execution
+/// detail: results are bit-identical for any `jobs`.
+pub struct ShardedSimulator {
+    shards: Vec<Simulator>,
+    /// Per global link id: `(owning shard, shard-local id)`.
+    link_home: Vec<(u32, u32)>,
+    /// Per global link id: the spec it was created with (delays feed ACK
+    /// timing and the lookahead computation).
+    link_specs: Vec<LinkSpec>,
+    /// Per global connection id: owning shard.
+    conn_owner: Vec<u32>,
+    /// Per global connection id: local id within the owner shard.
+    conn_local: Vec<u32>,
+    /// Per global connection id: the subflow paths in global link ids
+    /// (kept to build the world map).
+    conn_paths: Vec<Vec<Vec<LinkId>>>,
+    map: Option<Arc<WorldMap>>,
+    jobs: usize,
+    now: SimTime,
+    wall_nanos: u64,
+}
+
+impl ShardedSimulator {
+    /// Create a world of `num_shards` shards. Each shard gets its own
+    /// deterministic RNG derived from `seed`, so the world's history is a
+    /// pure function of `(seed, construction calls)` — independent of
+    /// [`Self::set_jobs`].
+    pub fn new(seed: u64, num_shards: usize) -> Self {
+        Self::with_backend(seed, num_shards, QueueBackend::default())
+    }
+
+    /// Like [`Self::new`] with an explicit event-queue backend for every
+    /// shard.
+    pub fn with_backend(seed: u64, num_shards: usize, backend: QueueBackend) -> Self {
+        assert!(num_shards > 0, "world needs at least one shard");
+        let shards = (0..num_shards as u64)
+            .map(|i| Simulator::with_backend(seed ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15), backend))
+            .collect();
+        Self {
+            shards,
+            link_home: Vec::new(),
+            link_specs: Vec::new(),
+            conn_owner: Vec::new(),
+            conn_local: Vec::new(),
+            conn_paths: Vec::new(),
+            map: None,
+            jobs: 1,
+            now: SimTime::ZERO,
+            wall_nanos: 0,
+        }
+    }
+
+    /// Number of shards the world is partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Set the worker-thread count for subsequent [`Self::run_until`]
+    /// calls (clamped to `[1, num_shards]` at run time). Purely an
+    /// execution knob: any value produces the identical history.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Current worker-thread setting.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a link to `shard`; returns its world-level id (valid in every
+    /// shard's connection paths).
+    pub fn add_link(&mut self, shard: usize, spec: LinkSpec) -> LinkId {
+        assert!(shard < self.shards.len(), "unknown shard {shard}");
+        let local = self.shards[shard].add_link(spec);
+        self.link_home.push((shard as u32, local as u32));
+        self.link_specs.push(spec);
+        self.map = None;
+        self.link_home.len() - 1
+    }
+
+    /// Add a connection whose subflow paths are world-level link ids;
+    /// returns its world-level id. The connection lives in the shard
+    /// owning the first link of its first subflow.
+    ///
+    /// # Panics
+    /// Panics if the spec has no subflows, references unknown links, or
+    /// has a subflow whose first link lives outside the owner shard (all
+    /// subflows of one connection leave from the same host).
+    pub fn add_connection(&mut self, spec: ConnectionSpec) -> ConnId {
+        assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
+        let mut delays = Vec::with_capacity(spec.subflows.len());
+        for sf in &spec.subflows {
+            assert!(!sf.path.is_empty(), "subflow path must traverse at least one link");
+            let mut fwd = SimTime::ZERO;
+            for &l in &sf.path {
+                assert!(l < self.link_home.len(), "unknown link {l}");
+                fwd += self.link_specs[l].delay;
+            }
+            let ack_delay = fwd + sf.extra_rtt;
+            let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
+            delays.push((ack_delay, rtt_hint));
+        }
+        let owner = self.link_home[spec.subflows[0].path[0]].0;
+        for (i, sf) in spec.subflows.iter().enumerate() {
+            assert_eq!(
+                self.link_home[sf.path[0]].0,
+                owner,
+                "subflow {i}: first link must live in the owner shard {owner} \
+                 (all subflows of a connection leave from one host)"
+            );
+        }
+        let gid = self.conn_owner.len();
+        self.conn_paths.push(spec.subflows.iter().map(|sf| sf.path.clone()).collect());
+        let local = self.shards[owner as usize].add_connection_sharded(spec, gid, &delays);
+        self.conn_owner.push(owner);
+        self.conn_local.push(local as u32);
+        self.map = None;
+        gid
+    }
+
+    /// Install a fault plan given in world-level link ids: each action is
+    /// translated and installed into the shard owning its link, where it
+    /// becomes an ordinary deterministic event.
+    ///
+    /// # Panics
+    /// Panics if any action references an unknown link.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let mut per_shard: Vec<FaultPlan> = vec![FaultPlan::new(); self.shards.len()];
+        for &(at, action) in plan.actions() {
+            let gl = action.link();
+            assert!(gl < self.link_home.len(), "unknown link {gl}");
+            let (shard, local) = self.link_home[gl];
+            per_shard[shard as usize].push(at, action.with_link(local as LinkId));
+        }
+        for (shard, plan) in self.shards.iter_mut().zip(&per_shard) {
+            if !plan.is_empty() {
+                shard.install_fault_plan(plan);
+            }
+        }
+    }
+
+    /// A link's accumulated counters (world-level id).
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        let (shard, local) = self.link_home[link];
+        self.shards[shard as usize].link_stats(local as LinkId)
+    }
+
+    /// A link's current spec (world-level id).
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        let (shard, local) = self.link_home[link];
+        self.shards[shard as usize].link_spec(local as LinkId)
+    }
+
+    /// Number of links in the world.
+    pub fn link_count(&self) -> usize {
+        self.link_home.len()
+    }
+
+    /// Number of connections in the world.
+    pub fn connection_count(&self) -> usize {
+        self.conn_owner.len()
+    }
+
+    /// Zero all link counters in every shard (discard a warm-up period).
+    pub fn reset_link_stats(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_link_stats();
+        }
+    }
+
+    /// A connection's statistics snapshot (world-level id).
+    pub fn connection_stats(&self, conn: ConnId) -> ConnectionStats {
+        self.shards[self.conn_owner[conn] as usize]
+            .connection_stats(self.conn_local[conn] as ConnId)
+    }
+
+    /// Merged performance counters: event counts summed over shards, wall
+    /// time as measured around the epoch loop (not per shard — workers
+    /// run concurrently). The stall/quiesce detectors are per-`Simulator`
+    /// facilities and stay `None` here.
+    pub fn perf(&self) -> SimPerf {
+        let mut merged = SimPerf {
+            sim_elapsed: self.now,
+            wall: std::time::Duration::from_nanos(self.wall_nanos),
+            ..SimPerf::default()
+        };
+        for shard in &self.shards {
+            let p = shard.perf();
+            merged.events_scheduled += p.events_scheduled;
+            merged.events_fired += p.events_fired;
+            merged.events_cancelled += p.events_cancelled;
+            merged.pending += p.pending;
+            merged.peak_pending += p.peak_pending;
+            merged.faults_applied += p.faults_applied;
+            merged.hot_allocs += p.hot_allocs;
+        }
+        merged
+    }
+
+    /// Merged determinism digest of the whole world: every connection's
+    /// [`ConnectionStats`] in world id order, then every shard's
+    /// [`SimPerf`] in shard order. Bit-identical across `jobs` settings
+    /// for a fixed world — the property `chaos_smoke` gates in CI.
+    pub fn det_digest(&self) -> u64 {
+        let mut w = DigestWriter::new();
+        for gid in 0..self.conn_owner.len() {
+            self.connection_stats(gid).det_digest(&mut w);
+        }
+        for shard in &self.shards {
+            shard.perf().det_digest(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Build (or rebuild, after world mutation) the shared map and give
+    /// every shard its routing context.
+    fn ensure_map(&mut self) {
+        if self.map.is_some() {
+            return;
+        }
+        let num_shards = self.shards.len();
+        let mut conn_sub_base = Vec::with_capacity(self.conn_paths.len() + 1);
+        let mut sub_hop_base = Vec::new();
+        let mut hops: Vec<(u32, u32)> = Vec::new();
+        conn_sub_base.push(0u32);
+        sub_hop_base.push(0u32);
+        for paths in &self.conn_paths {
+            for path in paths {
+                for &gl in path {
+                    hops.push(self.link_home[gl]);
+                }
+                sub_hop_base.push(hops.len() as u32);
+            }
+            conn_sub_base.push(sub_hop_base.len() as u32 - 1);
+        }
+        // Lookahead: a packet crosses a boundary when it leaves the link
+        // at hop `i` for a link (or final delivery) in a different shard;
+        // the crossing takes hop `i`'s propagation delay. The minimum over
+        // all such links bounds how far any cross-shard arrival can lag
+        // the event that produced it.
+        let mut lookahead = SimTime(u64::MAX);
+        let mut gsub = 0usize;
+        for (conn, paths) in self.conn_paths.iter().enumerate() {
+            let owner = self.conn_owner[conn];
+            for path in paths {
+                for (i, &gl) in path.iter().enumerate() {
+                    let here = self.link_home[gl].0;
+                    let next = match path.get(i + 1) {
+                        Some(&nl) => self.link_home[nl].0,
+                        None => owner,
+                    };
+                    if here != next {
+                        lookahead = lookahead.min(self.link_specs[gl].delay);
+                    }
+                }
+                gsub += 1;
+            }
+        }
+        debug_assert_eq!(gsub + 1, sub_hop_base.len());
+        let map = Arc::new(WorldMap {
+            link_home: self.link_home.clone(),
+            conn_owner: self.conn_owner.clone(),
+            conn_local: self.conn_local.clone(),
+            conn_sub_base,
+            sub_hop_base,
+            hops,
+            lookahead,
+        });
+        debug_assert!(map.link_home.len() == self.link_specs.len());
+        for (id, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_shard_ctx(ShardCtx {
+                id: id as u32,
+                map: Arc::clone(&map),
+                outbox: (0..num_shards).map(|_| Vec::new()).collect(),
+            });
+        }
+        self.map = Some(map);
+    }
+
+    /// Run the whole world forward to `horizon` (inclusive), advancing
+    /// every shard in lockstep epochs of one lookahead, on up to
+    /// [`Self::jobs`] worker threads. The clock ends at exactly `horizon`;
+    /// the run ends early only if every shard's queue drains.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        assert!(horizon >= self.now, "time cannot run backwards");
+        let started = crate::perf::wall_clock();
+        self.ensure_map();
+        let n = self.shards.len();
+        let lookahead = self.map.as_ref().expect("map built").lookahead.0.max(1);
+        // Exclusive end of the run: `run_until(h)` processes events at
+        // exactly `h`, matching the single-simulator contract.
+        let hlimit = horizon.0.saturating_add(1);
+        let workers = self.jobs.min(n).max(1);
+        // Mailbox matrix: cell [src][dst] is written only by src's worker
+        // in the process phase and read only by dst's worker in the drain
+        // phase; the epoch barrier separates the two.
+        let mailboxes: MailboxMatrix =
+            (0..n).map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect()).collect();
+        if workers == 1 {
+            let mut t = self.now.0;
+            loop {
+                let window_end = t.saturating_add(lookahead).min(hlimit);
+                for (src, shard) in self.shards.iter_mut().enumerate() {
+                    shard.run_epoch(SimTime(window_end - 1));
+                    flush_outbox(shard, src, &mailboxes);
+                }
+                let mut all_empty = true;
+                for (dst, shard) in self.shards.iter_mut().enumerate() {
+                    drain_mailboxes(shard, dst, &mailboxes);
+                    all_empty &= shard.pending_events() == 0;
+                }
+                t = window_end;
+                if all_empty || t >= hlimit {
+                    break;
+                }
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            let nworkers = n.div_ceil(chunk);
+            let barrier = Barrier::new(nworkers);
+            let empty: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+            let all_done = AtomicBool::new(false);
+            let start_t = self.now.0;
+            std::thread::scope(|scope| {
+                for (w, shards) in self.shards.chunks_mut(chunk).enumerate() {
+                    let base = w * chunk;
+                    let (mailboxes, barrier) = (&mailboxes, &barrier);
+                    let (empty, all_done) = (&empty, &all_done);
+                    scope.spawn(move || {
+                        let mut t = start_t;
+                        loop {
+                            let window_end = t.saturating_add(lookahead).min(hlimit);
+                            for (i, shard) in shards.iter_mut().enumerate() {
+                                shard.run_epoch(SimTime(window_end - 1));
+                                flush_outbox(shard, base + i, mailboxes);
+                            }
+                            // Barrier 1: every outbox is flushed before any
+                            // shard drains its mailbox column.
+                            barrier.wait();
+                            for (i, shard) in shards.iter_mut().enumerate() {
+                                drain_mailboxes(shard, base + i, mailboxes);
+                                empty[base + i]
+                                    .store(shard.pending_events() == 0, Ordering::SeqCst);
+                            }
+                            // Barrier 2: every flag is written and every
+                            // mailbox drained before the leader decides.
+                            if barrier.wait().is_leader() {
+                                all_done.store(
+                                    empty.iter().all(|e| e.load(Ordering::SeqCst)),
+                                    Ordering::SeqCst,
+                                );
+                            }
+                            // Barrier 3: the decision is published before
+                            // anyone reads it or starts the next epoch.
+                            barrier.wait();
+                            t = window_end;
+                            if all_done.load(Ordering::SeqCst) || t >= hlimit {
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for shard in &mut self.shards {
+            shard.finish_epochs_at(horizon);
+        }
+        self.now = horizon;
+        self.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+}
+
+/// One mailbox cell: the cross-shard arrivals one source shard hands one
+/// destination shard at the epoch barrier.
+type Mailbox = Mutex<Vec<(SimTime, Packet)>>;
+/// The full `[src][dst]` matrix.
+type MailboxMatrix = Vec<Vec<Mailbox>>;
+
+/// Move one shard's buffered cross-shard arrivals into the mailbox
+/// matrix (phase 1 of the epoch barrier; `Vec::append` keeps the outbox's
+/// capacity, so steady-state handoff does not allocate on the source side).
+fn flush_outbox(shard: &mut Simulator, src: usize, mailboxes: &[Vec<Mailbox>]) {
+    for (dst, buf) in shard.shard_outbox().iter_mut().enumerate() {
+        if !buf.is_empty() {
+            mailboxes[src][dst].lock().expect("mailbox poisoned").append(buf);
+        }
+    }
+}
+
+/// Drain every mailbox addressed to `own` into its queue, in ascending
+/// source-shard order — the fixed order that makes the destination's
+/// event-seq assignment independent of worker scheduling.
+fn drain_mailboxes(shard: &mut Simulator, own: usize, mailboxes: &[Vec<Mailbox>]) {
+    for row in mailboxes {
+        let mut m = row[own].lock().expect("mailbox poisoned");
+        for (at, pkt) in m.drain(..) {
+            shard.inject_arrive(at, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use mptcp_cc::AlgorithmKind;
+
+    /// Two shards, two multipath connections, every subflow crossing the
+    /// boundary in one direction or the other.
+    fn cross_world(seed: u64, num_shards: usize) -> (ShardedSimulator, Vec<ConnId>) {
+        let mut sim = ShardedSimulator::new(seed, num_shards);
+        let ms = SimTime::from_millis;
+        let a0 = sim.add_link(0, LinkSpec::mbps(10.0, ms(10), 25));
+        let a1 = sim.add_link(0, LinkSpec::mbps(8.0, ms(15), 25));
+        let b0 = sim.add_link(1 % num_shards, LinkSpec::mbps(10.0, ms(10), 25));
+        let b1 = sim.add_link(1 % num_shards, LinkSpec::mbps(6.0, ms(20), 25));
+        let c0 = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![a0, b0]).path(vec![a1, b1]),
+        );
+        let c1 = sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Mptcp, 2000).path(vec![b0, a0]).path(vec![b1, a1]),
+        );
+        (sim, vec![c0, c1])
+    }
+
+    #[test]
+    fn sharded_world_moves_data_across_the_boundary() {
+        let (mut sim, conns) = cross_world(7, 2);
+        sim.run_until(SimTime::from_secs(20));
+        for &c in &conns {
+            let stats = sim.connection_stats(c);
+            assert!(stats.data_delivered > 100, "conn {c} moved no data: {stats:?}");
+        }
+        assert!(sim.connection_stats(conns[1]).finished_at.is_some(), "sized flow must finish");
+        assert!(sim.perf().is_consistent());
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_history() {
+        let digest = |jobs: usize| {
+            let (mut sim, _) = cross_world(11, 2);
+            sim.set_jobs(jobs);
+            sim.run_until(SimTime::from_secs(15));
+            sim.det_digest()
+        };
+        let one = digest(1);
+        assert_eq!(one, digest(2), "jobs=2 diverged from jobs=1");
+        assert_eq!(one, digest(8), "jobs=8 diverged from jobs=1");
+    }
+
+    #[test]
+    fn stepped_runs_match_one_shot_runs() {
+        let (mut a, conns) = cross_world(13, 2);
+        let (mut b, _) = cross_world(13, 2);
+        b.set_jobs(2);
+        a.run_until(SimTime::from_secs(12));
+        for s in 1..=12 {
+            b.run_until(SimTime::from_secs(s));
+        }
+        assert_eq!(a.det_digest(), b.det_digest());
+        assert!(a.connection_stats(conns[0]).data_delivered > 0);
+    }
+
+    #[test]
+    fn single_shard_world_degenerates_to_one_epoch() {
+        // No subflow crosses a boundary → infinite lookahead → the whole
+        // run is one epoch per run_until call.
+        let (mut sim, conns) = cross_world(5, 1);
+        sim.run_until(SimTime::from_secs(10));
+        assert!(sim.connection_stats(conns[0]).data_delivered > 100);
+        assert!(sim.perf().is_consistent());
+    }
+
+    #[test]
+    fn faults_are_split_per_shard_and_fire() {
+        let (mut sim, conns) = cross_world(17, 2);
+        let horizon = SimTime::from_secs(20);
+        let links: Vec<LinkId> = (0..sim.link_count()).collect();
+        sim.install_fault_plan(&FaultPlan::randomized(0xFA11, &links, horizon));
+        let plan_len = FaultPlan::randomized(0xFA11, &links, horizon).len() as u64;
+        sim.set_jobs(2);
+        sim.run_until(horizon);
+        assert_eq!(sim.perf().faults_applied, plan_len);
+        assert!(sim.connection_stats(conns[0]).data_delivered > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first link must live in the owner shard")]
+    fn split_first_links_are_rejected() {
+        let mut sim = ShardedSimulator::new(1, 2);
+        let a = sim.add_link(0, LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+        let b = sim.add_link(1, LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+        sim.add_connection(ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![a]).path(vec![b]));
+    }
+}

@@ -1,4 +1,9 @@
 //! The simulator: event loop, connections, and the world's mutable state.
+//!
+//! In sharded mode (see [`crate::shard`]) one `Simulator` instance is one
+//! shard of a larger world and may be moved onto a worker thread, so all
+//! state here must stay `Send` by construction.
+// lint:shard-state
 
 use crate::cbr::{CbrId, CbrSource, CbrSpec};
 use crate::event::{AckInfo, EventKind, EventQueue, QueueBackend};
@@ -70,8 +75,8 @@ impl std::fmt::Debug for CcChoice {
 /// ```
 pub struct ConnectionSpec {
     cc: CcChoice,
-    subflows: Vec<SubflowSpec>,
-    start: SimTime,
+    pub(crate) subflows: Vec<SubflowSpec>,
+    pub(crate) start: SimTime,
     /// Number of data packets to transfer; `None` = unlimited (bulk).
     size_pkts: Option<u64>,
     packet_size: u32,
@@ -165,9 +170,20 @@ struct ReinjectEntry {
 }
 
 /// Runtime state of a connection.
+///
+/// Subflow state does not live here: every connection's subflows occupy a
+/// contiguous window of the simulator-level arena ([`Simulator::subflows`],
+/// struct-of-arrays layout), addressed by `(sub_base, sub_count)`.
 struct Connection {
     cc: Box<dyn MultipathCc>,
-    subflows: Vec<SubflowState>,
+    /// First index of this connection's subflows in the arena.
+    sub_base: u32,
+    /// Number of subflows.
+    sub_count: u32,
+    /// Connection id carried inside packets: equal to this connection's
+    /// own id in a standalone simulator, the world-level id in a sharded
+    /// one (translated back to the local id at the delivery boundary).
+    gid: ConnId,
     packet_size: u32,
     /// Remaining new packets to inject (finite flows).
     budget: Option<u64>,
@@ -213,19 +229,39 @@ impl Connection {
         self.budget.is_none_or(|b| b > 0)
     }
 
-    /// Refresh the snapshot scratch buffer from the live subflow state.
-    fn refresh_snapshots(&mut self) {
+    /// This connection's window in the subflow arena.
+    fn subs(&self) -> std::ops::Range<usize> {
+        self.sub_base as usize..(self.sub_base + self.sub_count) as usize
+    }
+
+    /// Refresh the snapshot scratch buffer from the live subflow state
+    /// (`subs` is this connection's arena window).
+    fn refresh_snapshots(&mut self, subs: &[SubflowState]) {
         let cap = self.snap_buf.capacity();
         self.snap_buf.clear();
         self.snap_buf.extend(
-            self.subflows
-                .iter()
+            subs.iter()
                 .map(|s| SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6))),
         );
         if self.snap_buf.capacity() != cap {
             self.scratch_allocs += 1;
         }
     }
+}
+
+/// Per-shard routing context installed by [`crate::ShardedSimulator`]:
+/// the immutable world map (global link/connection placement and path hop
+/// tables) plus this shard's cross-shard outbox buffers, one per
+/// destination shard. Outboxes are flushed into the shared mailbox matrix
+/// at the epoch barrier, never touched concurrently.
+pub(crate) struct ShardCtx {
+    /// This shard's index in the world.
+    pub(crate) id: u32,
+    /// Shared immutable placement/routing tables.
+    pub(crate) map: std::sync::Arc<crate::shard::WorldMap>,
+    /// Buffered cross-shard arrivals generated during the current epoch,
+    /// indexed by destination shard.
+    pub(crate) outbox: Vec<Vec<(SimTime, Packet)>>,
 }
 
 /// The deterministic discrete-event simulator. See the crate docs for the
@@ -235,6 +271,14 @@ pub struct Simulator {
     queue: EventQueue,
     links: Vec<Link>,
     conns: Vec<Connection>,
+    /// Subflow arena: every connection's subflows live contiguously here
+    /// (struct-of-arrays layout — [`Connection`] holds a dense
+    /// `(base, count)` window instead of a per-connection heap vector, so
+    /// the per-ACK hot state of the whole world sits in one slab).
+    subflows: Vec<SubflowState>,
+    /// Routing context installed by [`crate::ShardedSimulator`] when this
+    /// simulator is one shard of a partitioned world; `None` standalone.
+    shard: Option<Box<ShardCtx>>,
     cbrs: Vec<CbrSource>,
     rng: StdRng,
     /// Small uniform jitter added to each ACK's return delay, to break the
@@ -295,6 +339,8 @@ impl Simulator {
             queue: EventQueue::with_backend(backend),
             links: Vec::new(),
             conns: Vec::new(),
+            subflows: Vec::new(),
+            shard: None,
             cbrs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             ack_jitter: SimTime::from_micros(100),
@@ -382,18 +428,10 @@ impl Simulator {
     /// Sum of all logical allocation events on the hot paths — see
     /// [`SimPerf::hot_allocs`].
     fn hot_allocs(&self) -> u64 {
-        let conns: u64 = self
-            .conns
-            .iter()
-            .map(|c| {
-                c.scratch_allocs
-                    + c.subflows
-                        .iter()
-                        .map(|s| s.tx.alloc_events() + s.rx.alloc_events())
-                        .sum::<u64>()
-            })
-            .sum();
-        self.ack_pool_allocs + conns
+        let conns: u64 = self.conns.iter().map(|c| c.scratch_allocs).sum();
+        let subs: u64 =
+            self.subflows.iter().map(|s| s.tx.alloc_events() + s.rx.alloc_events()).sum();
+        self.ack_pool_allocs + conns + subs
     }
 
     // ------------------------------------------------------------------
@@ -413,14 +451,9 @@ impl Simulator {
     /// Panics if the spec has no subflows or references unknown links.
     pub fn add_connection(&mut self, spec: ConnectionSpec) -> ConnId {
         assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
-        let n = spec.subflows.len();
-        let cc = match spec.cc {
-            CcChoice::Kind(kind) => kind.build(n),
-            CcChoice::Custom(cc) => cc,
-        };
-        let subflows: Vec<SubflowState> = spec
+        let delays: Vec<(SimTime, f64)> = spec
             .subflows
-            .into_iter()
+            .iter()
             .map(|sf| {
                 assert!(!sf.path.is_empty(), "subflow path must traverse at least one link");
                 let mut fwd = SimTime::ZERO;
@@ -430,20 +463,60 @@ impl Simulator {
                 }
                 let ack_delay = fwd + sf.extra_rtt;
                 let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
-                SubflowState {
-                    path: LinkPath::from(sf.path),
-                    ack_delay,
-                    tx: SubflowSender::new(spec.tcp, rtt_hint),
-                    rx: SubflowReceiver::default(),
-                    sent_pkts: 0,
-                    rto_deadline: None,
-                    rto_event_at: None,
-                }
+                (ack_delay, rtt_hint)
             })
             .collect();
+        let gid = self.conns.len();
+        self.add_connection_inner(spec, gid, &delays)
+    }
+
+    /// Add a connection whose ACK delays and RTT hints were computed
+    /// against the sharded world map instead of this shard's local link
+    /// table (the spec's paths carry *global* link ids, which are neither
+    /// validated nor resolvable here). `gid` is the world-level id stamped
+    /// into packets.
+    pub(crate) fn add_connection_sharded(
+        &mut self,
+        spec: ConnectionSpec,
+        gid: ConnId,
+        delays: &[(SimTime, f64)],
+    ) -> ConnId {
+        assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
+        assert_eq!(spec.subflows.len(), delays.len());
+        self.add_connection_inner(spec, gid, delays)
+    }
+
+    /// Shared tail of connection admission: `delays` holds one
+    /// `(ack_delay, rtt_hint)` per subflow, already computed against
+    /// whichever link table (local or world) owns the paths.
+    fn add_connection_inner(
+        &mut self,
+        spec: ConnectionSpec,
+        gid: ConnId,
+        delays: &[(SimTime, f64)],
+    ) -> ConnId {
+        let n = spec.subflows.len();
+        let cc = match spec.cc {
+            CcChoice::Kind(kind) => kind.build(n),
+            CcChoice::Custom(cc) => cc,
+        };
+        let sub_base = self.subflows.len() as u32;
+        for (sf, &(ack_delay, rtt_hint)) in spec.subflows.into_iter().zip(delays) {
+            self.subflows.push(SubflowState {
+                path: LinkPath::from(sf.path),
+                ack_delay,
+                tx: SubflowSender::new(spec.tcp, rtt_hint),
+                rx: SubflowReceiver::default(),
+                sent_pkts: 0,
+                rto_deadline: None,
+                rto_event_at: None,
+            });
+        }
         let conn = Connection {
             cc,
-            subflows,
+            sub_base,
+            sub_count: n as u32,
+            gid,
             snap_buf: Vec::new(),
             packet_size: spec.packet_size,
             budget: spec.size_pkts,
@@ -658,8 +731,7 @@ impl Simulator {
     pub fn connection_stats(&self, conn: ConnId) -> ConnectionStats {
         let c = &self.conns[conn];
         ConnectionStats {
-            subflows: c
-                .subflows
+            subflows: self.subflows[c.subs()]
                 .iter()
                 .map(|s| SubflowStats {
                     delivered_pkts: s.rx.delivered(),
@@ -779,7 +851,7 @@ impl Simulator {
         let at = self.now;
         for &conn in &probe.spec.conns {
             let c = &self.conns[conn];
-            for (sub, s) in c.subflows.iter().enumerate() {
+            for (sub, s) in self.subflows[c.subs()].iter().enumerate() {
                 let phase = if s.tx.in_recovery {
                     if s.tx.rto_recovery {
                         CcPhase::RtoRecovery
@@ -874,16 +946,40 @@ impl Simulator {
         }
     }
 
+    /// The connection id to use against local tables for a packet-carried
+    /// id (packets carry world-level ids in sharded mode).
+    fn local_conn(&self, conn: ConnId) -> ConnId {
+        match &self.shard {
+            Some(ctx) => ctx.map.local_of(conn),
+            None => conn,
+        }
+    }
+
     fn path_link(&self, pkt: &Packet) -> LinkId {
         match pkt.owner {
-            PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path[pkt.hop],
+            PacketOwner::Subflow { conn, sub, .. } => match &self.shard {
+                // Sharded: the hop table yields this shard's local link id
+                // (the router below guarantees we only ever look up hops
+                // that live here).
+                Some(ctx) => ctx.map.hop(conn, sub, pkt.hop).1 as LinkId,
+                None => {
+                    let c = &self.conns[conn];
+                    self.subflows[c.sub_base as usize + sub].path[pkt.hop]
+                }
+            },
             PacketOwner::Cbr { src } => self.cbrs[src].path[pkt.hop],
         }
     }
 
     fn path_len(&self, pkt: &Packet) -> usize {
         match pkt.owner {
-            PacketOwner::Subflow { conn, sub, .. } => self.conns[conn].subflows[sub].path.len(),
+            PacketOwner::Subflow { conn, sub, .. } => match &self.shard {
+                Some(ctx) => ctx.map.path_len(conn, sub),
+                None => {
+                    let c = &self.conns[conn];
+                    self.subflows[c.sub_base as usize + sub].path.len()
+                }
+            },
             PacketOwner::Cbr { src } => self.cbrs[src].path.len(),
         }
     }
@@ -951,7 +1047,29 @@ impl Simulator {
             (pkt, l.spec.delay)
         };
         pkt.hop += 1;
-        self.queue.push(self.now + delay, EventKind::Arrive { pkt });
+        let at = self.now + delay;
+        // Sharded routing decision: after the hop advance the packet's
+        // next stop is either the link at `hop` or, past the last link,
+        // delivery at the owning connection. Either may live in another
+        // shard; if so the arrival goes to that shard's outbox instead of
+        // the local queue. Arrival time is `now + delay >= now + lookahead`
+        // (the lookahead is the minimum delay over boundary-crossing
+        // links), so cross-shard arrivals always land in a later epoch
+        // than the one being processed — the causality invariant.
+        if let Some(ctx) = &mut self.shard {
+            if let PacketOwner::Subflow { conn, sub, .. } = pkt.owner {
+                let dst = if pkt.hop < ctx.map.path_len(conn, sub) {
+                    ctx.map.hop(conn, sub, pkt.hop).0
+                } else {
+                    ctx.map.owner_of(conn)
+                };
+                if dst != ctx.id {
+                    ctx.outbox[dst as usize].push((at, pkt));
+                    return;
+                }
+            }
+        }
+        self.queue.push(at, EventKind::Arrive { pkt });
     }
 
     fn on_arrive(&mut self, pkt: Packet) {
@@ -959,20 +1077,23 @@ impl Simulator {
             self.enqueue_packet(pkt);
             return;
         }
-        // Delivered to the destination.
+        // Delivered to the destination. From here on everything is local:
+        // the packet-carried (possibly world-level) connection id is
+        // translated once, and the ACK event carries the local id.
         match pkt.owner {
             PacketOwner::Subflow { conn, sub, seq } => {
+                let conn = self.local_conn(conn);
                 self.last_progress = self.now;
+                let base = self.conns[conn].sub_base as usize;
                 {
                     let c = &mut self.conns[conn];
+                    let sf = &mut self.subflows[base + sub];
                     // Exactly-once data-level accounting. A first-time
                     // subflow arrival implies the packet is not yet
                     // cum-acked there, so its dsn metadata still exists.
-                    if !c.subflows[sub].rx.contains(seq) {
-                        let dsn = c.subflows[sub]
-                            .tx
-                            .dsn_of(seq)
-                            .expect("unacked first arrival keeps its metadata");
+                    if !sf.rx.contains(seq) {
+                        let dsn =
+                            sf.tx.dsn_of(seq).expect("unacked first arrival keeps its metadata");
                         match c.reinject_reg.get_mut(&dsn) {
                             Some(e) if e.delivered => c.dup_data_arrivals += 1,
                             Some(e) => {
@@ -984,13 +1105,13 @@ impl Simulator {
                         }
                     }
                 }
-                let (cum, _dup, sacks) = self.conns[conn].subflows[sub].rx.on_data(seq);
+                let (cum, _dup, sacks) = self.subflows[base + sub].rx.on_data(seq);
                 let jitter = if self.ack_jitter > SimTime::ZERO {
                     SimTime(self.rng.gen_range(0..=self.ack_jitter.as_nanos()))
                 } else {
                     SimTime::ZERO
                 };
-                let back = self.now + self.conns[conn].subflows[sub].ack_delay + jitter;
+                let back = self.now + self.subflows[base + sub].ack_delay + jitter;
                 let ack = self.alloc_ack(AckInfo { cum, sacks });
                 self.queue.push(back, EventKind::AckArrive { conn, sub, ack });
             }
@@ -1017,31 +1138,35 @@ impl Simulator {
         let watching = self.probe_watches(conn);
         let mut transitions: [Option<TransitionKind>; 3] = [None; 3];
         let arm = {
+            // Split borrow: the connection record and its arena window are
+            // distinct `Simulator` fields, so both can be held mutably.
             let c = &mut self.conns[conn];
+            let subs =
+                &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
             c.acked_dsn_scratch.clear();
-            let Connection { subflows, acked_dsn_scratch, scratch_allocs, .. } = c;
             let (was_recovering, was_failed) = if watching {
-                (subflows[sub].tx.in_recovery, subflows[sub].tx.potentially_failed())
+                (subs[sub].tx.in_recovery, subs[sub].tx.potentially_failed())
             } else {
                 (false, false)
             };
-            let scratch_cap = acked_dsn_scratch.capacity();
-            let outcome = subflows[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, acked_dsn_scratch);
-            if acked_dsn_scratch.capacity() != scratch_cap {
-                *scratch_allocs += 1;
+            let scratch_cap = c.acked_dsn_scratch.capacity();
+            let outcome =
+                subs[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, &mut c.acked_dsn_scratch);
+            if c.acked_dsn_scratch.capacity() != scratch_cap {
+                c.scratch_allocs += 1;
             }
             if watching {
                 if outcome.entered_recovery {
                     transitions[0] = Some(TransitionKind::EnterFastRecovery);
                 }
-                if was_recovering && !subflows[sub].tx.in_recovery {
+                if was_recovering && !subs[sub].tx.in_recovery {
                     transitions[1] = Some(TransitionKind::ExitRecovery);
                 }
-                if was_failed && !subflows[sub].tx.potentially_failed() {
+                if was_failed && !subs[sub].tx.potentially_failed() {
                     transitions[2] = Some(TransitionKind::Revived);
                 }
             }
-            if outcome.newly_acked > 0 && c.subflows[sub].tx.growth_allowed() {
+            if outcome.newly_acked > 0 && subs[sub].tx.growth_allowed() {
                 // Grow once per newly acked packet: slow start adds one
                 // packet per ACKed packet; congestion avoidance defers to
                 // the coupled algorithm with a fresh snapshot each step
@@ -1051,31 +1176,31 @@ impl Simulator {
                 // entry in place instead of re-reading every subflow.
                 let mut refreshed = false;
                 for _ in 0..outcome.newly_acked {
-                    let amount = if c.subflows[sub].tx.in_slow_start() {
+                    let amount = if subs[sub].tx.in_slow_start() {
                         1.0
                     } else {
                         if refreshed {
-                            let s = &c.subflows[sub];
+                            let s = &subs[sub];
                             c.snap_buf[sub] = SubflowSnapshot::new(
                                 s.tx.cwnd.max(1e-9),
                                 s.tx.cc_rtt().max(1e-6),
                             );
                         } else {
-                            c.refresh_snapshots();
+                            c.refresh_snapshots(subs);
                             refreshed = true;
                         }
                         c.cc.increase_per_ack(sub, &c.snap_buf)
                     };
-                    c.subflows[sub].tx.grow(amount);
+                    subs[sub].tx.grow(amount);
                 }
             }
             if outcome.entered_recovery {
                 // One multiplicative decrease per loss episode, with the
                 // level chosen by the coupled algorithm.
-                c.refresh_snapshots();
+                c.refresh_snapshots(subs);
                 let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
                 let floor = c.cc.min_window();
-                c.subflows[sub].tx.shrink_to(level, floor);
+                subs[sub].tx.shrink_to(level, floor);
             }
             outcome.rearm_rto
         };
@@ -1101,7 +1226,10 @@ impl Simulator {
         }
         match arm {
             Some(true) => self.schedule_rto(conn, sub),
-            Some(false) => self.conns[conn].subflows[sub].rto_deadline = None,
+            Some(false) => {
+                let base = self.conns[conn].sub_base as usize;
+                self.subflows[base + sub].rto_deadline = None;
+            }
             None => {}
         }
         self.try_finish(conn);
@@ -1109,16 +1237,17 @@ impl Simulator {
     }
 
     fn on_rto(&mut self, conn: ConnId, sub: usize) {
-        self.conns[conn].subflows[sub].rto_event_at = None;
+        let base = self.conns[conn].sub_base as usize;
+        self.subflows[base + sub].rto_event_at = None;
         if self.conns[conn].finished_at.is_some() {
             // The transfer already completed at the data level (possibly
             // via reinjection around this very subflow); stop the timer
             // churn instead of probing a dead path forever.
-            self.conns[conn].subflows[sub].rto_deadline = None;
+            self.subflows[base + sub].rto_deadline = None;
             self.events_cancelled += 1;
             return;
         }
-        match self.conns[conn].subflows[sub].rto_deadline {
+        match self.subflows[base + sub].rto_deadline {
             None => {
                 // Disarmed since the event was queued.
                 self.events_cancelled += 1;
@@ -1128,25 +1257,27 @@ impl Simulator {
                 // The deadline moved later (ACK progress): lazily re-queue.
                 self.events_cancelled += 1;
                 self.queue.push(d, EventKind::RtoFire { conn, sub });
-                self.conns[conn].subflows[sub].rto_event_at = Some(d);
+                self.subflows[base + sub].rto_event_at = Some(d);
                 return;
             }
             Some(_) => {}
         }
         let newly_failed = {
             let c = &mut self.conns[conn];
+            let subs =
+                &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
             // The coupled decrease sets the slow-start threshold; the
             // window itself collapses to the probing floor.
-            c.refresh_snapshots();
+            c.refresh_snapshots(subs);
             let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
             let floor = c.cc.min_window();
-            let was_failed = c.subflows[sub].tx.potentially_failed();
-            if !c.subflows[sub].tx.on_rto(floor) {
-                c.subflows[sub].rto_deadline = None;
+            let was_failed = subs[sub].tx.potentially_failed();
+            if !subs[sub].tx.on_rto(floor) {
+                subs[sub].rto_deadline = None;
                 return; // spurious
             }
-            c.subflows[sub].tx.set_ssthresh(level);
-            !was_failed && c.subflows[sub].tx.potentially_failed()
+            subs[sub].tx.set_ssthresh(level);
+            !was_failed && subs[sub].tx.potentially_failed()
         };
         if self.probe_watches(conn) {
             self.record_transition(conn, sub, TransitionKind::RtoFired);
@@ -1169,12 +1300,13 @@ impl Simulator {
     /// previous failure episode) is never queued twice.
     fn harvest_stranded(&mut self, conn: ConnId, sub: usize) {
         let c = &mut self.conns[conn];
-        if c.subflows.len() < 2 {
+        if c.sub_count < 2 {
             return; // nowhere to reinject; RTO probing is the only recovery
         }
+        let subs = &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
         let mut stranded = std::mem::take(&mut c.stranded_scratch);
         let cap = stranded.capacity();
-        c.subflows[sub].tx.stranded(&mut stranded);
+        subs[sub].tx.stranded(&mut stranded);
         if stranded.capacity() != cap {
             c.scratch_allocs += 1;
         }
@@ -1186,7 +1318,7 @@ impl Simulator {
             // with its ACK lost in the outage — seed the registry with
             // ground truth so a reinjected copy's arrival is not counted
             // as a fresh delivery.
-            let delivered = c.subflows[sub].rx.contains(seq);
+            let delivered = subs[sub].rx.contains(seq);
             c.reinject_reg.insert(dsn, ReinjectEntry { delivered, acked: false });
             c.reinject_queue.push_back(dsn);
         }
@@ -1197,8 +1329,9 @@ impl Simulator {
     /// queued at or before that deadline. At most one pending event per
     /// subflow: an early firing re-queues itself (see [`Self::on_rto`]).
     fn schedule_rto(&mut self, conn: ConnId, sub: usize) {
-        let deadline = self.now + self.conns[conn].subflows[sub].tx.rto_interval();
-        let sf = &mut self.conns[conn].subflows[sub];
+        let idx = self.conns[conn].sub_base as usize + sub;
+        let sf = &mut self.subflows[idx];
+        let deadline = self.now + sf.tx.rto_interval();
         sf.rto_deadline = Some(deadline);
         let needs_event = match sf.rto_event_at {
             None => true,
@@ -1212,10 +1345,13 @@ impl Simulator {
 
     fn send_subflow_packet(&mut self, conn: ConnId, sub: usize, seq: u64, retransmit: bool) {
         if retransmit {
-            self.conns[conn].subflows[sub].tx.on_retransmit(seq, self.now);
+            let base = self.conns[conn].sub_base as usize;
+            self.subflows[base + sub].tx.on_retransmit(seq, self.now);
         }
         let pkt = Packet {
-            owner: PacketOwner::Subflow { conn, sub, seq },
+            // Packets carry the world-level id so they survive crossing
+            // shard boundaries (equal to `conn` standalone).
+            owner: PacketOwner::Subflow { conn: self.conns[conn].gid, sub, seq },
             size: self.conns[conn].packet_size,
             hop: 0,
         };
@@ -1232,10 +1368,11 @@ impl Simulator {
         if !self.conns[conn].started || self.conns[conn].finished_at.is_some() {
             return;
         }
-        let n = self.conns[conn].subflows.len();
+        let base = self.conns[conn].sub_base as usize;
+        let n = self.conns[conn].sub_count as usize;
         // Holes first: retransmissions fill the windows before new data.
         for idx in 0..n {
-            while let Some(seq) = self.conns[conn].subflows[idx].tx.next_retransmit() {
+            while let Some(seq) = self.subflows[base + idx].tx.next_retransmit() {
                 self.send_subflow_packet(conn, idx, seq, true);
             }
         }
@@ -1245,10 +1382,8 @@ impl Simulator {
             for i in 0..n {
                 let idx = (self.conns[conn].rr_next + i) % n;
                 let can = {
-                    let c = &self.conns[conn];
-                    c.has_data()
-                        && !c.subflows[idx].tx.potentially_failed()
-                        && c.subflows[idx].tx.can_send_new()
+                    let sf = &self.subflows[base + idx].tx;
+                    self.conns[conn].has_data() && !sf.potentially_failed() && sf.can_send_new()
                 };
                 if !can {
                     continue;
@@ -1260,8 +1395,9 @@ impl Simulator {
                     }
                     let dsn = c.next_dsn;
                     c.next_dsn += 1;
-                    c.subflows[idx].sent_pkts += 1;
-                    c.subflows[idx].tx.on_send_new(self.now, dsn)
+                    let sf = &mut self.subflows[base + idx];
+                    sf.sent_pkts += 1;
+                    sf.tx.on_send_new(self.now, dsn)
                 };
                 if newly_armed {
                     self.schedule_rto(conn, idx);
@@ -1281,6 +1417,7 @@ impl Simulator {
     /// chosen subflow; dsns already acknowledged (e.g. the original copy's
     /// ACK finally got through) are discarded unsent.
     fn pump_reinjections(&mut self, conn: ConnId) {
+        let base = self.conns[conn].sub_base as usize;
         loop {
             let (dsn, idx) = {
                 let c = &mut self.conns[conn];
@@ -1293,11 +1430,11 @@ impl Simulator {
                     break;
                 }
                 let dsn = c.reinject_queue[0];
-                let n = c.subflows.len();
+                let n = c.sub_count as usize;
                 let mut chosen = None;
                 for i in 0..n {
                     let idx = (c.rr_next + i) % n;
-                    let sf = &c.subflows[idx].tx;
+                    let sf = &self.subflows[base + idx].tx;
                     if !sf.potentially_failed() && sf.can_send_new() {
                         chosen = Some(idx);
                         break;
@@ -1306,10 +1443,10 @@ impl Simulator {
                 let Some(idx) = chosen else { return };
                 c.reinject_queue.pop_front();
                 c.reinjections_sent += 1;
-                c.subflows[idx].sent_pkts += 1;
+                self.subflows[base + idx].sent_pkts += 1;
                 (dsn, idx)
             };
-            let (seq, newly_armed) = self.conns[conn].subflows[idx].tx.on_send_new(self.now, dsn);
+            let (seq, newly_armed) = self.subflows[base + idx].tx.on_send_new(self.now, dsn);
             if newly_armed {
                 self.schedule_rto(conn, idx);
             }
@@ -1331,6 +1468,53 @@ impl Simulator {
             c.finished_at = Some(self.now);
             c.reinject_queue.clear();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-mode plumbing (driven by `crate::shard::ShardedSimulator`)
+    // ------------------------------------------------------------------
+
+    /// Install the routing context that turns this simulator into one
+    /// shard of a partitioned world.
+    pub(crate) fn set_shard_ctx(&mut self, ctx: ShardCtx) {
+        self.shard = Some(Box::new(ctx));
+    }
+
+    /// Process every event strictly inside the epoch ending at
+    /// `upto` (inclusive). Unlike [`Self::run_until`] this neither runs
+    /// the watchdog/quiesce detectors nor measures wall time (both belong
+    /// to the epoch driver), and it leaves `now` at the last event so the
+    /// next epoch continues seamlessly.
+    pub(crate) fn run_epoch(&mut self, upto: SimTime) {
+        while let Some(ev) = self.queue.pop_before(upto) {
+            debug_assert!(ev.at >= self.now, "event from the past");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Drain this shard's outbox buffers: the driver moves them into the
+    /// shared mailbox matrix at the epoch barrier.
+    pub(crate) fn shard_outbox(&mut self) -> &mut Vec<Vec<(SimTime, Packet)>> {
+        &mut self.shard.as_mut().expect("not in sharded mode").outbox
+    }
+
+    /// Enqueue a cross-shard arrival handed over by a peer shard.
+    pub(crate) fn inject_arrive(&mut self, at: SimTime, pkt: Packet) {
+        self.queue.push(at, EventKind::Arrive { pkt });
+    }
+
+    /// Number of pending events in this shard's queue.
+    pub(crate) fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Advance the clock to the horizon at the end of a sharded run (the
+    /// per-epoch loop leaves `now` at the last processed event).
+    pub(crate) fn finish_epochs_at(&mut self, horizon: SimTime) {
+        debug_assert!(horizon >= self.now, "time cannot run backwards");
+        self.now = horizon;
     }
 
     // ------------------------------------------------------------------

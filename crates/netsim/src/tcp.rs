@@ -22,6 +22,8 @@
 
 // lint:hot-path — per-ACK state must stay on the bitmap scoreboards; the
 // B-tree reference implementation lives in scoreboard_ref.rs.
+// lint:shard-state — subflow sender/receiver state is per-shard and moves
+// onto worker threads in the sharded engine; it must stay Send.
 
 use crate::scoreboard::{DefaultOoo, DefaultScoreboard, OooBuf, Scoreboard};
 use crate::time::SimTime;

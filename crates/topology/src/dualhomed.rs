@@ -8,7 +8,7 @@
 //! to both. The access links are the only bottlenecks.
 
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, SimTime, Simulator};
+use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, ShardedSimulator, SimTime, Simulator};
 
 /// A server with two access links.
 #[derive(Debug, Clone)]
@@ -82,6 +82,89 @@ impl DualHomedServer {
     }
 }
 
+/// The dual-homed server laid out across the shards of a
+/// [`ShardedSimulator`]: access link `i` lives on shard `i % num_shards`,
+/// so with two or more shards the two halves of the server advance on
+/// different worker threads.
+///
+/// Multipath clients span both access links while the sharded engine keeps
+/// each connection's sender state on one owner shard, so every multipath
+/// subflow is fronted by a high-capacity 1 ms ingress stub on shard 0 (the
+/// owner). Single-path clients enter directly at their access link, which
+/// is its own owner shard — no stub needed.
+#[derive(Debug, Clone)]
+pub struct ShardedDualHomed {
+    /// The two (simplex, server→clients) access links.
+    pub links: [LinkId; 2],
+    /// Per-access-link ingress stubs for multipath clients, both on shard 0.
+    stubs: [LinkId; 2],
+}
+
+impl ShardedDualHomed {
+    /// Build the two access links and their ingress stubs; arguments match
+    /// [`DualHomedServer::build`].
+    pub fn build(
+        sim: &mut ShardedSimulator,
+        mbps: [f64; 2],
+        one_way_delay: SimTime,
+        queue_pkts: usize,
+    ) -> Self {
+        let n = sim.num_shards();
+        let links = [
+            sim.add_link(0, LinkSpec::mbps(mbps[0], one_way_delay, queue_pkts)),
+            sim.add_link(1 % n, LinkSpec::mbps(mbps[1], one_way_delay, queue_pkts)),
+        ];
+        let stub = LinkSpec::pkts_per_sec(100_000.0, SimTime::from_millis(1), 10_000);
+        let stubs = [sim.add_link(0, stub), sim.add_link(0, stub)];
+        Self { links, stubs }
+    }
+
+    /// Add a single-path client downloading over access link `which`.
+    pub fn add_single_path_client(
+        &self,
+        sim: &mut ShardedSimulator,
+        which: usize,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Uncoupled)
+                .path(vec![self.links[which]])
+                .start(start),
+        )
+    }
+
+    /// Add a finite single-path download of `pkts` packets on link `which`.
+    pub fn add_single_path_transfer(
+        &self,
+        sim: &mut ShardedSimulator,
+        which: usize,
+        pkts: u64,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Uncoupled, pkts)
+                .path(vec![self.links[which]])
+                .start(start),
+        )
+    }
+
+    /// Add a multipath client able to use both links (stub-fronted so both
+    /// subflows enter on the owner shard).
+    pub fn add_multipath_client(
+        &self,
+        sim: &mut ShardedSimulator,
+        algorithm: AlgorithmKind,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::bulk(algorithm)
+                .path(vec![self.stubs[0], self.links[0]])
+                .path(vec![self.stubs[1], self.links[1]])
+                .start(start),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +182,26 @@ mod tests {
             let bps = sim.connection_stats(c).throughput_bps(sim.now());
             assert!(bps > 80e6, "client {c} got {bps}");
         }
+    }
+
+    #[test]
+    fn sharded_dual_homed_balances_and_is_jobs_invariant() {
+        let run = |jobs: usize| {
+            let mut sim = ShardedSimulator::new(5, 2);
+            let srv =
+                ShardedDualHomed::build(&mut sim, [100.0, 100.0], SimTime::from_millis(10), 100);
+            let mp = srv.add_multipath_client(&mut sim, AlgorithmKind::Mptcp, SimTime::ZERO);
+            let sp = srv.add_single_path_client(&mut sim, 1, SimTime::ZERO);
+            srv.add_single_path_transfer(&mut sim, 0, 500, SimTime::from_secs(1));
+            sim.set_jobs(jobs);
+            sim.run_until(SimTime::from_secs(20));
+            let mp_bps = sim.connection_stats(mp).throughput_bps(sim.now());
+            let sp_bps = sim.connection_stats(sp).throughput_bps(sim.now());
+            assert!(mp_bps > 50e6, "multipath client uses both links: {mp_bps}");
+            assert!(sp_bps > 30e6, "single-path client holds its share: {sp_bps}");
+            sim.det_digest()
+        };
+        assert_eq!(run(1), run(2), "jobs must not change the history");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! random** for multipath and mimics **ECMP** by picking one shortest path
 //! at random per single-path flow.
 
-use mptcp_netsim::{LinkId, LinkSpec, Simulator};
+use mptcp_netsim::{LinkId, LinkSpec, ShardedSimulator, Simulator};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -56,6 +56,29 @@ impl FatTree {
     /// # Panics
     /// Panics if `k` is odd or < 2.
     pub fn build(sim: &mut Simulator, k: usize, link: LinkSpec) -> Self {
+        Self::build_inner(k, &mut |_pod| sim.add_link(link))
+    }
+
+    /// Build the same FatTree into a [`ShardedSimulator`], partitioning by
+    /// pod: pod `p` (its hosts, edge and aggregation links, plus the
+    /// core→agg down-links *descending into* it) lives on shard
+    /// `p % num_shards`. Only the agg→core hop crosses shards, so the
+    /// conservative lookahead equals one link propagation delay.
+    ///
+    /// Global link ids are created in exactly the same order as
+    /// [`FatTree::build`], so path tables — and the deterministic `(at,
+    /// seq)` history they induce — are interchangeable between the serial
+    /// and sharded builds.
+    pub fn build_sharded(sim: &mut ShardedSimulator, k: usize, link: LinkSpec) -> Self {
+        let n = sim.num_shards();
+        Self::build_inner(k, &mut |pod| sim.add_link(pod % n, link))
+    }
+
+    /// Shared construction: `add(pod)` makes the next global link, owned by
+    /// `pod`'s shard in a sharded build (ignored by the serial build). The
+    /// call order here *is* the global link-id order — both front-ends must
+    /// stay in lockstep.
+    fn build_inner(k: usize, add: &mut dyn FnMut(usize) -> LinkId) -> Self {
         assert!(k >= 2 && k.is_multiple_of(2), "FatTree requires even k ≥ 2");
         let half = k / 2;
         let pods = k;
@@ -74,18 +97,19 @@ impl FatTree {
             core_agg_down: vec![Vec::with_capacity(pods); cores],
         };
 
-        for _h in 0..hosts {
-            t.host_up.push(sim.add_link(link));
-            t.host_down.push(sim.add_link(link));
+        for h in 0..hosts {
+            let pod = h / (half * half);
+            t.host_up.push(add(pod));
+            t.host_down.push(add(pod));
         }
         for e in 0..edges {
             let pod = e / half;
             for j in 0..half {
                 let a = pod * half + j;
-                t.edge_agg_up[e].push(sim.add_link(link));
+                t.edge_agg_up[e].push(add(pod));
                 // agg→edge down links are indexed by the edge's position in
                 // the pod; create them in lockstep so indices line up.
-                let down = sim.add_link(link);
+                let down = add(pod);
                 t.agg_edge_down[a].push(down);
                 // NOTE: agg_edge_down[a] must be indexed by edge position
                 // e%half. Since we iterate e in order and push per (e, j),
@@ -96,11 +120,16 @@ impl FatTree {
             }
         }
         for a in 0..aggs {
+            let pod = a / half;
             let j = a % half; // position of agg within the pod
             for c in 0..half {
                 let core = j * half + c;
-                t.agg_core_up[a].push(sim.add_link(link));
-                let down = sim.add_link(link);
+                t.agg_core_up[a].push(add(pod));
+                // The down-link lands in the *destination* pod's shard
+                // (which is `pod` here: entry `core_agg_down[core][pod]` is
+                // created while visiting agg `pod*half + j`), so the only
+                // shard boundary on an inter-pod path is agg→core.
+                let down = add(pod);
                 // core_agg_down[core][pod]: push in pod order — a iterates
                 // pods in order for each fixed j.
                 t.core_agg_down[core].push(down);
@@ -287,6 +316,44 @@ mod tests {
             let p = t.ecmp_path(0, 12, &mut rng);
             assert!(all.contains(&p));
         }
+    }
+
+    #[test]
+    fn sharded_build_reproduces_the_serial_link_table() {
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let mut serial = Simulator::new(0);
+        let st = FatTree::build(&mut serial, 4, spec);
+        let mut sharded = ShardedSimulator::new(0, 3);
+        let pt = FatTree::build_sharded(&mut sharded, 4, spec);
+        assert_eq!(sharded.link_count(), serial.link_count());
+        assert_eq!(st.host_up, pt.host_up);
+        assert_eq!(st.host_down, pt.host_down);
+        assert_eq!(st.edge_agg_up, pt.edge_agg_up);
+        assert_eq!(st.agg_edge_down, pt.agg_edge_down);
+        assert_eq!(st.agg_core_up, pt.agg_core_up);
+        assert_eq!(st.core_agg_down, pt.core_agg_down);
+    }
+
+    #[test]
+    fn sharded_transfer_crosses_pods_identically_under_any_job_count() {
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let digest_at = |jobs: usize| {
+            let mut sim = ShardedSimulator::new(7, 4);
+            let t = FatTree::build_sharded(&mut sim, 4, spec);
+            let mut rng = StdRng::seed_from_u64(3);
+            // Host 0 (pod 0) → host 12 (pod 3): every path crosses shards.
+            let mut cs = mptcp_netsim::ConnectionSpec::bulk(mptcp_cc_kind());
+            for p in t.random_paths(0, 12, 4, &mut rng) {
+                cs = cs.path(p);
+            }
+            let c = sim.add_connection(cs);
+            sim.set_jobs(jobs);
+            sim.run_until(SimTime::from_secs(5));
+            let bps = sim.connection_stats(c).throughput_bps(sim.now());
+            assert!(bps > 80e6, "lone flow should fill its 100 Mb/s NIC: {bps}");
+            sim.det_digest()
+        };
+        assert_eq!(digest_at(1), digest_at(4), "jobs must not change the history");
     }
 
     #[test]

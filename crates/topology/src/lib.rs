@@ -30,7 +30,7 @@ pub mod torus;
 pub mod wireless;
 
 pub use bcube::BCube;
-pub use dualhomed::DualHomedServer;
+pub use dualhomed::{DualHomedServer, ShardedDualHomed};
 pub use fattree::FatTree;
 pub use torus::Torus;
 pub use wireless::{AccessLink, WirelessClient};

@@ -10,7 +10,7 @@
 //! well each algorithm balances the loss rates across the ring.
 
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, SimTime, Simulator};
+use mptcp_netsim::{ConnId, ConnectionSpec, LinkId, LinkSpec, ShardedSimulator, SimTime, Simulator};
 
 /// The built torus: five bottleneck links and five two-path flows.
 #[derive(Debug, Clone)]
@@ -51,6 +51,41 @@ impl Torus {
         Self { links, flows }
     }
 
+    /// Build the torus across the shards of a [`ShardedSimulator`]:
+    /// bottleneck link `i` lives on shard `i % num_shards`.
+    ///
+    /// Because flow `i`'s two subflows enter at different links (possibly on
+    /// different shards) while the sharded engine keeps every connection's
+    /// sender state on one owner shard, each subflow is fronted by a
+    /// high-capacity 1 ms ingress stub on flow `i`'s owner shard (the shard
+    /// of link `i`). The stubs model the sender's own uncongested NIC; the
+    /// five torus links remain the only bottlenecks.
+    pub fn build_sharded(
+        sim: &mut ShardedSimulator,
+        capacities_pps: [f64; 5],
+        algorithm: AlgorithmKind,
+    ) -> Self {
+        let n = sim.num_shards();
+        let one_way = SimTime::from_millis(50);
+        let rtt_secs = 0.1;
+        let links: [LinkId; 5] = std::array::from_fn(|i| {
+            let bdp_pkts = (capacities_pps[i] * rtt_secs).round().max(2.0) as usize;
+            sim.add_link(i % n, LinkSpec::pkts_per_sec(capacities_pps[i], one_way, bdp_pkts))
+        });
+        let stub = LinkSpec::pkts_per_sec(100_000.0, SimTime::from_millis(1), 10_000);
+        let flows: [ConnId; 5] = std::array::from_fn(|i| {
+            let owner = i % n;
+            let s0 = sim.add_link(owner, stub);
+            let s1 = sim.add_link(owner, stub);
+            sim.add_connection(
+                ConnectionSpec::bulk(algorithm)
+                    .path(vec![s0, links[i]])
+                    .path(vec![s1, links[(i + 1) % 5]]),
+            )
+        });
+        Self { links, flows }
+    }
+
     /// Ratio of measured loss rates `p_A / p_C` — Fig. 8's y-axis (1.0 means
     /// perfectly balanced congestion).
     pub fn loss_ratio_a_over_c(&self, sim: &Simulator) -> f64 {
@@ -83,6 +118,23 @@ mod tests {
             assert_eq!(st.subflows.len(), 2, "flow {i} has two subflows");
             assert!(st.delivered_pkts() > 0, "flow {i} moved data");
         }
+    }
+
+    #[test]
+    fn sharded_torus_runs_and_is_jobs_invariant() {
+        let run = |jobs: usize| {
+            let mut sim = ShardedSimulator::new(11, 3);
+            let t = Torus::build_sharded(&mut sim, [1000.0; 5], AlgorithmKind::Mptcp);
+            sim.set_jobs(jobs);
+            sim.run_until(SimTime::from_secs(30));
+            for (i, &f) in t.flows.iter().enumerate() {
+                let st = sim.connection_stats(f);
+                assert_eq!(st.subflows.len(), 2, "flow {i} has two subflows");
+                assert!(st.delivered_pkts() > 0, "flow {i} moved data");
+            }
+            sim.det_digest()
+        };
+        assert_eq!(run(1), run(2), "jobs must not change the history");
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! with a `"source"` identity and measured fields (see
 //! `crates/bench/src/report.rs`, which writes it). This module compares a
 //! freshly regenerated file against a committed baseline copy and reports
-//! every *throughput* field — a field named `events_per_sec` or ending in
-//! `_per_sec` (higher is better) — that regressed by more than the
-//! threshold (default 20%).
+//! every gated field that regressed by more than the threshold (default
+//! 20%): *throughput* fields — named `events_per_sec` or ending in
+//! `_per_sec`/`_per_core` (higher is better; the per-core rates keep "add
+//! more threads" from masking a serial regression) — and *memory* fields —
+//! `peak_rss_bytes` and anything ending in `_rss_bytes` (lower is
+//! better).
 //!
 //! Sources present in only one file are skipped, not failed: a quick CI
 //! run regenerates only a subset of benches, and a brand-new bench has no
@@ -72,34 +75,53 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRecord>, String> {
 }
 
 /// Whether a field is a throughput metric (higher is better) that the
-/// regression gate compares.
+/// regression gate compares. Per-core rates (`*_per_core`) count too, so
+/// "add more threads" can't mask a serial regression behind a flat
+/// aggregate number.
 pub fn is_throughput_field(key: &str) -> bool {
-    key == "events_per_sec" || key.ends_with("_per_sec")
+    key == "events_per_sec" || key.ends_with("_per_sec") || key.ends_with("_per_core")
 }
 
-/// One baseline-vs-current comparison of a throughput field.
+/// Whether a field is a memory high-water mark (**lower** is better) that
+/// the regression gate compares — `peak_rss_bytes` and friends.
+pub fn is_memory_field(key: &str) -> bool {
+    key == "peak_rss_bytes" || key.ends_with("_rss_bytes")
+}
+
+/// One baseline-vs-current comparison of a gated (throughput or memory)
+/// field.
 #[derive(Debug, Clone)]
 pub struct Comparison {
     /// Record source.
     pub source: String,
     /// Field name.
     pub field: String,
-    /// Baseline value (events or ops per second).
+    /// Baseline value (events/ops per second, or bytes).
     pub baseline: f64,
     /// Current value.
     pub current: f64,
+    /// Direction: true for memory fields (growth is a regression), false
+    /// for throughput fields (shrinkage is a regression).
+    pub lower_is_better: bool,
 }
 
 impl Comparison {
-    /// Fractional regression: 0.25 means 25% slower than baseline.
-    /// Negative when the current run is faster.
+    /// Fractional regression: 0.25 means 25% worse than baseline — slower
+    /// for throughput fields, more memory for memory fields. Negative when
+    /// the current run improved.
     pub fn regression(&self) -> f64 {
-        1.0 - self.current / self.baseline
+        if self.lower_is_better {
+            self.current / self.baseline - 1.0
+        } else {
+            1.0 - self.current / self.baseline
+        }
     }
 }
 
-/// Compare every throughput field of every source present in **both**
-/// files. Returns all comparisons (for the report) in baseline file order.
+/// Compare every throughput and memory field of every source present in
+/// **both** files. Returns all comparisons (for the report) in baseline
+/// file order. A non-positive baseline value is skipped (e.g. the 0 RSS
+/// recorded off Linux — there is nothing to regress against).
 pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> Vec<Comparison> {
     let mut out = Vec::new();
     for b in baseline {
@@ -107,7 +129,8 @@ pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> Vec<Compari
             continue;
         };
         for (key, bval) in &b.fields {
-            if !is_throughput_field(key) || *bval <= 0.0 {
+            let memory = is_memory_field(key);
+            if (!is_throughput_field(key) && !memory) || *bval <= 0.0 {
                 continue;
             }
             if let Some(cval) = c.get(key) {
@@ -116,6 +139,7 @@ pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> Vec<Compari
                     field: key.clone(),
                     baseline: *bval,
                     current: cval,
+                    lower_is_better: memory,
                 });
             }
         }
@@ -146,13 +170,47 @@ mod tests {
     }
 
     #[test]
-    fn throughput_fields_are_the_per_sec_ones() {
+    fn throughput_fields_are_the_per_sec_and_per_core_ones() {
         assert!(is_throughput_field("events_per_sec"));
         assert!(is_throughput_field("wheel_events_per_sec"));
         assert!(is_throughput_field("bitmap_ops_per_sec"));
+        assert!(is_throughput_field("events_per_sec_per_core"));
         assert!(!is_throughput_field("probe_overhead"));
         assert!(!is_throughput_field("peak_rss_bytes"));
         assert!(!is_throughput_field("events"));
+    }
+
+    #[test]
+    fn memory_fields_are_the_rss_ones_and_regress_on_growth() {
+        assert!(is_memory_field("peak_rss_bytes"));
+        assert!(!is_memory_field("events_per_sec"));
+        assert!(!is_memory_field("peak_pending"));
+        let grown = Comparison {
+            source: "s".into(),
+            field: "peak_rss_bytes".into(),
+            baseline: 100.0,
+            current: 130.0,
+            lower_is_better: true,
+        };
+        assert!((grown.regression() - 0.30).abs() < 1e-12, "30% more memory regresses");
+        let shrunk = Comparison { current: 80.0, ..grown };
+        assert!(shrunk.regression() < 0.0, "less memory is an improvement");
+    }
+
+    #[test]
+    fn compare_gates_rss_in_the_right_direction() {
+        let base = parse_bench(SAMPLE).unwrap();
+        let fresh = parse_bench(
+            r#"{"source":"scale_sweep/fattree_k8","events_per_sec":5100000,"peak_rss_bytes":16777216}"#,
+        )
+        .unwrap();
+        let cmp = compare(&base, &fresh);
+        let rss = cmp.iter().find(|c| c.field == "peak_rss_bytes").expect("rss compared");
+        assert!(rss.lower_is_better);
+        assert!(rss.regression() > 0.20, "doubled RSS must regress: {rss:?}");
+        let eps = cmp.iter().find(|c| c.field == "events_per_sec").unwrap();
+        assert!(!eps.lower_is_better);
+        assert!(eps.regression().abs() < 1e-12);
     }
 
     #[test]

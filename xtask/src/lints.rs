@@ -24,6 +24,13 @@
 //!   whose ordered-tree bookkeeping was replaced by rotating bitmap
 //!   scoreboards; a tree creeping back in reintroduces per-operation
 //!   allocation and O(log w) pointer-chasing silently.
+//! * **`shard-safety`** (D6) — no `Rc`, `RefCell` or `thread_local!` in a
+//!   file marked `// lint:shard-state`. Those files hold the per-shard
+//!   simulation state that the sharded engine moves onto worker threads;
+//!   non-`Send` shared-ownership cells or thread-pinned statics would
+//!   either break the `std::thread::scope` build or smuggle
+//!   thread-identity into the deterministic history. Shard state stays
+//!   `Send` by construction.
 //!
 //! The escape hatch is a machine-checked annotation:
 //!
@@ -52,6 +59,9 @@ pub enum Rule {
     DigestSurface,
     /// D5: ordered-tree containers in `lint:hot-path` files.
     HotPath,
+    /// D6: non-`Send` cells / thread-pinned statics in `lint:shard-state`
+    /// files.
+    ShardSafety,
     /// A `lint:` annotation that is malformed, names an unknown rule, or
     /// has an empty reason.
     BadAnnotation,
@@ -68,6 +78,7 @@ impl Rule {
             Rule::FloatOrd => "float-ord",
             Rule::DigestSurface => "digest-surface",
             Rule::HotPath => "hot-path",
+            Rule::ShardSafety => "shard-safety",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -76,7 +87,14 @@ impl Rule {
     /// The rules an annotation may allow (the meta rules cannot be
     /// annotated away).
     pub fn allowable() -> &'static [Rule] {
-        &[Rule::UnorderedIter, Rule::WallClock, Rule::FloatOrd, Rule::DigestSurface, Rule::HotPath]
+        &[
+            Rule::UnorderedIter,
+            Rule::WallClock,
+            Rule::FloatOrd,
+            Rule::DigestSurface,
+            Rule::HotPath,
+            Rule::ShardSafety,
+        ]
     }
 
     /// Parse an allowable rule name.
@@ -169,7 +187,7 @@ fn collect_allows_from_tokens(path: &Path, source: &str, toks: &[Tok]) -> (Vec<A
                 line: t.line,
                 message: format!("malformed lint annotation: {why}"),
                 snippet: snippet_at(source, t.line),
-                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface, hot-path".into(),
+                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface, hot-path, shard-safety".into(),
             }),
         }
     }
@@ -200,7 +218,7 @@ fn parse_allow(comment: &str) -> Result<(Rule, String), String> {
     let (rule_name, rest) = rest.split_once(',').ok_or("expected `,` after the rule name")?;
     let rule_name = rule_name.trim();
     let rule = Rule::from_name(rule_name)
-        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface, hot-path)"))?;
+        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface, hot-path, shard-safety)"))?;
     let rest = rest.trim_start();
     let rest = rest.strip_prefix("reason").ok_or("expected `reason = \"…\"`")?;
     let rest = rest.trim_start();
@@ -239,6 +257,10 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
     let hot_path = toks.iter().any(|t| {
         t.is_comment()
             && comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:hot-path"))
+    });
+    let shard_state = toks.iter().any(|t| {
+        t.is_comment()
+            && comment_directive(&t.text).is_some_and(|d| d.starts_with("lint:shard-state"))
     });
     let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
 
@@ -293,6 +315,29 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
                     ),
                     "use the rotating-bitmap scoreboards (crates/netsim/src/scoreboard.rs) or a windowed array, or annotate: // lint:allow(hot-path, reason = \"…\")".into(),
                 );
+            }
+
+            // ---- D6: non-Send state in declared shard-state files ----
+            if shard_state {
+                let banned = match t.text.as_str() {
+                    "Rc" => Some("`Rc` is shared ownership without `Send`"),
+                    "RefCell" => Some("`RefCell` is interior mutability without `Sync`"),
+                    "thread_local" if next.is_some_and(|n| n.text == "!") => {
+                        Some("`thread_local!` pins state to a worker thread")
+                    }
+                    _ => None,
+                };
+                if let Some(what) = banned {
+                    push(
+                        &mut findings,
+                        Rule::ShardSafety,
+                        t.line,
+                        format!(
+                            "{what}: shard state in a `lint:shard-state` file moves across worker threads and must stay `Send` by construction"
+                        ),
+                        "own the state directly (plain fields, `Vec`, `Box`), hand shared read-only tables over as `Arc`, or annotate: // lint:allow(shard-safety, reason = \"…\")".into(),
+                    );
+                }
             }
 
             // ---- D2: wall-clock / entropy sources ----
@@ -568,6 +613,28 @@ mod tests {
         assert!(lint_group(&[file(comment_only, Scope::General)]).is_empty());
         // The escape hatch works like every other rule's.
         let allowed = "// lint:hot-path\n// lint:allow(hot-path, reason = \"cold config map, touched once at setup\")\nuse std::collections::BTreeMap;\n";
+        assert!(lint_group(&[file(allowed, Scope::General)]).is_empty());
+    }
+
+    #[test]
+    fn shard_safety_bans_non_send_state_in_marked_files_only() {
+        let marked = "// lint:shard-state\nuse std::rc::Rc;\nstruct S { cell: RefCell<u64> }\nthread_local! { static T: u64 = 0; }\n";
+        let f = lint_group(&[file(marked, Scope::Sim)]);
+        assert_eq!(
+            rules(&f),
+            vec![Rule::ShardSafety, Rule::ShardSafety, Rule::ShardSafety],
+            "{f:?}"
+        );
+        // Unmarked files carry no obligation (scope-independent rule).
+        assert!(lint_group(&[file("use std::rc::Rc;\n", Scope::Sim)]).is_empty());
+        // `thread_local` as a plain ident (no `!`) is not the macro.
+        let ident_only = "// lint:shard-state\nfn f(thread_local: u64) -> u64 { thread_local }\n";
+        assert!(lint_group(&[file(ident_only, Scope::Sim)]).is_empty());
+        // Mentions in comments/docs of a marked file are fine.
+        let comment_only = "// lint:shard-state\n// An Rc or RefCell here would break Send.\nlet x = 1;\n";
+        assert!(lint_group(&[file(comment_only, Scope::General)]).is_empty());
+        // The escape hatch works like every other rule's.
+        let allowed = "// lint:shard-state\n// lint:allow(shard-safety, reason = \"build-time only, never crosses a thread\")\nuse std::rc::Rc;\n";
         assert!(lint_group(&[file(allowed, Scope::General)]).is_empty());
     }
 

@@ -22,8 +22,9 @@ subcommands:
     --rules     print the rule set and the annotation grammar, then exit
     PATH...     lint only these .rs files, under the strictest (sim library)
                 scope — used to try a file or a fixture in isolation
-  bench-check   compare the throughput fields (events/ops per second) of a
-                freshly regenerated BENCH_sim.json against a baseline copy
+  bench-check   compare the throughput (events/ops per second, per-core) and
+                memory (peak RSS) fields of a freshly regenerated
+                BENCH_sim.json against a baseline copy
     BASELINE    the committed baseline (e.g. a copy made before re-running
                 the benches)
     CURRENT     the fresh file; defaults to BENCH_sim.json at the
@@ -52,6 +53,9 @@ const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
   hot-path         no BTreeSet/BTreeMap in a file marked `// lint:hot-path`:
                    those files are the per-ACK path whose ordered-tree
                    bookkeeping was replaced by rotating bitmap scoreboards.
+  shard-safety     no Rc/RefCell/thread_local! in a file marked
+                   `// lint:shard-state`: that state moves onto worker
+                   threads in the sharded engine and must stay Send.
 
 meta (not annotatable):
 
@@ -213,7 +217,7 @@ fn bench_check(args: &[String]) -> i32 {
     let comparisons = compare(&base, &cur);
     if comparisons.is_empty() {
         eprintln!(
-            "xtask bench-check: no overlapping throughput fields between {} and {} — nothing was checked",
+            "xtask bench-check: no overlapping throughput/memory fields between {} and {} — nothing was checked",
             baseline_path,
             current_path.display()
         );
@@ -226,17 +230,19 @@ fn bench_check(args: &[String]) -> i32 {
             regressed += 1;
             "REGRESSED"
         } else if r < 0.0 {
-            "faster"
+            if c.lower_is_better { "smaller" } else { "faster" }
         } else {
             "ok"
         };
+        // The printed delta is the raw value change; `regression()` folds
+        // in the direction (memory fields regress on growth).
         println!(
             "  {:<42} {:<26} {:>12.0} -> {:>12.0}  {:+6.1}%  {}",
             c.source,
             c.field,
             c.baseline,
             c.current,
-            -r * 100.0,
+            (c.current / c.baseline - 1.0) * 100.0,
             verdict
         );
     }

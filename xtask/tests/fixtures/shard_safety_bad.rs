@@ -1,0 +1,24 @@
+//! Deliberately-bad fixture: D6 `shard-safety`.
+//! Non-`Send` shared-ownership cells and a thread-pinned static in a file
+//! declaring itself shard state — exactly what would either fail the
+//! `std::thread::scope` build or smuggle thread-identity into the
+//! deterministic history once the shard moves onto a worker thread.
+
+// lint:shard-state — this file models per-shard simulator state.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+thread_local! {
+    static EVENTS_SEEN: RefCell<u64> = RefCell::new(0);
+}
+
+pub struct FlowTable {
+    shared: Rc<Vec<u64>>,
+}
+
+impl FlowTable {
+    pub fn bump(&self) {
+        EVENTS_SEEN.with(|c| *c.borrow_mut() += self.shared.len() as u64);
+    }
+}

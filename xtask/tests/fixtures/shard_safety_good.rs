@@ -1,0 +1,29 @@
+//! Good fixture: D6 `shard-safety`.
+//! A marked shard-state file that owns its hot state directly (plain
+//! fields and `Vec` arenas are `Send` for free) and shares the read-only
+//! routing table as an `Arc`, plus one annotated `Rc` that provably never
+//! crosses a thread — the escape hatch in action. An Rc mentioned only in
+//! prose like this line is fine: comments are not code.
+
+// lint:shard-state — per-shard simulator state.
+
+use std::sync::Arc;
+
+pub struct Shard {
+    now_nanos: u64,
+    flows: Vec<u64>,
+    routes: Arc<Vec<u32>>,
+}
+
+impl Shard {
+    pub fn advance(&mut self, to: u64) -> usize {
+        self.now_nanos = to;
+        self.flows.iter().filter(|&&f| f <= to).count() + self.routes.len()
+    }
+}
+
+pub fn debug_snapshot(shard: &Shard) -> u64 {
+    // lint:allow(shard-safety, reason = "single-threaded debug helper, never handed to a worker")
+    let view: std::rc::Rc<u64> = std::rc::Rc::new(shard.now_nanos);
+    *view
+}

@@ -32,6 +32,7 @@ fn every_bad_fixture_fails_with_its_rule() {
         ("float_ord_bad.rs", Rule::FloatOrd, 3),           // partial_cmp, == literal, f32
         ("digest_surface_bad.rs", Rule::DigestSurface, 1),
         ("hot_path_bad.rs", Rule::HotPath, 3), // use BTreeMap+BTreeSet, 2 field types, insert/remove sites
+        ("shard_safety_bad.rs", Rule::ShardSafety, 4), // use Rc + use RefCell, thread_local!, field types
     ] {
         let findings = lint_one(name);
         assert!(!findings.is_empty(), "{name} must fail");
@@ -53,6 +54,7 @@ fn every_good_fixture_passes_clean() {
         "float_ord_good.rs",
         "digest_surface_good.rs",
         "hot_path_good.rs",
+        "shard_safety_good.rs",
     ] {
         let findings = lint_one(name);
         assert!(findings.is_empty(), "{name} must be clean, got {findings:#?}");
@@ -128,6 +130,7 @@ fn cli_exit_codes_match_the_ci_contract() {
         "float_ord_bad.rs",
         "digest_surface_bad.rs",
         "hot_path_bad.rs",
+        "shard_safety_bad.rs",
         "annotations_bad.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
@@ -139,6 +142,7 @@ fn cli_exit_codes_match_the_ci_contract() {
         "float_ord_good.rs",
         "digest_surface_good.rs",
         "hot_path_good.rs",
+        "shard_safety_good.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(0), "{name} must exit 0");
@@ -174,6 +178,36 @@ fn hot_path_rule_is_live_on_the_real_scoreboard_files() {
         assert!(
             findings.iter().any(|f| f.rule == Rule::HotPath),
             "{rel}: marker not live, a reintroduced tree went unflagged: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn shard_safety_rule_is_live_on_the_real_shard_state_files() {
+    // The files holding per-shard simulator state must carry the marker,
+    // be clean, and actually be protected: a non-Send cell sneaking back
+    // in must be flagged.
+    let root = repo_root();
+    for rel in [
+        "crates/netsim/src/sim.rs",
+        "crates/netsim/src/tcp.rs",
+        "crates/netsim/src/link.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lint = |source: String| {
+            lint_group(&[FileInput { path: PathBuf::from(rel), source, scope: Scope::Sim }])
+        };
+        assert!(
+            src.lines().any(|l| l.trim_start().starts_with("// lint:shard-state")),
+            "{rel}: shard-state marker is gone"
+        );
+        assert!(lint(src.clone()).is_empty(), "{rel} must be lint-clean");
+        let poisoned =
+            format!("{src}\nfn sneaky(c: &std::cell::RefCell<u64>) -> u64 {{ *c.borrow() }}\n");
+        let findings = lint(poisoned);
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::ShardSafety),
+            "{rel}: marker not live, a reintroduced RefCell went unflagged: {findings:#?}"
         );
     }
 }
