@@ -27,6 +27,7 @@
 //! "clean good state, lossy bad state" configuration from those means.
 
 use crate::link::LinkId;
+use crate::sim::ConnId;
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +158,33 @@ pub enum FaultAction {
         /// Chain parameters, or `None` to turn the chain off.
         params: Option<GeParams>,
     },
+    /// Withdraw an address (`REMOVE_ADDR`-style path-management
+    /// signaling): administratively close subflow `sub` of connection
+    /// `conn`, reinjecting its stranded in-flight data on the remaining
+    /// subflows. The link stays untouched — this models the *endpoint*
+    /// withdrawing the path, not the path failing.
+    AddrRemove {
+        /// First link of the target subflow's path. Not mutated; carried
+        /// so the action can be validated and routed to the shard that
+        /// owns the connection (a connection's subflows all leave from
+        /// their first link's shard).
+        link: LinkId,
+        /// Target connection.
+        conn: ConnId,
+        /// Subflow index within the connection.
+        sub: usize,
+    },
+    /// (Re)advertise an address (`ADD_ADDR`-style signaling): reopen
+    /// subflow `sub` of connection `conn` so it may carry traffic again.
+    AddrAdd {
+        /// First link of the target subflow's path (see
+        /// [`FaultAction::AddrRemove`]).
+        link: LinkId,
+        /// Target connection.
+        conn: ConnId,
+        /// Subflow index within the connection.
+        sub: usize,
+    },
 }
 
 impl FaultAction {
@@ -171,7 +199,9 @@ impl FaultAction {
             | FaultAction::SetLoss { link, .. }
             | FaultAction::ShrinkQueue { link, .. }
             | FaultAction::RestoreQueue { link }
-            | FaultAction::GilbertElliott { link, .. } => link,
+            | FaultAction::GilbertElliott { link, .. }
+            | FaultAction::AddrRemove { link, .. }
+            | FaultAction::AddrAdd { link, .. } => link,
         }
     }
 
@@ -188,7 +218,9 @@ impl FaultAction {
             | FaultAction::SetLoss { link: l, .. }
             | FaultAction::ShrinkQueue { link: l, .. }
             | FaultAction::RestoreQueue { link: l }
-            | FaultAction::GilbertElliott { link: l, .. } => *l = link,
+            | FaultAction::GilbertElliott { link: l, .. }
+            | FaultAction::AddrRemove { link: l, .. }
+            | FaultAction::AddrAdd { link: l, .. } => *l = link,
         }
         self
     }
@@ -268,6 +300,18 @@ impl FaultPlan {
         assert!(until > from, "episode must end after it starts");
         self.at(from, FaultAction::GilbertElliott { link, params: Some(params) })
             .at(until, FaultAction::GilbertElliott { link, params: None })
+    }
+
+    /// Withdraw subflow `sub` of `conn` at `at` (`REMOVE_ADDR`-style).
+    /// `link` must be the first link of the subflow's path.
+    pub fn addr_remove(self, at: SimTime, link: LinkId, conn: ConnId, sub: usize) -> Self {
+        self.at(at, FaultAction::AddrRemove { link, conn, sub })
+    }
+
+    /// (Re)advertise subflow `sub` of `conn` at `at` (`ADD_ADDR`-style).
+    /// `link` must be the first link of the subflow's path.
+    pub fn addr_add(self, at: SimTime, link: LinkId, conn: ConnId, sub: usize) -> Self {
+        self.at(at, FaultAction::AddrAdd { link, conn, sub })
     }
 
     /// Concatenate another plan's actions onto this one.

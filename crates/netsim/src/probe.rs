@@ -150,6 +150,11 @@ pub enum TransitionKind {
     PotentiallyFailed,
     /// Forward ACK progress revived a potentially-failed subflow.
     Revived,
+    /// Every usable primary subflow failed; data moved onto the
+    /// connection's backup subflows (recorded against the first backup).
+    BackupActivated,
+    /// A primary subflow became usable again; the backups stood down.
+    BackupStoodDown,
 }
 
 impl TransitionKind {
@@ -161,6 +166,8 @@ impl TransitionKind {
             TransitionKind::ExitRecovery => "exit_recovery",
             TransitionKind::PotentiallyFailed => "potentially_failed",
             TransitionKind::Revived => "revived",
+            TransitionKind::BackupActivated => "backup_activated",
+            TransitionKind::BackupStoodDown => "backup_stood_down",
         }
     }
 }
@@ -296,5 +303,7 @@ mod tests {
         assert_eq!(CcPhase::RtoRecovery.as_str(), "rto_recovery");
         assert_eq!(TransitionKind::RtoFired.as_str(), "rto_fired");
         assert_eq!(TransitionKind::Revived.as_str(), "revived");
+        assert_eq!(TransitionKind::BackupActivated.as_str(), "backup_activated");
+        assert_eq!(TransitionKind::BackupStoodDown.as_str(), "backup_stood_down");
     }
 }

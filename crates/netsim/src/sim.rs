@@ -33,17 +33,26 @@ pub struct SubflowSpec {
     /// Extra fixed delay added to the ACK return (models reverse-path /
     /// wide-area latency beyond the forward links' propagation delays).
     pub extra_rtt: SimTime,
+    /// Backup priority (MP_JOIN `B` bit): the subflow is established and
+    /// kept warm but carries no data while any primary subflow is usable.
+    pub backup: bool,
 }
 
 impl SubflowSpec {
     /// A subflow over `path` with no extra return delay.
     pub fn new(path: Vec<LinkId>) -> Self {
-        Self { path, extra_rtt: SimTime::ZERO }
+        Self { path, extra_rtt: SimTime::ZERO, backup: false }
     }
 
     /// Add extra fixed return delay.
     pub fn extra_rtt(mut self, d: SimTime) -> Self {
         self.extra_rtt = d;
+        self
+    }
+
+    /// Mark the subflow as backup priority.
+    pub fn backup(mut self) -> Self {
+        self.backup = true;
         self
     }
 }
@@ -123,6 +132,16 @@ impl ConnectionSpec {
         self
     }
 
+    /// Mark the most recently added subflow as backup priority.
+    ///
+    /// # Panics
+    /// Panics if no subflow has been added yet.
+    pub fn backup(mut self) -> Self {
+        self.subflows.last_mut().expect("backup() needs a preceding path()/subflow()").backup =
+            true;
+        self
+    }
+
     /// Set the start time.
     pub fn start(mut self, at: SimTime) -> Self {
         self.start = at;
@@ -157,6 +176,12 @@ struct SubflowState {
     /// Time of the earliest pending `RtoFire` event in the queue, if any
     /// (lazy timers: the event re-schedules itself if it fires early).
     rto_event_at: Option<SimTime>,
+    /// Backup priority: scheduled for data only while the connection's
+    /// failover state machine is engaged.
+    backup: bool,
+    /// Administratively closed (address withdrawn): sends nothing, its
+    /// RTO timer is disarmed, and its stranded data was reinjected.
+    closed: bool,
 }
 
 /// Exactly-once bookkeeping for a data sequence number that exists (or may
@@ -222,6 +247,25 @@ struct Connection {
     /// Capacity-growth events of the scratch buffers above (allocation
     /// accounting for [`SimPerf::hot_allocs`]).
     scratch_allocs: u64,
+    /// Failover state machine: whether backup subflows currently carry
+    /// data (every usable primary has failed).
+    backup_active: bool,
+    /// When the first unanswered primary RTO fired with no healthy
+    /// primary recovery since — the failover clock. Cleared by primary
+    /// cumulative ACK progress.
+    primary_down_since: Option<SimTime>,
+    /// Latency of the most recent backup activation: time from the
+    /// failover clock starting to data moving onto the backups.
+    failover_latency: Option<SimTime>,
+    /// Times the failover state machine engaged the backups.
+    backup_activations: u64,
+    /// Addresses advertised to this connection at runtime
+    /// ([`FaultAction::AddrAdd`] / [`Simulator::admin_open_subflow`]).
+    addr_advertised: u64,
+    /// Subflows (re)opened at runtime.
+    subflows_joined: u64,
+    /// Subflows administratively closed at runtime.
+    subflows_closed: u64,
 }
 
 impl Connection {
@@ -510,6 +554,8 @@ impl Simulator {
                 sent_pkts: 0,
                 rto_deadline: None,
                 rto_event_at: None,
+                backup: sf.backup,
+                closed: false,
             });
         }
         let conn = Connection {
@@ -534,6 +580,13 @@ impl Simulator {
             acked_dsn_scratch: Vec::new(),
             stranded_scratch: Vec::new(),
             scratch_allocs: 0,
+            backup_active: false,
+            primary_down_since: None,
+            failover_latency: None,
+            backup_activations: 0,
+            addr_advertised: 0,
+            subflows_joined: 0,
+            subflows_closed: 0,
         };
         self.conns.push(conn);
         let id = self.conns.len() - 1;
@@ -643,6 +696,48 @@ impl Simulator {
         self.try_finish(conn);
     }
 
+    /// Administratively close subflow `sub` of `conn` — the REMOVE_ADDR
+    /// path-management signal: the peer withdrew the subflow's address, so
+    /// the subflow stops carrying data immediately, its RTO timer is
+    /// disarmed, and its unacknowledged data is queued for reinjection on
+    /// the remaining subflows (exactly once, shared with the
+    /// potentially-failed harvest). Idempotent; closing every subflow
+    /// leaves the connection to the stall/quiesce detectors, exactly like
+    /// an all-paths outage.
+    pub fn admin_close_subflow(&mut self, conn: ConnId, sub: usize) {
+        assert!(sub < self.conns[conn].sub_count as usize, "unknown subflow {sub}");
+        let base = self.conns[conn].sub_base as usize;
+        if self.subflows[base + sub].closed {
+            return;
+        }
+        self.subflows[base + sub].closed = true;
+        self.subflows[base + sub].rto_deadline = None;
+        self.conns[conn].subflows_closed += 1;
+        self.harvest_stranded(conn, sub);
+        self.pump(conn);
+    }
+
+    /// (Re)advertise subflow `sub`'s address to `conn` — the ADD_ADDR
+    /// path-management signal. Counted per advertisement; if the subflow
+    /// was administratively closed it reopens and rejoins the data
+    /// scheduler (sender state intact, like a subflow-level rejoin), with
+    /// its RTO re-armed if it still holds in-flight data. A no-op beyond
+    /// the counter for a subflow that was never closed.
+    pub fn admin_open_subflow(&mut self, conn: ConnId, sub: usize) {
+        assert!(sub < self.conns[conn].sub_count as usize, "unknown subflow {sub}");
+        self.conns[conn].addr_advertised += 1;
+        let base = self.conns[conn].sub_base as usize;
+        if !self.subflows[base + sub].closed {
+            return;
+        }
+        self.subflows[base + sub].closed = false;
+        self.conns[conn].subflows_joined += 1;
+        if self.subflows[base + sub].tx.pipe() > 0.0 {
+            self.schedule_rto(conn, sub);
+        }
+        self.pump(conn);
+    }
+
     /// Enable the telemetry probe: every `spec.interval` the simulator
     /// records one [`SubflowPoint`] per watched subflow and one
     /// [`LinkPoint`] per watched link, plus congestion transitions as they
@@ -746,6 +841,8 @@ impl Simulator {
                     in_flight: s.tx.pipe(),
                     rto_backoffs: s.tx.backoffs,
                     potentially_failed: s.tx.potentially_failed(),
+                    backup: s.backup,
+                    closed: s.closed,
                 })
                 .collect(),
             packet_size: c.packet_size,
@@ -757,6 +854,12 @@ impl Simulator {
             dup_data_arrivals: c.dup_data_arrivals,
             reinjections_sent: c.reinjections_sent,
             reinject_pending: c.reinject_queue.len() as u64,
+            backup_active: c.backup_active,
+            backup_activations: c.backup_activations,
+            addr_advertised: c.addr_advertised,
+            subflows_joined: c.subflows_joined,
+            subflows_closed: c.subflows_closed,
+            failover_latency: c.failover_latency,
         }
     }
 
@@ -942,6 +1045,14 @@ impl Simulator {
             }
             FaultAction::GilbertElliott { link, params } => {
                 self.links[link].ge = params.map(|params| GeState { params, bad: false });
+            }
+            FaultAction::AddrRemove { conn, sub, .. } => {
+                let conn = self.local_conn(conn);
+                self.admin_close_subflow(conn, sub);
+            }
+            FaultAction::AddrAdd { conn, sub, .. } => {
+                let conn = self.local_conn(conn);
+                self.admin_open_subflow(conn, sub);
             }
         }
     }
@@ -1137,7 +1248,7 @@ impl Simulator {
     fn on_ack(&mut self, conn: ConnId, sub: usize, ack: AckInfo) {
         let watching = self.probe_watches(conn);
         let mut transitions: [Option<TransitionKind>; 3] = [None; 3];
-        let arm = {
+        let (arm, progressed) = {
             // Split borrow: the connection record and its arena window are
             // distinct `Simulator` fields, so both can be held mutably.
             let c = &mut self.conns[conn];
@@ -1202,10 +1313,19 @@ impl Simulator {
                 let floor = c.cc.min_window();
                 subs[sub].tx.shrink_to(level, floor);
             }
-            outcome.rearm_rto
+            (outcome.rearm_rto, outcome.newly_acked > 0)
         };
         for kind in transitions.into_iter().flatten() {
             self.record_transition(conn, sub, kind);
+        }
+        // ACK progress on a primary subflow closes an open failover
+        // episode before it engages the backups (with them engaged, the
+        // stand-down in `update_failover` clears the clock instead).
+        if progressed && !self.conns[conn].backup_active {
+            let base = self.conns[conn].sub_base as usize;
+            if !self.subflows[base + sub].backup {
+                self.conns[conn].primary_down_since = None;
+            }
         }
         // Data-level acknowledgment accounting: each dsn counts once,
         // across all subflow copies a reinjection may have created.
@@ -1247,6 +1367,13 @@ impl Simulator {
             self.events_cancelled += 1;
             return;
         }
+        if self.subflows[base + sub].closed {
+            // Administratively closed since the event was queued: the
+            // address is gone, so there is no path left to probe.
+            self.subflows[base + sub].rto_deadline = None;
+            self.events_cancelled += 1;
+            return;
+        }
         match self.subflows[base + sub].rto_deadline {
             None => {
                 // Disarmed since the event was queued.
@@ -1277,6 +1404,14 @@ impl Simulator {
                 return; // spurious
             }
             subs[sub].tx.set_ssthresh(level);
+            // Failover clock: the first unanswered RTO on a primary
+            // subflow, while the backups are cold and no earlier episode
+            // is still open, marks when the primaries started failing —
+            // the paper's failover latency is measured from this instant
+            // to data moving onto the backups.
+            if !subs[sub].backup && !c.backup_active && c.primary_down_since.is_none() {
+                c.primary_down_since = Some(self.now);
+            }
             !was_failed && subs[sub].tx.potentially_failed()
         };
         if self.probe_watches(conn) {
@@ -1331,6 +1466,10 @@ impl Simulator {
     fn schedule_rto(&mut self, conn: ConnId, sub: usize) {
         let idx = self.conns[conn].sub_base as usize + sub;
         let sf = &mut self.subflows[idx];
+        if sf.closed {
+            // No address, no timer: a closed subflow never probes.
+            return;
+        }
         let deadline = self.now + sf.tx.rto_interval();
         sf.rto_deadline = Some(deadline);
         let needs_event = match sf.rto_event_at {
@@ -1358,6 +1497,58 @@ impl Simulator {
         self.enqueue_packet(pkt);
     }
 
+    /// Advance the graceful-degradation state machine (active → degraded →
+    /// failover → recovered): backup subflows stay cold until **every**
+    /// primary is unusable — administratively closed or potentially failed
+    /// (≥ [`mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS`] unanswered RTO
+    /// backoffs) — then engage, stamping the failover latency against the
+    /// clock started by the first unanswered primary RTO; they stand down
+    /// the moment a primary is usable again. Runs at the head of every
+    /// `pump`, so the decision always precedes data scheduling.
+    fn update_failover(&mut self, conn: ConnId) {
+        let c = &self.conns[conn];
+        let base = c.sub_base as usize;
+        let n = c.sub_count as usize;
+        let mut first_backup = None;
+        let mut usable_primary = false;
+        let mut usable_backup = false;
+        for i in 0..n {
+            let s = &self.subflows[base + i];
+            let usable = !s.closed && !s.tx.potentially_failed();
+            if s.backup {
+                if first_backup.is_none() {
+                    first_backup = Some(i);
+                }
+                usable_backup |= usable;
+            } else {
+                usable_primary |= usable;
+            }
+        }
+        let Some(first_backup) = first_backup else { return };
+        if usable_primary {
+            if self.conns[conn].backup_active {
+                let c = &mut self.conns[conn];
+                c.backup_active = false;
+                c.primary_down_since = None;
+                if self.probe_watches(conn) {
+                    self.record_transition(conn, first_backup, TransitionKind::BackupStoodDown);
+                }
+            }
+        } else if usable_backup && !self.conns[conn].backup_active {
+            let c = &mut self.conns[conn];
+            c.backup_active = true;
+            c.backup_activations += 1;
+            // No clock running means the primaries were closed by explicit
+            // signaling rather than discovered dead by timers: failover is
+            // immediate.
+            c.failover_latency =
+                Some(self.now.saturating_sub(c.primary_down_since.unwrap_or(self.now)));
+            if self.probe_watches(conn) {
+                self.record_transition(conn, first_backup, TransitionKind::BackupActivated);
+            }
+        }
+    }
+
     /// Stripe new data onto whichever subflows have window space
     /// ("An MPTCP sender stripes packets across these subflows as space in
     /// the subflow windows becomes available", §2). Order of priority:
@@ -1368,10 +1559,14 @@ impl Simulator {
         if !self.conns[conn].started || self.conns[conn].finished_at.is_some() {
             return;
         }
+        self.update_failover(conn);
         let base = self.conns[conn].sub_base as usize;
         let n = self.conns[conn].sub_count as usize;
         // Holes first: retransmissions fill the windows before new data.
         for idx in 0..n {
+            if self.subflows[base + idx].closed {
+                continue;
+            }
             while let Some(seq) = self.subflows[base + idx].tx.next_retransmit() {
                 self.send_subflow_packet(conn, idx, seq, true);
             }
@@ -1382,8 +1577,12 @@ impl Simulator {
             for i in 0..n {
                 let idx = (self.conns[conn].rr_next + i) % n;
                 let can = {
-                    let sf = &self.subflows[base + idx].tx;
-                    self.conns[conn].has_data() && !sf.potentially_failed() && sf.can_send_new()
+                    let sf = &self.subflows[base + idx];
+                    self.conns[conn].has_data()
+                        && !sf.closed
+                        && (!sf.backup || self.conns[conn].backup_active)
+                        && !sf.tx.potentially_failed()
+                        && sf.tx.can_send_new()
                 };
                 if !can {
                     continue;
@@ -1434,8 +1633,12 @@ impl Simulator {
                 let mut chosen = None;
                 for i in 0..n {
                     let idx = (c.rr_next + i) % n;
-                    let sf = &self.subflows[base + idx].tx;
-                    if !sf.potentially_failed() && sf.can_send_new() {
+                    let sf = &self.subflows[base + idx];
+                    if !sf.closed
+                        && (!sf.backup || c.backup_active)
+                        && !sf.tx.potentially_failed()
+                        && sf.tx.can_send_new()
+                    {
                         chosen = Some(idx);
                         break;
                     }

@@ -39,6 +39,14 @@ pub struct SubflowStats {
     /// (`rto_backoffs ≥` [`mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS`]):
     /// no new data is scheduled on it until an ACK revives it.
     pub potentially_failed: bool,
+    /// Whether the subflow runs at backup priority: it carries no data
+    /// while any primary subflow is usable, and activates only when the
+    /// connection's failover state machine engages.
+    pub backup: bool,
+    /// Whether the subflow is administratively closed (its address was
+    /// withdrawn via [`crate::FaultAction::AddrRemove`] or
+    /// [`crate::Simulator::admin_close_subflow`]).
+    pub closed: bool,
 }
 
 impl_det_digest!(SubflowStats {
@@ -54,6 +62,8 @@ impl_det_digest!(SubflowStats {
     in_flight,
     rto_backoffs,
     potentially_failed,
+    backup,
+    closed,
 });
 
 /// Statistics of a whole multipath connection.
@@ -87,6 +97,25 @@ pub struct ConnectionStats {
     /// Stranded data packets still waiting for a live subflow with window
     /// space.
     pub reinject_pending: u64,
+    /// Whether backup subflows are carrying data right now (the failover
+    /// state machine is engaged).
+    pub backup_active: bool,
+    /// Times the failover state machine engaged the backup subflows
+    /// (every usable primary closed or potentially failed).
+    pub backup_activations: u64,
+    /// Runtime address advertisements received
+    /// ([`crate::FaultAction::AddrAdd`] /
+    /// [`crate::Simulator::admin_open_subflow`]).
+    pub addr_advertised: u64,
+    /// Subflows (re)opened at runtime.
+    pub subflows_joined: u64,
+    /// Subflows administratively closed at runtime
+    /// ([`crate::FaultAction::AddrRemove`]).
+    pub subflows_closed: u64,
+    /// Latency of the most recent backup activation: from the first
+    /// unanswered primary RTO to data moving onto the backups (zero when
+    /// the primaries were closed by explicit signaling).
+    pub failover_latency: Option<SimTime>,
 }
 
 impl_det_digest!(ConnectionStats {
@@ -100,6 +129,12 @@ impl_det_digest!(ConnectionStats {
     dup_data_arrivals,
     reinjections_sent,
     reinject_pending,
+    backup_active,
+    backup_activations,
+    addr_advertised,
+    subflows_joined,
+    subflows_closed,
+    failover_latency,
 });
 
 impl ConnectionStats {

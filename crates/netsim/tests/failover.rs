@@ -1,0 +1,187 @@
+//! Path management and backup failover at the packet level: backup
+//! subflows stay cold while primaries are healthy, engage when every
+//! primary fails, stand down on recovery; ADD_ADDR/REMOVE_ADDR fault
+//! actions close and reopen subflows at runtime with exactly-once
+//! reinjection; and all of it stays digest-invariant across shard job
+//! counts.
+
+use mptcp_cc::AlgorithmKind;
+use mptcp_netsim::{
+    ConnectionSpec, FaultPlan, LinkSpec, ProbeSpec, ShardedSimulator, SimTime, Simulator,
+    TcpParams, TransitionKind,
+};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+/// The paper's mobile scenario in miniature: a fast primary (WiFi) and a
+/// slow backup (3G) that must carry nothing until the primary blacks out.
+#[test]
+fn backup_stays_cold_fails_over_and_stands_down() {
+    let mut sim = Simulator::new(42);
+    let wifi = sim.add_link(LinkSpec::mbps(10.0, ms(10), 25));
+    let cell = sim.add_link(LinkSpec::mbps(2.0, ms(40), 25));
+    let conn = sim.add_connection(
+        ConnectionSpec::sized(AlgorithmKind::Mptcp, 30_000)
+            .path(vec![wifi])
+            .path(vec![cell])
+            .backup()
+            .tcp(TcpParams { max_rto: SimTime::from_secs(2), ..TcpParams::default() }),
+    );
+    sim.enable_probe(ProbeSpec::every(ms(100)));
+    // Outage of the only primary from 10 s to 25 s.
+    sim.install_fault_plan(&FaultPlan::new().outage(wifi, SimTime::from_secs(10), SimTime::from_secs(25)));
+
+    // Phase A: primary healthy — the backup carries nothing.
+    sim.run_until(SimTime::from_secs(10));
+    let st = sim.connection_stats(conn);
+    assert!(st.subflows[1].backup && !st.subflows[0].backup);
+    assert_eq!(st.subflows[0].closed, false);
+    assert_eq!(st.subflows[1].sent_pkts, 0, "backup sent data while primary healthy: {st:?}");
+    assert!(!st.backup_active && st.backup_activations == 0);
+    assert!(st.data_delivered > 1_000, "primary made no progress");
+
+    // Phase B: blackout — the backup engages within a bounded latency.
+    sim.run_until(SimTime::from_secs(25));
+    let mid = sim.connection_stats(conn);
+    assert!(mid.backup_active, "backup never activated during the blackout: {mid:?}");
+    assert_eq!(mid.backup_activations, 1);
+    assert!(mid.subflows[1].sent_pkts > 0, "active backup moved no data");
+    let lat = mid.failover_latency.expect("activation stamps a latency");
+    // The failover clock starts at the primary's first unanswered RTO and
+    // stops when the potentially-failed threshold (2 backoffs) engages the
+    // backup: at most two backed-off intervals of the capped RTO.
+    assert!(
+        lat > SimTime::ZERO && lat <= SimTime::from_secs(4),
+        "failover latency out of range: {lat:?}"
+    );
+
+    // Phase C: the primary revives — backups stand down, transfer finishes.
+    sim.run_until(SimTime::from_secs(120));
+    let end = sim.connection_stats(conn);
+    assert!(!end.backup_active, "backup must stand down once the primary revives: {end:?}");
+    assert_eq!(end.backup_activations, 1, "no flapping on a single outage");
+    assert!(end.finished_at.is_some(), "transfer must complete: {end:?}");
+    assert_eq!(end.data_delivered, 30_000, "exactly-once delivery");
+    assert_eq!(end.data_acked, 30_000, "exactly-once ack accounting");
+    assert!(end.dup_data_arrivals <= end.reinjections_sent);
+
+    let log = sim.disable_probe().expect("probe was enabled");
+    let kinds: Vec<TransitionKind> =
+        log.transitions_of(conn, 1).into_iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TransitionKind::BackupActivated), "missing activation: {kinds:?}");
+    assert!(kinds.contains(&TransitionKind::BackupStoodDown), "missing stand-down: {kinds:?}");
+}
+
+/// REMOVE_ADDR closes a subflow mid-transfer (stranded data reinjected
+/// exactly once onto the survivor); a later ADD_ADDR rejoins it and the
+/// transfer finishes using both paths again.
+#[test]
+fn addr_remove_then_add_rejoins_the_subflow() {
+    let mut sim = Simulator::new(7);
+    let l1 = sim.add_link(LinkSpec::mbps(8.0, ms(10), 25));
+    let l2 = sim.add_link(LinkSpec::mbps(8.0, ms(15), 25));
+    let conn = sim.add_connection(
+        ConnectionSpec::sized(AlgorithmKind::Mptcp, 20_000).path(vec![l1]).path(vec![l2]),
+    );
+    sim.install_fault_plan(
+        &FaultPlan::new()
+            .addr_remove(SimTime::from_secs(3), l1, conn, 0)
+            .addr_add(SimTime::from_secs(8), l1, conn, 0),
+    );
+
+    sim.run_until(SimTime::from_secs(5));
+    let mid = sim.connection_stats(conn);
+    assert!(mid.subflows[0].closed, "subflow 0 must be closed after REMOVE_ADDR");
+    assert_eq!(mid.subflows_closed, 1);
+    let sent_while_closed = mid.subflows[0].sent_pkts;
+
+    sim.run_until(SimTime::from_secs(120));
+    let end = sim.connection_stats(conn);
+    assert!(!end.subflows[0].closed, "ADD_ADDR must reopen the subflow");
+    assert_eq!(end.addr_advertised, 1);
+    assert_eq!(end.subflows_joined, 1);
+    assert!(
+        end.subflows[0].sent_pkts > sent_while_closed,
+        "rejoined subflow must carry data again: {end:?}"
+    );
+    assert!(end.finished_at.is_some(), "transfer must complete: {end:?}");
+    assert_eq!(end.data_delivered, 20_000, "exactly-once delivery");
+    assert_eq!(end.data_acked, 20_000, "exactly-once ack accounting");
+    assert!(end.dup_data_arrivals <= end.reinjections_sent);
+}
+
+/// Closing every subflow of a connection mid-transfer must not finish or
+/// crash it — the world just goes quiet (and revives on a rejoin).
+#[test]
+fn closing_all_subflows_parks_the_connection() {
+    let mut sim = Simulator::new(3);
+    let l = sim.add_link(LinkSpec::mbps(8.0, ms(10), 25));
+    let conn =
+        sim.add_connection(ConnectionSpec::sized(AlgorithmKind::Mptcp, 50_000).path(vec![l]));
+    sim.run_until(SimTime::from_secs(2));
+    sim.admin_close_subflow(conn, 0);
+    sim.run_until(SimTime::from_secs(10));
+    let parked = sim.connection_stats(conn);
+    assert!(parked.finished_at.is_none(), "a parked transfer is not a finished one");
+    let frozen = parked.data_delivered;
+    sim.admin_open_subflow(conn, 0);
+    sim.run_until(SimTime::from_secs(180));
+    let end = sim.connection_stats(conn);
+    assert!(end.finished_at.is_some(), "rejoin must revive the transfer: {end:?}");
+    assert!(end.data_delivered > frozen);
+    assert_eq!(end.data_acked, 50_000);
+}
+
+/// Address churn — removes, re-adds, and a primary outage driving a backup
+/// activation — is part of the deterministic event history: the world
+/// digest is bit-identical across shard job counts. The top count defaults
+/// to 4 and is swept by CI's nightly `MPTCP_SHARD_JOBS` matrix.
+#[test]
+fn addr_churn_is_jobs_invariant() {
+    let world = || {
+        let mut sim = ShardedSimulator::new(23, 2);
+        let a0 = sim.add_link(0, LinkSpec::mbps(10.0, ms(10), 25));
+        let a1 = sim.add_link(0, LinkSpec::mbps(8.0, ms(15), 25));
+        let b0 = sim.add_link(1, LinkSpec::mbps(10.0, ms(10), 25));
+        let b1 = sim.add_link(1, LinkSpec::mbps(6.0, ms(20), 25));
+        let _c0 = sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Mptcp, 4_000)
+                .path(vec![a0, b0])
+                .path(vec![a1, b1])
+                .backup()
+                .tcp(TcpParams { max_rto: SimTime::from_secs(2), ..TcpParams::default() }),
+        );
+        let c1 = sim.add_connection(
+            ConnectionSpec::sized(AlgorithmKind::Mptcp, 3_000).path(vec![b0, a0]).path(vec![b1, a1]),
+        );
+        // Addr actions route to the connection's owner shard via the target
+        // subflow's first link; the outage engages c0's backup.
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .addr_remove(SimTime::from_secs(2), b1, c1, 1)
+                .addr_add(SimTime::from_secs(6), b1, c1, 1)
+                .outage(a0, SimTime::from_secs(3), SimTime::from_secs(9)),
+        );
+        sim
+    };
+    let run = |jobs: usize| {
+        let mut sim = world();
+        sim.set_jobs(jobs);
+        sim.run_until(SimTime::from_secs(40));
+        (
+            sim.det_digest(),
+            sim.connection_stats(0).backup_activations,
+            sim.connection_stats(1).subflows_joined,
+        )
+    };
+    let (d1, activations, joined) = run(1);
+    assert_eq!(activations, 1, "the outage must engage c0's backup");
+    assert_eq!(joined, 1, "the ADD_ADDR must rejoin c1's subflow");
+    assert_eq!(d1, run(2).0, "jobs=2 diverged from jobs=1");
+    let top =
+        std::env::var("MPTCP_SHARD_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let top = top.max(2);
+    assert_eq!(d1, run(top).0, "jobs={top} diverged from jobs=1");
+}

@@ -20,6 +20,7 @@
 //!   is **reinjected** on another subflow, so a dead path cannot stall the
 //!   stream.
 
+use crate::path::{PathEndpoint, PathEvent, PathFlags, PathManager};
 use crate::segment::{MptcpOption, SegFlags, Segment};
 use crate::Micros;
 use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
@@ -102,6 +103,13 @@ pub struct SubflowStats {
     pub timeouts: u64,
     /// In repeated RTO backoff: probing only, no new data mappings.
     pub potentially_failed: bool,
+    /// Negotiated at backup priority: warm but carrying no data while any
+    /// non-backup subflow is healthy.
+    pub backup: bool,
+    /// Torn down by the path manager (may be rejoined later).
+    pub closed: bool,
+    /// Data payload bytes ever mapped onto this subflow.
+    pub data_bytes_sent: u64,
 }
 
 /// Diagnostic snapshot of a connection (see [`Endpoint::stats`]).
@@ -127,6 +135,18 @@ pub struct EndpointStats {
     pub reinjections_total: usize,
     /// Zero-window persist probes sent.
     pub persist_probes: u64,
+    /// Times the failover state machine moved data onto backup subflows
+    /// (every non-backup subflow potentially failed).
+    pub backup_activations: u64,
+    /// Distinct `ADD_ADDR` advertisements transmitted.
+    pub addr_advertised: u64,
+    /// Subflows that completed a join handshake (initial joins included).
+    pub subflows_joined: u64,
+    /// Subflows torn down by the path manager.
+    pub subflows_closed: u64,
+    /// Most recent failover latency: µs from the first unanswered primary
+    /// RTO to data moving onto a backup subflow.
+    pub failover_latency_us: Option<Micros>,
     /// Per-subflow snapshots.
     pub subflows: Vec<SubflowStats>,
 }
@@ -160,6 +180,16 @@ impl SentSeg {
 struct Subflow {
     established: bool,
     syn_sent: bool,
+    /// Backup priority (negotiated in the `MP_JOIN` backup bit).
+    backup: bool,
+    /// Torn down by the path manager; stays closed until rejoined.
+    closed: bool,
+    /// Client-side: initiate a join on this subflow when possible.
+    want_join: bool,
+    /// Data payload bytes ever mapped onto this subflow (diagnostics; the
+    /// backup-semantics tests assert this stays zero while primaries are
+    /// healthy).
+    data_bytes_sent: u64,
     /// When the last SYN / SYN-ACK went out (they are retransmitted on a
     /// fixed timer until the handshake completes — a lost SYN must not
     /// wedge the connection).
@@ -201,6 +231,10 @@ impl Subflow {
         Self {
             established: false,
             syn_sent: false,
+            backup: false,
+            closed: false,
+            want_join: true,
+            data_bytes_sent: 0,
             syn_sent_at: 0,
             snd_next: 0,
             snd_una: 0,
@@ -324,6 +358,25 @@ pub struct Endpoint {
     /// Zero-window probes sent (diagnostics).
     persist_probes: u64,
 
+    // --- path management & failover (graceful-degradation state machine:
+    // active → degraded → failover → recovered) ---
+    /// Endpoint table, subflow limit and advertisement retransmit state.
+    path: PathManager,
+    /// Data is currently carried by backup subflows (failover state).
+    backup_active: bool,
+    /// When the primaries stopped making progress: stamped at the first
+    /// unanswered primary RTO, cleared by any primary cumulative ACK.
+    primary_down_since: Option<Micros>,
+    /// Most recent failover latency (µs from `primary_down_since` to the
+    /// first poll that moved data onto a backup).
+    failover_latency_us: Option<Micros>,
+    /// Times the failover state machine activated the backups.
+    backup_activations: u64,
+    /// Subflows that completed a join handshake.
+    subflows_joined: u64,
+    /// Subflows torn down by the path manager.
+    subflows_closed: u64,
+
     /// Total application bytes received in order (diagnostics).
     pub total_received: u64,
 }
@@ -343,6 +396,13 @@ impl Endpoint {
         assert!(n_subflows >= 1, "need at least one subflow");
         assert!(cfg.mss > 0 && cfg.send_buf >= cfg.mss && cfg.recv_buf >= cfg.mss);
         let cc = cfg.algorithm.build(n_subflows);
+        let mut path = PathManager::new(n_subflows);
+        for i in 0..n_subflows {
+            path.add_endpoint(PathEndpoint {
+                addr_id: i as u8,
+                flags: PathFlags { subflow: true, ..Default::default() },
+            });
+        }
         Self {
             cfg,
             role,
@@ -366,6 +426,13 @@ impl Endpoint {
             peer_fin: None,
             persist_deadline: None,
             persist_probes: 0,
+            path,
+            backup_active: false,
+            primary_down_since: None,
+            failover_latency_us: None,
+            backup_activations: 0,
+            subflows_joined: 0,
+            subflows_closed: 0,
             total_received: 0,
         }
     }
@@ -459,6 +526,127 @@ impl Endpoint {
         (self.subs[i].retransmits, self.subs[i].timeouts)
     }
 
+    // ------------------------------------------------------------------
+    // Path management (the `ip mptcp` endpoint surface)
+    // ------------------------------------------------------------------
+
+    /// The connection's path manager (endpoint table, subflow limit,
+    /// advertisement state).
+    pub fn path_manager(&self) -> &PathManager {
+        &self.path
+    }
+
+    /// Whether data is currently carried by backup subflows (the failover
+    /// state of the graceful-degradation machine).
+    pub fn backup_active(&self) -> bool {
+        self.backup_active
+    }
+
+    /// Mark subflow `sub` as backup priority before it joins: its `MP_JOIN`
+    /// will carry the backup bit and it will carry no data while any
+    /// non-backup subflow is healthy.
+    pub fn set_backup(&mut self, sub: usize, backup: bool) {
+        self.subs[sub].backup = backup;
+        self.path.add_endpoint(PathEndpoint {
+            addr_id: sub as u8,
+            flags: PathFlags { subflow: true, backup, ..Default::default() },
+        });
+    }
+
+    /// Stop subflow `sub` from joining automatically; it joins only when
+    /// the peer advertises the address or [`Endpoint::join_subflow`] is
+    /// called.
+    pub fn defer_join(&mut self, sub: usize) {
+        assert!(sub > 0, "the initial subflow cannot be deferred");
+        self.subs[sub].want_join = false;
+    }
+
+    /// Client-side: initiate (or re-initiate) a join on subflow `sub` at
+    /// the given priority.
+    pub fn join_subflow(&mut self, sub: usize, backup: bool) {
+        assert!(sub > 0 && sub < self.subs.len(), "unknown subflow {sub}");
+        let s = &mut self.subs[sub];
+        s.closed = false;
+        s.want_join = true;
+        s.backup = backup;
+        s.syn_sent = false; // SYN promptly on the next poll
+    }
+
+    /// Advertise local address `addr_id` to the peer via `ADD_ADDR`
+    /// (retransmitted until echoed). The peer joins it at the given
+    /// priority, subject to its subflow limit.
+    pub fn advertise_addr(&mut self, addr_id: u8, backup: bool) {
+        self.path.add_endpoint(PathEndpoint {
+            addr_id,
+            flags: PathFlags { signal: true, subflow: true, backup, ..Default::default() },
+        });
+        self.path.advertise(addr_id, backup);
+    }
+
+    /// Withdraw address `addr_id`: tear the local subflow down (stranded
+    /// in-flight data is reinjected exactly once) and signal `REMOVE_ADDR`
+    /// so the peer tears its side down too.
+    pub fn withdraw_addr(&mut self, addr_id: u8) {
+        self.path.withdraw(addr_id);
+        self.teardown_subflow(addr_id as usize);
+    }
+
+    /// Tear down subflow `sub` and notify the peer (equivalent to
+    /// [`Endpoint::withdraw_addr`] with the subflow's address id).
+    pub fn close_subflow(&mut self, sub: usize) {
+        assert!(sub < self.subs.len(), "unknown subflow {sub}");
+        self.withdraw_addr(sub as u8);
+    }
+
+    /// Graceful teardown: strand this subflow's unacknowledged in-flight
+    /// data into the reinjection queue (each data range requeued at most
+    /// once per teardown; the receiver's data-level reassembly discards
+    /// any copy that still arrives twice), silence its timers, and mark it
+    /// closed. The subflow sequence space is *not* rolled back: a later
+    /// rejoin resumes at `snd_next`, carried as the SYN's sequence number,
+    /// and the peer jumps its receive cursor forward — so segments from
+    /// the old incarnation can never alias new data.
+    fn teardown_subflow(&mut self, sub: usize) {
+        if sub == 0 || sub >= self.subs.len() {
+            return; // the initial subflow carries the connection
+        }
+        if self.subs[sub].closed {
+            return; // idempotent (duplicate REMOVE_ADDR)
+        }
+        let was_established = self.subs[sub].established;
+        let s = &mut self.subs[sub];
+        let stranded: Vec<SentSeg> = s.inflight.drain(..).collect();
+        s.snd_una = s.snd_next;
+        s.established = false;
+        s.syn_sent = false;
+        s.want_join = false;
+        s.closed = true;
+        s.rto_deadline = None;
+        s.rto_backoffs = 0;
+        s.dup_acks = 0;
+        s.in_recovery = false;
+        s.ack_pending = false;
+        s.rto_us = 1_000_000;
+        s.cwnd_bytes = self.cfg.initial_cwnd * self.cfg.mss as f64;
+        s.ssthresh_bytes = f64::INFINITY;
+        if was_established {
+            self.subflows_closed += 1;
+        }
+        if self.mp_enabled == Some(true) {
+            for h in stranded {
+                let len = (h.payload.len() as u64).max(1);
+                if h.data_seq + len <= self.data_acked {
+                    continue; // already data-acked: nothing to save
+                }
+                if self.reinject_queue.iter().any(|(d, _, _)| *d == h.data_seq) {
+                    continue; // already queued once
+                }
+                self.reinjected.insert(h.data_seq);
+                self.reinject_queue.push_back((h.data_seq, h.payload, h.is_fin));
+            }
+        }
+    }
+
     /// A diagnostic snapshot of the connection.
     pub fn stats(&self) -> EndpointStats {
         EndpointStats {
@@ -472,6 +660,11 @@ impl Endpoint {
             reinjections_queued: self.reinject_queue.len(),
             reinjections_total: self.reinjected.len(),
             persist_probes: self.persist_probes,
+            backup_activations: self.backup_activations,
+            addr_advertised: self.path.addr_advertised(),
+            subflows_joined: self.subflows_joined,
+            subflows_closed: self.subflows_closed,
+            failover_latency_us: self.failover_latency_us,
             subflows: self
                 .subs
                 .iter()
@@ -483,6 +676,9 @@ impl Endpoint {
                     retransmits: s.retransmits,
                     timeouts: s.timeouts,
                     potentially_failed: s.rto_backoffs >= mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS,
+                    backup: s.backup,
+                    closed: s.closed,
+                    data_bytes_sent: s.data_bytes_sent,
                 })
                 .collect(),
         }
@@ -565,8 +761,50 @@ impl Endpoint {
         if let Some((_, Some(dack))) = seg.dss() {
             self.on_data_ack(dack);
         }
+        // Path-manager options (only meaningful with MPTCP in use; in
+        // fallback mode a stray advertisement is ignored, keeping the
+        // connection a plain TCP stream).
+        if self.mp_enabled == Some(true) {
+            for i in 0..seg.options.len() {
+                let opt = seg.options[i];
+                self.on_path_option(&opt);
+            }
+        }
         if !seg.payload.is_empty() || seg.flags.fin {
             self.on_data(sub, &seg);
+        }
+    }
+
+    /// Act on one received `ADD_ADDR`/`REMOVE_ADDR` (other options are
+    /// ignored by the path manager).
+    fn on_path_option(&mut self, opt: &MptcpOption) {
+        let Some(ev) = self.path.on_option(opt) else { return };
+        match ev {
+            PathEvent::Join { addr_id, backup } => {
+                let i = addr_id as usize;
+                // Joins are client-initiated in this model; the server just
+                // echoes the advertisement.
+                if !matches!(self.role, Role::Client) || i == 0 || i >= self.subs.len() {
+                    return;
+                }
+                if self.subs[i].established {
+                    self.subs[i].backup = backup; // priority update only
+                    return;
+                }
+                let live = self
+                    .subs
+                    .iter()
+                    .filter(|s| !s.closed && (s.established || s.want_join))
+                    .count();
+                let already_joining = self.subs[i].want_join && !self.subs[i].closed;
+                if !already_joining && live >= self.path.subflow_limit() {
+                    return; // at the per-connection subflow limit
+                }
+                self.join_subflow(i, backup);
+            }
+            PathEvent::Close { addr_id } => {
+                self.teardown_subflow(addr_id as usize);
+            }
         }
     }
 
@@ -575,8 +813,8 @@ impl Endpoint {
             .options
             .iter()
             .any(|o| matches!(o, MptcpOption::MpCapable { .. }));
-        let join_token = seg.options.iter().find_map(|o| match o {
-            MptcpOption::MpJoin { token } => Some(*token),
+        let join = seg.options.iter().find_map(|o| match o {
+            MptcpOption::MpJoin { token, backup } => Some((*token, *backup)),
             _ => None,
         });
         match self.role {
@@ -590,24 +828,57 @@ impl Endpoint {
                 } else if !seg.flags.ack {
                     // Additional-subflow SYN: must join with the right token
                     // and multipath must be enabled.
-                    if self.mp_enabled == Some(true) && join_token == Some(self.key) {
-                        self.subs[sub].established = true;
-                        self.subs[sub].ack_pending = true;
+                    if self.mp_enabled == Some(true) && join.map(|(t, _)| t) == Some(self.key) {
+                        let was_established = self.subs[sub].established;
+                        let live = self.subs.iter().filter(|s| s.established).count();
+                        if !was_established && live >= self.path.subflow_limit() {
+                            return; // at the per-connection subflow limit
+                        }
+                        let s = &mut self.subs[sub];
+                        if !was_established {
+                            // (Re)join: the SYN carries the peer's resumed
+                            // sequence number as its ISN; jump the receive
+                            // cursor forward so segments from a previous
+                            // incarnation can never alias new data.
+                            if s.rcv_next < seg.subflow_seq {
+                                s.rcv_next = seg.subflow_seq;
+                            }
+                            let cut = s.rcv_next;
+                            s.rcv_ranges.retain(|_, e| *e > cut);
+                        }
+                        s.closed = false;
+                        s.backup = join.map(|(_, b)| b).unwrap_or(false);
+                        s.established = true;
+                        s.ack_pending = true;
                         // A duplicate join SYN means our SYN-ACK was lost:
                         // emit another.
-                        self.subs[sub].syn_sent = false;
+                        s.syn_sent = false;
+                        if !was_established {
+                            self.subflows_joined += 1;
+                        }
                     }
                     // else: silently ignore (subflow never establishes).
                 }
             }
             Role::Client => {
-                if seg.flags.ack && self.subs[sub].syn_sent {
+                if seg.flags.ack && self.subs[sub].syn_sent && !self.subs[sub].established {
                     // SYN-ACK.
                     if sub == 0 {
                         self.mp_enabled = Some(capable);
                     }
-                    if sub == 0 || capable || join_token.is_some() {
-                        self.subs[sub].established = true;
+                    if sub == 0 || capable || join.is_some() {
+                        let s = &mut self.subs[sub];
+                        // Forward-only receive-cursor jump (rejoin; see the
+                        // server side above).
+                        if s.rcv_next < seg.subflow_seq {
+                            s.rcv_next = seg.subflow_seq;
+                        }
+                        let cut = s.rcv_next;
+                        s.rcv_ranges.retain(|_, e| *e > cut);
+                        s.established = true;
+                        if sub > 0 {
+                            self.subflows_joined += 1;
+                        }
                     }
                 }
             }
@@ -639,6 +910,13 @@ impl Endpoint {
             s.rto_backoffs = 0;
             if let Some(us) = sample {
                 s.rtt_sample(us, self.cfg.min_rto);
+            } else if let Some(srtt) = s.srtt_us {
+                // Cumulative progress collapses exponential RTO backoff even
+                // when Karn's rule yields no sample (RFC 6298 §5.7): without
+                // this, a subflow recovering from a long outage retransmits
+                // its stranded window one segment per backed-off RTO (up to
+                // 60 s each) and the connection is wedged for minutes.
+                s.rto_us = ((srtt + 4.0 * s.rttvar_us) as Micros).max(self.cfg.min_rto);
             }
             let retransmit_head = if s.in_recovery {
                 if s.snd_una >= s.recovery_point {
@@ -672,6 +950,12 @@ impl Endpoint {
             // the subflow cumulative ACK doubles as the data ACK.
             if self.is_fallback() && sub == 0 {
                 self.on_data_ack(ack as u64);
+            }
+            // A primary making forward progress resets the failure clock
+            // (the failover state machine's "recovered" edge is taken in
+            // poll_data once the primary is usable again).
+            if !self.subs[sub].backup {
+                self.primary_down_since = None;
             }
         } else if ack == s.snd_una
             && seg.payload.is_empty()
@@ -808,6 +1092,7 @@ impl Endpoint {
     pub fn poll(&mut self, now: Micros) -> Vec<(usize, Segment)> {
         let mut out: Vec<(usize, Segment)> = Vec::new();
         self.poll_handshake(now, &mut out);
+        self.poll_path(now, &mut out);
         self.poll_timers(now, &mut out);
         self.poll_data(now, &mut out);
         self.poll_persist(now, &mut out);
@@ -845,7 +1130,14 @@ impl Endpoint {
             .saturating_sub(self.snd_data_next);
         let work = unsent > 0 || !self.reinject_queue.is_empty();
         let idle = self.subs.iter().all(|s| s.inflight.is_empty());
-        let Some(sub) = self.subs.iter().position(|s| s.established) else {
+        // Probe on a healthy primary when one exists; fall back to any
+        // established subflow (a lone backup is better than deadlock).
+        let Some(sub) = self
+            .subs
+            .iter()
+            .position(|s| s.established && !s.closed && !s.backup)
+            .or_else(|| self.subs.iter().position(|s| s.established && !s.closed))
+        else {
             return;
         };
         if !(work && idle) {
@@ -895,17 +1187,26 @@ impl Endpoint {
                         },
                     ));
                 }
-                // Joins once multipath is confirmed.
+                // Joins once multipath is confirmed. A join SYN carries the
+                // subflow's resumed sequence number as its ISN so a rejoin
+                // after teardown cannot alias the old incarnation.
                 if self.mp_enabled == Some(true) {
                     for i in 1..self.subs.len() {
-                        if needs_syn(&self.subs[i]) {
+                        if self.subs[i].want_join
+                            && !self.subs[i].closed
+                            && needs_syn(&self.subs[i])
+                        {
                             self.subs[i].syn_sent = true;
                             self.subs[i].syn_sent_at = now;
                             out.push((
                                 i,
                                 Segment {
                                     flags: SegFlags { syn: true, ..Default::default() },
-                                    options: vec![MptcpOption::MpJoin { token: self.key }],
+                                    subflow_seq: self.subs[i].snd_next,
+                                    options: vec![MptcpOption::MpJoin {
+                                        token: self.key,
+                                        backup: self.subs[i].backup,
+                                    }],
                                     window: self.advertised_window(i),
                                     ..Segment::new()
                                 },
@@ -926,13 +1227,17 @@ impl Endpoint {
                             options.push(if i == 0 {
                                 MptcpOption::MpCapable { key: self.key }
                             } else {
-                                MptcpOption::MpJoin { token: self.key }
+                                MptcpOption::MpJoin {
+                                    token: self.key,
+                                    backup: self.subs[i].backup,
+                                }
                             });
                         }
                         out.push((
                             i,
                             Segment {
                                 flags: SegFlags { syn: true, ack: true, fin: false },
+                                subflow_seq: self.subs[i].snd_next,
                                 subflow_ack: self.subs[i].rcv_next,
                                 options,
                                 window: self.advertised_window(i),
@@ -944,6 +1249,38 @@ impl Endpoint {
                 }
             }
         }
+    }
+
+    /// Emit due path-manager signaling: owed `ADD_ADDR`/`REMOVE_ADDR`
+    /// echoes plus unacknowledged advertisements (first transmission or
+    /// [`crate::path::ADVERT_RTO`] retransmit), carried on a pure ACK on
+    /// the first open subflow.
+    fn poll_path(&mut self, now: Micros, out: &mut Vec<(usize, Segment)>) {
+        if self.mp_enabled != Some(true) || !self.path.has_pending() {
+            return;
+        }
+        let Some(sub) = self.subs.iter().position(|s| s.established && !s.closed) else {
+            return; // no carrier yet; advertisements stay queued
+        };
+        let mut options = self.path.due_options(now);
+        if options.is_empty() {
+            return;
+        }
+        options.push(MptcpOption::Dss { data_seq: None, data_ack: Some(self.rcv_data_next) });
+        let window = self.advertised_window(sub);
+        let s = &mut self.subs[sub];
+        s.ack_pending = false; // this segment is itself an ACK
+        out.push((
+            sub,
+            Segment {
+                subflow_seq: s.snd_next,
+                subflow_ack: s.rcv_next,
+                flags: SegFlags { ack: true, ..Default::default() },
+                window,
+                options,
+                payload: Vec::new(),
+            },
+        ));
     }
 
     fn poll_timers(&mut self, now: Micros, out: &mut Vec<(usize, Segment)>) {
@@ -963,6 +1300,13 @@ impl Endpoint {
             s.rto_backoffs += 1;
             s.rto_us = (s.rto_us * 2).min(60_000_000);
             s.rto_deadline = Some(now + s.rto_us);
+            // Failure clock for the failover state machine: stamped at the
+            // first unanswered primary RTO, cleared by primary progress.
+            let is_primary = !s.backup;
+            if is_primary && !self.backup_active && self.primary_down_since.is_none() {
+                self.primary_down_since = Some(now);
+            }
+            let s = &mut self.subs[sub];
             // Collapse to one MSS, slow-start back (standard RTO response).
             let mss = self.cfg.mss as f64;
             s.ssthresh_bytes = (s.cwnd_bytes / 2.0).max(2.0 * mss);
@@ -1052,12 +1396,32 @@ impl Endpoint {
             // A subflow in repeated RTO backoff is "potentially failed":
             // it keeps probing via its own retransmissions, but gets no
             // new data mappings and no reinjections until it recovers.
-            (0..self.subs.len())
-                .filter(|&i| {
-                    self.subs[i].established
-                        && self.subs[i].rto_backoffs < mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS
-                })
-                .collect()
+            let healthy = |s: &Subflow| {
+                s.established
+                    && !s.closed
+                    && s.rto_backoffs < mptcp_cc::POTENTIALLY_FAILED_RTO_BACKOFFS
+            };
+            let primaries: Vec<usize> = (0..self.subs.len())
+                .filter(|&i| !self.subs[i].backup && healthy(&self.subs[i]))
+                .collect();
+            if !primaries.is_empty() {
+                // Recovered: a primary is usable, warm backups stand down.
+                self.backup_active = false;
+                primaries
+            } else {
+                // Failover: every non-backup subflow is potentially failed
+                // or closed, so data moves onto the warm backups.
+                let backups: Vec<usize> = (0..self.subs.len())
+                    .filter(|&i| self.subs[i].backup && healthy(&self.subs[i]))
+                    .collect();
+                if !backups.is_empty() && !self.backup_active {
+                    self.backup_active = true;
+                    self.backup_activations += 1;
+                    self.failover_latency_us =
+                        Some(now - self.primary_down_since.unwrap_or(now));
+                }
+                backups
+            }
         };
         if usable.is_empty() {
             return;
@@ -1186,6 +1550,7 @@ impl Endpoint {
         let sub_seq = s.snd_next;
         let seq_len = if is_fin { 1 } else { data.len() as u32 };
         s.snd_next = s.snd_next.wrapping_add(seq_len);
+        s.data_bytes_sent += data.len() as u64;
         s.inflight.push_back(SentSeg {
             sub_seq,
             data_seq: dseq,

@@ -41,11 +41,13 @@
 
 pub mod endpoint;
 pub mod harness;
+pub mod path;
 pub mod scenarios;
 pub mod segment;
 pub mod wire;
 
 pub use endpoint::{Endpoint, EndpointConfig, EndpointStats, RecvBufferMode, SubflowStats};
+pub use path::{PathEndpoint, PathEvent, PathFlags, PathManager, ADVERT_RTO};
 pub use harness::Harness;
 pub use segment::{DecodeError, MptcpOption, SegFlags, Segment};
 pub use wire::{Wire, WireFault};

@@ -16,8 +16,9 @@
 //!    the payload stream subjects them to flow control, producing the A/B
 //!    pipelining deadlock.
 
-use crate::endpoint::{Endpoint, EndpointConfig, RecvBufferMode};
-use crate::wire::Wire;
+use crate::endpoint::{Endpoint, EndpointConfig, EndpointStats, RecvBufferMode};
+use crate::wire::{Wire, WireFault};
+use crate::Micros;
 
 /// Outcome of running one of the §6 schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,6 +271,217 @@ pub fn payload_encoded_data_acks_deadlock(acks_in_payload: bool, budget: usize) 
     true
 }
 
+// ---------------------------------------------------------------------
+// Endpoint churn: runtime path management under faults (PR 7 tentpole).
+// ---------------------------------------------------------------------
+
+/// One path-management or fault action in a churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnAction {
+    /// Server advertises address `addr_id` via `ADD_ADDR`; the client
+    /// joins it (subject to its subflow limit).
+    Advertise {
+        /// Address (wire/subflow index) to advertise.
+        addr_id: u8,
+        /// Advertise at backup priority.
+        backup: bool,
+    },
+    /// Server withdraws address `addr_id` via `REMOVE_ADDR`; both sides
+    /// tear the subflow down, reinjecting stranded in-flight data.
+    Withdraw {
+        /// Address to withdraw.
+        addr_id: u8,
+    },
+    /// Client tears subflow `addr_id` down locally (its `REMOVE_ADDR`
+    /// flows client → server).
+    ClientClose {
+        /// Subflow to close.
+        addr_id: u8,
+    },
+    /// Client (re)joins subflow `addr_id` directly.
+    ClientJoin {
+        /// Subflow to join.
+        addr_id: u8,
+        /// Join at backup priority.
+        backup: bool,
+    },
+    /// Wire `wire` becomes a black hole (its in-flight segments are lost).
+    Blackout {
+        /// Wire index.
+        wire: usize,
+    },
+    /// Wire `wire` is restored with delay `delay_us`.
+    Restore {
+        /// Wire index.
+        wire: usize,
+        /// One-way delay of the restored wire, µs.
+        delay_us: Micros,
+    },
+}
+
+/// A timed churn action (fires once when the driver reaches `at_step`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Driver step at which the action fires.
+    pub at_step: usize,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// Outcome of [`run_endpoint_churn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// The transfer finished (client closed, server at EOF) in budget.
+    pub completed: bool,
+    /// Steps executed.
+    pub steps: usize,
+    /// The received stream was byte-identical to the sent one.
+    pub byte_exact: bool,
+    /// FNV-1a fold over every delivered segment (time, direction, subflow,
+    /// wire bytes) — two runs of the same schedule must agree exactly.
+    pub digest: u64,
+    /// Client-side diagnostics at the end of the run.
+    pub client: EndpointStats,
+    /// Server-side diagnostics at the end of the run.
+    pub server: EndpointStats,
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Drive a client/server pair over `n_wires` wires through a timed churn
+/// schedule: addresses advertised and withdrawn, subflows joined and torn
+/// down, wires blacked out and restored — all while a fixed-length stream
+/// transfers client → server. The driver is fully deterministic: wire
+/// seeds and restore seeds derive from the schedule, so the same inputs
+/// produce the same [`ChurnOutcome::digest`] bit for bit.
+///
+/// Subflows beyond the first start *deferred* on the client: they join
+/// only when the schedule advertises or joins them, so the schedule owns
+/// the whole path-management lifecycle.
+///
+/// `write_per_step` app-limits the sender (0 = write as fast as the send
+/// buffer drains). Throttling pins the transfer's duration to
+/// `data_len / write_per_step` steps, so schedules reliably land while
+/// data is in flight instead of racing a wide-open window.
+pub fn run_endpoint_churn(
+    cfg: EndpointConfig,
+    n_wires: usize,
+    events: &[ChurnEvent],
+    data_len: usize,
+    write_per_step: usize,
+    budget: usize,
+) -> ChurnOutcome {
+    assert!(n_wires >= 1);
+    let mut client = Endpoint::client(cfg, n_wires, 7);
+    let mut server = Endpoint::server(cfg, n_wires, 7);
+    for i in 1..n_wires {
+        client.defer_join(i);
+    }
+    let mut wires: Vec<Wire> =
+        (0..n_wires).map(|i| Wire::new(2_000 + 1_000 * i as Micros, i as u64 + 1)).collect();
+    let mut events: Vec<ChurnEvent> = events.to_vec();
+    events.sort_by_key(|e| e.at_step);
+    let mut next_event = 0;
+    let data: Vec<u8> = (0..data_len).map(|i| (i % 251) as u8).collect();
+    let mut written = 0;
+    let mut closed = false;
+    let mut received: Vec<u8> = Vec::with_capacity(data_len);
+    let mut buf = [0u8; 4096];
+    let mut digest: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut restores: u64 = 0;
+    let mut now: Micros = 0;
+
+    for step in 0..budget {
+        now += 500;
+        while next_event < events.len() && events[next_event].at_step <= step {
+            let ev = events[next_event];
+            next_event += 1;
+            match ev.action {
+                ChurnAction::Advertise { addr_id, backup } => {
+                    server.advertise_addr(addr_id, backup);
+                }
+                ChurnAction::Withdraw { addr_id } => server.withdraw_addr(addr_id),
+                ChurnAction::ClientClose { addr_id } => {
+                    client.close_subflow(addr_id as usize);
+                }
+                ChurnAction::ClientJoin { addr_id, backup } => {
+                    client.join_subflow(addr_id as usize, backup);
+                }
+                ChurnAction::Blackout { wire } => {
+                    wires[wire] = Wire::new(2_000, 1_000 + wire as u64)
+                        .with_fault(WireFault::Loss(1.0 - 1e-12));
+                }
+                ChurnAction::Restore { wire, delay_us } => {
+                    restores += 1;
+                    wires[wire] = Wire::new(delay_us.max(100), 2_000 + restores);
+                }
+            }
+        }
+        if written < data.len() {
+            let cap = if write_per_step == 0 {
+                data.len()
+            } else {
+                (written + write_per_step).min(data.len())
+            };
+            written += client.write(&data[written..cap]);
+        } else if !closed {
+            client.close();
+            closed = true;
+        }
+        for (i, w) in wires.iter_mut().enumerate() {
+            for seg in w.recv_a(now) {
+                fnv1a(&mut digest, &now.to_be_bytes());
+                fnv1a(&mut digest, &[0, i as u8]);
+                fnv1a(&mut digest, &seg.encode());
+                client.on_segment(now, i, seg);
+            }
+            for seg in w.recv_b(now) {
+                fnv1a(&mut digest, &now.to_be_bytes());
+                fnv1a(&mut digest, &[1, i as u8]);
+                fnv1a(&mut digest, &seg.encode());
+                server.on_segment(now, i, seg);
+            }
+        }
+        for (sub, seg) in client.poll(now) {
+            wires[sub].send_a(now, seg);
+        }
+        for (sub, seg) in server.poll(now) {
+            wires[sub].send_b(now, seg);
+        }
+        loop {
+            let n = server.read(&mut buf);
+            if n == 0 {
+                break;
+            }
+            received.extend_from_slice(&buf[..n]);
+        }
+        if closed && server.at_eof() && client.send_complete() {
+            let byte_exact = received == data;
+            return ChurnOutcome {
+                completed: true,
+                steps: step + 1,
+                byte_exact,
+                digest,
+                client: client.stats(),
+                server: server.stats(),
+            };
+        }
+    }
+    ChurnOutcome {
+        completed: false,
+        steps: budget,
+        byte_exact: received == data,
+        digest,
+        client: client.stats(),
+        server: server.stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +508,36 @@ mod tests {
             !inferred_data_ack_drops_packet(AckDesign::Explicit),
             "explicit data ACKs keep sender and receiver consistent"
         );
+    }
+
+    #[test]
+    fn churn_schedule_completes_byte_exact_and_reproducibly() {
+        // A full path-management lifecycle mid-transfer: the server
+        // advertises address 1, the client joins it; the address is
+        // withdrawn with data in flight (stranded ranges reinjected on
+        // subflow 0); it is re-advertised and rejoined; a blackout hits
+        // wire 1 and is restored. The stream must arrive byte-exact and
+        // the whole run must be digest-reproducible.
+        let events = [
+            ChurnEvent { at_step: 4, action: ChurnAction::Advertise { addr_id: 1, backup: false } },
+            ChurnEvent { at_step: 120, action: ChurnAction::Withdraw { addr_id: 1 } },
+            ChurnEvent { at_step: 200, action: ChurnAction::Advertise { addr_id: 1, backup: false } },
+            ChurnEvent { at_step: 300, action: ChurnAction::Blackout { wire: 1 } },
+            ChurnEvent { at_step: 450, action: ChurnAction::Restore { wire: 1, delay_us: 3_000 } },
+        ];
+        let run = || {
+            run_endpoint_churn(EndpointConfig::default(), 2, &events, 200_000, 400, 200_000)
+        };
+        let a = run();
+        assert!(a.completed, "churn schedule must complete: {:?}", a.steps);
+        assert!(a.steps > 450, "the transfer must outlast the schedule: {}", a.steps);
+        assert!(a.byte_exact, "stream must be byte-exact under churn");
+        assert_eq!(a.server.data_received, 200_000, "exactly-once delivery accounting");
+        assert!(a.client.subflows_joined >= 2, "join, teardown, rejoin: {:?}", a.client);
+        assert!(a.client.subflows_closed >= 1, "withdrawal must close the subflow");
+        assert_eq!(a.server.addr_advertised, 2, "two distinct advertisements");
+        let b = run();
+        assert_eq!(a, b, "identical schedules must produce identical outcomes");
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub enum MptcpOption {
     MpJoin {
         /// Token derived from the connection key.
         token: u64,
+        /// Backup-priority bit: the subflow is negotiated and kept warm but
+        /// must carry no data while any non-backup subflow is healthy.
+        backup: bool,
     },
     /// Data Sequence Signal: maps this segment's payload into the data
     /// stream and/or carries the data-level cumulative ACK.
@@ -45,6 +48,31 @@ pub enum MptcpOption {
         /// Data-level cumulative ACK ("an explicit data acknowledgment
         /// field in addition to the subflow acknowledgment field").
         data_ack: Option<u64>,
+    },
+    /// Path-manager advertisement: the sender has an additional address the
+    /// peer may join a subflow to. `addr_id` names the endpoint (here: the
+    /// wire/subflow index); `echo` turns the option into the peer's
+    /// acknowledgment of a received advertisement, which stops the
+    /// deterministic retransmit of the original.
+    AddAddr {
+        /// Stable identifier of the advertised endpoint.
+        addr_id: u8,
+        /// Advertised endpoint should be joined at backup priority.
+        backup: bool,
+        /// This option acknowledges a received `AddAddr` rather than
+        /// advertising (mirrors the RFC 8684 echo bit).
+        echo: bool,
+    },
+    /// Path-manager withdrawal: the address is gone; the peer must tear
+    /// down any subflow using it. Carries an echo/ack bit like [`AddAddr`]
+    /// so withdrawals are also retransmitted until acknowledged (a
+    /// determinism-friendly extension of RFC 8684, which leaves
+    /// `REMOVE_ADDR` unacknowledged).
+    RemoveAddr {
+        /// Identifier of the withdrawn endpoint.
+        addr_id: u8,
+        /// This option acknowledges a received `RemoveAddr`.
+        echo: bool,
     },
 }
 
@@ -121,9 +149,10 @@ impl Segment {
                     out.push(0x01);
                     out.extend_from_slice(&key.to_be_bytes());
                 }
-                MptcpOption::MpJoin { token } => {
+                MptcpOption::MpJoin { token, backup } => {
                     out.push(0x02);
                     out.extend_from_slice(&token.to_be_bytes());
+                    out.push(u8::from(*backup));
                 }
                 MptcpOption::Dss { data_seq, data_ack } => {
                     out.push(0x03);
@@ -141,6 +170,23 @@ impl Segment {
                     if let Some(a) = data_ack {
                         out.extend_from_slice(&a.to_be_bytes());
                     }
+                }
+                MptcpOption::AddAddr { addr_id, backup, echo } => {
+                    out.push(0x04);
+                    out.push(*addr_id);
+                    let mut bits = 0u8;
+                    if *echo {
+                        bits |= 0x01;
+                    }
+                    if *backup {
+                        bits |= 0x02;
+                    }
+                    out.push(bits);
+                }
+                MptcpOption::RemoveAddr { addr_id, echo } => {
+                    out.push(0x05);
+                    out.push(*addr_id);
+                    out.push(u8::from(*echo));
                 }
             }
         }
@@ -170,7 +216,14 @@ impl Segment {
             let kind = r.u8()?;
             let opt = match kind {
                 0x01 => MptcpOption::MpCapable { key: r.u64()? },
-                0x02 => MptcpOption::MpJoin { token: r.u64()? },
+                0x02 => {
+                    let token = r.u64()?;
+                    let bits = r.u8()?;
+                    if bits & !0x01 != 0 {
+                        return Err(DecodeError::BadOption(kind));
+                    }
+                    MptcpOption::MpJoin { token, backup: bits & 0x01 != 0 }
+                }
                 0x03 => {
                     let present = r.u8()?;
                     if present & !0x03 != 0 {
@@ -179,6 +232,26 @@ impl Segment {
                     let data_seq = if present & 0x01 != 0 { Some(r.u64()?) } else { None };
                     let data_ack = if present & 0x02 != 0 { Some(r.u64()?) } else { None };
                     MptcpOption::Dss { data_seq, data_ack }
+                }
+                0x04 => {
+                    let addr_id = r.u8()?;
+                    let bits = r.u8()?;
+                    if bits & !0x03 != 0 {
+                        return Err(DecodeError::BadOption(kind));
+                    }
+                    MptcpOption::AddAddr {
+                        addr_id,
+                        backup: bits & 0x02 != 0,
+                        echo: bits & 0x01 != 0,
+                    }
+                }
+                0x05 => {
+                    let addr_id = r.u8()?;
+                    let bits = r.u8()?;
+                    if bits & !0x01 != 0 {
+                        return Err(DecodeError::BadOption(kind));
+                    }
+                    MptcpOption::RemoveAddr { addr_id, echo: bits & 0x01 != 0 }
                 }
                 other => return Err(DecodeError::BadOption(other)),
             };
@@ -291,10 +364,46 @@ mod tests {
             MptcpOption::Dss { data_seq: None, data_ack: None },
         ] {
             let seg = Segment {
-                options: vec![MptcpOption::MpJoin { token: 42 }, dss],
+                options: vec![MptcpOption::MpJoin { token: 42, backup: false }, dss],
                 ..Segment::new()
             };
             assert_eq!(Segment::decode(&seg.encode()).unwrap(), seg);
+        }
+    }
+
+    #[test]
+    fn roundtrip_path_manager_options() {
+        for opt in [
+            MptcpOption::MpJoin { token: 7, backup: true },
+            MptcpOption::AddAddr { addr_id: 2, backup: false, echo: false },
+            MptcpOption::AddAddr { addr_id: 3, backup: true, echo: true },
+            MptcpOption::RemoveAddr { addr_id: 1, echo: false },
+            MptcpOption::RemoveAddr { addr_id: 9, echo: true },
+        ] {
+            let seg = Segment { options: vec![opt], ..Segment::new() };
+            assert_eq!(Segment::decode(&seg.encode()).unwrap(), seg);
+        }
+    }
+
+    #[test]
+    fn bad_option_bits_rejected() {
+        // Reserved bits in the AddAddr/RemoveAddr/MpJoin flag bytes must
+        // error, not silently decode to something else.
+        for (opt, flag_bit) in [
+            (MptcpOption::AddAddr { addr_id: 1, backup: false, echo: false }, 0x04u8),
+            (MptcpOption::RemoveAddr { addr_id: 1, echo: false }, 0x02),
+            (MptcpOption::MpJoin { token: 1, backup: false }, 0x02),
+        ] {
+            let seg = Segment { options: vec![opt], ..Segment::new() };
+            let mut bytes = seg.encode();
+            // The flag byte is the last option byte, just before the 4-byte
+            // payload length (payload is empty).
+            let idx = bytes.len() - 5;
+            bytes[idx] |= flag_bit;
+            assert!(
+                matches!(Segment::decode(&bytes), Err(DecodeError::BadOption(_))),
+                "reserved bit {flag_bit:#04x} in {opt:?} must be rejected"
+            );
         }
     }
 

@@ -1,0 +1,130 @@
+//! Chaos tests for runtime path management: seeded randomized endpoint
+//! churn — addresses advertised and withdrawn, subflows joined and torn
+//! down at either end, wires blacked out and restored — interleaved with
+//! an ongoing transfer must deliver the stream byte-exact and exactly
+//! once, never hang, and reproduce the same wire digest run over run.
+//!
+//! The generator keeps the schedules live by construction: address 0
+//! (the initial subflow) is never withdrawn and wire 0 never faulted, and
+//! every blackout of a secondary wire is paired with a restore a bounded
+//! number of steps later. Within that envelope anything goes, in any
+//! order, including withdrawing addresses that were never advertised and
+//! re-joining subflows that are mid-teardown. Case counts scale with
+//! `MPTCP_CHAOS_CASES` for the nightly CI job.
+
+use mptcp_proto::scenarios::{run_endpoint_churn, ChurnAction, ChurnEvent};
+use mptcp_proto::EndpointConfig;
+use proptest::prelude::*;
+
+fn chaos_cases() -> u32 {
+    std::env::var("MPTCP_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(12)
+}
+
+/// One raw generated action; `expand` turns it into live-safe events.
+#[derive(Debug, Clone, Copy)]
+enum RawAction {
+    Advertise { addr_id: u8, backup: bool },
+    Withdraw { addr_id: u8 },
+    ClientClose { addr_id: u8 },
+    ClientJoin { addr_id: u8, backup: bool },
+    /// Blackout of wire `wire`, restored `gap` steps later.
+    Outage { wire: u8, gap: u16, delay_us: u16 },
+}
+
+#[derive(Debug, Clone)]
+struct ChurnPlan {
+    n_wires: usize,
+    data_len: usize,
+    events: Vec<ChurnEvent>,
+}
+
+fn raw_action(n_wires: u8) -> impl Strategy<Value = RawAction> {
+    // Secondary addresses/wires only: index 0 stays untouched for liveness.
+    let addr = 1..n_wires;
+    prop_oneof![
+        (addr.clone(), any::<bool>())
+            .prop_map(|(addr_id, backup)| RawAction::Advertise { addr_id, backup }),
+        addr.clone().prop_map(|addr_id| RawAction::Withdraw { addr_id }),
+        addr.clone().prop_map(|addr_id| RawAction::ClientClose { addr_id }),
+        (addr.clone(), any::<bool>())
+            .prop_map(|(addr_id, backup)| RawAction::ClientJoin { addr_id, backup }),
+        (addr, 200_u16..1_200, 100_u16..8_000)
+            .prop_map(|(wire, gap, delay_us)| RawAction::Outage { wire, gap, delay_us }),
+    ]
+}
+
+fn churn_plan() -> impl Strategy<Value = ChurnPlan> {
+    (2_u8..4).prop_flat_map(|n_wires| {
+        (
+            30_000_usize..80_000,
+            prop::collection::vec((0_usize..1_000, raw_action(n_wires)), 1..8),
+        )
+            .prop_map(move |(data_len, raw)| {
+                let mut events = Vec::new();
+                for (at_step, action) in raw {
+                    match action {
+                        RawAction::Advertise { addr_id, backup } => events.push(ChurnEvent {
+                            at_step,
+                            action: ChurnAction::Advertise { addr_id, backup },
+                        }),
+                        RawAction::Withdraw { addr_id } => events.push(ChurnEvent {
+                            at_step,
+                            action: ChurnAction::Withdraw { addr_id },
+                        }),
+                        RawAction::ClientClose { addr_id } => events.push(ChurnEvent {
+                            at_step,
+                            action: ChurnAction::ClientClose { addr_id },
+                        }),
+                        RawAction::ClientJoin { addr_id, backup } => events.push(ChurnEvent {
+                            at_step,
+                            action: ChurnAction::ClientJoin { addr_id, backup },
+                        }),
+                        RawAction::Outage { wire, gap, delay_us } => {
+                            events.push(ChurnEvent {
+                                at_step,
+                                action: ChurnAction::Blackout { wire: wire as usize },
+                            });
+                            events.push(ChurnEvent {
+                                at_step: at_step + gap as usize,
+                                action: ChurnAction::Restore {
+                                    wire: wire as usize,
+                                    delay_us: delay_us as u64,
+                                },
+                            });
+                        }
+                    }
+                }
+                ChurnPlan { n_wires: n_wires as usize, data_len, events }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Whatever the churn schedule does, the transfer terminates with the
+    /// exact byte stream, accounted exactly once, and the whole run —
+    /// every segment on every wire — is digest-reproducible.
+    #[test]
+    fn churn_is_exactly_once_and_reproducible(plan in churn_plan()) {
+        // 100 B/step app-limits the sender, so a 30–80 kB stream spans
+        // 300–800 steps and the schedule lands while data is in flight.
+        let run = || run_endpoint_churn(
+            EndpointConfig::default(),
+            plan.n_wires,
+            &plan.events,
+            plan.data_len,
+            100,
+            600_000,
+        );
+        let a = run();
+        prop_assert!(a.completed, "transfer hung under churn {:?}: {:?}", plan, a.steps);
+        prop_assert!(a.byte_exact, "stream corrupted under churn {:?}", plan);
+        prop_assert_eq!(
+            a.server.data_received as usize, plan.data_len,
+            "exactly-once accounting violated under churn"
+        );
+        let b = run();
+        prop_assert_eq!(a, b, "churn replay must be digest-identical");
+    }
+}

@@ -6,9 +6,15 @@ use proptest::prelude::*;
 fn arb_option() -> impl Strategy<Value = MptcpOption> {
     prop_oneof![
         any::<u64>().prop_map(|key| MptcpOption::MpCapable { key }),
-        any::<u64>().prop_map(|token| MptcpOption::MpJoin { token }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(token, backup)| MptcpOption::MpJoin { token, backup }),
         (prop::option::of(any::<u64>()), prop::option::of(any::<u64>()))
             .prop_map(|(data_seq, data_ack)| MptcpOption::Dss { data_seq, data_ack }),
+        (any::<u8>(), any::<bool>(), any::<bool>()).prop_map(|(addr_id, backup, echo)| {
+            MptcpOption::AddAddr { addr_id, backup, echo }
+        }),
+        (any::<u8>(), any::<bool>())
+            .prop_map(|(addr_id, echo)| MptcpOption::RemoveAddr { addr_id, echo }),
     ]
 }
 
@@ -81,5 +87,42 @@ proptest! {
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= xor;
         let _ = Segment::decode(&bytes); // must not panic
+    }
+
+    /// Truncating or garbling a segment that carries path-manager options
+    /// (`ADD_ADDR`/`REMOVE_ADDR`) yields a clean decode error, never a
+    /// panic or a silently different option. A wire that fails to decode a
+    /// mangled segment simply drops it, so the connection degrades along
+    /// the existing fallback/retransmit paths.
+    #[test]
+    fn garbled_path_options_error_cleanly(
+        addr_id in any::<u8>(),
+        backup in any::<bool>(),
+        echo in any::<bool>(),
+        remove in any::<bool>(),
+        cut_frac in 0.0_f64..1.0,
+        xor in 1_u8..=255,
+        pos_frac in 0.0_f64..1.0,
+    ) {
+        let opt = if remove {
+            MptcpOption::RemoveAddr { addr_id, echo }
+        } else {
+            MptcpOption::AddAddr { addr_id, backup, echo }
+        };
+        let seg = Segment { options: vec![opt], ..Segment::new() };
+        let bytes = seg.encode();
+        // Truncation anywhere inside the encoding must error.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Segment::decode(&bytes[..cut]).is_err());
+        }
+        // Arbitrary single-byte garbling must not panic; if it still
+        // decodes, re-encoding reproduces the mangled bytes (no aliasing).
+        let mut mangled = bytes.clone();
+        let pos = ((mangled.len() - 1) as f64 * pos_frac) as usize;
+        mangled[pos] ^= xor;
+        if let Ok(decoded) = Segment::decode(&mangled) {
+            prop_assert_eq!(decoded.encode(), mangled);
+        }
     }
 }

@@ -116,6 +116,24 @@ impl WirelessClient {
                 .start(start),
         )
     }
+
+    /// The multipath flow with link 2 at backup priority: established and
+    /// kept warm, but carrying no data until every subflow on link 1 is
+    /// closed or potentially failed (the path-management failover
+    /// experiments — a phone keeping 3G as insurance against losing WiFi).
+    pub fn add_multipath_backup(
+        &self,
+        sim: &mut Simulator,
+        algorithm: AlgorithmKind,
+        start: SimTime,
+    ) -> ConnId {
+        sim.add_connection(
+            ConnectionSpec::bulk(algorithm)
+                .subflow(SubflowSpec::new(vec![self.link1]))
+                .subflow(SubflowSpec::new(vec![self.link2]).backup())
+                .start(start),
+        )
+    }
 }
 
 #[cfg(test)]

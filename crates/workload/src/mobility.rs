@@ -8,7 +8,7 @@
 //! link-condition changes and applies them to a simulator between
 //! `run_until` steps.
 
-use mptcp_netsim::{FaultAction, FaultPlan, LinkId, SimTime, Simulator};
+use mptcp_netsim::{ConnId, FaultAction, FaultPlan, LinkId, SimTime, Simulator};
 
 /// A condition to apply to one link at a point in the trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +145,47 @@ impl MobilityTrace {
         }
         plan
     }
+
+    /// Re-express the trace as explicit path-management signaling for
+    /// `conn`: the same physical link changes as
+    /// [`to_fault_plan`](Self::to_fault_plan) — identical rates, losses and
+    /// up/down timeline — plus ADD_ADDR/REMOVE_ADDR at every coverage edge
+    /// of a link listed in `subflow_of` (pairs of `(link, subflow index)`;
+    /// each link must be the first hop of its subflow's path, which is what
+    /// routes the signal in a sharded world).
+    ///
+    /// This is the mobile host *telling* the scheduler about the handover
+    /// instead of leaving it to discover the outage by retransmission
+    /// timeouts: losing coverage signals the withdrawal **before** the link
+    /// goes down (the subflow closes gracefully and strands nothing), and
+    /// reacquisition brings the link up **before** the re-advertisement
+    /// rejoins it. Links not listed keep fault-plan behavior.
+    pub fn to_signal_plan(&self, conn: ConnId, subflow_of: &[(LinkId, usize)]) -> FaultPlan {
+        let sub = |link: LinkId| subflow_of.iter().find(|&&(l, _)| l == link).map(|&(_, s)| s);
+        let mut plan = FaultPlan::new();
+        for ev in &self.events {
+            if let Some(bps) = ev.condition.rate_bps {
+                plan.push(ev.at, FaultAction::SetRate { link: ev.link, bps });
+            }
+            if let Some(p) = ev.condition.loss {
+                plan.push(ev.at, FaultAction::SetLoss { link: ev.link, p });
+            }
+            if let Some(down) = ev.condition.down {
+                if down {
+                    if let Some(s) = sub(ev.link) {
+                        plan.push(ev.at, FaultAction::AddrRemove { link: ev.link, conn, sub: s });
+                    }
+                    plan.push(ev.at, FaultAction::Down { link: ev.link });
+                } else {
+                    plan.push(ev.at, FaultAction::Up { link: ev.link });
+                    if let Some(s) = sub(ev.link) {
+                        plan.push(ev.at, FaultAction::AddrAdd { link: ev.link, conn, sub: s });
+                    }
+                }
+            }
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +299,88 @@ mod tests {
             rec.advance_to(&mut sim, now);
         }
         rec.samples().to_vec()
+    }
+
+    #[test]
+    fn signal_plan_pins_the_fault_plan_link_availability_timeline() {
+        // Differential pin: signaling mode changes *who learns what when*,
+        // never the physics. Both plans must encode the identical
+        // link-availability timeline, with the ADD_ADDR/REMOVE_ADDR
+        // signals riding exactly on the coverage edges — withdrawal before
+        // the link drops, re-advertisement after it returns.
+        let trace = MobilityTrace::paper_walk(0, 1);
+        let fault = trace.to_fault_plan();
+        let signal = trace.to_signal_plan(0, &[(0, 0), (1, 1)]);
+        let availability = |plan: &FaultPlan| -> Vec<(SimTime, LinkId, bool)> {
+            plan.actions()
+                .iter()
+                .filter_map(|&(at, a)| match a {
+                    FaultAction::Down { link } => Some((at, link, false)),
+                    FaultAction::Up { link } => Some((at, link, true)),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(availability(&fault), availability(&signal));
+        let physical = |plan: &FaultPlan| -> Vec<(SimTime, FaultAction)> {
+            plan.actions()
+                .iter()
+                .filter(|(_, a)| {
+                    !matches!(a, FaultAction::AddrRemove { .. } | FaultAction::AddrAdd { .. })
+                })
+                .copied()
+                .collect()
+        };
+        assert_eq!(physical(&fault), physical(&signal), "identical physics, signals aside");
+        let signals: Vec<(SimTime, FaultAction)> = signal
+            .actions()
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::AddrRemove { .. } | FaultAction::AddrAdd { .. }))
+            .copied()
+            .collect();
+        assert_eq!(signals.len(), 2, "one withdrawal, one re-advertisement: {signals:?}");
+        let m = |min: f64| SimTime::from_secs_f64(min * 60.0);
+        assert!(matches!(signals[0], (at, FaultAction::AddrRemove { conn: 0, sub: 0, .. }) if at == m(9.0)));
+        assert!(matches!(signals[1], (at, FaultAction::AddrAdd { conn: 0, sub: 0, .. }) if at == m(10.5)));
+    }
+
+    #[test]
+    fn signaled_walk_spares_the_wifi_subflow_its_timeouts() {
+        // Behavioral differential: under the fault plan the scheduler
+        // discovers the stairwell outage by RTO probing on the dead WiFi
+        // subflow; under the signal plan it is told, closes the subflow,
+        // and probes nothing. Same walk, strictly fewer WiFi timeouts.
+        use mptcp_cc::AlgorithmKind;
+        use mptcp_topology::{AccessLink, WirelessClient};
+
+        let run = |signaled: bool| {
+            let mut sim = Simulator::new(81);
+            let w = WirelessClient::build(&mut sim, AccessLink::wifi(), AccessLink::three_g());
+            let conn = w.add_multipath(&mut sim, AlgorithmKind::Mptcp, SimTime::ZERO);
+            let trace = MobilityTrace::paper_walk(w.link1, w.link2);
+            let plan = if signaled {
+                trace.to_signal_plan(conn, &[(w.link1, 0), (w.link2, 1)])
+            } else {
+                trace.to_fault_plan()
+            };
+            sim.install_fault_plan(&plan);
+            sim.run_until(SimTime::from_secs(11 * 60));
+            sim.connection_stats(conn)
+        };
+        let faulted = run(false);
+        let signaled = run(true);
+        assert_eq!(signaled.subflows_closed, 1, "the stairwell withdraws WiFi once");
+        assert_eq!(signaled.subflows_joined, 1, "the new basestation rejoins it");
+        assert_eq!(faulted.subflows_closed, 0, "fault mode signals nothing");
+        assert!(
+            signaled.subflows[0].timeouts < faulted.subflows[0].timeouts,
+            "signaling must spare the dead-path RTO probing: {} vs {}",
+            signaled.subflows[0].timeouts,
+            faulted.subflows[0].timeouts
+        );
+        assert!(!signaled.subflows[0].closed, "WiFi is open again after the walk");
+        // Both modes keep moving data across the whole walk.
+        assert!(faulted.data_delivered > 10_000 && signaled.data_delivered > 10_000);
     }
 
     #[test]

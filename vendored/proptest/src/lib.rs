@@ -123,6 +123,15 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Build a dependent strategy: generate an intermediate value, then
+    /// generate the final value from the strategy `f` returns for it.
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erase into a [`BoxedStrategy`] (used by `prop_oneof!`).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -143,6 +152,20 @@ impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn new_value(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let mid = self.inner.new_value(rng);
+        (self.f)(mid).new_value(rng)
     }
 }
 
@@ -536,6 +559,17 @@ mod tests {
         for _ in 0..100 {
             let v = s.new_value(&mut rng);
             assert!(v >= 2 && v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_generates_dependent_values() {
+        let mut rng = TestRng::deterministic("t4", 3);
+        // The second component is always strictly below the first.
+        let s = (1u64..10).prop_flat_map(|n| (Just(n), 0u64..n));
+        for _ in 0..100 {
+            let (n, below) = s.new_value(&mut rng);
+            assert!(below < n);
         }
     }
 
