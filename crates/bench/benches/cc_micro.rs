@@ -3,11 +3,21 @@
 //! The eq. (1) increase runs on every ACK in a live stack, so its cost
 //! matters. The appendix's linear search should beat the exhaustive
 //! subset enumeration decisively as the path count grows.
+//!
+//! Besides the criterion groups, the bench times one ACK through the
+//! [`CcDriver`] for MPTCP and every post-paper controller
+//! ([`AlgorithmKind::zoo`]) and records `acks_per_sec` rows in
+//! `BENCH_sim.json` under `cc_micro/` — throughput fields the
+//! `cargo xtask bench-check` gate compares, so a controller whose per-ACK
+//! cost regresses is caught like any simulator slowdown. Under
+//! `MPTCP_QUICK` only these rows run (criterion is skipped).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use mptcp_bench::report::{merge_bench_sim, Record};
+use mptcp_bench::{quick_factor, quick_mode};
 use mptcp_cc::{
-    lia_increase_exhaustive, lia_increase_linear, Coupled, Ewtcp, Mptcp, MultipathCc,
-    SemiCoupled, SubflowSnapshot, UncoupledReno,
+    lia_increase_exhaustive, lia_increase_linear, AlgorithmKind, CcDriver, Coupled, Ewtcp,
+    Mptcp, MultipathCc, SemiCoupled, SubflowSnapshot, UncoupledReno,
 };
 
 fn subflows(n: usize) -> Vec<SubflowSnapshot> {
@@ -58,10 +68,62 @@ fn bench_fluid_equilibrium(c: &mut Criterion) {
     });
 }
 
+/// Time `iters` ACKs through the driver in congestion avoidance and
+/// return the achieved rate. Pure kinds exercise `increase_per_ack`
+/// directly; stateful kinds pay their full bookkeeping (CUBIC's epoch
+/// arithmetic, OLIA's counters, wVegas's base-RTT filter) per call, which
+/// is exactly the per-ACK cost a live sender pays.
+fn acks_per_sec(kind: AlgorithmKind, iters: u64) -> f64 {
+    let subs = subflows(4);
+    let mut drv = kind.build_cc(4);
+    let mut acc = 0.0_f64;
+    let start = mptcp_netsim::wall_clock();
+    match &mut drv {
+        CcDriver::Pure(cc) => {
+            for i in 0..iters {
+                acc += cc.increase_per_ack((i % 4) as usize, black_box(&subs));
+            }
+        }
+        CcDriver::Stateful(cc) => {
+            let mut now = 0.0_f64;
+            for i in 0..iters {
+                now += 1e-4;
+                acc += cc.on_ack((i % 4) as usize, black_box(&subs), now, false).grow;
+            }
+        }
+    }
+    let dt = start.elapsed().as_secs_f64();
+    black_box(acc);
+    iters as f64 / dt
+}
+
+fn record_per_ack_costs() {
+    let iters = 2_000_000 / quick_factor().unwrap_or(1).max(1);
+    let mut records = Vec::new();
+    println!("per-ACK driver cost ({iters} ACKs each):");
+    for kind in std::iter::once(AlgorithmKind::Mptcp).chain(AlgorithmKind::zoo()) {
+        let rate = acks_per_sec(kind, iters);
+        println!("  {kind:?}: {:.1} M acks/s", rate / 1e6);
+        records.push(
+            Record::new(format!("cc_micro/{kind:?}_per_ack"))
+                .field("iters", iters as f64)
+                .field("acks_per_sec", rate)
+                .field("quick", quick_mode()),
+        );
+    }
+    merge_bench_sim("cc_micro/", &records);
+}
+
 criterion_group!(
     benches,
     bench_lia_linear_vs_exhaustive,
     bench_all_algorithms,
     bench_fluid_equilibrium
 );
-criterion_main!(benches);
+
+fn main() {
+    if !quick_mode() {
+        benches();
+    }
+    record_per_ack_costs();
+}

@@ -8,6 +8,11 @@
 //! Paper shape: COUPLED balances best (ratio nearest 1), EWTCP worst,
 //! MPTCP in between; at C = 100 pkt/s Jain's fairness index of the flow
 //! rates is 0.99 (COUPLED), 0.986 (MPTCP), 0.92 (EWTCP).
+//!
+//! A final table reruns the hardest point (C = 100 pkt/s) for the
+//! post-paper controller zoo ([`AlgorithmKind::zoo`]) — the coupled
+//! successors (OLIA, BALIA) should balance like MPTCP or better, while
+//! uncoupled CUBIC congests everything rather than balancing.
 
 use mptcp_bench::{banner, f2, measure_goodput_pps, scaled, Table};
 use mptcp_cc::fluid::fairness::jains_index;
@@ -68,4 +73,16 @@ fn main() {
         t.row(vec![format!("{alg:?}"), paper.to_string(), f2(jain_at_100[i])]);
     }
     t.print();
+
+    banner("FIG8-ZOO", "post-paper controllers at C = 100 pkt/s (no paper column)");
+    let mut t = Table::new(&["algorithm", "p_A/p_C", "Jain"]);
+    for (i, alg) in AlgorithmKind::zoo().into_iter().enumerate() {
+        let (ratio, jain) = run(100.0, alg, 45 + i as u64);
+        t.row(vec![format!("{alg:?}"), f2(ratio), f2(jain)]);
+    }
+    t.print();
+    println!("\n  expected shape: coupled successors (OLIA, BALIA) balance like MPTCP or");
+    println!("  better and lead on Jain; uncoupled CUBIC does not balance (ratio far from");
+    println!("  1 on the high side); wVegas may see ~zero loss (delay-based), making its");
+    println!("  ratio noise.");
 }

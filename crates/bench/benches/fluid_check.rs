@@ -1,9 +1,11 @@
 //! FLUID_CHECK — the differential oracle as a runnable report.
 //!
-//! Sweeps every core algorithm over the oracle's three scenarios (two
-//! equal paths, RTT mismatch, Fig. 7 torus), printing measured vs
-//! fluid-predicted equilibrium windows and recording the deviations in
-//! `BENCH_sim.json` under `fluid_check/<algorithm>_<scenario>`.
+//! Sweeps every `checked_cells` entry — the core algorithms over the
+//! oracle's three scenarios (two equal paths, RTT mismatch, Fig. 7
+//! torus) plus OLIA/BALIA on the Bernoulli-loss scenarios — printing
+//! measured vs fluid-predicted equilibrium windows and recording the
+//! deviations in `BENCH_sim.json` under
+//! `fluid_check/<algorithm>_<scenario>`.
 //!
 //! Also exports one full probe trace (MPTCP on the two-path scenario) as
 //! JSONL under `target/traces/` — the raw material for the cwnd/queue
@@ -13,7 +15,7 @@
 //! same check also runs as a tier-1 test (`tests/fluid_oracle.rs`); this
 //! bench exists for the human-readable sweep and the trace artifact.
 
-use mptcp_bench::oracle::{checked_algorithms, fluid_check, Scenario};
+use mptcp_bench::oracle::{checked_cells, fluid_check};
 use mptcp_bench::report::{export_trace, merge_bench_sim, Record};
 use mptcp_bench::{banner, f2, quick_mode, Table};
 use mptcp_cc::AlgorithmKind;
@@ -47,33 +49,31 @@ fn main() {
     ]);
     let mut records = Vec::new();
     let mut failures = Vec::new();
-    for kind in checked_algorithms() {
-        for scenario in Scenario::all() {
-            let r = fluid_check(kind, scenario);
-            let meas: f64 = r.paths.iter().map(|p| p.measured_w).sum();
-            let pred: f64 = r.paths.iter().map(|p| p.predicted_w).sum();
-            t.row(vec![
-                format!("{kind:?}"),
-                scenario.name().to_string(),
-                f2(meas),
-                f2(pred),
-                format!("{:.3}", r.total_dev),
-                format!("{:.3}", r.split_dev),
-                if r.pass { "PASS".into() } else { "FAIL".into() },
-            ]);
-            records.push(
-                Record::new(format!("fluid_check/{kind:?}_{}", scenario.name()))
-                    .field("measured_total_w", meas)
-                    .field("predicted_total_w", pred)
-                    .field("total_dev", r.total_dev)
-                    .field("split_dev", r.split_dev)
-                    .field("tol_total", r.tol_total)
-                    .field("pass", r.pass)
-                    .field("quick", quick),
-            );
-            if !r.pass {
-                failures.push(r);
-            }
+    for (kind, scenario) in checked_cells() {
+        let r = fluid_check(kind, scenario);
+        let meas: f64 = r.paths.iter().map(|p| p.measured_w).sum();
+        let pred: f64 = r.paths.iter().map(|p| p.predicted_w).sum();
+        t.row(vec![
+            format!("{kind:?}"),
+            scenario.name().to_string(),
+            f2(meas),
+            f2(pred),
+            format!("{:.3}", r.total_dev),
+            format!("{:.3}", r.split_dev),
+            if r.pass { "PASS".into() } else { "FAIL".into() },
+        ]);
+        records.push(
+            Record::new(format!("fluid_check/{kind:?}_{}", scenario.name()))
+                .field("measured_total_w", meas)
+                .field("predicted_total_w", pred)
+                .field("total_dev", r.total_dev)
+                .field("split_dev", r.split_dev)
+                .field("tol_total", r.tol_total)
+                .field("pass", r.pass)
+                .field("quick", quick),
+        );
+        if !r.pass {
+            failures.push(r);
         }
     }
     t.print();

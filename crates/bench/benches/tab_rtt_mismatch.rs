@@ -6,11 +6,15 @@
 //! 3G path). MPTCP's goals require ≥ 707 — the best single path.
 //!
 //! Also prints §2.4's SEMICOUPLED weight-split example (1%/1%/5% loss →
-//! 45%/45%/10%).
+//! 45%/45%/10%), and the same worked example for the post-paper
+//! successors with loss-driven fluid models (OLIA, BALIA) — no paper
+//! column for those, but the same ≥-best-single-path yardstick applies.
 
 use mptcp_bench::{banner, f1, Table};
 use mptcp_cc::fluid::{equilibrium, tcp_rate};
-use mptcp_cc::{semicoupled_equilibrium, Coupled, Ewtcp, Mptcp, MultipathCc, SemiCoupled};
+use mptcp_cc::{
+    semicoupled_equilibrium, AlgorithmKind, Coupled, Ewtcp, Mptcp, MultipathCc, SemiCoupled,
+};
 
 const LOSS: [f64; 2] = [0.04, 0.01];
 const RTT: [f64; 2] = [0.010, 0.100];
@@ -30,6 +34,13 @@ fn main() {
     t.row(vec!["EWTCP".into(), "424".into(), f1(total_rate(&Ewtcp::equal_split(2)))]);
     t.row(vec!["COUPLED".into(), "141".into(), f1(total_rate(&Coupled::new()))]);
     t.row(vec!["MPTCP".into(), "≥707".into(), f1(total_rate(&Mptcp::new()))]);
+    // Post-paper successors, same worked example. OLIA's model is pinned
+    // to the scenario's loss rates (ℓ_p = 1/p_p); BALIA's rule is its own
+    // model. CUBIC/wVegas have no loss-driven fluid model and are absent.
+    for kind in [AlgorithmKind::Olia, AlgorithmKind::Balia] {
+        let model = kind.fluid_model(&LOSS).expect("loss-driven fluid model");
+        t.row(vec![format!("{kind:?}"), "—".into(), f1(total_rate(model.as_ref()))]);
+    }
     t.print();
 
     banner("SEMICOUPLED", "§2.4 weight-split example (losses 1%, 1%, 5%)");

@@ -1,7 +1,8 @@
 //! The [`MultipathCc`] trait and a serializable algorithm selector.
 
 use crate::snapshot::SubflowSnapshot;
-use crate::{Coupled, Ewtcp, Mptcp, Rfc6356, SemiCoupled, UncoupledReno};
+use crate::stateful::CcDriver;
+use crate::{Balia, Coupled, Cubic, Ewtcp, Mptcp, Olia, OliaFluid, Rfc6356, SemiCoupled, UncoupledReno, Wvegas};
 
 /// A multipath congestion-control rule: how much to open a subflow's window
 /// on each ACK, and where to set it after a loss event.
@@ -72,27 +73,119 @@ pub enum AlgorithmKind {
     Mptcp,
     /// The RFC 6356 restatement of the paper's algorithm (deployed LIA).
     Rfc6356,
+    /// RFC 8312 CUBIC with hybrid slow start, uncoupled per subflow
+    /// (stateful — the production single-path baseline).
+    Cubic,
+    /// OLIA, the opportunistic linked-increases successor (stateful:
+    /// inter-loss counters).
+    Olia,
+    /// BALIA, the balanced linked-adaptation successor (pure).
+    Balia,
+    /// wVegas, delay-based weighted Vegas (stateful: base-RTT filters).
+    Wvegas,
 }
 
 impl AlgorithmKind {
-    /// Instantiate the algorithm for a connection with `n_subflows` paths.
-    ///
-    /// `n_subflows` only matters for EWTCP, whose weight is a function of the
-    /// number of paths; the coupled algorithms adapt automatically.
-    pub fn build(self, n_subflows: usize) -> Box<dyn MultipathCc> {
+    /// Number of algorithm kinds. Kept in lockstep with the enum by
+    /// [`AlgorithmKind::ordinal`]'s exhaustive match: adding a variant
+    /// without growing this constant fails to compile at [`AlgorithmKind::all`]'s
+    /// array type.
+    pub const COUNT: usize = 10;
+
+    /// The kind's position in [`AlgorithmKind::all`]. The match is
+    /// deliberately exhaustive (no wildcard): a new variant forces an arm
+    /// here, and the `all()` array type forces [`AlgorithmKind::COUNT`] to
+    /// grow with it — the sweep lists can no longer silently drop a kind.
+    pub const fn ordinal(self) -> usize {
         match self {
-            AlgorithmKind::Uncoupled => Box::new(UncoupledReno::new()),
-            AlgorithmKind::Ewtcp => Box::new(Ewtcp::equal_split(n_subflows)),
-            AlgorithmKind::Coupled => Box::new(Coupled::new()),
-            AlgorithmKind::SemiCoupled => Box::new(SemiCoupled::new()),
-            AlgorithmKind::Mptcp => Box::new(Mptcp::new()),
-            AlgorithmKind::Rfc6356 => Box::new(Rfc6356::new()),
+            AlgorithmKind::Uncoupled => 0,
+            AlgorithmKind::Ewtcp => 1,
+            AlgorithmKind::Coupled => 2,
+            AlgorithmKind::SemiCoupled => 3,
+            AlgorithmKind::Mptcp => 4,
+            AlgorithmKind::Rfc6356 => 5,
+            AlgorithmKind::Cubic => 6,
+            AlgorithmKind::Olia => 7,
+            AlgorithmKind::Balia => 8,
+            AlgorithmKind::Wvegas => 9,
+        }
+    }
+
+    /// Whether the packet-level controller needs per-connection mutable
+    /// state (built by [`AlgorithmKind::build_cc`] only).
+    pub const fn is_stateful(self) -> bool {
+        matches!(self, AlgorithmKind::Cubic | AlgorithmKind::Olia | AlgorithmKind::Wvegas)
+    }
+
+    /// Instantiate the pure rule for a connection with `n_subflows` paths,
+    /// or `None` for the stateful-only kinds.
+    ///
+    /// `n_subflows` is unused since EWTCP derives its `1/n` weight from the
+    /// live snapshot slice; it is kept so call sites document the intended
+    /// path count.
+    pub fn try_build(self, n_subflows: usize) -> Option<Box<dyn MultipathCc>> {
+        let _ = n_subflows;
+        match self {
+            AlgorithmKind::Uncoupled => Some(Box::new(UncoupledReno::new())),
+            AlgorithmKind::Ewtcp => Some(Box::new(Ewtcp::live_equal_split())),
+            AlgorithmKind::Coupled => Some(Box::new(Coupled::new())),
+            AlgorithmKind::SemiCoupled => Some(Box::new(SemiCoupled::new())),
+            AlgorithmKind::Mptcp => Some(Box::new(Mptcp::new())),
+            AlgorithmKind::Rfc6356 => Some(Box::new(Rfc6356::new())),
+            AlgorithmKind::Balia => Some(Box::new(Balia::new())),
+            AlgorithmKind::Cubic | AlgorithmKind::Olia | AlgorithmKind::Wvegas => None,
+        }
+    }
+
+    /// Instantiate the pure rule for a connection with `n_subflows` paths.
+    ///
+    /// # Panics
+    /// Panics for the stateful-only kinds (CUBIC, OLIA, wVegas) — use
+    /// [`AlgorithmKind::build_cc`] for a driver that covers every kind.
+    pub fn build(self, n_subflows: usize) -> Box<dyn MultipathCc> {
+        self.try_build(n_subflows).unwrap_or_else(|| {
+            panic!(
+                "{self:?} needs per-connection state; build it with AlgorithmKind::build_cc"
+            )
+        })
+    }
+
+    /// Instantiate the controller driver for a connection with
+    /// `n_subflows` paths — the universal constructor covering both pure
+    /// and stateful kinds.
+    pub fn build_cc(self, n_subflows: usize) -> CcDriver {
+        match self {
+            AlgorithmKind::Cubic => CcDriver::Stateful(Box::new(Cubic::new())),
+            AlgorithmKind::Olia => CcDriver::Stateful(Box::new(Olia::new())),
+            AlgorithmKind::Wvegas => CcDriver::Stateful(Box::new(Wvegas::new())),
+            _ => CcDriver::Pure(self.build(n_subflows)),
+        }
+    }
+
+    /// The pure rule the fluid oracle should compare a packet-level run of
+    /// this kind against, given the per-path loss rates the run measured.
+    ///
+    /// * Pure kinds ignore `losses` — the rule itself is the model.
+    /// * OLIA's stateful inter-loss counters have the known steady-state
+    ///   expectation `ℓ_p = 1/p_p`, so its model is [`OliaFluid`] pinned to
+    ///   the measured losses.
+    /// * CUBIC and wVegas return `None`: their dynamics (real-time epochs,
+    ///   delay equilibria) are outside the loss-driven fluid solver.
+    pub fn fluid_model(self, losses: &[f64]) -> Option<Box<dyn MultipathCc>> {
+        match self {
+            AlgorithmKind::Olia => Some(Box::new(OliaFluid::from_loss_rates(losses))),
+            AlgorithmKind::Cubic | AlgorithmKind::Wvegas => None,
+            _ => self.try_build(losses.len().max(1)),
         }
     }
 
     /// All kinds, in the order the paper introduces them (plus the RFC
-    /// restatement last).
-    pub fn all() -> [AlgorithmKind; 6] {
+    /// restatement and the post-paper zoo last). Derived from
+    /// [`AlgorithmKind::ordinal`]: the array length is [`AlgorithmKind::COUNT`],
+    /// so a new variant that grows `ordinal`'s match without being added
+    /// here is caught by the `all_is_ordered_by_ordinal` test, and a
+    /// variant missing from `ordinal` fails to compile.
+    pub fn all() -> [AlgorithmKind; Self::COUNT] {
         [
             AlgorithmKind::Uncoupled,
             AlgorithmKind::Ewtcp,
@@ -100,6 +193,10 @@ impl AlgorithmKind {
             AlgorithmKind::SemiCoupled,
             AlgorithmKind::Mptcp,
             AlgorithmKind::Rfc6356,
+            AlgorithmKind::Cubic,
+            AlgorithmKind::Olia,
+            AlgorithmKind::Balia,
+            AlgorithmKind::Wvegas,
         ]
     }
 
@@ -108,6 +205,13 @@ impl AlgorithmKind {
     pub fn evaluated() -> [AlgorithmKind; 3] {
         [AlgorithmKind::Ewtcp, AlgorithmKind::Coupled, AlgorithmKind::Mptcp]
     }
+
+    /// The post-paper controller zoo (everything beyond the six rules the
+    /// paper states), derived from [`AlgorithmKind::all`] so new kinds are
+    /// swept automatically.
+    pub fn zoo() -> Vec<AlgorithmKind> {
+        Self::all().into_iter().filter(|k| k.ordinal() > AlgorithmKind::Rfc6356.ordinal()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -115,27 +219,84 @@ mod tests {
     use super::*;
 
     #[test]
-    fn build_produces_named_algorithms() {
+    fn build_cc_produces_named_algorithms() {
         let names: Vec<&str> =
-            AlgorithmKind::all().iter().map(|k| k.build(2).name()).collect();
+            AlgorithmKind::all().iter().map(|k| k.build_cc(2).name()).collect();
         assert_eq!(
             names,
-            ["UNCOUPLED", "EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP", "RFC6356"]
+            [
+                "UNCOUPLED",
+                "EWTCP",
+                "COUPLED",
+                "SEMICOUPLED",
+                "MPTCP",
+                "RFC6356",
+                "CUBIC",
+                "OLIA",
+                "BALIA",
+                "WVEGAS"
+            ]
         );
     }
 
+    /// The anti-drift contract: `all()` and `ordinal()` must agree index
+    /// for index. `ordinal`'s exhaustive match means a new variant cannot
+    /// compile without an arm; the `COUNT`-typed array means it cannot get
+    /// an arm without also appearing here.
     #[test]
-    fn evaluated_is_subset_of_all() {
+    fn all_is_ordered_by_ordinal() {
+        for (i, kind) in AlgorithmKind::all().into_iter().enumerate() {
+            assert_eq!(kind.ordinal(), i, "{kind:?} out of place in all()");
+        }
+    }
+
+    #[test]
+    fn evaluated_and_zoo_are_subsets_of_all() {
         let all = AlgorithmKind::all();
         for kind in AlgorithmKind::evaluated() {
             assert!(all.contains(&kind));
         }
+        let zoo = AlgorithmKind::zoo();
+        assert_eq!(zoo.len(), 4);
+        for kind in zoo {
+            assert!(all.contains(&kind));
+            assert!(kind.ordinal() > AlgorithmKind::Rfc6356.ordinal());
+        }
+    }
+
+    #[test]
+    fn build_and_build_cc_cover_the_right_kinds() {
+        for kind in AlgorithmKind::all() {
+            // The universal constructor covers every kind…
+            assert_eq!(kind.build_cc(2).name(), kind.build_cc(3).name());
+            // …and the pure constructor exactly the non-stateful ones.
+            assert_eq!(kind.try_build(2).is_some(), !kind.is_stateful(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "build_cc")]
+    fn build_panics_for_stateful_only_kinds() {
+        let _ = AlgorithmKind::Cubic.build(2);
+    }
+
+    #[test]
+    fn fluid_model_covers_the_loss_driven_kinds() {
+        let losses = [0.01, 0.02];
+        for kind in AlgorithmKind::all() {
+            let model = kind.fluid_model(&losses);
+            match kind {
+                AlgorithmKind::Cubic | AlgorithmKind::Wvegas => assert!(model.is_none()),
+                _ => assert!(model.is_some(), "{kind:?} should be fluid-checkable"),
+            }
+        }
+        assert_eq!(AlgorithmKind::Olia.fluid_model(&losses).unwrap().name(), "OLIA");
     }
 
     #[test]
     fn default_min_window_is_one_packet() {
         for kind in AlgorithmKind::all() {
-            assert!((kind.build(3).min_window() - 1.0).abs() < 1e-12);
+            assert!((kind.build_cc(3).min_window() - 1.0).abs() < 1e-12);
         }
     }
 }

@@ -1,0 +1,129 @@
+//! BALIA — the Balanced Linked Adaptation algorithm of Peng, Walid, Hwang
+//! & Low (arXiv:1308.3119), the controller merged into Linux MPTCP as
+//! `balia`.
+//!
+//! BALIA was derived from the same fluid-model framework our
+//! [`crate::fluid`] module integrates, as the point in the authors'
+//! design space balancing TCP friendliness against responsiveness. Unlike
+//! OLIA it needs no inter-loss bookkeeping — both update rules are pure
+//! functions of the snapshot slice, so it slots straight into
+//! [`MultipathCc`] and is fluid-oracle-checkable like the paper's own
+//! algorithms.
+//!
+//! With `x_k = w_k/RTT_k` and `α_r = max_k(x_k)/x_r ≥ 1` for the best
+//! path:
+//!
+//! * per ACK on path `r`:
+//!   `Δw_r = (x_r/RTT_r)/(Σ_k x_k)² · (1+α_r)/2 · (4+α_r)/5`
+//! * per loss on path `r`:
+//!   `w_r ← w_r · (1 − min(α_r, 1.5)/2)`
+//!
+//! Sanity anchors (unit-tested below): on a single path `α = 1` and the
+//! rules collapse to Reno's `1/w` and `w/2`; on two identical paths the
+//! equilibrium total equals one TCP's `√(2/p)` window.
+
+use crate::algorithm::MultipathCc;
+use crate::snapshot::SubflowSnapshot;
+
+/// The BALIA update rules (pure, stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Balia;
+
+impl Balia {
+    /// Construct the algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// `α_r = max_k(x_k)/x_r`: how far path `r`'s rate sits below the best
+    /// path's. Closed subflows keep snapshot slots; they are skipped.
+    fn alpha(r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        let x_r = subs[r].rate();
+        if x_r <= 0.0 || !x_r.is_finite() {
+            return 1.0;
+        }
+        let max_x =
+            subs.iter().filter(|s| s.active).map(|s| s.rate()).fold(x_r, f64::max);
+        max_x / x_r
+    }
+}
+
+impl MultipathCc for Balia {
+    fn name(&self) -> &'static str {
+        "BALIA"
+    }
+
+    fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        let x_r = subs[r].rate();
+        let sum_x: f64 = subs.iter().filter(|s| s.active).map(|s| s.rate()).sum();
+        if sum_x <= 0.0 || !sum_x.is_finite() {
+            return 0.0;
+        }
+        let a = Self::alpha(r, subs);
+        (x_r / subs[r].rtt) / (sum_x * sum_x) * ((1.0 + a) / 2.0) * ((4.0 + a) / 5.0)
+    }
+
+    fn window_after_loss(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
+        let a = Self::alpha(r, subs);
+        subs[r].cwnd * (1.0 - a.min(1.5) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_balia_is_regular_tcp() {
+        let cc = Balia::new();
+        let subs = [SubflowSnapshot::new(10.0, 0.1)];
+        // α = 1 ⇒ increase = (x/rtt)/x² · 1 · 1 = 1/w, decrease = w/2.
+        assert!((cc.increase_per_ack(0, &subs) - 0.1).abs() < 1e-12);
+        assert!((cc.window_after_loss(0, &subs) - 5.0).abs() < 1e-12);
+    }
+
+    /// On two identical paths BALIA's balance point carries one TCP's
+    /// total window: at w_r = ŵ/2 per path (α = 1), increase(ŵ/2) must
+    /// equal p · decrease-depth at ŵ = √(2/p) — the same algebraic
+    /// identity the paper's algorithms are pinned to.
+    #[test]
+    fn two_equal_paths_aggregate_to_one_tcp() {
+        let p = 0.01_f64;
+        let w_hat = (2.0 / p).sqrt();
+        let rtt = 0.1;
+        let cc = Balia::new();
+        let subs = [
+            SubflowSnapshot::new(w_hat / 2.0, rtt),
+            SubflowSnapshot::new(w_hat / 2.0, rtt),
+        ];
+        let inc = cc.increase_per_ack(0, &subs);
+        let dec = subs[0].cwnd - cc.window_after_loss(0, &subs);
+        // Per-RTT balance: (w_r/rtt)·inc = p·(w_r/rtt)·dec ⇒ inc = p·dec.
+        assert!((inc - p * dec).abs() / (p * dec) < 1e-9, "inc {inc} vs p·dec {}", p * dec);
+    }
+
+    /// The worse path gets the larger α and therefore the deeper decrease,
+    /// capped at 75% of the window (α clamped to 1.5).
+    #[test]
+    fn worse_path_decreases_deeper_but_capped() {
+        let cc = Balia::new();
+        let subs = [SubflowSnapshot::new(20.0, 0.01), SubflowSnapshot::new(2.0, 0.1)];
+        // Path 1's rate is 100× below path 0's: α huge, clamp engages.
+        let after = cc.window_after_loss(1, &subs);
+        assert!((after - 2.0 * 0.25).abs() < 1e-12, "clamped to w/4, got {after}");
+        // Best path: α = 1, classic halving.
+        assert!((cc.window_after_loss(0, &subs) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_subflows_do_not_drag_alpha() {
+        let cc = Balia::new();
+        let with_ghost = [
+            SubflowSnapshot::new(10.0, 0.1),
+            SubflowSnapshot::new(500.0, 0.01).active(false),
+        ];
+        // The closed path's huge stale rate must not inflate α.
+        assert!((cc.window_after_loss(0, &with_ghost) - 5.0).abs() < 1e-12);
+        assert!((cc.increase_per_ack(0, &with_ghost) - 0.1).abs() < 1e-12);
+    }
+}

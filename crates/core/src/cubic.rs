@@ -1,0 +1,346 @@
+//! CUBIC (RFC 8312) per subflow, with hybrid slow start — what a
+//! production single-path stack actually runs, as the uncoupled baseline
+//! the multipath algorithms are swept against.
+//!
+//! Each subflow runs an independent CUBIC loop (no coupling — like
+//! [`crate::UncoupledReno`], this is the "what if we just bond n regular
+//! TCPs" strawman, with today's window growth function instead of Reno's).
+//! The controller is stateful three times over: the cubic epoch
+//! (`w_max`, `K`, epoch start time), the TCP-friendly Reno estimate, and
+//! hybrid slow start's per-round min-RTT filter.
+//!
+//! * On loss at window `w`: remember `w_max` (with fast convergence:
+//!   `w_max ← w·(2−β)/2` when the new peak is below the old), reset the
+//!   epoch, drop to `β·w` with `β = 0.7`.
+//! * Per ACK in congestion avoidance: the target is
+//!   `W(t+RTT) = C·(t+RTT−K)³ + w_max` with `K = ∛((w_max−w₀)/C)`,
+//!   approached at `(target−w)/w` per ACK (minimum probe of `0.01/w`,
+//!   growth capped at 0.5 packets per ACK — Linux's `cnt ≥ 2` rule), and
+//!   never slower than the Reno-friendly window `w_tcp`.
+//! * Hybrid slow start (HyStart's delay-increase heuristic): track the min
+//!   RTT per round; if a round's min exceeds the previous round's by
+//!   `max(last/8, 4 ms)` after ≥ 8 samples, exit slow start at the current
+//!   window instead of overshooting to the first loss.
+//!
+//! Determinism: all timing uses the simulated clock handed to
+//! [`StatefulCc::on_ack`]; RTT samples come from the snapshot slice.
+// lint:digest-surface
+
+use crate::digest::{DetDigest, DigestWriter};
+use crate::snapshot::SubflowSnapshot;
+use crate::stateful::{AckAction, StatefulCc};
+
+/// RFC 8312 constant `C` (window units per second³).
+const C: f64 = 0.4;
+/// Multiplicative decrease factor β (window retained after a loss).
+const BETA: f64 = 0.7;
+/// HyStart: minimum RTT samples per round before the exit test applies.
+const HYSTART_MIN_SAMPLES: u32 = 8;
+/// HyStart: absolute floor of the delay-increase threshold, seconds.
+const HYSTART_DELAY_FLOOR: f64 = 0.004;
+/// Per-ACK growth cap in congestion avoidance (Linux's `cnt ≥ 2`).
+const MAX_GROW_PER_ACK: f64 = 0.5;
+
+/// One subflow's CUBIC + HyStart state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicPath {
+    /// Window just before the last multiplicative decrease (the plateau
+    /// the cubic curve aims back at).
+    pub w_max: f64,
+    /// Epoch start on the simulated clock; `None` until the first
+    /// congestion-avoidance ACK after a loss (or after slow start).
+    pub epoch_start: Option<f64>,
+    /// Time offset `K` at which the cubic curve crosses `w_max`.
+    pub k: f64,
+    /// Window at the start of the epoch (`w₀` in the `K` derivation).
+    pub w_origin: f64,
+    /// Round start time of the HyStart filter.
+    pub round_start: f64,
+    /// Min RTT observed in the current round.
+    pub curr_min_rtt: f64,
+    /// Min RTT observed in the previous round.
+    pub last_min_rtt: f64,
+    /// RTT samples taken in the current round.
+    pub samples: u32,
+}
+
+crate::impl_det_digest!(CubicPath {
+    w_max,
+    epoch_start,
+    k,
+    w_origin,
+    round_start,
+    curr_min_rtt,
+    last_min_rtt,
+    samples
+});
+
+impl Default for CubicPath {
+    fn default() -> Self {
+        Self {
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_origin: 0.0,
+            round_start: -1.0,
+            curr_min_rtt: f64::INFINITY,
+            last_min_rtt: f64::INFINITY,
+            samples: 0,
+        }
+    }
+}
+
+impl CubicPath {
+    /// HyStart bookkeeping for one ACK; returns `true` when the
+    /// delay-increase exit condition fired.
+    fn hystart_sample(&mut self, now: f64, rtt: f64) -> bool {
+        if self.round_start < 0.0 || now - self.round_start >= rtt {
+            // Round boundary: rotate the min-RTT filter.
+            self.last_min_rtt = self.curr_min_rtt;
+            self.curr_min_rtt = f64::INFINITY;
+            self.samples = 0;
+            self.round_start = now;
+        }
+        self.curr_min_rtt = self.curr_min_rtt.min(rtt);
+        self.samples += 1;
+        if self.samples >= HYSTART_MIN_SAMPLES && self.last_min_rtt.is_finite() {
+            let threshold = self.last_min_rtt + (self.last_min_rtt / 8.0).max(HYSTART_DELAY_FLOOR);
+            if self.curr_min_rtt >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Start a cubic epoch from window `w` at time `now`.
+    fn start_epoch(&mut self, now: f64, w: f64) {
+        self.epoch_start = Some(now);
+        self.w_origin = w;
+        if w < self.w_max {
+            self.k = ((self.w_max - w) / C).cbrt();
+        } else {
+            // At or above the old plateau: probe forward from here.
+            self.k = 0.0;
+            self.w_max = w;
+        }
+    }
+
+    /// The cubic window `W(t)` for an epoch elapsed time `t`.
+    fn w_cubic(&self, t: f64) -> f64 {
+        let d = t - self.k;
+        C * d * d * d + self.w_max
+    }
+}
+
+/// Per-subflow CUBIC with hybrid slow start.
+#[derive(Debug, Clone, Default)]
+pub struct Cubic {
+    /// One state block per subflow slot, grown on demand.
+    pub paths: Vec<CubicPath>,
+}
+
+crate::impl_det_digest!(Cubic { paths });
+
+impl Cubic {
+    /// A fresh controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, len: usize) {
+        if self.paths.len() < len {
+            self.paths.resize(len, CubicPath::default());
+        }
+    }
+}
+
+impl StatefulCc for Cubic {
+    fn name(&self) -> &'static str {
+        "CUBIC"
+    }
+
+    fn on_ack(
+        &mut self,
+        r: usize,
+        subs: &[SubflowSnapshot],
+        now: f64,
+        in_slow_start: bool,
+    ) -> AckAction {
+        self.ensure(subs.len());
+        let w = subs[r].cwnd;
+        let rtt = subs[r].rtt;
+        let path = &mut self.paths[r];
+        if in_slow_start {
+            let exit = path.hystart_sample(now, rtt);
+            if exit {
+                // Leaving slow start without a loss: the current window is
+                // the plateau the cubic curve should orbit.
+                path.w_max = w;
+                path.epoch_start = None;
+            }
+            return AckAction { grow: 1.0, exit_slow_start: exit };
+        }
+        if path.epoch_start.is_none() {
+            path.start_epoch(now, w);
+        }
+        let t = now - path.epoch_start.unwrap_or(now);
+        let target = path.w_cubic(t + rtt);
+        let cubic_grow = if target > w { (target - w) / w } else { 0.01 / w };
+        // TCP-friendly region (RFC 8312 §4.2): never slower than a Reno
+        // flow that saw the same loss, W_est = β·w_max + (3(1−β)/(1+β))·t/RTT.
+        let w_est = path.w_max * BETA + (3.0 * (1.0 - BETA) / (1.0 + BETA)) * (t / rtt.max(1e-6));
+        let friendly_grow = if w_est > w { (w_est - w) / w } else { 0.0 };
+        AckAction::grow(cubic_grow.max(friendly_grow).min(MAX_GROW_PER_ACK))
+    }
+
+    fn window_after_loss(&mut self, r: usize, subs: &[SubflowSnapshot], _now: f64) -> f64 {
+        self.ensure(subs.len());
+        let w = subs[r].cwnd;
+        let path = &mut self.paths[r];
+        // Fast convergence: a peak below the previous plateau means
+        // capacity shrank — release the extra window sooner.
+        path.w_max = if w < path.w_max { w * (2.0 - BETA) / 2.0 } else { w };
+        path.epoch_start = None;
+        w * BETA
+    }
+
+    fn digest_state(&self, h: &mut DigestWriter) {
+        self.det_digest(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(w: f64, rtt: f64) -> [SubflowSnapshot; 1] {
+        [SubflowSnapshot::new(w, rtt)]
+    }
+
+    #[test]
+    fn loss_drops_to_beta_and_remembers_the_plateau() {
+        let mut cc = Cubic::new();
+        let level = cc.window_after_loss(0, &one(100.0, 0.05), 1.0);
+        assert!((level - 70.0).abs() < 1e-9);
+        assert!((cc.paths[0].w_max - 100.0).abs() < 1e-9);
+        // A lower second peak engages fast convergence: w_max < the peak.
+        let level2 = cc.window_after_loss(0, &one(80.0, 0.05), 2.0);
+        assert!((level2 - 56.0).abs() < 1e-9);
+        assert!((cc.paths[0].w_max - 80.0 * (2.0 - BETA) / 2.0).abs() < 1e-9);
+    }
+
+    /// The concave phase: far below the plateau the window climbs fast,
+    /// then flattens as it approaches w_max — growth at t=0 exceeds growth
+    /// near K. (Windows are large so the TCP-friendly floor stays inactive
+    /// and the cubic curve itself is what's measured.)
+    #[test]
+    fn concave_phase_decelerates_toward_the_plateau() {
+        let mut cc = Cubic::new();
+        let rtt = 0.1;
+        cc.window_after_loss(0, &one(10_000.0, rtt), 0.0);
+        let early = cc.on_ack(0, &one(9_000.0, rtt), 0.0, false).grow;
+        // Near the plateau, later in the epoch.
+        let k = cc.paths[0].k;
+        let late = cc.on_ack(0, &one(9_990.0, rtt), k * 0.95, false).grow;
+        assert!(
+            early > late,
+            "cubic concave phase must decelerate: early {early} vs late {late}"
+        );
+        assert!(late >= 0.01 / 9_990.0 - 1e-15, "probe floor holds");
+    }
+
+    /// Past K the curve turns convex: growth accelerates again while
+    /// probing above the old plateau.
+    #[test]
+    fn convex_phase_accelerates_past_the_plateau() {
+        let mut cc = Cubic::new();
+        let rtt = 0.1;
+        cc.window_after_loss(0, &one(10_000.0, rtt), 0.0);
+        cc.on_ack(0, &one(9_000.0, rtt), 0.0, false);
+        let k = cc.paths[0].k;
+        let just_past = cc.on_ack(0, &one(10_000.0, rtt), k + 0.5, false).grow;
+        let far_past = cc.on_ack(0, &one(10_000.0, rtt), k + 2.0, false).grow;
+        assert!(far_past > just_past, "{far_past} vs {just_past}");
+    }
+
+    /// The TCP-friendly region (RFC 8312 §4.2): deep in an epoch with a
+    /// small window, growth must track the Reno estimate rather than the
+    /// nearly-flat cubic curve.
+    #[test]
+    fn tcp_friendly_region_floors_the_growth() {
+        let mut cc = Cubic::new();
+        let rtt = 0.05;
+        cc.window_after_loss(0, &one(100.0, rtt), 0.0);
+        cc.on_ack(0, &one(70.0, rtt), 0.0, false);
+        // 4 s ≈ 80 RTTs in: Reno would sit at 0.7·100 + 80·0.529 ≈ 112,
+        // well above the cubic curve still crawling toward 100.
+        let g = cc.on_ack(0, &one(99.0, rtt), 4.0, false).grow;
+        let w_est = 70.0 + (3.0 * 0.3 / 1.7) * (4.0 / rtt);
+        assert!(w_est > 100.0, "test premise: Reno estimate passed the plateau");
+        let friendly = ((w_est - 99.0) / 99.0).min(MAX_GROW_PER_ACK);
+        assert!((g - friendly).abs() < 1e-9, "grow {g} vs friendly floor {friendly}");
+    }
+
+    #[test]
+    fn growth_is_capped_per_ack() {
+        let mut cc = Cubic::new();
+        cc.window_after_loss(0, &one(1000.0, 0.05), 0.0);
+        // Ten simulated minutes into the epoch the raw cubic target is
+        // astronomically far away; the per-ACK cap must hold.
+        let g = cc.on_ack(0, &one(10.0, 0.05), 600.0, false).grow;
+        assert!((g - MAX_GROW_PER_ACK).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hystart_exits_on_a_sustained_rtt_increase() {
+        let mut cc = Cubic::new();
+        let base_rtt = 0.05;
+        let mut now = 0.0;
+        // Round 1: flat RTTs establish the baseline.
+        for _ in 0..10 {
+            let act = cc.on_ack(0, &one(10.0, base_rtt), now, true);
+            assert!(!act.exit_slow_start);
+            now += 0.001;
+        }
+        // Force a round boundary (even at the inflated RTT), then feed
+        // inflated RTTs (queue building).
+        now += 2.0 * base_rtt;
+        let inflated = base_rtt * 1.5;
+        let mut exited = false;
+        for _ in 0..10 {
+            if cc.on_ack(0, &one(40.0, inflated), now, true).exit_slow_start {
+                exited = true;
+                break;
+            }
+            now += 0.001;
+        }
+        assert!(exited, "a 50% RTT inflation must trip the HyStart exit");
+        // The exit pinned the plateau at the exit window.
+        assert!((cc.paths[0].w_max - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hystart_stays_in_slow_start_on_flat_rtts() {
+        let mut cc = Cubic::new();
+        let mut now = 0.0;
+        for _ in 0..200 {
+            let act = cc.on_ack(0, &one(10.0, 0.05), now, true);
+            assert!(!act.exit_slow_start, "flat RTTs must not exit slow start");
+            now += 0.002;
+        }
+    }
+
+    /// Subflows are independent: a loss on path 0 must not reset path 1's
+    /// epoch.
+    #[test]
+    fn paths_are_uncoupled() {
+        let mut cc = Cubic::new();
+        let subs =
+            [SubflowSnapshot::new(50.0, 0.05), SubflowSnapshot::new(50.0, 0.05)];
+        cc.on_ack(1, &subs, 0.0, false);
+        let epoch1 = cc.paths[1].epoch_start;
+        cc.window_after_loss(0, &subs, 1.0);
+        assert_eq!(cc.paths[1].epoch_start, epoch1);
+        assert!(cc.paths[0].epoch_start.is_none());
+    }
+}

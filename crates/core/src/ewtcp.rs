@@ -1,7 +1,25 @@
 //! EWTCP — equally-weighted TCP on every subflow (§2.1).
 
 use crate::algorithm::MultipathCc;
-use crate::snapshot::SubflowSnapshot;
+use crate::snapshot::{active_count, SubflowSnapshot};
+
+/// Where EWTCP's per-subflow weight `b` comes from.
+///
+/// The paper's experiments fix the path set at connection setup, so a
+/// build-time `1/n` was historically frozen into the controller. Runtime
+/// path management (ADD/REMOVE_ADDR) broke that assumption: a connection
+/// that joins a third subflow mid-transfer must weight each path `1/3`
+/// from that point on, not the stale `1/2` it was built with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WeightMode {
+    /// A fixed weight chosen at construction (explicit-weight ablations and
+    /// the fluid model, whose path set never changes).
+    Fixed(f64),
+    /// `b = 1/n` recomputed from the live subflow count of each snapshot
+    /// slice — correct under runtime join/close. Equal to `Fixed(1/n)`
+    /// bit-for-bit while all `n` subflows remain active.
+    LiveEqualSplit,
+}
 
 /// Equally-Weighted TCP: each subflow runs an AIMD loop that is a scaled-down
 /// regular TCP, so that the connection as a whole takes one TCP's share at a
@@ -28,8 +46,8 @@ use crate::snapshot::SubflowSnapshot;
 #[derive(Debug, Clone, Copy)]
 pub struct Ewtcp {
     /// Per-subflow throughput weight `b` (fraction of a regular TCP's window
-    /// each subflow targets at equilibrium).
-    weight: f64,
+    /// each subflow targets at equilibrium), or the rule that derives it.
+    mode: WeightMode,
 }
 
 impl Ewtcp {
@@ -39,12 +57,16 @@ impl Ewtcp {
     /// Panics if the weight is not positive and finite.
     pub fn with_weight(weight: f64) -> Self {
         assert!(weight.is_finite() && weight > 0.0, "EWTCP weight must be positive");
-        Self { weight }
+        Self { mode: WeightMode::Fixed(weight) }
     }
 
     /// The paper's configuration: `n` subflows each weighted `1/n`, so the
     /// connection aggregates to exactly one TCP's throughput when all
     /// subflows share one bottleneck with equal RTTs.
+    ///
+    /// The weight is **frozen** at `1/n` — right for the fluid model and
+    /// fixed-path-set analyses. Connections whose path set can change at
+    /// runtime must use [`Ewtcp::live_equal_split`] instead.
     ///
     /// # Panics
     /// Panics if `n_subflows == 0`.
@@ -53,15 +75,26 @@ impl Ewtcp {
         Self::with_weight(1.0 / n_subflows as f64)
     }
 
-    /// The configured per-subflow weight.
-    pub fn weight(&self) -> f64 {
-        self.weight
+    /// The paper's `1/n` configuration with `n` recomputed from the live
+    /// subflow count of every snapshot slice, so the weight tracks runtime
+    /// subflow join/close instead of going stale.
+    pub fn live_equal_split() -> Self {
+        Self { mode: WeightMode::LiveEqualSplit }
+    }
+
+    /// The per-subflow weight `b` for the given snapshot slice.
+    pub fn weight_for(&self, subs: &[SubflowSnapshot]) -> f64 {
+        match self.mode {
+            WeightMode::Fixed(w) => w,
+            WeightMode::LiveEqualSplit => 1.0 / active_count(subs) as f64,
+        }
     }
 
     /// The effective AIMD increase parameter `α = b²` (the amount the window
-    /// grows per RTT, in packets).
-    pub fn alpha(&self) -> f64 {
-        self.weight * self.weight
+    /// grows per RTT, in packets) for the given snapshot slice.
+    pub fn alpha_for(&self, subs: &[SubflowSnapshot]) -> f64 {
+        let b = self.weight_for(subs);
+        b * b
     }
 }
 
@@ -72,7 +105,7 @@ impl MultipathCc for Ewtcp {
 
     /// Increase `α/w_r` per ACK: a weighted TCP on this subflow alone.
     fn increase_per_ack(&self, r: usize, subs: &[SubflowSnapshot]) -> f64 {
-        self.alpha() / subs[r].cwnd
+        self.alpha_for(subs) / subs[r].cwnd
     }
 
     /// "For each loss on path r, decrease window w_r by w_r/2."
@@ -87,8 +120,57 @@ mod tests {
 
     #[test]
     fn equal_split_weight_is_one_over_n() {
-        assert!((Ewtcp::equal_split(2).weight() - 0.5).abs() < 1e-12);
-        assert!((Ewtcp::equal_split(4).weight() - 0.25).abs() < 1e-12);
+        assert!((Ewtcp::equal_split(2).weight_for(&[]) - 0.5).abs() < 1e-12);
+        assert!((Ewtcp::equal_split(4).weight_for(&[]) - 0.25).abs() < 1e-12);
+    }
+
+    /// The PR 7 churn bug: a connection built with two paths that joins a
+    /// third mid-transfer must apply the same increase rule as a fresh
+    /// three-path build. A frozen `equal_split(2)` weight keeps `b = 1/2`
+    /// (α = 1/4) after the join; the live mode recomputes `b = 1/3`.
+    #[test]
+    fn live_weight_tracks_subflow_joins_and_closes() {
+        let three = [
+            SubflowSnapshot::new(8.0, 0.02),
+            SubflowSnapshot::new(8.0, 0.02),
+            SubflowSnapshot::new(2.0, 0.02),
+        ];
+        let live = Ewtcp::live_equal_split();
+        let fresh3 = Ewtcp::equal_split(3);
+        assert_eq!(
+            live.increase_per_ack(0, &three).to_bits(),
+            fresh3.increase_per_ack(0, &three).to_bits(),
+            "post-join increase must match a fresh 3-path build exactly"
+        );
+        // The frozen build-time weight demonstrates the pre-fix behaviour.
+        let stale = Ewtcp::equal_split(2);
+        assert!(stale.increase_per_ack(0, &three) > live.increase_per_ack(0, &three));
+        // A closed (but still slot-holding) subflow drops back out of `n`.
+        let churned = [
+            three[0],
+            three[1],
+            SubflowSnapshot::new(1.0, 0.02).active(false),
+        ];
+        assert_eq!(
+            live.increase_per_ack(0, &churned).to_bits(),
+            Ewtcp::equal_split(2).increase_per_ack(0, &churned).to_bits()
+        );
+    }
+
+    /// While every subflow stays active, live mode is bit-identical to the
+    /// frozen `1/n` — existing no-churn histories cannot shift.
+    #[test]
+    fn live_weight_is_bit_identical_to_fixed_without_churn() {
+        for n in 1..=5usize {
+            let subs: Vec<SubflowSnapshot> =
+                (0..n).map(|i| SubflowSnapshot::new(4.0 + i as f64, 0.05)).collect();
+            for r in 0..n {
+                assert_eq!(
+                    Ewtcp::live_equal_split().increase_per_ack(r, &subs).to_bits(),
+                    Ewtcp::equal_split(n).increase_per_ack(r, &subs).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

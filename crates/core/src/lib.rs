@@ -36,8 +36,8 @@
 //! let cc = Mptcp::new();
 //! // Two subflows: a short fat path and a long thin one.
 //! let subs = [
-//!     SubflowSnapshot { cwnd: 10.0, rtt: 0.010 },
-//!     SubflowSnapshot { cwnd: 4.0,  rtt: 0.100 },
+//!     SubflowSnapshot::new(10.0, 0.010),
+//!     SubflowSnapshot::new(4.0, 0.100),
 //! ];
 //! let inc = cc.increase_per_ack(0, &subs);
 //! // The increase is always capped by regular TCP's 1/w_r
@@ -49,19 +49,25 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod balia;
 mod coupled;
+mod cubic;
 mod ewtcp;
 mod lia;
+mod olia;
 mod reno;
 mod rfc6356;
 mod semicoupled;
 mod snapshot;
+mod wvegas;
 
 pub mod digest;
 pub mod fluid;
+pub mod stateful;
 
 pub use algorithm::{AlgorithmKind, MultipathCc};
 pub use digest::{DetDigest, DigestWriter};
+pub use stateful::{AckAction, CcDriver, PureAdapter, StatefulCc};
 
 /// Consecutive RTO backoffs without any ACK progress after which a subflow
 /// is treated as **potentially failed**: no new data is scheduled on it
@@ -74,10 +80,14 @@ pub use digest::{DetDigest, DigestWriter};
 /// dead — the paper's §6 failure handling hinges on this threshold being
 /// small enough that a WiFi blackout fails over within a couple of RTOs.
 pub const POTENTIALLY_FAILED_RTO_BACKOFFS: u32 = 2;
+pub use balia::Balia;
 pub use coupled::Coupled;
+pub use cubic::Cubic;
 pub use ewtcp::Ewtcp;
 pub use lia::{lia_increase_exhaustive, lia_increase_linear, Mptcp};
+pub use olia::{Olia, OliaFluid};
 pub use reno::UncoupledReno;
 pub use rfc6356::Rfc6356;
 pub use semicoupled::{semicoupled_equilibrium, SemiCoupled};
-pub use snapshot::SubflowSnapshot;
+pub use snapshot::{active_count, total_window, SubflowSnapshot};
+pub use wvegas::Wvegas;

@@ -18,14 +18,26 @@ pub struct SubflowSnapshot {
     /// Smoothed round-trip time of this subflow, in seconds
     /// ("We use a smoothed RTT estimator, computed similarly to TCP", §2).
     pub rtt: f64,
+    /// Whether the subflow currently exists as a usable path. Runtime path
+    /// management (ADD/REMOVE_ADDR, §3.2g) can close subflows mid-transfer;
+    /// a closed subflow keeps its arena slot (and therefore its snapshot
+    /// slot) but must not count toward path-cardinality-dependent rules
+    /// such as EWTCP's `1/n` weight.
+    pub active: bool,
 }
 
-crate::impl_det_digest!(SubflowSnapshot { cwnd, rtt });
+crate::impl_det_digest!(SubflowSnapshot { cwnd, rtt, active });
 
 impl SubflowSnapshot {
-    /// Convenience constructor.
+    /// Convenience constructor for an active subflow.
     pub fn new(cwnd: f64, rtt: f64) -> Self {
-        Self { cwnd, rtt }
+        Self { cwnd, rtt, active: true }
+    }
+
+    /// Override the active flag (builder style).
+    pub fn active(mut self, active: bool) -> Self {
+        self.active = active;
+        self
     }
 
     /// The subflow's instantaneous rate estimate `w_r / RTT_r` in packets
@@ -38,6 +50,14 @@ impl SubflowSnapshot {
 /// Sum of windows across subflows (`w_total` in the paper).
 pub fn total_window(subs: &[SubflowSnapshot]) -> f64 {
     subs.iter().map(|s| s.cwnd).sum()
+}
+
+/// Number of live (non-closed) subflows in a snapshot slice. At least one
+/// subflow is always counted: a connection whose every path was withdrawn
+/// still holds its last subflow at the probing floor, and cardinality-based
+/// weights (EWTCP's `1/n`) must not divide by zero meanwhile.
+pub fn active_count(subs: &[SubflowSnapshot]) -> usize {
+    subs.iter().filter(|s| s.active).count().max(1)
 }
 
 #[cfg(test)]
@@ -59,5 +79,18 @@ mod tests {
     #[test]
     fn total_window_empty_is_zero() {
         assert_eq!(total_window(&[]), 0.0);
+    }
+
+    #[test]
+    fn active_count_ignores_closed_subflows_with_a_floor_of_one() {
+        let subs = [
+            SubflowSnapshot::new(3.0, 0.1),
+            SubflowSnapshot::new(7.0, 0.2).active(false),
+            SubflowSnapshot::new(5.0, 0.3),
+        ];
+        assert_eq!(active_count(&subs), 2);
+        let all_closed = [SubflowSnapshot::new(1.0, 0.1).active(false)];
+        assert_eq!(active_count(&all_closed), 1, "floor of one live path");
+        assert_eq!(active_count(&[]), 1);
     }
 }

@@ -1,0 +1,209 @@
+//! wVegas — weighted Vegas, the delay-based multipath controller (Cao,
+//! Xu & Fu, ICNP 2012; surveyed in Kimura & Loureiro, arXiv:1812.03210).
+//!
+//! Where the loss-based family reacts to drops, wVegas watches the gap
+//! between expected (`w/base_rtt`) and actual (`w/rtt`) rate: the number
+//! of packets the flow itself keeps queued in the bottleneck,
+//! `diff = w·(1 − base_rtt/rtt)`. Each path tries to hold `diff` inside a
+//! band `[α_r, α_r + 2]` where the per-path target `α_r` is its share of a
+//! connection-wide queue budget, weighted by the path's fraction of the
+//! total rate — congested paths earn smaller shares, which is what
+//! migrates traffic off them (the paper's congestion-equality principle).
+//!
+//! State: the per-path `base_rtt` filter (min RTT observed — the
+//! propagation-delay estimate) makes this a [`StatefulCc`]. Determinism
+//! rules: the filter is a pure running min over snapshot RTTs, so it is
+//! reproducible from the simulated history alone.
+//!
+//! No fluid oracle cell: our fluid solver drives dynamics with per-path
+//! *loss* rates, which never reach a delay-based equilibrium (wVegas backs
+//! off before the queue fills). wVegas is swept in the packet experiments
+//! only.
+// lint:digest-surface
+
+use crate::digest::{DetDigest, DigestWriter};
+use crate::snapshot::SubflowSnapshot;
+use crate::stateful::{AckAction, StatefulCc};
+
+/// Connection-wide queue budget (total packets kept in flight beyond the
+/// bandwidth-delay product, split across paths by rate share).
+const TOTAL_ALPHA: f64 = 10.0;
+/// Hysteresis band width above the per-path target.
+const BAND: f64 = 2.0;
+
+/// Per-path state: the propagation-delay estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WvegasPathState {
+    /// Minimum RTT observed on this path, seconds (the base-RTT filter);
+    /// `INFINITY` until the first sample.
+    pub base_rtt: f64,
+}
+
+crate::impl_det_digest!(WvegasPathState { base_rtt });
+
+impl Default for WvegasPathState {
+    fn default() -> Self {
+        Self { base_rtt: f64::INFINITY }
+    }
+}
+
+/// The wVegas controller.
+#[derive(Debug, Clone, Default)]
+pub struct Wvegas {
+    /// One filter per subflow slot, grown on demand.
+    pub paths: Vec<WvegasPathState>,
+}
+
+crate::impl_det_digest!(Wvegas { paths });
+
+impl Wvegas {
+    /// A fresh controller (no RTT history).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, len: usize) {
+        if self.paths.len() < len {
+            self.paths.resize(len, WvegasPathState::default());
+        }
+    }
+}
+
+impl StatefulCc for Wvegas {
+    fn name(&self) -> &'static str {
+        "WVEGAS"
+    }
+
+    fn on_ack(
+        &mut self,
+        r: usize,
+        subs: &[SubflowSnapshot],
+        _now: f64,
+        in_slow_start: bool,
+    ) -> AckAction {
+        self.ensure(subs.len());
+        let rtt = subs[r].rtt;
+        self.paths[r].base_rtt = self.paths[r].base_rtt.min(rtt);
+        let base = self.paths[r].base_rtt;
+        let w = subs[r].cwnd;
+        if in_slow_start {
+            // Vegas-style guarded slow start: bail out as soon as the flow
+            // queues more than its whole target budget, instead of doubling
+            // into a loss.
+            let diff = w * (1.0 - base / rtt);
+            if diff > TOTAL_ALPHA {
+                return AckAction { grow: 0.0, exit_slow_start: true };
+            }
+            return AckAction::grow(1.0);
+        }
+        // Rate-share weight: x_r / Σ x_k over live paths.
+        let x_r = w / rtt;
+        let sum_x: f64 = subs.iter().filter(|s| s.active).map(|s| s.rate()).sum();
+        if sum_x <= 0.0 || !sum_x.is_finite() {
+            return AckAction::grow(0.0);
+        }
+        // Per-path queue target, floored at one packet so a starved path
+        // keeps probing (same rationale as the §2.4 window floor).
+        let alpha_r = (TOTAL_ALPHA * x_r / sum_x).max(1.0);
+        let diff = w * (1.0 - base / rtt);
+        if diff < alpha_r {
+            AckAction::grow(1.0 / w)
+        } else if diff > alpha_r + BAND {
+            AckAction::grow(-1.0 / w)
+        } else {
+            AckAction::grow(0.0)
+        }
+    }
+
+    fn window_after_loss(&mut self, r: usize, subs: &[SubflowSnapshot], _now: f64) -> f64 {
+        // Losses still halve the window — delay control normally prevents
+        // them, but random (non-queue) loss must keep standard behaviour.
+        subs[r].cwnd / 2.0
+    }
+
+    fn delay_based(&self) -> bool {
+        true
+    }
+
+    fn digest_state(&self, h: &mut DigestWriter) {
+        self.det_digest(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive on_ack once to seed the base-RTT filter at `base`, then
+    /// return the controller.
+    fn seeded(base: f64) -> Wvegas {
+        let mut cc = Wvegas::new();
+        cc.on_ack(0, &[SubflowSnapshot::new(2.0, base)], 0.0, true);
+        cc
+    }
+
+    #[test]
+    fn base_rtt_filter_takes_the_running_min() {
+        let mut cc = Wvegas::new();
+        for rtt in [0.08, 0.05, 0.06, 0.09] {
+            cc.on_ack(0, &[SubflowSnapshot::new(4.0, rtt)], 0.0, true);
+        }
+        assert!((cc.paths[0].base_rtt - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_grows_below_band_and_shrinks_above() {
+        let mut cc = seeded(0.05);
+        // rtt == base: diff = 0 < α ⇒ grow.
+        let g = cc.on_ack(0, &[SubflowSnapshot::new(10.0, 0.05)], 1.0, false);
+        assert!((g.grow - 0.1).abs() < 1e-12);
+        // Heavy self-queueing: w(1 − base/rtt) = 30·0.5 = 15 > α + 2 ⇒
+        // back off without any loss.
+        let s = cc.on_ack(0, &[SubflowSnapshot::new(30.0, 0.10)], 2.0, false);
+        assert!((s.grow + 1.0 / 30.0).abs() < 1e-12, "negative grow, got {}", s.grow);
+        // Inside the band: hold.
+        // α = 10 (single path), diff = w(1−0.05/rtt) ≈ 11 ∈ [10, 12] at
+        // w = 33, rtt = 0.075.
+        let h = cc.on_ack(0, &[SubflowSnapshot::new(33.0, 0.075)], 3.0, false);
+        assert_eq!(h.grow.to_bits(), 0.0_f64.to_bits(), "hold inside the band");
+    }
+
+    /// The weighting: with two paths at equal windows, the path whose RTT
+    /// inflated (congested) gets a smaller α target, so it backs off while
+    /// the clean path still grows — traffic migrates off congestion.
+    #[test]
+    fn congested_path_earns_the_smaller_target() {
+        let mut cc = Wvegas::new();
+        let clean = SubflowSnapshot::new(20.0, 0.05);
+        let congested = SubflowSnapshot::new(20.0, 0.15);
+        // Seed both base-RTT filters at 50 ms.
+        cc.on_ack(0, &[clean, SubflowSnapshot::new(20.0, 0.05)], 0.0, true);
+        cc.on_ack(1, &[clean, SubflowSnapshot::new(20.0, 0.05)], 0.0, true);
+        let subs = [clean, congested];
+        let g0 = cc.on_ack(0, &subs, 1.0, false);
+        let g1 = cc.on_ack(1, &subs, 1.0, false);
+        assert!(g0.grow > 0.0, "clean path keeps growing, got {}", g0.grow);
+        assert!(g1.grow < 0.0, "congested path backs off, got {}", g1.grow);
+    }
+
+    #[test]
+    fn slow_start_exits_once_the_queue_budget_is_spent() {
+        let mut cc = seeded(0.05);
+        // diff = 40·(1 − 0.05/0.1) = 20 > 10 ⇒ exit without a loss.
+        let act = cc.on_ack(0, &[SubflowSnapshot::new(40.0, 0.1)], 1.0, true);
+        assert!(act.exit_slow_start);
+        assert_eq!(act.grow.to_bits(), 0.0_f64.to_bits());
+        // Shallow queue: keep slow-starting.
+        let act = cc.on_ack(0, &[SubflowSnapshot::new(8.0, 0.06)], 2.0, true);
+        assert!(!act.exit_slow_start);
+        assert!((act.grow - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = seeded(0.05);
+        let level = cc.window_after_loss(0, &[SubflowSnapshot::new(12.0, 0.05)], 1.0);
+        assert!((level - 6.0).abs() < 1e-12);
+        assert!(cc.delay_based());
+    }
+}

@@ -78,7 +78,7 @@ pub use event::{queue_churn, QueueBackend};
 pub use fault::{FaultAction, FaultPlan, GeParams};
 pub use link::{LinkId, LinkSpec, LinkStats};
 pub use packet::DEFAULT_PACKET_SIZE;
-pub use perf::SimPerf;
+pub use perf::{wall_clock, SimPerf};
 // Re-exported so downstream crates digest sim state without naming the core
 // crate (the trait behind the chaos_smoke bit-identity gate).
 pub use mptcp_cc::{DetDigest, DigestWriter};

@@ -70,6 +70,11 @@ pub enum CcPhase {
     SlowStart,
     /// Additive increase driven by the coupled algorithm.
     CongestionAvoidance,
+    /// Steady state of a delay-based controller (wVegas): the window is
+    /// steered by queueing delay, not loss — distinguished from
+    /// [`CcPhase::CongestionAvoidance`] because "no losses here" means
+    /// opposite things for the two regimes.
+    DelayAvoidance,
     /// SACK-driven hole repair; window held at the post-decrease level.
     FastRecovery,
     /// Post-timeout: window collapsed to the floor, slow-starting back.
@@ -82,6 +87,7 @@ impl CcPhase {
         match self {
             CcPhase::SlowStart => "slow_start",
             CcPhase::CongestionAvoidance => "congestion_avoidance",
+            CcPhase::DelayAvoidance => "delay_avoidance",
             CcPhase::FastRecovery => "fast_recovery",
             CcPhase::RtoRecovery => "rto_recovery",
         }
@@ -300,6 +306,7 @@ mod tests {
     #[test]
     fn phase_and_transition_names_are_stable() {
         assert_eq!(CcPhase::SlowStart.as_str(), "slow_start");
+        assert_eq!(CcPhase::DelayAvoidance.as_str(), "delay_avoidance");
         assert_eq!(CcPhase::RtoRecovery.as_str(), "rto_recovery");
         assert_eq!(TransitionKind::RtoFired.as_str(), "rto_fired");
         assert_eq!(TransitionKind::Revived.as_str(), "revived");

@@ -175,6 +175,16 @@ impl ShardedSimulator {
         self.jobs
     }
 
+    /// Forward [`Simulator::wrap_pure_in_adapter`] to every shard: wrap
+    /// every subsequently added pure named algorithm in the stateful
+    /// adapter (the stateful-vs-pure differential tests drive whole
+    /// sharded scenarios through both arms).
+    pub fn wrap_pure_in_adapter(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.wrap_pure_in_adapter(on);
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

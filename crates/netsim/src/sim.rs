@@ -17,7 +17,7 @@ use crate::probe::{
 use crate::stats::{ConnectionStats, SubflowStats};
 use crate::tcp::{SubflowReceiver, SubflowSender, TcpParams};
 use crate::time::SimTime;
-use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
+use mptcp_cc::{AlgorithmKind, CcDriver, MultipathCc, PureAdapter, SubflowSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
@@ -90,6 +90,9 @@ pub struct ConnectionSpec {
     size_pkts: Option<u64>,
     packet_size: u32,
     tcp: TcpParams,
+    /// Run a pure rule through the stateful driver path (see
+    /// [`ConnectionSpec::adapter_wrapped`]).
+    force_adapter: bool,
 }
 
 impl ConnectionSpec {
@@ -102,6 +105,7 @@ impl ConnectionSpec {
             size_pkts: None,
             packet_size: DEFAULT_PACKET_SIZE,
             tcp: TcpParams::default(),
+            force_adapter: false,
         }
     }
 
@@ -159,6 +163,17 @@ impl ConnectionSpec {
         self.tcp = params;
         self
     }
+
+    /// Run a *pure* named algorithm through the stateful driver path, via
+    /// [`PureAdapter`]. A differential-testing hook: the adapter is
+    /// float-exact, so a wrapped connection must produce bit-identical
+    /// digests to the plain pure path — the property that pins the two
+    /// driver arms together. No effect on natively stateful kinds or
+    /// custom controllers.
+    pub fn adapter_wrapped(mut self) -> Self {
+        self.force_adapter = true;
+        self
+    }
 }
 
 /// Runtime state of one subflow (sender and — for simulation convenience —
@@ -200,7 +215,7 @@ struct ReinjectEntry {
 /// contiguous window of the simulator-level arena ([`Simulator::subflows`],
 /// struct-of-arrays layout), addressed by `(sub_base, sub_count)`.
 struct Connection {
-    cc: Box<dyn MultipathCc>,
+    cc: CcDriver,
     /// First index of this connection's subflows in the arena.
     sub_base: u32,
     /// Number of subflows.
@@ -281,15 +296,32 @@ impl Connection {
     /// Refresh the snapshot scratch buffer from the live subflow state
     /// (`subs` is this connection's arena window).
     fn refresh_snapshots(&mut self, subs: &[SubflowState]) {
-        let cap = self.snap_buf.capacity();
-        self.snap_buf.clear();
-        self.snap_buf.extend(
-            subs.iter()
-                .map(|s| SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6))),
-        );
-        if self.snap_buf.capacity() != cap {
-            self.scratch_allocs += 1;
-        }
+        refresh_snap_buf(&mut self.snap_buf, &mut self.scratch_allocs, subs);
+    }
+}
+
+/// One subflow's congestion-control snapshot: clamped window and RTT, plus
+/// whether the subflow is administratively live. Closed subflows stay in
+/// the arena (indices are stable) but must not count toward live-path
+/// weights — this flag is what lets EWTCP's equal split and the OLIA/BALIA
+/// path sums track churn.
+fn snapshot_of(s: &SubflowState) -> SubflowSnapshot {
+    SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6)).active(!s.closed)
+}
+
+/// [`Connection::refresh_snapshots`] as a free function over the individual
+/// fields, so the ACK growth loop can refresh while the controller field is
+/// mutably borrowed (disjoint field borrows).
+fn refresh_snap_buf(
+    snap_buf: &mut Vec<SubflowSnapshot>,
+    scratch_allocs: &mut u64,
+    subs: &[SubflowState],
+) {
+    let cap = snap_buf.capacity();
+    snap_buf.clear();
+    snap_buf.extend(subs.iter().map(snapshot_of));
+    if snap_buf.capacity() != cap {
+        *scratch_allocs += 1;
     }
 }
 
@@ -364,6 +396,11 @@ pub struct Simulator {
     ack_free: Vec<u32>,
     /// Capacity-growth events of the ACK pool (allocation accounting).
     ack_pool_allocs: u64,
+    /// Simulator-wide [`ConnectionSpec::adapter_wrapped`]: wrap every
+    /// subsequently added pure named algorithm in the stateful adapter
+    /// (differential-testing hook for topology builders that construct
+    /// their own specs).
+    force_adapter_all: bool,
 }
 
 impl Simulator {
@@ -402,7 +439,17 @@ impl Simulator {
             ack_pool: Vec::new(),
             ack_free: Vec::new(),
             ack_pool_allocs: 0,
+            force_adapter_all: false,
         }
+    }
+
+    /// Apply [`ConnectionSpec::adapter_wrapped`] to every connection added
+    /// from now on: pure named algorithms run through the stateful driver
+    /// via the float-exact [`PureAdapter`]. A differential-testing hook —
+    /// the histories must be bit-identical either way — that reaches specs
+    /// built inside topology constructors.
+    pub fn wrap_pure_in_adapter(&mut self, on: bool) {
+        self.force_adapter_all = on;
     }
 
     /// Park an ACK payload in the pool, returning the slot to carry in the
@@ -540,9 +587,13 @@ impl Simulator {
         delays: &[(SimTime, f64)],
     ) -> ConnId {
         let n = spec.subflows.len();
+        let wrap = spec.force_adapter || self.force_adapter_all;
         let cc = match spec.cc {
-            CcChoice::Kind(kind) => kind.build(n),
-            CcChoice::Custom(cc) => cc,
+            CcChoice::Kind(kind) if wrap && !kind.is_stateful() => {
+                CcDriver::Stateful(Box::new(PureAdapter::new(kind.build(n))))
+            }
+            CcChoice::Kind(kind) => kind.build_cc(n),
+            CcChoice::Custom(cc) => CcDriver::Pure(cc),
         };
         let sub_base = self.subflows.len() as u32;
         for (sf, &(ack_delay, rtt_hint)) in spec.subflows.into_iter().zip(delays) {
@@ -963,6 +1014,8 @@ impl Simulator {
                     }
                 } else if s.tx.in_slow_start() {
                     CcPhase::SlowStart
+                } else if c.cc.delay_based() {
+                    CcPhase::DelayAvoidance
                 } else {
                     CcPhase::CongestionAvoidance
                 };
@@ -1286,30 +1339,68 @@ impl Simulator {
                 // refresh happens once and later steps patch a single
                 // entry in place instead of re-reading every subflow.
                 let mut refreshed = false;
-                for _ in 0..outcome.newly_acked {
-                    let amount = if subs[sub].tx.in_slow_start() {
-                        1.0
-                    } else {
-                        if refreshed {
-                            let s = &subs[sub];
-                            c.snap_buf[sub] = SubflowSnapshot::new(
-                                s.tx.cwnd.max(1e-9),
-                                s.tx.cc_rtt().max(1e-6),
-                            );
-                        } else {
-                            c.refresh_snapshots(subs);
-                            refreshed = true;
+                match &mut c.cc {
+                    CcDriver::Pure(cc) => {
+                        for _ in 0..outcome.newly_acked {
+                            let amount = if subs[sub].tx.in_slow_start() {
+                                1.0
+                            } else {
+                                if refreshed {
+                                    c.snap_buf[sub] = snapshot_of(&subs[sub]);
+                                } else {
+                                    refresh_snap_buf(
+                                        &mut c.snap_buf,
+                                        &mut c.scratch_allocs,
+                                        subs,
+                                    );
+                                    refreshed = true;
+                                }
+                                cc.increase_per_ack(sub, &c.snap_buf)
+                            };
+                            subs[sub].tx.grow(amount);
                         }
-                        c.cc.increase_per_ack(sub, &c.snap_buf)
-                    };
-                    subs[sub].tx.grow(amount);
+                    }
+                    CcDriver::Stateful(cc) => {
+                        // Stateful hooks fire in slow start too (base-RTT
+                        // filters, hybrid slow start watch every ACK), so
+                        // the snapshot is kept fresh on every step here.
+                        let floor = cc.min_window();
+                        let now = self.now.as_secs_f64();
+                        for _ in 0..outcome.newly_acked {
+                            if refreshed {
+                                c.snap_buf[sub] = snapshot_of(&subs[sub]);
+                            } else {
+                                refresh_snap_buf(&mut c.snap_buf, &mut c.scratch_allocs, subs);
+                                refreshed = true;
+                            }
+                            let in_ss = subs[sub].tx.in_slow_start();
+                            let act = cc.on_ack(sub, &c.snap_buf, now, in_ss);
+                            subs[sub].tx.grow(act.grow);
+                            if act.grow < 0.0 && subs[sub].tx.cwnd < floor {
+                                // `grow` has no lower bound of its own;
+                                // delay-based shrinks must not dig below
+                                // the probing floor.
+                                subs[sub].tx.cwnd = floor;
+                            }
+                            if act.exit_slow_start && in_ss {
+                                // Hybrid/Vegas slow-start exit: pin
+                                // ssthresh to the current window so the
+                                // sender runs congestion avoidance from
+                                // the next ACK on.
+                                let w = subs[sub].tx.cwnd;
+                                subs[sub].tx.set_ssthresh(w);
+                            }
+                        }
+                    }
                 }
             }
             if outcome.entered_recovery {
                 // One multiplicative decrease per loss episode, with the
-                // level chosen by the coupled algorithm.
+                // level chosen by the coupled algorithm (for stateful
+                // controllers this is also the loss-epoch hook).
                 c.refresh_snapshots(subs);
-                let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
+                let level =
+                    c.cc.clamped_window_after_loss(sub, &c.snap_buf, self.now.as_secs_f64());
                 let floor = c.cc.min_window();
                 subs[sub].tx.shrink_to(level, floor);
             }
@@ -1396,7 +1487,7 @@ impl Simulator {
             // The coupled decrease sets the slow-start threshold; the
             // window itself collapses to the probing floor.
             c.refresh_snapshots(subs);
-            let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf);
+            let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf, self.now.as_secs_f64());
             let floor = c.cc.min_window();
             let was_failed = subs[sub].tx.potentially_failed();
             if !subs[sub].tx.on_rto(floor) {
@@ -1784,6 +1875,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mptcp_cc::DetDigest;
 
     fn one_link_sim(mbps: f64, delay_ms: u64, queue: usize) -> (Simulator, LinkId) {
         let mut sim = Simulator::new(1);
@@ -1962,5 +2054,101 @@ mod tests {
             warmed,
             "hot paths must not allocate after warmup"
         );
+    }
+
+    /// The connection's live EWTCP increase rule on path 0, together with
+    /// the snapshots it saw (so a fresh controller can be replayed against
+    /// the identical inputs).
+    fn ewtcp_increase_seen(sim: &mut Simulator, conn: ConnId) -> (f64, Vec<SubflowSnapshot>) {
+        let c = &mut sim.conns[conn];
+        let range = c.subs();
+        c.refresh_snapshots(&sim.subflows[range]);
+        let CcDriver::Pure(cc) = &c.cc else { panic!("EWTCP is a pure rule") };
+        (cc.increase_per_ack(0, &c.snap_buf), c.snap_buf.clone())
+    }
+
+    /// Regression (pre-fix failure): `Ewtcp::equal_split(n)` froze its
+    /// `1/n` weight at connection build time, so after any runtime path
+    /// churn the weight was wrong — a 3-path build running two-path kept
+    /// aggressiveness 1/3, and a join never moved it back. The live weight
+    /// must always equal `1/active_count`, bit-for-bit what a fresh
+    /// fixed-weight build with the current path count computes.
+    #[test]
+    fn ewtcp_weight_tracks_live_subflow_count_under_churn() {
+        let mut sim = Simulator::new(9);
+        let mut links = Vec::new();
+        for _ in 0..3 {
+            links.push(sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 50)));
+        }
+        let c = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Ewtcp)
+                .path(vec![links[0]])
+                .path(vec![links[1]])
+                .path(vec![links[2]]),
+        );
+        // The third path's address is withdrawn before data moves: the
+        // connection runs two-path for the first phase…
+        sim.admin_close_subflow(c, 2);
+        sim.run_until(SimTime::from_secs(10));
+        let (inc, snaps) = ewtcp_increase_seen(&mut sim, c);
+        let fresh2 = mptcp_cc::Ewtcp::equal_split(2);
+        assert_eq!(
+            inc.to_bits(),
+            fresh2.increase_per_ack(0, &snaps).to_bits(),
+            "two live paths must mean weight 1/2, not the build-time 1/3"
+        );
+        // …then the address is re-advertised and the subflow joins
+        // mid-transfer: the rule must now match a fresh 3-path build.
+        sim.admin_open_subflow(c, 2);
+        sim.run_until(SimTime::from_secs(20));
+        let (inc, snaps) = ewtcp_increase_seen(&mut sim, c);
+        let fresh3 = mptcp_cc::Ewtcp::equal_split(3);
+        assert_eq!(
+            inc.to_bits(),
+            fresh3.increase_per_ack(0, &snaps).to_bits(),
+            "after the join the live weight must be 1/3"
+        );
+    }
+
+    /// Every stateful controller in the zoo moves real data through the
+    /// stateful driver arm (slow start, CA growth, loss decreases).
+    #[test]
+    fn stateful_zoo_controllers_move_data() {
+        for kind in AlgorithmKind::zoo() {
+            let mut sim = Simulator::new(3);
+            let l0 = sim.add_link(LinkSpec::mbps(8.0, SimTime::from_millis(10), 50));
+            let l1 = sim.add_link(LinkSpec::mbps(8.0, SimTime::from_millis(40), 50));
+            let c = sim
+                .add_connection(ConnectionSpec::bulk(kind).path(vec![l0]).path(vec![l1]));
+            sim.run_until(SimTime::from_secs(30));
+            let bps = sim.connection_stats(c).throughput_bps(sim.now());
+            assert!(bps > 1.0e6, "{kind:?} moved too little data: {bps}");
+        }
+    }
+
+    /// A pure rule behind the float-exact adapter must reproduce the pure
+    /// history bit-for-bit — the unit-level core of the cross-scenario
+    /// differential proptest in `tests/stateful_differential.rs`.
+    #[test]
+    fn adapter_wrapped_pure_rule_reproduces_the_pure_history() {
+        let run = |wrapped: bool| {
+            let mut sim = Simulator::new(11);
+            let l0 = sim
+                .add_link(LinkSpec::mbps(8.0, SimTime::from_millis(10), 25).with_loss(0.005));
+            let l1 = sim.add_link(LinkSpec::mbps(4.0, SimTime::from_millis(40), 25));
+            let mut spec =
+                ConnectionSpec::bulk(AlgorithmKind::Mptcp).path(vec![l0]).path(vec![l1]);
+            if wrapped {
+                spec = spec.adapter_wrapped();
+            }
+            let c = sim.add_connection(spec);
+            sim.run_until(SimTime::from_secs(40));
+            let cwnds: Vec<u64> = {
+                let range = sim.conns[c].subs();
+                sim.subflows[range].iter().map(|s| s.tx.cwnd.to_bits()).collect()
+            };
+            (sim.connection_stats(c).digest_value(), cwnds)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -217,11 +217,22 @@ pub(crate) struct SubflowSender<SB: Scoreboard = DefaultScoreboard> {
     params: TcpParams,
 }
 
+/// Floor applied to every slow-start threshold, in packets.
+///
+/// A ssthresh below one MSS is meaningless — `cwnd < ssthresh` could then
+/// never hold, permanently disabling slow start — and RFC 5681 §3.1 floors
+/// the post-loss threshold at 2 segments. [`SubflowSender::set_ssthresh`]
+/// has always clamped here; the *initial* threshold historically did not,
+/// so a user-supplied sub-MSS [`TcpParams::initial_ssthresh`] survived
+/// verbatim until the first loss.
+pub const MIN_SSTHRESH_PKTS: f64 = 2.0;
+
 impl<SB: Scoreboard> SubflowSender<SB> {
     pub fn new(params: TcpParams, rtt_hint: f64) -> Self {
         Self {
             cwnd: params.initial_cwnd,
-            ssthresh: params.initial_ssthresh,
+            // NaN-safe: `f64::max` propagates the floor, not the NaN.
+            ssthresh: params.initial_ssthresh.max(MIN_SSTHRESH_PKTS),
             next_seq: 0,
             una: 0,
             srtt: None,
@@ -520,7 +531,8 @@ impl<SB: Scoreboard> SubflowSender<SB> {
     /// Set the slow-start threshold after a loss event (the congestion
     /// controller decides the level; the subflow just records it).
     pub fn set_ssthresh(&mut self, ssthresh: f64) {
-        self.ssthresh = ssthresh.max(2.0);
+        // NaN-safe: `f64::max` propagates the floor, not the NaN.
+        self.ssthresh = ssthresh.max(MIN_SSTHRESH_PKTS);
     }
 
     /// Whether congestion-window growth applies right now: always outside
@@ -578,6 +590,51 @@ mod tests {
             out[i] = Some(r);
         }
         out
+    }
+
+    /// Pre-fix failure: `SubflowSender::new` used to store
+    /// `initial_ssthresh` verbatim, so a sub-MSS configured threshold
+    /// survived until the first loss — with `cwnd < ssthresh` never true,
+    /// slow start was permanently disabled for the subflow.
+    #[test]
+    fn initial_ssthresh_is_clamped_like_post_loss_ssthresh() {
+        let params = TcpParams { initial_ssthresh: 0.5, ..TcpParams::default() };
+        let tx: SubflowSender = SubflowSender::new(params, 0.1);
+        assert!(
+            tx.ssthresh >= MIN_SSTHRESH_PKTS,
+            "initial ssthresh must honor the same floor as set_ssthresh, got {}",
+            tx.ssthresh
+        );
+        let params = TcpParams { initial_ssthresh: f64::NAN, ..TcpParams::default() };
+        let tx: SubflowSender = SubflowSender::new(params, 0.1);
+        assert_eq!(tx.ssthresh.to_bits(), MIN_SSTHRESH_PKTS.to_bits());
+    }
+
+    /// The floor is an invariant, not a one-shot: no sequence of decreases
+    /// (shrink_to with degenerate levels, RTO plus controller-set
+    /// thresholds) may drive ssthresh below one MSS.
+    #[test]
+    fn ssthresh_floor_survives_repeated_decreases() {
+        let mut tx = sender();
+        for level in [1.0, 0.25, 0.0, -3.0, f64::NAN, 1e-9] {
+            tx.shrink_to(level, 1.0);
+            assert!(
+                tx.ssthresh >= MIN_SSTHRESH_PKTS,
+                "shrink_to({level}) left ssthresh at {}",
+                tx.ssthresh
+            );
+            tx.set_ssthresh(level);
+            assert!(
+                tx.ssthresh >= MIN_SSTHRESH_PKTS,
+                "set_ssthresh({level}) left ssthresh at {}",
+                tx.ssthresh
+            );
+        }
+        // The RTO path: the caller applies the controller's level afterwards.
+        tx.on_send_new(SimTime::ZERO, 0);
+        assert!(tx.on_rto(0.0));
+        tx.set_ssthresh(0.1);
+        assert!(tx.ssthresh >= MIN_SSTHRESH_PKTS);
     }
 
     #[test]

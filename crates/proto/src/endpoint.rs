@@ -23,7 +23,7 @@
 use crate::path::{PathEndpoint, PathEvent, PathFlags, PathManager};
 use crate::segment::{MptcpOption, SegFlags, Segment};
 use crate::Micros;
-use mptcp_cc::{AlgorithmKind, MultipathCc, SubflowSnapshot};
+use mptcp_cc::{AlgorithmKind, CcDriver, SubflowSnapshot};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -315,7 +315,7 @@ pub struct Endpoint {
     /// (false = fallback to regular TCP on subflow 0).
     mp_enabled: Option<bool>,
     subs: Vec<Subflow>,
-    cc: Box<dyn MultipathCc>,
+    cc: CcDriver,
 
     // --- data-level send state ---
     send_buf: VecDeque<u8>,
@@ -395,7 +395,7 @@ impl Endpoint {
     fn new(cfg: EndpointConfig, role: Role, n_subflows: usize, key: u64) -> Self {
         assert!(n_subflows >= 1, "need at least one subflow");
         assert!(cfg.mss > 0 && cfg.send_buf >= cfg.mss && cfg.recv_buf >= cfg.mss);
-        let cc = cfg.algorithm.build(n_subflows);
+        let cc = cfg.algorithm.build_cc(n_subflows);
         let mut path = PathManager::new(n_subflows);
         for i in 0..n_subflows {
             path.add_endpoint(PathEndpoint {
@@ -932,12 +932,47 @@ impl Endpoint {
             if !s.in_recovery {
                 let mss = self.cfg.mss as f64;
                 let acked_pkts = newly as f64 / mss;
-                if s.cwnd_bytes < s.ssthresh_bytes {
-                    s.cwnd_bytes += newly as f64; // slow start
-                } else {
-                    let snaps = self.snapshots();
-                    let inc_pkts = self.cc.increase_per_ack(sub, &snaps);
-                    self.subs[sub].cwnd_bytes += inc_pkts * acked_pkts * mss;
+                match &mut self.cc {
+                    CcDriver::Pure(cc) => {
+                        let s = &mut self.subs[sub];
+                        if s.cwnd_bytes < s.ssthresh_bytes {
+                            s.cwnd_bytes += newly as f64; // slow start
+                        } else {
+                            let snaps = snapshots_of(&self.subs, mss);
+                            let inc_pkts = cc.increase_per_ack(sub, &snaps);
+                            self.subs[sub].cwnd_bytes += inc_pkts * acked_pkts * mss;
+                        }
+                    }
+                    CcDriver::Stateful(cc) => {
+                        // The stateful contract is per-ACKed-*packet*, so a
+                        // cumulative advance of N·mss bytes is fed through
+                        // `on_ack` in up-to-one-packet steps, each with a
+                        // fresh snapshot (the hooks fire in slow start too:
+                        // base-RTT filters and hybrid slow start watch
+                        // every ACK).
+                        let floor_bytes = cc.min_window() * mss;
+                        let now_s = now as f64 / 1e6;
+                        let mut remaining = acked_pkts;
+                        while remaining > 0.0 {
+                            let step = remaining.min(1.0);
+                            let snaps = snapshots_of(&self.subs, mss);
+                            let s = &mut self.subs[sub];
+                            let in_ss = s.cwnd_bytes < s.ssthresh_bytes;
+                            let act = cc.on_ack(sub, &snaps, now_s, in_ss);
+                            s.cwnd_bytes += act.grow * step * mss;
+                            if act.grow < 0.0 && s.cwnd_bytes < floor_bytes {
+                                // Delay-based shrinks must not dig below
+                                // the probing floor.
+                                s.cwnd_bytes = floor_bytes;
+                            }
+                            if act.exit_slow_start && in_ss {
+                                // Hybrid/Vegas slow-start exit: pin
+                                // ssthresh to the current window.
+                                s.ssthresh_bytes = s.cwnd_bytes.max(2.0 * mss);
+                            }
+                            remaining -= step;
+                        }
+                    }
                 }
             }
             let s = &mut self.subs[sub];
@@ -963,10 +998,11 @@ impl Endpoint {
         {
             s.dup_acks += 1;
             if s.dup_acks == 3 && !s.in_recovery {
-                // Fast retransmit + coupled multiplicative decrease.
+                // Fast retransmit + coupled multiplicative decrease (the
+                // loss-epoch hook for stateful controllers).
                 let snaps = self.snapshots();
                 let mss = self.cfg.mss as f64;
-                let new_pkts = self.cc.clamped_window_after_loss(sub, &snaps);
+                let new_pkts = self.cc.clamped_window_after_loss(sub, &snaps, now as f64 / 1e6);
                 let s = &mut self.subs[sub];
                 s.in_recovery = true;
                 s.recovery_point = s.snd_next;
@@ -1306,10 +1342,21 @@ impl Endpoint {
             if is_primary && !self.backup_active && self.primary_down_since.is_none() {
                 self.primary_down_since = Some(now);
             }
-            let s = &mut self.subs[sub];
             // Collapse to one MSS, slow-start back (standard RTO response).
+            // The threshold level comes from the controller: halving for
+            // the pure rules (as before), the per-controller loss rule for
+            // stateful ones — which is also their loss-epoch hook (CUBIC's
+            // w_max, OLIA's counters must see RTO losses too).
             let mss = self.cfg.mss as f64;
-            s.ssthresh_bytes = (s.cwnd_bytes / 2.0).max(2.0 * mss);
+            let level_pkts = match &mut self.cc {
+                CcDriver::Pure(_) => self.subs[sub].cwnd_bytes / mss / 2.0,
+                CcDriver::Stateful(cc) => {
+                    let snaps = snapshots_of(&self.subs, mss);
+                    cc.clamped_window_after_loss(sub, &snaps, now as f64 / 1e6)
+                }
+            };
+            let s = &mut self.subs[sub];
+            s.ssthresh_bytes = (level_pkts * mss).max(2.0 * mss);
             s.cwnd_bytes = mss;
             s.in_recovery = false;
             s.dup_acks = 0;
@@ -1609,17 +1656,25 @@ impl Endpoint {
     }
 
     fn snapshots(&self) -> Vec<SubflowSnapshot> {
-        let mss = self.cfg.mss as f64;
-        self.subs
-            .iter()
-            .map(|s| {
-                SubflowSnapshot::new(
-                    (s.cwnd_bytes / mss).max(1e-6),
-                    s.srtt_us.unwrap_or(100_000.0) / 1e6,
-                )
-            })
-            .collect()
+        snapshots_of(&self.subs, self.cfg.mss as f64)
     }
+}
+
+/// Congestion-control snapshots of every subflow. A free function (not a
+/// method) so ACK processing can call it while the controller field is
+/// mutably borrowed. Closed subflows are marked inactive: they must not
+/// count toward live-path weights (EWTCP's equal split, OLIA/BALIA's path
+/// sums).
+fn snapshots_of(subs: &[Subflow], mss: f64) -> Vec<SubflowSnapshot> {
+    subs.iter()
+        .map(|s| {
+            SubflowSnapshot::new(
+                (s.cwnd_bytes / mss).max(1e-6),
+                s.srtt_us.unwrap_or(100_000.0) / 1e6,
+            )
+            .active(!s.closed)
+        })
+        .collect()
 }
 
 

@@ -66,6 +66,10 @@ fn main() {
             AlgorithmKind::SemiCoupled => "good balance, but no principled fairness (§2.4)",
             AlgorithmKind::Mptcp => "the paper's answer: fair AND incentive-compatible",
             AlgorithmKind::Rfc6356 => "the standardized restatement of the same",
+            AlgorithmKind::Cubic => "per-path CUBIC epochs; fast pipes, no coupling",
+            AlgorithmKind::Olia => "post-paper LIA fix: Pareto-optimal balance",
+            AlgorithmKind::Balia => "balanced linked adaptation (Peng et al.)",
+            AlgorithmKind::Wvegas => "delay-based: backs off before queues fill",
         };
         println!("{:12}  {share:17.2}  {ratio:13.2}   {verdict}", format!("{alg:?}"));
     }

@@ -1,0 +1,153 @@
+//! Stateful-vs-pure differential: a pure paper rule driven through the
+//! stateful driver arm (via the float-exact
+//! [`PureAdapter`](mptcp_cc::PureAdapter)) must reproduce the plain pure
+//! path's history **bit-for-bit** — same connection-stats digests, same
+//! delivered counts, same final windows.
+//!
+//! This is the property that lets the stateful layer (DESIGN.md §3.2h)
+//! coexist with the paper-faithful pure rules: the driver split in
+//! `mptcp-netsim`'s ACK path is only safe if the adapter arm performs
+//! *precisely* the arithmetic the pure arm performs, in the same order,
+//! under loss, RTO, reinjection and fault churn. The scenarios are the
+//! chaos suite's: Fig. 8's five-link torus and the §5 dual-homed server,
+//! each under a randomized fault schedule.
+//!
+//! The stateful controllers (CUBIC, OLIA, wVegas — everything
+//! [`AlgorithmKind::is_stateful`]) have no pure twin to diff against, so
+//! the last property sweeps them for the two guarantees the driver owes
+//! them instead: replay determinism (same seeds → bit-identical history)
+//! and liveness under fault churn.
+//!
+//! Case count scales with `MPTCP_CHAOS_CASES` (default 4 so `cargo test`
+//! stays quick; the nightly CI job raises it).
+
+use mptcp_cc::{AlgorithmKind, DetDigest};
+use mptcp_netsim::{FaultPlan, SimTime, Simulator};
+use mptcp_topology::{DualHomedServer, Torus};
+use proptest::prelude::*;
+
+const HORIZON: SimTime = SimTime::from_secs(30);
+
+fn chaos_cases() -> u32 {
+    std::env::var("MPTCP_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// Every pure paper rule gets diffed (the stateful zoo has no pure twin).
+/// Derived from [`AlgorithmKind::all`] so a new pure kind joins the
+/// property automatically.
+fn pure_kinds() -> Vec<AlgorithmKind> {
+    AlgorithmKind::all().into_iter().filter(|k| !k.is_stateful()).collect()
+}
+
+/// Everything a wrapped replay must reproduce. The stats digest covers
+/// every `ConnectionStats` field; delivered counts are repeated separately
+/// so a mismatch prints something human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    conn_digests: Vec<u64>,
+    delivered: Vec<u64>,
+}
+
+fn outcome(sim: &Simulator, conns: &[usize]) -> Outcome {
+    Outcome {
+        conn_digests: conns.iter().map(|&c| sim.connection_stats(c).digest_value()).collect(),
+        delivered: conns.iter().map(|&c| sim.connection_stats(c).data_delivered).collect(),
+    }
+}
+
+fn run_torus(kind: AlgorithmKind, seed: u64, fault_seed: u64, wrapped: bool) -> Outcome {
+    let mut sim = Simulator::new(seed);
+    sim.wrap_pure_in_adapter(wrapped);
+    let t = Torus::build(&mut sim, [1000.0; 5], kind);
+    sim.install_fault_plan(&FaultPlan::randomized(fault_seed, &t.links, HORIZON));
+    sim.run_until(HORIZON);
+    outcome(&sim, &t.flows)
+}
+
+fn run_dual_homed(
+    kind: AlgorithmKind,
+    seed: u64,
+    fault_seed: u64,
+    pkts: u64,
+    wrapped: bool,
+) -> Outcome {
+    let mut sim = Simulator::new(seed);
+    sim.wrap_pure_in_adapter(wrapped);
+    let d = DualHomedServer::build(&mut sim, [12.0, 4.0], SimTime::from_millis(10), 25);
+    let mp = d.add_multipath_client(&mut sim, kind, SimTime::ZERO);
+    let sp = d.add_single_path_transfer(&mut sim, 1, pkts, SimTime::from_millis(500));
+    sim.install_fault_plan(&FaultPlan::randomized(fault_seed, &d.links, HORIZON));
+    sim.run_until(HORIZON);
+    outcome(&sim, &[mp, sp])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    #[test]
+    fn torus_history_is_identical_through_the_stateful_driver(
+        seed in 1u64..u32::MAX as u64,
+        fault_seed in 0u64..u32::MAX as u64,
+    ) {
+        for kind in pure_kinds() {
+            let pure = run_torus(kind, seed, fault_seed, false);
+            prop_assert!(
+                pure.delivered.iter().sum::<u64>() > 0,
+                "degenerate schedule delivered nothing: {pure:?}"
+            );
+            let wrapped = run_torus(kind, seed, fault_seed, true);
+            prop_assert_eq!(
+                &pure,
+                &wrapped,
+                "{:?} diverged behind the adapter on the torus (seed={}, fault_seed={})",
+                kind,
+                seed,
+                fault_seed
+            );
+        }
+    }
+
+    #[test]
+    fn dual_homed_history_is_identical_through_the_stateful_driver(
+        seed in 1u64..u32::MAX as u64,
+        fault_seed in 0u64..u32::MAX as u64,
+        pkts in 500u64..4_000,
+    ) {
+        for kind in pure_kinds() {
+            let pure = run_dual_homed(kind, seed, fault_seed, pkts, false);
+            let wrapped = run_dual_homed(kind, seed, fault_seed, pkts, true);
+            prop_assert_eq!(
+                &pure,
+                &wrapped,
+                "{:?} diverged behind the adapter dual-homed (seed={}, fault_seed={}, pkts={})",
+                kind,
+                seed,
+                fault_seed,
+                pkts
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_zoo_is_deterministic_and_live_under_fault_churn(
+        seed in 1u64..u32::MAX as u64,
+        fault_seed in 0u64..u32::MAX as u64,
+    ) {
+        for kind in AlgorithmKind::all().into_iter().filter(|k| k.is_stateful()) {
+            let first = run_torus(kind, seed, fault_seed, false);
+            let again = run_torus(kind, seed, fault_seed, false);
+            prop_assert_eq!(
+                &first,
+                &again,
+                "{:?} replayed nondeterministically (seed={}, fault_seed={})",
+                kind,
+                seed,
+                fault_seed
+            );
+            prop_assert!(
+                first.delivered.iter().sum::<u64>() > 0,
+                "{kind:?} delivered nothing under fault churn: {first:?}"
+            );
+        }
+    }
+}
