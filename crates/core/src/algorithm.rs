@@ -59,6 +59,7 @@ pub trait MultipathCc: Send + Sync {
 
 /// A selector for the algorithms evaluated in the paper, used by the
 /// experiment harness to sweep algorithms from one configuration.
+// lint:exhaustive
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// Regular TCP on every subflow, fully uncoupled (§2.1's strawman).
@@ -158,7 +159,13 @@ impl AlgorithmKind {
             AlgorithmKind::Cubic => CcDriver::Stateful(Box::new(Cubic::new())),
             AlgorithmKind::Olia => CcDriver::Stateful(Box::new(Olia::new())),
             AlgorithmKind::Wvegas => CcDriver::Stateful(Box::new(Wvegas::new())),
-            _ => CcDriver::Pure(self.build(n_subflows)),
+            AlgorithmKind::Uncoupled
+            | AlgorithmKind::Ewtcp
+            | AlgorithmKind::Coupled
+            | AlgorithmKind::SemiCoupled
+            | AlgorithmKind::Mptcp
+            | AlgorithmKind::Rfc6356
+            | AlgorithmKind::Balia => CcDriver::Pure(self.build(n_subflows)),
         }
     }
 
@@ -175,7 +182,13 @@ impl AlgorithmKind {
         match self {
             AlgorithmKind::Olia => Some(Box::new(OliaFluid::from_loss_rates(losses))),
             AlgorithmKind::Cubic | AlgorithmKind::Wvegas => None,
-            _ => self.try_build(losses.len().max(1)),
+            AlgorithmKind::Uncoupled
+            | AlgorithmKind::Ewtcp
+            | AlgorithmKind::Coupled
+            | AlgorithmKind::SemiCoupled
+            | AlgorithmKind::Mptcp
+            | AlgorithmKind::Rfc6356
+            | AlgorithmKind::Balia => self.try_build(losses.len().max(1)),
         }
     }
 

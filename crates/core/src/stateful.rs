@@ -161,6 +161,7 @@ impl StatefulCc for PureAdapter {
 /// (the default — its call sequence is kept byte-for-byte identical to the
 /// pre-stateful code so existing histories cannot shift) or a stateful
 /// controller behind the per-ACK/per-loss hooks.
+// lint:exhaustive
 pub enum CcDriver {
     /// A pure, stateless paper rule.
     Pure(Box<dyn MultipathCc>),

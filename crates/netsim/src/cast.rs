@@ -1,0 +1,76 @@
+//! Checked narrowing casts for the simulator's hot/shard state.
+//!
+//! The `cast-audit` lint (D9, DESIGN.md §3.2d) bans bare `as` casts to
+//! narrower integer types and float-sourced `as`-to-integer casts in
+//! `lint:hot-path`/`lint:shard-state` files: `as` truncates and saturates
+//! silently, and a clipped sequence number or subflow id corrupts the
+//! deterministic history without tripping anything. These helpers are the
+//! sanctioned route: each one states its domain invariant, enforces it
+//! under `debug_assert!`, and keeps the release-mode behavior explicit.
+//!
+//! The helpers live in one unmarked file on purpose — the invariant text
+//! and the debug assertion sit next to the cast, so the marked call sites
+//! stay clean without per-site allow annotations.
+
+/// A slab/pool index (`ack_pool`, `subflows`, …) narrowed to the `u32`
+/// stored in packet headers and ids.
+///
+/// Invariant: the simulator's pools are bounded far below `u32::MAX`
+/// entries (a million-host run still keeps per-shard pools in the
+/// thousands); debug builds assert it, release builds truncate like `as`.
+#[inline]
+pub(crate) fn slab_u32(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "slab index {n} exceeds u32");
+    n as u32
+}
+
+/// An inline path length narrowed to the `u8` length field of
+/// `LinkPath::Inline`.
+///
+/// Invariant: callers only take the inline arm when the hop count is at
+/// most `INLINE_PATH` (currently 4), which fits `u8` with room to spare.
+#[inline]
+pub(crate) fn path_u8(n: usize) -> u8 {
+    debug_assert!(u8::try_from(n).is_ok(), "inline path length {n} exceeds u8");
+    n as u8
+}
+
+/// A finite, non-negative `f64` quantity (window sizes, scaled budgets)
+/// converted to `u64`.
+///
+/// Invariant: the source is finite and non-negative. Release builds keep
+/// `as`-cast semantics — saturation at the ends, NaN to 0 — which is the
+/// documented fallback if the invariant is ever violated in the field.
+#[inline]
+pub(crate) fn f64_to_u64(x: f64) -> u64 {
+    debug_assert!(x.is_finite() && x >= 0.0, "f64→u64 cast of {x}");
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(slab_u32(0), 0);
+        assert_eq!(slab_u32(70_000), 70_000);
+        assert_eq!(path_u8(4), 4);
+        assert_eq!(f64_to_u64(1024.9), 1024);
+        assert_eq!(f64_to_u64(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u8")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_is_caught_in_debug_builds() {
+        let _ = path_u8(300);
+    }
+
+    #[test]
+    #[should_panic(expected = "f64→u64 cast")]
+    #[cfg(debug_assertions)]
+    fn non_finite_floats_are_caught_in_debug_builds() {
+        let _ = f64_to_u64(f64::NAN);
+    }
+}

@@ -96,6 +96,7 @@ impl GeParams {
 
 /// One scripted change to the world. All actions are idempotent state
 /// assignments, so replaying a plan over a restored snapshot is safe.
+// lint:exhaustive
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultAction {
     /// Take the link down: arriving packets are dropped, the queue is

@@ -30,7 +30,7 @@ impl From<Vec<LinkId>> for LinkPath {
         if v.len() <= INLINE_PATH {
             let mut ids = [0; INLINE_PATH];
             ids[..v.len()].copy_from_slice(&v);
-            LinkPath::Inline { len: v.len() as u8, ids }
+            LinkPath::Inline { len: crate::cast::path_u8(v.len()), ids }
         } else {
             LinkPath::Heap(v)
         }

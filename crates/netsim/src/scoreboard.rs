@@ -154,7 +154,7 @@ impl BitRing {
     /// clamped to a sane range. Infinite hints get [`DEFAULT_CAP`].
     pub fn for_window_hint(max_window: f64) -> Self {
         let cap = if max_window.is_finite() && max_window >= 1.0 {
-            ((max_window * 4.0) as u64).clamp(256, 1 << 16)
+            crate::cast::f64_to_u64(max_window * 4.0).clamp(256, 1 << 16)
         } else {
             DEFAULT_CAP
         };
@@ -186,6 +186,36 @@ impl BitRing {
         ((slot >> 6) as usize, 1u64 << (slot & 63))
     }
 
+    /// The ring word holding masked slot-word index `w`.
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        // lint:allow(panic-free, reason = "w = (seq & mask) >> 6 comes from word_bit, so w < words.len() = cap/64 by construction; a miss means the mask/words invariant is broken and must fail loudly")
+        self.words[w]
+    }
+
+    /// Mutable access to the ring word at masked slot-word index `w`.
+    #[inline]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        // lint:allow(panic-free, reason = "w = (seq & mask) >> 6 comes from word_bit, so w < words.len() = cap/64 by construction; a miss means the mask/words invariant is broken and must fail loudly")
+        &mut self.words[w]
+    }
+
+    /// The fallback interval at `i` (caller has range-checked `i` against
+    /// `partition_point`, which never exceeds `ovf.len()`).
+    #[inline]
+    fn ovf_at(&self, i: usize) -> (u64, u64) {
+        // lint:allow(panic-free, reason = "callers derive i from partition_point (<= ovf.len()) and guard the boundary themselves; an out-of-range i is interval-bookkeeping corruption and must fail loudly")
+        self.ovf[i]
+    }
+
+    /// Mutable access to the fallback interval at `i` (same contract as
+    /// [`Self::ovf_at`]).
+    #[inline]
+    fn ovf_at_mut(&mut self, i: usize) -> &mut (u64, u64) {
+        // lint:allow(panic-free, reason = "callers derive i from partition_point (<= ovf.len()) and guard the boundary themselves; an out-of-range i is interval-bookkeeping corruption and must fail loudly")
+        &mut self.ovf[i]
+    }
+
     #[inline]
     pub fn contains(&self, seq: u64) -> bool {
         if seq < self.base {
@@ -193,7 +223,7 @@ impl BitRing {
         }
         if seq - self.base < self.cap() {
             let (w, bit) = self.word_bit(seq);
-            self.words[w] & bit != 0
+            self.word(w) & bit != 0
         } else {
             ovf_contains(&self.ovf, seq)
         }
@@ -210,10 +240,10 @@ impl BitRing {
             }
         }
         let (w, bit) = self.word_bit(seq);
-        if self.words[w] & bit != 0 {
+        if self.word(w) & bit != 0 {
             return false;
         }
-        self.words[w] |= bit;
+        *self.word_mut(w) |= bit;
         if self.len == 0 {
             self.lo = seq;
             self.hi = seq + 1;
@@ -232,10 +262,10 @@ impl BitRing {
         }
         if seq - self.base < self.cap() {
             let (w, bit) = self.word_bit(seq);
-            if self.words[w] & bit == 0 {
+            if self.word(w) & bit == 0 {
                 return false;
             }
-            self.words[w] &= !bit;
+            *self.word_mut(w) &= !bit;
             self.len -= 1;
             if self.len == 0 {
                 self.lo = self.base;
@@ -279,21 +309,23 @@ impl BitRing {
     /// Pop the smallest member.
     pub fn pop_first(&mut self) -> Option<u64> {
         if self.len > 0 {
-            let seq = self
-                .first_in(self.lo.max(self.base), self.hi)
-                .expect("len > 0 within [lo, hi)");
+            // len > 0 guarantees a member in [lo, hi); if the ring ever
+            // disagrees, report empty instead of panicking mid-simulation.
+            let Some(seq) = self.first_in(self.lo.max(self.base), self.hi) else {
+                debug_assert!(false, "len > 0 must yield a member in [lo, hi)");
+                return None;
+            };
             self.remove(seq);
             if self.len > 0 {
                 self.lo = seq + 1;
             }
             return Some(seq);
         }
-        if self.ovf_len > 0 {
-            let (s, e) = self.ovf[0];
+        if let Some(&(s, e)) = self.ovf.first() {
             if s + 1 == e {
                 self.ovf.remove(0);
-            } else {
-                self.ovf[0] = (s + 1, e);
+            } else if let Some(first) = self.ovf.first_mut() {
+                *first = (s + 1, e);
             }
             self.ovf_len -= 1;
             return Some(s);
@@ -312,7 +344,10 @@ impl BitRing {
                 }
                 n -= run;
             }
-            unreachable!("ovf_len covers n");
+            // ovf_len counts exactly the members of ovf, so the loop must
+            // return; degrade to “not found” if the count ever drifts.
+            debug_assert!(false, "ovf_len covers n");
+            return None;
         }
         n -= self.ovf_len;
         if n >= self.len {
@@ -383,11 +418,13 @@ impl BitRing {
         let mut spans: [(u64, u64, u64); 2] = [(0, 0, 0); 2];
         let mut count = 0;
         self.spans(from, to, |_, a, b, seq0| {
-            spans[count] = (a, b, seq0);
-            count += 1;
+            if let Some(slot) = spans.get_mut(count) {
+                *slot = (a, b, seq0);
+                count += 1;
+            }
             true
         });
-        for &(a, b, seq0) in spans[..count].iter().rev() {
+        for &(a, b, seq0) in spans.iter().take(count).rev() {
             if let Some(slot) = span_nth_back(&self.words, a, b, &mut n) {
                 return Some(seq0 + (slot - a));
             }
@@ -451,7 +488,7 @@ impl BitRing {
             let hi = self.hi;
             for_each_in_ring(&old, old_mask, from, to, |s| {
                 let (w, bit) = self.word_bit(s);
-                self.words[w] |= bit;
+                *self.word_mut(w) |= bit;
             });
             self.len = relocated;
             self.lo = lo;
@@ -487,18 +524,19 @@ impl BitRing {
     fn ovf_insert(&mut self, seq: u64) -> bool {
         // Position of the first interval with start > seq.
         let i = self.ovf.partition_point(|&(s, _)| s <= seq);
-        if i > 0 && seq < self.ovf[i - 1].1 {
+        if i > 0 && seq < self.ovf_at(i - 1).1 {
             return false; // already contained
         }
-        let joins_prev = i > 0 && self.ovf[i - 1].1 == seq;
-        let joins_next = i < self.ovf.len() && self.ovf[i].0 == seq + 1;
+        let joins_prev = i > 0 && self.ovf_at(i - 1).1 == seq;
+        let joins_next = i < self.ovf.len() && self.ovf_at(i).0 == seq + 1;
         match (joins_prev, joins_next) {
             (true, true) => {
-                self.ovf[i - 1].1 = self.ovf[i].1;
+                let merged_end = self.ovf_at(i).1;
+                self.ovf_at_mut(i - 1).1 = merged_end;
                 self.ovf.remove(i);
             }
-            (true, false) => self.ovf[i - 1].1 = seq + 1,
-            (false, true) => self.ovf[i].0 = seq,
+            (true, false) => self.ovf_at_mut(i - 1).1 = seq + 1,
+            (false, true) => self.ovf_at_mut(i).0 = seq,
             (false, false) => {
                 if self.ovf.len() == self.ovf.capacity() {
                     self.allocs += 1;
@@ -512,18 +550,18 @@ impl BitRing {
 
     fn ovf_remove(&mut self, seq: u64) -> bool {
         let i = self.ovf.partition_point(|&(s, _)| s <= seq);
-        if i == 0 || seq >= self.ovf[i - 1].1 {
+        if i == 0 || seq >= self.ovf_at(i - 1).1 {
             return false;
         }
-        let (s, e) = self.ovf[i - 1];
+        let (s, e) = self.ovf_at(i - 1);
         match (seq == s, seq + 1 == e) {
             (true, true) => {
                 self.ovf.remove(i - 1);
             }
-            (true, false) => self.ovf[i - 1].0 = seq + 1,
-            (false, true) => self.ovf[i - 1].1 = seq,
+            (true, false) => self.ovf_at_mut(i - 1).0 = seq + 1,
+            (false, true) => self.ovf_at_mut(i - 1).1 = seq,
             (false, false) => {
-                self.ovf[i - 1].1 = seq;
+                self.ovf_at_mut(i - 1).1 = seq;
                 if self.ovf.len() == self.ovf.capacity() {
                     self.allocs += 1;
                 }
@@ -537,7 +575,7 @@ impl BitRing {
 
 fn ovf_contains(ovf: &[(u64, u64)], seq: u64) -> bool {
     let i = ovf.partition_point(|&(s, _)| s <= seq);
-    i > 0 && seq < ovf[i - 1].1
+    i > 0 && ovf.get(i - 1).is_some_and(|&(_, e)| seq < e)
 }
 
 /// First set slot in the linear slot span `[a, b)`.
@@ -577,7 +615,9 @@ fn span_nth_back(words: &[u64], a: u64, b: u64, n: &mut u64) -> Option<u64> {
     let first_w = (a / 64) as usize;
     let last_w = ((b - 1) / 64) as usize;
     for w in (first_w..=last_w).rev() {
-        let mut m = words[w];
+        // Out-of-range reads see an empty word (skipped by the count
+        // check below); callers keep [a, b) inside the slab.
+        let mut m = words.get(w).copied().unwrap_or(0);
         if w == first_w {
             m &= !0u64 << (a % 64);
         }
@@ -780,7 +820,9 @@ impl OooBuf for BitmapOoo {
             match cur {
                 Some((_, ref mut end)) if s == *end => *end += 1,
                 Some(range) => {
-                    out[n] = Some(range);
+                    if let Some(slot) = out.get_mut(n) {
+                        *slot = Some(range);
+                    }
                     n += 1;
                     if n == MAX_SACK_RANGES {
                         cur = None;
@@ -793,7 +835,9 @@ impl OooBuf for BitmapOoo {
             true
         });
         if let Some(range) = cur {
-            out[n] = Some(range);
+            if let Some(slot) = out.get_mut(n) {
+                *slot = Some(range);
+            }
         }
         out
     }

@@ -370,22 +370,23 @@ impl<SB: Scoreboard> SubflowSender<SB> {
 
     /// RFC 6298 estimator update with a fresh RTT sample (seconds).
     fn rtt_sample(&mut self, sample: f64) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2.0;
+                sample
             }
-            Some(srtt) => {
-                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * sample);
+            Some(prev) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (prev - sample).abs();
+                0.875 * prev + 0.125 * sample
             }
-        }
+        };
+        self.srtt = Some(srtt);
         // A valid sample recomputes the RTO from fresh srtt/rttvar,
         // discarding any backed-off value (RFC 6298 §5.7). It does NOT
         // touch `backoffs`: only forward ACK progress proves the path is
         // alive (a sample can only arrive on such an ACK, but keeping the
         // reset in one place makes the revive rule auditable).
-        self.rto = self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001);
+        self.rto = srtt + (4.0 * self.rttvar).max(0.001);
     }
 
     /// Process an incoming ACK: cumulative point `cum` plus SACK ranges.
@@ -485,9 +486,13 @@ impl<SB: Scoreboard> SubflowSender<SB> {
             return false;
         }
         // The DupThresh-th highest SACKed sequence: every unsacked packet
-        // below it has at least DupThresh SACKed packets above.
-        let cutoff =
-            self.board.nth_highest_sacked(thresh as usize - 1).expect("len checked");
+        // below it has at least DupThresh SACKed packets above. The length
+        // guard just above guarantees it exists; if the scoreboard ever
+        // disagrees, bail conservatively (mark nothing lost this round).
+        let Some(cutoff) = self.board.nth_highest_sacked(thresh as usize - 1) else {
+            debug_assert!(false, "sacked_len() >= thresh guarantees a DupThresh-th highest");
+            return false;
+        };
         let mut any = self.board.mark_holes_lost(self.una, cutoff);
         // RACK-style: a retransmission with ≥ DupThresh *new* SACKs since
         // it went out was lost again.

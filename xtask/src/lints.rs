@@ -31,6 +31,29 @@
 //!   either break the `std::thread::scope` build or smuggle
 //!   thread-identity into the deterministic history. Shard state stays
 //!   `Send` by construction.
+//! * **`panic-free`** (D7) — no `.unwrap()`/`.expect(…)` and no
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!` in files marked
+//!   `lint:hot-path` or `lint:shard-state`, and no slice-indexing
+//!   (`expr[…]`) in `lint:hot-path` files: one out-of-window index on the
+//!   per-ACK path tears down the whole simulation and every shard behind
+//!   it. `assert!`/`debug_assert!` stay legal — they *are* the invariant
+//!   documentation. `#[cfg(test)]` items are exempt.
+//! * **`exhaustive-match`** (D8) — no `_` or binding wildcard arms in
+//!   `match`es over enums marked `// lint:exhaustive` (`AlgorithmKind`,
+//!   `FaultAction`, `CcDriver`, [`Rule`] itself): adding BBR or a new
+//!   fault action must be a compile error at every dispatch site, not a
+//!   silently absorbed case. `#[cfg(test)]` items and `tests/`
+//!   integration files are exempt.
+//! * **`cast-audit`** (D9) — in `lint:hot-path`/`lint:shard-state` files,
+//!   no `as` casts to narrower integer types (`u8`/`u16`/`u32`/`i8`/
+//!   `i16`/`i32` — sim state is `u64`/`usize`-word) and no float-sourced
+//!   `as`-to-integer casts (silent saturation): route through the checked,
+//!   invariant-documented helpers in `crates/netsim/src/cast.rs`.
+//!   `#[cfg(test)]` items are exempt.
+//!
+//! D7–D9 are *structural* rules: they run on the recursive-descent parse
+//! tree ([`crate::parse`]) rather than the raw token stream, which is what
+//! lets them see `#[cfg(test)]` boundaries, `match` arms and cast sources.
 //!
 //! The escape hatch is a machine-checked annotation:
 //!
@@ -44,9 +67,12 @@
 //! (`unused-allow`) — allows cannot rot silently.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::{self, ExprEvent, Item, ItemKind};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// A lint rule identity.
+// lint:exhaustive
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// D1: hash containers in sim library code.
@@ -55,13 +81,20 @@ pub enum Rule {
     WallClock,
     /// D3: partial float comparisons feeding ordering.
     FloatOrd,
-    /// D4: pub sim-state structs missing the determinism-digest impl.
+    /// D4: pub sim-state types missing the determinism-digest impl.
     DigestSurface,
     /// D5: ordered-tree containers in `lint:hot-path` files.
     HotPath,
     /// D6: non-`Send` cells / thread-pinned statics in `lint:shard-state`
     /// files.
     ShardSafety,
+    /// D7: panicking operations in `lint:hot-path`/`lint:shard-state`
+    /// files.
+    PanicFree,
+    /// D8: wildcard arms in `match`es over `lint:exhaustive` enums.
+    ExhaustiveMatch,
+    /// D9: narrowing / float-sourced `as` casts in marked files.
+    CastAudit,
     /// A `lint:` annotation that is malformed, names an unknown rule, or
     /// has an empty reason.
     BadAnnotation,
@@ -79,9 +112,31 @@ impl Rule {
             Rule::DigestSurface => "digest-surface",
             Rule::HotPath => "hot-path",
             Rule::ShardSafety => "shard-safety",
+            Rule::PanicFree => "panic-free",
+            Rule::ExhaustiveMatch => "exhaustive-match",
+            Rule::CastAudit => "cast-audit",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
+    }
+
+    /// Every rule, domain and meta, in policy order (D1–D9 then the two
+    /// meta rules). The `--rules` self-test walks this so the policy dump
+    /// cannot silently drop one.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::UnorderedIter,
+            Rule::WallClock,
+            Rule::FloatOrd,
+            Rule::DigestSurface,
+            Rule::HotPath,
+            Rule::ShardSafety,
+            Rule::PanicFree,
+            Rule::ExhaustiveMatch,
+            Rule::CastAudit,
+            Rule::BadAnnotation,
+            Rule::UnusedAllow,
+        ]
     }
 
     /// The rules an annotation may allow (the meta rules cannot be
@@ -94,6 +149,9 @@ impl Rule {
             Rule::DigestSurface,
             Rule::HotPath,
             Rule::ShardSafety,
+            Rule::PanicFree,
+            Rule::ExhaustiveMatch,
+            Rule::CastAudit,
         ]
     }
 
@@ -101,6 +159,19 @@ impl Rule {
     pub fn from_name(name: &str) -> Option<Rule> {
         Rule::allowable().iter().copied().find(|r| r.name() == name)
     }
+
+    /// Parse any rule name, meta rules included (used by the JSON
+    /// findings parser, which round-trips reports that may carry
+    /// `bad-annotation`/`unused-allow` entries).
+    pub fn from_any_name(name: &str) -> Option<Rule> {
+        Rule::all().iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// The comma-separated allowable-rule list quoted in diagnostics, built
+/// from [`Rule::allowable`] so the text cannot drift from the enum.
+fn known_rules_list() -> String {
+    Rule::allowable().iter().map(|r| r.name()).collect::<Vec<_>>().join(", ")
 }
 
 /// Whether a file is simulation *library* code (D1 and the `f32` ban
@@ -164,7 +235,7 @@ pub fn collect_allows(path: &Path, source: &str) -> (Vec<Allow>, Vec<Finding>) {
 /// A `lint:` directive must *lead* its comment (after the comment sigils),
 /// so prose that merely mentions the grammar — e.g. module docs quoting
 /// `// lint:allow(…)` — is not parsed as a directive.
-fn comment_directive(text: &str) -> Option<&str> {
+pub(crate) fn comment_directive(text: &str) -> Option<&str> {
     let body = text.trim_start_matches(['/', '!', '*']).trim_start();
     body.starts_with("lint:").then_some(body)
 }
@@ -187,7 +258,10 @@ fn collect_allows_from_tokens(path: &Path, source: &str, toks: &[Tok]) -> (Vec<A
                 line: t.line,
                 message: format!("malformed lint annotation: {why}"),
                 snippet: snippet_at(source, t.line),
-                suggestion: "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: unordered-iter, wall-clock, float-ord, digest-surface, hot-path, shard-safety".into(),
+                suggestion: format!(
+                    "write `// lint:allow(<rule>, reason = \"<non-empty>\")` where <rule> is one of: {}",
+                    known_rules_list()
+                ),
             }),
         }
     }
@@ -218,7 +292,7 @@ fn parse_allow(comment: &str) -> Result<(Rule, String), String> {
     let (rule_name, rest) = rest.split_once(',').ok_or("expected `,` after the rule name")?;
     let rule_name = rule_name.trim();
     let rule = Rule::from_name(rule_name)
-        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: unordered-iter, wall-clock, float-ord, digest-surface, hot-path, shard-safety)"))?;
+        .ok_or_else(|| format!("unknown rule `{rule_name}` (known: {})", known_rules_list()))?;
     let rest = rest.trim_start();
     let rest = rest.strip_prefix("reason").ok_or("expected `reason = \"…\"`")?;
     let rest = rest.trim_start();
@@ -236,18 +310,102 @@ fn snippet_at(source: &str, line: u32) -> String {
     source.lines().nth(line as usize - 1).unwrap_or("").trim().to_string()
 }
 
-/// Scan one file's code tokens for D1–D3 findings and D4 facts.
+/// One `pub` item in the workspace symbol table.
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// `"struct"`, `"enum"`, `"fn"` or `"trait"`.
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// Declaring file (workspace-relative).
+    pub path: PathBuf,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+}
+
+/// The per-workspace symbol table the structural rules consult: every
+/// `pub` item's identity, plus the variant lists of `lint:exhaustive`
+/// enums (keyed by name — the workspace keeps those names unique, which
+/// the symbol collector enforces conservatively by merging duplicates).
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// `lint:exhaustive` enum name → declared variant names.
+    exhaustive_enums: BTreeMap<String, Vec<String>>,
+    /// Every `pub` item seen while parsing.
+    pub pub_items: Vec<PubItem>,
+}
+
+impl Symbols {
+    /// Variants of a `lint:exhaustive` enum, if `name` is one.
+    pub fn exhaustive_enum(&self, name: &str) -> Option<&[String]> {
+        self.exhaustive_enums.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of every `lint:exhaustive` enum (for self-tests).
+    pub fn exhaustive_enum_names(&self) -> Vec<&str> {
+        self.exhaustive_enums.keys().map(String::as_str).collect()
+    }
+}
+
+/// Build the symbol table for a set of files (normally the whole
+/// workspace: D8 must see an enum's `lint:exhaustive` marker even when
+/// the `match` lives in a different crate).
+pub fn collect_symbols(files: &[FileInput]) -> Symbols {
+    let mut syms = Symbols::default();
+    for f in files {
+        let tree = parse::parse(&lex(&f.source));
+        collect_symbols_from_items(&tree.items, f, &mut syms);
+    }
+    syms
+}
+
+fn collect_symbols_from_items(items: &[Item], f: &FileInput, syms: &mut Symbols) {
+    for item in items {
+        let (kind, name) = match &item.kind {
+            ItemKind::Enum(e) => {
+                if e.exhaustive {
+                    syms.exhaustive_enums
+                        .entry(e.name.clone())
+                        .or_default()
+                        .extend(e.variants.iter().cloned());
+                }
+                ("enum", e.name.clone())
+            }
+            ItemKind::Struct { name } => ("struct", name.clone()),
+            ItemKind::Fn(fd) => ("fn", fd.name.clone()),
+            ItemKind::Trait { name, items } => {
+                collect_symbols_from_items(items, f, syms);
+                ("trait", name.clone())
+            }
+            ItemKind::Impl { items, .. } | ItemKind::Mod { items, .. } => {
+                collect_symbols_from_items(items, f, syms);
+                continue;
+            }
+        };
+        if item.is_pub && !name.is_empty() {
+            syms.pub_items.push(PubItem {
+                kind,
+                name,
+                path: f.path.clone(),
+                line: item.line,
+            });
+        }
+    }
+}
+
+/// Scan one file's code tokens for D1–D3 findings, its parse tree for
+/// D7–D9 findings, and both for D4 facts.
 struct FileScan {
     findings: Vec<Finding>,
-    /// `pub struct` names declared here, with lines.
-    pub_structs: Vec<(String, u32)>,
+    /// `pub struct`/`pub enum` names declared here: `(name, line, kind)`.
+    pub_types: Vec<(String, u32, &'static str)>,
     /// File carries the `lint:digest-surface` marker.
     digest_surface: bool,
-    /// Struct names with `DetDigest` impl evidence in this file.
+    /// Type names with `DetDigest` impl evidence in this file.
     digest_impls: Vec<String>,
 }
 
-fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
+fn scan_file(f: &FileInput, syms: &Symbols) -> (FileScan, Vec<Allow>, Vec<Finding>) {
     let toks = lex(&f.source);
     let (allows, bad) = collect_allows_from_tokens(&f.path, &f.source, &toks);
     let digest_surface = toks.iter().any(|t| {
@@ -265,7 +423,6 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
     let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
 
     let mut findings = Vec::new();
-    let mut pub_structs = Vec::new();
     let mut digest_impls = Vec::new();
 
     let push = |findings: &mut Vec<Finding>, rule: Rule, line: u32, message: String, suggestion: String| {
@@ -375,29 +532,7 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
                 );
             }
 
-            // ---- D4 facts: pub structs + DetDigest impl evidence ----
-            if t.text == "pub" {
-                // Skip a `pub(crate)` / `pub(in …)` restriction.
-                let mut j = i + 1;
-                if code.get(j).is_some_and(|n| n.text == "(") {
-                    let mut depth = 1;
-                    j += 1;
-                    while depth > 0 {
-                        match code.get(j) {
-                            Some(n) if n.text == "(" => depth += 1,
-                            Some(n) if n.text == ")" => depth -= 1,
-                            None => break,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                if code.get(j).is_some_and(|n| n.text == "struct") {
-                    if let Some(name) = code.get(j + 1) {
-                        pub_structs.push((name.text.clone(), name.line));
-                    }
-                }
-            }
+            // ---- D4 facts: DetDigest impl evidence ----
             if t.text == "impl_det_digest"
                 && next.is_some_and(|n| n.text == "!")
                 && next2.is_some_and(|n| n.text == "(")
@@ -443,20 +578,202 @@ fn scan_file(f: &FileInput) -> (FileScan, Vec<Allow>, Vec<Finding>) {
         }
     }
 
-    (
-        FileScan { findings, pub_structs, digest_surface, digest_impls },
-        allows,
-        bad,
-    )
+    // ---- Structural rules (D7–D9) + D4 type facts, on the parse tree ----
+    let tree = parse::parse(&toks);
+    let mut pub_types = Vec::new();
+    let cx = TreeCx {
+        f,
+        hot_path,
+        shard_state,
+        // Integration-test trees (`tests/` dirs) are test code for D8 just
+        // like `#[cfg(test)]` modules are.
+        is_test_path: f.path.components().any(|c| c.as_os_str() == "tests"),
+        syms,
+    };
+    walk_tree(&tree.items, false, &cx, &mut pub_types, &mut findings);
+
+    (FileScan { findings, pub_types, digest_surface, digest_impls }, allows, bad)
+}
+
+/// Per-file context threaded through the parse-tree walk.
+struct TreeCx<'a> {
+    f: &'a FileInput,
+    hot_path: bool,
+    shard_state: bool,
+    is_test_path: bool,
+    syms: &'a Symbols,
+}
+
+fn walk_tree(
+    items: &[Item],
+    in_test: bool,
+    cx: &TreeCx,
+    pub_types: &mut Vec<(String, u32, &'static str)>,
+    findings: &mut Vec<Finding>,
+) {
+    for item in items {
+        let test = in_test || item.cfg_test;
+        match &item.kind {
+            ItemKind::Struct { name } => {
+                if item.is_pub {
+                    pub_types.push((name.clone(), item.line, "struct"));
+                }
+            }
+            ItemKind::Enum(e) => {
+                if item.is_pub {
+                    pub_types.push((e.name.clone(), item.line, "enum"));
+                }
+            }
+            ItemKind::Fn(fd) => {
+                if !test {
+                    scan_fn_events(fd, cx, findings);
+                }
+            }
+            ItemKind::Impl { items, .. }
+            | ItemKind::Mod { items, .. }
+            | ItemKind::Trait { items, .. } => {
+                walk_tree(items, test, cx, pub_types, findings);
+            }
+        }
+    }
+}
+
+/// Cast targets D9 treats as narrowing: sim state is `u64`/`usize`-word,
+/// so an `as` to any of these silently truncates.
+const NARROW_INT_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Integer cast targets for the float-source arm of D9.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// D7/D8/D9 over one (non-test) fn body's expression events.
+fn scan_fn_events(fd: &parse::FnDef, cx: &TreeCx, findings: &mut Vec<Finding>) {
+    let marked = cx.hot_path || cx.shard_state;
+    let marker = if cx.hot_path { "lint:hot-path" } else { "lint:shard-state" };
+    let mut push = |rule: Rule, line: u32, message: String, suggestion: String| {
+        findings.push(Finding {
+            rule,
+            path: cx.f.path.clone(),
+            line,
+            message,
+            snippet: snippet_at(&cx.f.source, line),
+            suggestion,
+        });
+    };
+    for ev in &fd.events {
+        match ev {
+            ExprEvent::MethodCall { name, line }
+                if marked && matches!(name.as_str(), "unwrap" | "expect") =>
+            {
+                push(
+                    Rule::PanicFree,
+                    *line,
+                    format!(
+                        "`.{name}(…)` in a `{marker}` file: a panic on the per-ACK/shard path tears down the whole simulation (and every shard behind it)"
+                    ),
+                    "rewrite with `if let` / `let … else` / `unwrap_or*` and document the invariant, or annotate: // lint:allow(panic-free, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::MacroCall { name, line }
+                if marked
+                    && matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") =>
+            {
+                push(
+                    Rule::PanicFree,
+                    *line,
+                    format!(
+                        "`{name}!` in a `{marker}` file: an explicit panic on the per-ACK/shard path tears down the whole simulation"
+                    ),
+                    "return a fallback under `debug_assert!` (asserts are the sanctioned invariant documentation), or annotate: // lint:allow(panic-free, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::Index { line } if cx.hot_path => {
+                push(
+                    Rule::PanicFree,
+                    *line,
+                    "slice/array indexing in a `lint:hot-path` file: one out-of-window index panics on the per-ACK path".into(),
+                    "use `.get(…)`/`.get_mut(…)` with an explicit fallback, or a single annotated accessor documenting the bound invariant: // lint:allow(panic-free, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::Cast { target, float_source, line } if marked => {
+                if NARROW_INT_TARGETS.contains(&target.as_str()) {
+                    push(
+                        Rule::CastAudit,
+                        *line,
+                        format!(
+                            "narrowing `as {target}` cast in a `{marker}` file: sim state is u64/usize-word, and `as` truncates silently"
+                        ),
+                        "route through a bound-checked helper (crates/netsim/src/cast.rs) or `try_into` with a handled error, or annotate: // lint:allow(cast-audit, reason = \"…\")".into(),
+                    );
+                } else if *float_source && INT_TARGETS.contains(&target.as_str()) {
+                    push(
+                        Rule::CastAudit,
+                        *line,
+                        format!(
+                            "float-to-integer `as {target}` cast in a `{marker}` file: `as` saturates silently on overflow and maps NaN to 0"
+                        ),
+                        "route through crates/netsim/src/cast.rs (`f64_to_u64` documents the saturation and debug_asserts finiteness), or annotate: // lint:allow(cast-audit, reason = \"…\")".into(),
+                    );
+                }
+            }
+            ExprEvent::Match(m) if !cx.is_test_path => {
+                let subject = m
+                    .arms
+                    .iter()
+                    .flat_map(|a| a.heads.iter())
+                    .find_map(|(h, _)| cx.syms.exhaustive_enum(h).map(|v| (h.clone(), v)));
+                let Some((enum_name, variants)) = subject else { continue };
+                for arm in &m.arms {
+                    let Some(w) = &arm.wildcard else { continue };
+                    let covered: Vec<&str> = m
+                        .arms
+                        .iter()
+                        .flat_map(|a| a.heads.iter())
+                        .filter(|(h, _)| h == &enum_name)
+                        .filter_map(|(_, v)| v.as_deref())
+                        .collect();
+                    let missing: Vec<&str> = variants
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|v| !covered.contains(v))
+                        .collect();
+                    let absorbing = if missing.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (currently absorbing: {})", missing.join(", "))
+                    };
+                    push(
+                        Rule::ExhaustiveMatch,
+                        arm.line,
+                        format!(
+                            "wildcard arm `{w}` in a `match` over `lint:exhaustive` enum `{enum_name}`: a newly added variant would be absorbed silently instead of failing to compile{absorbing}"
+                        ),
+                        "spell the remaining variants out (an or-pattern arm keeps it compact), or annotate: // lint:allow(exhaustive-match, reason = \"…\")".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lint a group of files that form one crate, resolving symbols (the
+/// `lint:exhaustive` enum table) from the group itself. The workspace
+/// driver uses [`lint_group_with`] so D8 sees cross-crate enums.
+pub fn lint_group(files: &[FileInput]) -> Vec<Finding> {
+    let syms = collect_symbols(files);
+    lint_group_with(files, &syms)
 }
 
 /// Lint a group of files that form one crate (D4 impl evidence is
-/// resolved crate-wide). Returns all findings, sorted by path then line.
-pub fn lint_group(files: &[FileInput]) -> Vec<Finding> {
+/// resolved crate-wide) against a prebuilt symbol table. Returns all
+/// findings, sorted by path then line.
+pub fn lint_group_with(files: &[FileInput], syms: &Symbols) -> Vec<Finding> {
     let mut per_file: Vec<(FileScan, Vec<Allow>, Vec<Finding>)> =
-        files.iter().map(scan_file).collect();
+        files.iter().map(|f| scan_file(f, syms)).collect();
 
-    // D4: resolve digest-surface structs against crate-wide impl evidence.
+    // D4: resolve digest-surface types against crate-wide impl evidence.
     let impls: Vec<String> =
         per_file.iter().flat_map(|(s, _, _)| s.digest_impls.iter().cloned()).collect();
     for (idx, f) in files.iter().enumerate() {
@@ -464,25 +781,32 @@ pub fn lint_group(files: &[FileInput]) -> Vec<Finding> {
         if !scan.digest_surface {
             continue;
         }
-        let missing: Vec<(String, u32)> = scan
-            .pub_structs
+        let missing: Vec<(String, u32, &'static str)> = scan
+            .pub_types
             .iter()
-            .filter(|(name, _)| !impls.iter().any(|i| i == name))
+            .filter(|(name, _, _)| !impls.iter().any(|i| i == name))
             .cloned()
             .collect();
-        for (name, line) in missing {
+        for (name, line, kind) in missing {
             let snippet = snippet_at(&f.source, line);
+            let suggestion = if kind == "enum" {
+                format!(
+                    "add a manual `impl DetDigest for {name}` that tags the arm and hashes its payload (see `CcDriver`), or annotate the enum: // lint:allow(digest-surface, reason = \"…\")"
+                )
+            } else {
+                format!(
+                    "add `impl_det_digest!({name} {{ <every field> }});` (use the `skip {{ … }}` block for wall-clock-only fields), or annotate the struct: // lint:allow(digest-surface, reason = \"…\")"
+                )
+            };
             per_file[idx].0.findings.push(Finding {
                 rule: Rule::DigestSurface,
                 path: f.path.clone(),
                 line,
                 message: format!(
-                    "`pub struct {name}` in a `lint:digest-surface` file has no `DetDigest` impl: its state escapes the chaos_smoke determinism digest"
+                    "`pub {kind} {name}` in a `lint:digest-surface` file has no `DetDigest` impl: its state escapes the chaos_smoke determinism digest"
                 ),
                 snippet,
-                suggestion: format!(
-                    "add `impl_det_digest!({name} {{ <every field> }});` (use the `skip {{ … }}` block for wall-clock-only fields), or annotate the struct: // lint:allow(digest-surface, reason = \"…\")"
-                ),
+                suggestion,
             });
         }
     }
@@ -659,5 +983,115 @@ mod tests {
         assert!(lint_group(&[file(surface, Scope::Sim), manual]).is_empty());
         // Unmarked files carry no obligation.
         assert!(lint_group(&[file("pub struct Free { pub a: u64 }\n", Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn digest_surface_covers_pub_enums() {
+        let surface = "// lint:digest-surface\npub enum Mode { A, B(u64) }\n";
+        let f = lint_group(&[file(surface, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::DigestSurface], "{f:?}");
+        assert!(f[0].message.contains("pub enum Mode"), "{f:?}");
+        assert!(f[0].suggestion.contains("impl DetDigest for Mode"), "{f:?}");
+        // A manual impl anywhere in the group satisfies it.
+        let manual = FileInput {
+            path: PathBuf::from("manual.rs"),
+            source: "impl DetDigest for Mode { fn det_digest(&self, h: &mut DigestWriter) {} }\n"
+                .into(),
+            scope: Scope::Sim,
+        };
+        assert!(lint_group(&[file(surface, Scope::Sim), manual]).is_empty());
+        // Non-pub enums carry no obligation.
+        let private = "// lint:digest-surface\nenum Hidden { A }\n";
+        assert!(lint_group(&[file(private, Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn panic_free_fires_in_marked_non_test_code_only() {
+        let marked = "// lint:hot-path\nfn f(x: Option<u64>, xs: &[u64]) -> u64 {\n    let a = x.unwrap();\n    let b = xs[0];\n    panic!(\"{}\", a + b);\n}\n";
+        let f = lint_group(&[file(marked, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::PanicFree; 3], "{f:?}");
+        // In shard-state files unwrap/expect/panics are banned but
+        // indexing is legal (slab accesses are the storage idiom there).
+        let shard = marked.replace("lint:hot-path", "lint:shard-state");
+        let f = lint_group(&[file(&shard, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::PanicFree; 2], "{f:?}");
+        // Unmarked files carry no obligation.
+        let free = marked.replace("// lint:hot-path\n", "");
+        assert!(lint_group(&[file(&free, Scope::Sim)]).is_empty());
+        // #[cfg(test)] items in a marked file are exempt.
+        let test_only = "// lint:hot-path\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u64>) -> u64 { x.unwrap() }\n}\n";
+        assert!(lint_group(&[file(test_only, Scope::Sim)]).is_empty());
+        // assert!/debug_assert! are the sanctioned invariant form.
+        let asserts = "// lint:hot-path\nfn f(n: u64) { assert!(n > 0); debug_assert!(n < 10); }\n";
+        assert!(lint_group(&[file(asserts, Scope::Sim)]).is_empty());
+        // The escape hatch works like every other rule's.
+        let allowed = "// lint:hot-path\nfn f(x: Option<u64>) -> u64 {\n    x.unwrap() // lint:allow(panic-free, reason = \"caller checked is_some\")\n}\n";
+        assert!(lint_group(&[file(allowed, Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_match_requires_the_marker_and_spares_tests() {
+        let src = "// lint:exhaustive\npub enum Kind { A, B, C }\nfn f(k: Kind) -> u32 {\n    match k {\n        Kind::A => 0,\n        _ => 1,\n    }\n}\n";
+        let f = lint_group(&[file(src, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::ExhaustiveMatch], "{f:?}");
+        assert!(f[0].message.contains("absorbing: B, C"), "{f:?}");
+        // Binding wildcards (with or without a guard) are just as wide.
+        let bind = src.replace("_ => 1,", "other if other as u32 > 0 => 1,\n        other => 2,");
+        let f = lint_group(&[file(&bind, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::ExhaustiveMatch; 2], "{f:?}");
+        // Unmarked enums carry no obligation.
+        let free = src.replace("// lint:exhaustive\n", "");
+        assert!(lint_group(&[file(&free, Scope::Sim)]).is_empty());
+        // Exhaustive spellings are clean.
+        let full = src.replace("_ => 1,", "Kind::B | Kind::C => 1,");
+        assert!(lint_group(&[file(&full, Scope::Sim)]).is_empty());
+        // The marker is resolved cross-file through the symbol table.
+        let enum_file = file("// lint:exhaustive\npub enum Kind { A, B }\n", Scope::Sim);
+        let match_file = FileInput {
+            path: PathBuf::from("user.rs"),
+            source: "fn g(k: Kind) -> u32 { match k { Kind::A => 0, _ => 1 } }\n".into(),
+            scope: Scope::Sim,
+        };
+        let f = lint_group(&[enum_file.clone(), match_file.clone()]);
+        assert_eq!(rules(&f), vec![Rule::ExhaustiveMatch], "{f:?}");
+        // …and `tests/` integration files are exempt.
+        let test_file = FileInput {
+            path: PathBuf::from("tests/user.rs"),
+            source: match_file.source.clone(),
+            scope: Scope::General,
+        };
+        assert!(lint_group(&[enum_file, test_file]).is_empty());
+    }
+
+    #[test]
+    fn cast_audit_flags_narrowing_and_float_sources_in_marked_files() {
+        let marked = "// lint:shard-state\nfn f(n: usize, w: f64) -> u64 {\n    let a = n as u32;\n    let b = (w * 4.0) as u64;\n    let c = n as u64;\n    a as u64 + b + c\n}\n";
+        let f = lint_group(&[file(marked, Scope::Sim)]);
+        // `n as u32` narrows; `(w * 4.0) as u64` is float-sourced;
+        // `n as u64` and `a as u64` widen and stay legal.
+        assert_eq!(rules(&f), vec![Rule::CastAudit; 2], "{f:?}");
+        assert!(f[0].message.contains("narrowing"), "{f:?}");
+        assert!(f[1].message.contains("float-to-integer"), "{f:?}");
+        // Unmarked files carry no obligation.
+        let free = marked.replace("// lint:shard-state\n", "");
+        assert!(lint_group(&[file(&free, Scope::Sim)]).is_empty());
+        // The escape hatch works like every other rule's.
+        let allowed = "// lint:shard-state\nfn f(n: usize) -> u32 {\n    // lint:allow(cast-audit, reason = \"n is a subflow index, bounded by MAX_SUBFLOWS = 64\")\n    n as u32\n}\n";
+        assert!(lint_group(&[file(allowed, Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn symbol_table_records_pub_items_and_exhaustive_enums() {
+        let a = file(
+            "// lint:exhaustive\npub enum Kind { A, B }\npub struct S;\npub fn run() {}\n",
+            Scope::Sim,
+        );
+        let syms = collect_symbols(&[a]);
+        assert_eq!(syms.exhaustive_enum_names(), vec!["Kind"]);
+        assert_eq!(syms.exhaustive_enum("Kind").unwrap(), &["A", "B"]);
+        assert!(syms.exhaustive_enum("S").is_none());
+        let names: Vec<(&str, &str)> =
+            syms.pub_items.iter().map(|p| (p.kind, p.name.as_str())).collect();
+        assert_eq!(names, vec![("enum", "Kind"), ("struct", "S"), ("fn", "run")]);
     }
 }

@@ -10,9 +10,12 @@
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 //! or I/O errors — so CI can treat the lint like `clippy -D warnings`.
 
-use xtask::{compare, find_workspace_root, lint_workspace, mechanical_fix, parse_bench, Finding, Rule};
+use xtask::{
+    compare, find_workspace_root, findings_to_json, github_annotations, lint_workspace,
+    mechanical_fix, parse_bench, Finding, Rule,
+};
 
-const USAGE: &str = "usage: cargo xtask lint [--fix] [--rules] [PATH...]
+const USAGE: &str = "usage: cargo xtask lint [--fix] [--rules] [--format FMT] [PATH...]
        cargo xtask bench-check BASELINE [CURRENT] [--threshold-pct N] [--strict]
 
 subcommands:
@@ -20,6 +23,10 @@ subcommands:
     --fix       additionally print mechanical rewrite suggestions (no files
                 are modified)
     --rules     print the rule set and the annotation grammar, then exit
+    --format FMT
+                output format: text (default), json (versioned findings
+                document for CI artifacts), github (::error workflow
+                commands for inline PR annotations)
     PATH...     lint only these .rs files, under the strictest (sim library)
                 scope — used to try a file or a fixture in isolation
   bench-check   compare the throughput (events/ops per second, per-core) and
@@ -56,6 +63,19 @@ const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
   shard-safety     no Rc/RefCell/thread_local! in a file marked
                    `// lint:shard-state`: that state moves onto worker
                    threads in the sharded engine and must stay Send.
+  panic-free       no .unwrap()/.expect() or panic!/unreachable!/todo!/
+                   unimplemented! in lint:hot-path / lint:shard-state files,
+                   and no slice indexing in lint:hot-path files: a panic on
+                   the per-ACK path tears down the whole simulation.
+                   assert!/debug_assert! stay legal; #[cfg(test)] is exempt.
+  exhaustive-match no _ or binding wildcard arms in matches over enums
+                   marked `// lint:exhaustive` (AlgorithmKind, FaultAction,
+                   CcDriver, Rule): new variants must fail to compile at
+                   every dispatch site. Test code is exempt.
+  cast-audit       no narrowing `as` casts (u8/u16/u32/i8/i16/i32) and no
+                   float-sourced `as`-to-integer casts in lint:hot-path /
+                   lint:shard-state files: route through the checked
+                   helpers in crates/netsim/src/cast.rs.
 
 meta (not annotatable):
 
@@ -91,13 +111,29 @@ fn run(args: &[String]) -> i32 {
         }
     }
     let mut fix = false;
+    let mut format = Format::Text;
     let mut paths: Vec<String> = Vec::new();
-    for flag in it {
+    while let Some(flag) = it.next() {
         match flag {
             "--fix" => fix = true,
             "--rules" => {
                 print!("{RULES}");
                 return 0;
+            }
+            "--format" => {
+                format = match it.next() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("github") => Format::Github,
+                    Some(other) => {
+                        eprintln!("unknown format `{other}` (text, json, github)\n{USAGE}");
+                        return 2;
+                    }
+                    None => {
+                        eprintln!("--format needs a value (text, json, github)\n{USAGE}");
+                        return 2;
+                    }
+                };
             }
             other if other.starts_with('-') => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
@@ -108,7 +144,7 @@ fn run(args: &[String]) -> i32 {
     }
 
     if !paths.is_empty() {
-        return lint_paths(&paths, fix);
+        return lint_paths(&paths, fix, format);
     }
 
     let cwd = match std::env::current_dir() {
@@ -132,18 +168,50 @@ fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    emit(&findings, format, fix, "workspace clean (0 findings)")
+}
 
+/// Output format for lint findings.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+/// Print findings in the selected format; the exit code is the CI
+/// contract (0 clean, 1 findings) in every format.
+fn emit(findings: &[Finding], format: Format, fix: bool, clean_msg: &str) -> i32 {
+    match format {
+        Format::Json => {
+            // Machine output only — a clean run emits an empty document.
+            print!("{}", findings_to_json(findings));
+        }
+        Format::Github => {
+            print!("{}", github_annotations(findings));
+            if findings.is_empty() {
+                println!("xtask lint: {clean_msg}");
+            } else {
+                println!("xtask lint: {} finding(s): {}", findings.len(), summarize(findings));
+            }
+        }
+        Format::Text => {
+            if findings.is_empty() {
+                println!("xtask lint: {clean_msg}");
+            } else {
+                for f in findings {
+                    print_finding(f, fix);
+                }
+                println!("xtask lint: {} finding(s): {}", findings.len(), summarize(findings));
+                println!("  (run `cargo xtask lint --rules` for the policy, `--fix` for rewrite suggestions)");
+            }
+        }
+    }
     if findings.is_empty() {
-        println!("xtask lint: workspace clean (0 findings)");
-        return 0;
+        0
+    } else {
+        1
     }
-    for f in &findings {
-        print_finding(f, fix);
-    }
-    let by_rule = summarize(&findings);
-    println!("xtask lint: {} finding(s): {}", findings.len(), by_rule);
-    println!("  (run `cargo xtask lint --rules` for the policy, `--fix` for rewrite suggestions)");
-    1
 }
 
 /// `cargo xtask bench-check BASELINE [CURRENT] [--threshold-pct N] [--strict]`
@@ -260,7 +328,7 @@ fn bench_check(args: &[String]) -> i32 {
 }
 
 /// Lint explicitly-given files as one group, under the strictest scope.
-fn lint_paths(paths: &[String], fix: bool) -> i32 {
+fn lint_paths(paths: &[String], fix: bool, format: Format) -> i32 {
     let mut files = Vec::new();
     for p in paths {
         let source = match std::fs::read_to_string(p) {
@@ -273,15 +341,7 @@ fn lint_paths(paths: &[String], fix: bool) -> i32 {
         files.push(xtask::FileInput { path: p.into(), source, scope: xtask::Scope::Sim });
     }
     let findings = xtask::lint_group(&files);
-    if findings.is_empty() {
-        println!("xtask lint: {} file(s) clean", files.len());
-        return 0;
-    }
-    for f in &findings {
-        print_finding(f, fix);
-    }
-    println!("xtask lint: {} finding(s): {}", findings.len(), summarize(&findings));
-    1
+    emit(&findings, format, fix, &format!("{} file(s) clean", files.len()))
 }
 
 fn print_finding(f: &Finding, fix: bool) {

@@ -1,0 +1,1105 @@
+//! A lightweight recursive-descent parse tree over the lexer's tokens.
+//!
+//! The token-level rules (D1–D6) match on single tokens or short fixed
+//! windows; the PR-9 rule families need *structure*: whether a call site
+//! sits inside a `#[cfg(test)]` module, which `impl` a `Self::` pattern
+//! resolves to, where a `match`'s arms begin and end, what expression a
+//! narrowing `as` cast is applied to. This module builds exactly as much
+//! of that structure as the rules consume and no more:
+//!
+//! * **items** — `fn`/`struct`/`enum`/`impl`/`mod`/`trait` nesting, with
+//!   `#[cfg(test)]` attributes and `pub` visibility tracked, and the
+//!   `// lint:exhaustive` marker attached to the enum it precedes;
+//! * **fn bodies** — a flat stream of [`ExprEvent`]s (method calls, macro
+//!   calls, index expressions, `as` casts, `match` expressions with
+//!   parsed arm patterns), which is the "expression tree" view the D7–D9
+//!   scanners walk. Nesting that the rules don't need (operator
+//!   precedence, full expression shapes) is deliberately not modeled.
+//!
+//! Like the lexer, the parser must degrade gracefully on files that never
+//! compile (the fixture corpus): every scan is bounds-checked and an
+//! unclosed bracket simply ends the enclosing construct at end-of-input.
+
+use crate::lexer::{Tok, TokKind};
+
+/// The parse tree of one file.
+#[derive(Debug, Default)]
+pub struct FileTree {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item (possibly nested inside a `mod`, `impl` or `trait`).
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Item has a `pub` (or `pub(...)`) visibility qualifier.
+    pub is_pub: bool,
+    /// Item carries a `#[cfg(test…)]` attribute *itself* (enclosing-mod
+    /// gating is resolved by the tree walk, not stored here).
+    pub cfg_test: bool,
+}
+
+/// Item classification; containers carry their children.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// An `enum` definition.
+    Enum(EnumDef),
+    /// A `struct` (or `union`) definition.
+    Struct {
+        /// Type name.
+        name: String,
+    },
+    /// A function with its body's expression events (empty for bodyless
+    /// trait-method declarations).
+    Fn(FnDef),
+    /// An `impl` block; `self_ty` is the implementing type's last path
+    /// segment (`impl fmt::Debug for CcDriver` → `CcDriver`).
+    Impl {
+        /// The `Self` type's name.
+        self_ty: String,
+        /// Associated items.
+        items: Vec<Item>,
+    },
+    /// An inline `mod name { … }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Contained items.
+        items: Vec<Item>,
+    },
+    /// A `trait` definition (default method bodies are analyzed).
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Associated items.
+        items: Vec<Item>,
+    },
+}
+
+/// An `enum` definition.
+#[derive(Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+    /// The enum is marked `// lint:exhaustive` (comment leading the item
+    /// header): `match`es over it must not use wildcard arms.
+    pub exhaustive: bool,
+}
+
+/// A function and the expression events of its body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Flattened body events in source order (nested blocks included).
+    pub events: Vec<ExprEvent>,
+}
+
+/// One structural fact about a fn body that a rule can match on.
+#[derive(Debug)]
+pub enum ExprEvent {
+    /// `.name(…)` — a method call.
+    MethodCall {
+        /// Method name.
+        name: String,
+        /// 1-based line of the method name.
+        line: u32,
+    },
+    /// `name!(…)` / `name![…]` / `name!{…}` — a macro invocation.
+    MacroCall {
+        /// Macro name (without the `!`).
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `expr[…]` — an index expression (panics when out of bounds).
+    Index {
+        /// 1-based line of the `[`.
+        line: u32,
+    },
+    /// `expr as Ty` — a cast to a primitive-named target.
+    Cast {
+        /// Target type name (first identifier after `as`).
+        target: String,
+        /// The source expression carries float evidence: a float literal
+        /// or an `f64`/`f32` token in the postfix chain / parenthesized
+        /// group directly under the cast.
+        float_source: bool,
+        /// 1-based line of the `as`.
+        line: u32,
+    },
+    /// A `match` expression with its parsed arms.
+    Match(MatchExpr),
+}
+
+/// A parsed `match` expression.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One match arm's top-level pattern facts.
+#[derive(Debug)]
+pub struct Arm {
+    /// 1-based line of the arm's first pattern token.
+    pub line: u32,
+    /// `(enum_or_head, variant)` for each path-shaped top-level
+    /// alternative: `AlgorithmKind::Cubic` → `("AlgorithmKind",
+    /// Some("Cubic"))`, `Some(x)` → `("Some", None)`. `Self::X` is
+    /// resolved to the enclosing `impl`'s type.
+    pub heads: Vec<(String, Option<String>)>,
+    /// `Some(text)` when an alternative is irrefutable: `_`, or a bare
+    /// lower-case binding identifier (with any `ref`/`mut`/`&` stripped).
+    /// A guard does not clear this — `other if cond =>` still absorbs
+    /// newly added variants.
+    pub wildcard: Option<String>,
+}
+
+/// Identifier tokens that are Rust keywords (or pattern binding modes):
+/// a `[` following one of these opens an array/slice *pattern or
+/// literal*, not an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
+    "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+/// Parse a lexed file into its item tree.
+pub fn parse(toks: &[Tok]) -> FileTree {
+    let mut p = Parser { toks };
+    let mut i = 0;
+    FileTree { items: p.items(&mut i, toks.len(), None) }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    /// Index one past the bracket matching the opener at `open`
+    /// (`(`/`[`/`{`), tolerant of unclosed input.
+    fn after_matched(&self, open: usize, end: usize) -> usize {
+        let (o, c) = match self.text(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return open + 1,
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < end {
+            if !self.toks[j].is_comment() {
+                let t = self.text(j);
+                if t == o {
+                    depth += 1;
+                } else if t == c {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skip to one past the next `;` at bracket depth 0 (for `use`,
+    /// `const`, `static`, `type` items).
+    fn after_semi(&self, from: usize, end: usize) -> usize {
+        let mut j = from;
+        while j < end {
+            let t = &self.toks[j];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        j = self.after_matched(j, end);
+                        continue;
+                    }
+                    ";" => return j + 1,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parse items until `end`, advancing `*i`. `impl_ty` is the
+    /// enclosing impl's self type for `Self::` resolution in bodies.
+    fn items(&mut self, i: &mut usize, end: usize, impl_ty: Option<&str>) -> Vec<Item> {
+        let mut out = Vec::new();
+        // Pending facts harvested from the item header being accumulated.
+        let mut p_pub = false;
+        let mut p_cfg_test = false;
+        let mut p_exhaustive = false;
+        macro_rules! reset {
+            () => {{
+                p_pub = false;
+                p_cfg_test = false;
+                p_exhaustive = false;
+            }};
+        }
+        while *i < end {
+            let t = &self.toks[*i];
+            if t.is_comment() {
+                if crate::lints::comment_directive(&t.text)
+                    .is_some_and(|d| d.starts_with("lint:exhaustive"))
+                {
+                    p_exhaustive = true;
+                }
+                *i += 1;
+                continue;
+            }
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "#") => {
+                    let mut j = *i + 1;
+                    if self.text(j) == "!" {
+                        j += 1;
+                    }
+                    if self.text(j) == "[" {
+                        let close = self.after_matched(j, end);
+                        let attr = &self.toks[j..close];
+                        let has = |s: &str| {
+                            attr.iter().any(|t| t.kind == TokKind::Ident && t.text == s)
+                        };
+                        if has("cfg") && has("test") {
+                            p_cfg_test = true;
+                        }
+                        *i = close;
+                    } else {
+                        *i += 1;
+                    }
+                }
+                (TokKind::Ident, "pub") => {
+                    p_pub = true;
+                    *i += 1;
+                    if self.text(*i) == "(" {
+                        *i = self.after_matched(*i, end);
+                    }
+                }
+                (TokKind::Ident, "unsafe" | "async" | "default") => *i += 1,
+                (TokKind::Ident, "extern") => {
+                    // `extern crate x;`, `extern "C" { … }`, `extern "C" fn`.
+                    *i += 1;
+                    if self.kind(*i) == Some(TokKind::Str) {
+                        *i += 1;
+                    }
+                    if self.text(*i) == "crate" {
+                        *i = self.after_semi(*i, end);
+                        reset!();
+                    } else if self.text(*i) == "{" {
+                        *i = self.after_matched(*i, end);
+                        reset!();
+                    }
+                }
+                (TokKind::Ident, "const" | "static" | "type" | "use") => {
+                    // `const fn` is a fn modifier, not a const item.
+                    if t.text == "const" && self.text(*i + 1) == "fn" {
+                        *i += 1;
+                    } else {
+                        *i = self.after_semi(*i + 1, end);
+                        reset!();
+                    }
+                }
+                (TokKind::Ident, "macro_rules") => {
+                    // `macro_rules! name { … }`: the body is token soup.
+                    let mut j = *i + 1;
+                    while j < end && !matches!(self.text(j), "(" | "[" | "{") {
+                        j += 1;
+                    }
+                    *i = self.after_matched(j, end);
+                    if self.text(*i) == ";" {
+                        *i += 1;
+                    }
+                    reset!();
+                }
+                (TokKind::Ident, "enum") => {
+                    let line = t.line;
+                    let item = self.parse_enum(i, end, p_exhaustive);
+                    out.push(Item { kind: item, line, is_pub: p_pub, cfg_test: p_cfg_test });
+                    reset!();
+                }
+                (TokKind::Ident, "struct" | "union") => {
+                    let line = t.line;
+                    let name = self.ident_after(*i, end);
+                    // Skip to the body (`{…}`) or the terminating `;`.
+                    let mut j = *i + 1;
+                    while j < end && !matches!(self.text(j), "{" | ";" | "(") {
+                        j += 1;
+                    }
+                    *i = match self.text(j) {
+                        "{" => self.after_matched(j, end),
+                        "(" => self.after_semi(self.after_matched(j, end), end),
+                        _ => j + 1,
+                    };
+                    out.push(Item {
+                        kind: ItemKind::Struct { name },
+                        line,
+                        is_pub: p_pub,
+                        cfg_test: p_cfg_test,
+                    });
+                    reset!();
+                }
+                (TokKind::Ident, "fn") => {
+                    let line = t.line;
+                    let name = self.ident_after(*i, end);
+                    // Signature: scan to the body `{` or a bodyless `;`,
+                    // skipping matched `(`/`[` groups (the argument list).
+                    let mut j = *i + 1;
+                    let mut events = Vec::new();
+                    loop {
+                        if j >= end {
+                            *i = end;
+                            break;
+                        }
+                        match self.text(j) {
+                            "(" | "[" => j = self.after_matched(j, end),
+                            "{" => {
+                                let close = self.after_matched(j, end);
+                                events = self.body_events(j + 1, close.saturating_sub(1), impl_ty);
+                                *i = close;
+                                break;
+                            }
+                            ";" => {
+                                *i = j + 1;
+                                break;
+                            }
+                            _ if self.toks[j].is_comment() => j += 1,
+                            _ => j += 1,
+                        }
+                    }
+                    out.push(Item {
+                        kind: ItemKind::Fn(FnDef { name, events }),
+                        line,
+                        is_pub: p_pub,
+                        cfg_test: p_cfg_test,
+                    });
+                    reset!();
+                }
+                (TokKind::Ident, "impl") => {
+                    let line = t.line;
+                    // Header: tokens up to the `{`; the self type is the
+                    // segment after `for` when present (trait impls).
+                    let mut j = *i + 1;
+                    let mut after_for: Option<usize> = None;
+                    while j < end && self.text(j) != "{" {
+                        if self.kind(j) == Some(TokKind::Ident) && self.text(j) == "for" {
+                            after_for = Some(j + 1);
+                        }
+                        j += 1;
+                    }
+                    let ty_start = after_for.unwrap_or(*i + 1);
+                    let self_ty = self.type_head(ty_start, j);
+                    let close = self.after_matched(j, end);
+                    let mut k = j + 1;
+                    let items =
+                        self.items(&mut k, close.saturating_sub(1), Some(self_ty.as_str()));
+                    *i = close;
+                    out.push(Item {
+                        kind: ItemKind::Impl { self_ty, items },
+                        line,
+                        is_pub: p_pub,
+                        cfg_test: p_cfg_test,
+                    });
+                    reset!();
+                }
+                (TokKind::Ident, "mod") => {
+                    let line = t.line;
+                    let name = self.ident_after(*i, end);
+                    let mut j = *i + 1;
+                    while j < end && !matches!(self.text(j), "{" | ";") {
+                        j += 1;
+                    }
+                    if self.text(j) == "{" {
+                        let close = self.after_matched(j, end);
+                        let mut k = j + 1;
+                        let items = self.items(&mut k, close.saturating_sub(1), impl_ty);
+                        *i = close;
+                        out.push(Item {
+                            kind: ItemKind::Mod { name, items },
+                            line,
+                            is_pub: p_pub,
+                            cfg_test: p_cfg_test,
+                        });
+                    } else {
+                        *i = j + 1;
+                    }
+                    reset!();
+                }
+                (TokKind::Ident, "trait") => {
+                    let line = t.line;
+                    let name = self.ident_after(*i, end);
+                    let mut j = *i + 1;
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    let close = self.after_matched(j, end);
+                    let mut k = j + 1;
+                    let items = self.items(&mut k, close.saturating_sub(1), impl_ty);
+                    *i = close;
+                    out.push(Item {
+                        kind: ItemKind::Trait { name, items },
+                        line,
+                        is_pub: p_pub,
+                        cfg_test: p_cfg_test,
+                    });
+                    reset!();
+                }
+                _ => {
+                    // Unrecognized token between items: drop pending facts
+                    // (matched groups are skipped whole so stray brackets
+                    // cannot desynchronize the item walk).
+                    if matches!(t.text.as_str(), "(" | "[" | "{") {
+                        *i = self.after_matched(*i, end);
+                    } else {
+                        *i += 1;
+                    }
+                    reset!();
+                }
+            }
+        }
+        out
+    }
+
+    /// First identifier token after position `i` (for item names).
+    fn ident_after(&self, i: usize, end: usize) -> String {
+        let mut j = i + 1;
+        while j < end {
+            let t = &self.toks[j];
+            if t.kind == TokKind::Ident {
+                return t.text.clone();
+            }
+            if !t.is_comment() && t.text == "!" {
+                // `fn` never hits this; defensive for malformed input.
+                return String::new();
+            }
+            j += 1;
+        }
+        String::new()
+    }
+
+    /// The head type name of a type expression in `[start, end)`: the
+    /// last identifier of the leading path, generics stripped —
+    /// `fmt::Debug` → `Debug`, `Foo<T>` → `Foo`, `&mut Bar` → `Bar`.
+    fn type_head(&self, start: usize, end: usize) -> String {
+        let mut last = String::new();
+        let mut j = start;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_comment() {
+                j += 1;
+                continue;
+            }
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "dyn" | "mut") => {}
+                (TokKind::Ident, _) => last = t.text.clone(),
+                (TokKind::Punct, "&" | "*") => {}
+                (TokKind::Punct, "::") => {}
+                (TokKind::Lifetime, _) => {}
+                (TokKind::Punct, "<") => {
+                    // Generic arguments end the head path.
+                    break;
+                }
+                _ => break,
+            }
+            j += 1;
+        }
+        last
+    }
+
+    fn parse_enum(&mut self, i: &mut usize, end: usize, exhaustive: bool) -> ItemKind {
+        let name = self.ident_after(*i, end);
+        let mut j = *i + 1;
+        while j < end && self.text(j) != "{" {
+            if self.text(j) == ";" {
+                // `enum Foo;` is invalid Rust; bail gracefully.
+                *i = j + 1;
+                return ItemKind::Enum(EnumDef { name, variants: Vec::new(), exhaustive });
+            }
+            j += 1;
+        }
+        let close = self.after_matched(j, end);
+        let body_end = close.saturating_sub(1);
+        let mut variants = Vec::new();
+        let mut k = j + 1;
+        while k < body_end {
+            let t = &self.toks[k];
+            if t.is_comment() {
+                k += 1;
+                continue;
+            }
+            if t.text == "#" {
+                k += 1;
+                if self.text(k) == "[" {
+                    k = self.after_matched(k, body_end);
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                variants.push(t.text.clone());
+                k += 1;
+                // Skip payload and/or discriminant up to the `,`.
+                while k < body_end && self.text(k) != "," {
+                    if matches!(self.text(k), "(" | "[" | "{") {
+                        k = self.after_matched(k, body_end);
+                    } else {
+                        k += 1;
+                    }
+                }
+                k += 1;
+            } else {
+                k += 1;
+            }
+        }
+        *i = close;
+        ItemKind::Enum(EnumDef { name, variants, exhaustive })
+    }
+
+    /// Scan a fn body `[start, end)` into its expression events.
+    fn body_events(&self, start: usize, end: usize, impl_ty: Option<&str>) -> Vec<ExprEvent> {
+        let mut ev = Vec::new();
+        let mut j = start;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_comment() {
+                j += 1;
+                continue;
+            }
+            match t.kind {
+                TokKind::Ident if t.text == "match" => {
+                    if let Some(m) = self.parse_match(j, end, impl_ty) {
+                        ev.push(ExprEvent::Match(m));
+                    }
+                    // Keep scanning linearly: scrutinee, guards and arm
+                    // bodies contribute their own events (nested matches
+                    // included).
+                    j += 1;
+                }
+                TokKind::Ident
+                    if self.text(j + 1) == "!" && matches!(self.text(j + 2), "(" | "[" | "{") =>
+                {
+                    ev.push(ExprEvent::MacroCall { name: t.text.clone(), line: t.line });
+                    // Step *into* the delimiter so macro arguments are
+                    // scanned, but never read its `[`/`{` as an index
+                    // expression or block.
+                    j += 3;
+                }
+                TokKind::Ident if t.text == "as" => {
+                    if let Some(target) = self.toks.get(j + 1).filter(|n| n.kind == TokKind::Ident)
+                    {
+                        ev.push(ExprEvent::Cast {
+                            target: target.text.clone(),
+                            float_source: self.cast_source_has_float(start, j),
+                            line: t.line,
+                        });
+                    }
+                    j += 1;
+                }
+                TokKind::Punct if t.text == "." => {
+                    if let (Some(name), "(") = (
+                        self.toks.get(j + 1).filter(|n| n.kind == TokKind::Ident),
+                        self.text(j + 2),
+                    ) {
+                        ev.push(ExprEvent::MethodCall { name: name.text.clone(), line: name.line });
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                TokKind::Punct if t.text == "[" => {
+                    if self.is_index_bracket(start, j) {
+                        ev.push(ExprEvent::Index { line: t.line });
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        ev
+    }
+
+    /// Whether the `[` at `j` opens an index expression: it directly
+    /// follows a completed expression (identifier that is not a keyword,
+    /// a closing bracket, `?`, or a string literal) rather than starting
+    /// an array literal, slice pattern, attribute or macro delimiter.
+    fn is_index_bracket(&self, start: usize, j: usize) -> bool {
+        let mut k = j;
+        while k > start {
+            k -= 1;
+            let p = &self.toks[k];
+            if p.is_comment() {
+                continue;
+            }
+            return match p.kind {
+                TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+                TokKind::Str => true,
+                _ => false,
+            };
+        }
+        false
+    }
+
+    /// Float evidence in the expression a cast at `as_pos` applies to:
+    /// walk the postfix chain backwards (identifiers, `.`/`::` links,
+    /// matched groups) and report any float literal or `f64`/`f32` token.
+    fn cast_source_has_float(&self, start: usize, as_pos: usize) -> bool {
+        let mut k = as_pos;
+        let mut expect_group_or_atom = true;
+        while k > start {
+            k -= 1;
+            let p = &self.toks[k];
+            if p.is_comment() {
+                continue;
+            }
+            match p.kind {
+                TokKind::Float => return true,
+                TokKind::Ident if matches!(p.text.as_str(), "f64" | "f32") => return true,
+                TokKind::Ident | TokKind::Int => {
+                    if !expect_group_or_atom {
+                        return false;
+                    }
+                    expect_group_or_atom = false;
+                }
+                TokKind::Punct if matches!(p.text.as_str(), ")" | "]") => {
+                    if !expect_group_or_atom {
+                        return false;
+                    }
+                    // Scan the matched group for float evidence, then
+                    // continue the chain before its opener.
+                    let close = p.text.clone();
+                    let open = if close == ")" { "(" } else { "[" };
+                    let mut depth = 1usize;
+                    while k > start && depth > 0 {
+                        k -= 1;
+                        let q = &self.toks[k];
+                        if q.is_comment() {
+                            continue;
+                        }
+                        if q.text == close {
+                            depth += 1;
+                        } else if q.text == open {
+                            depth -= 1;
+                        } else if q.kind == TokKind::Float
+                            || (q.kind == TokKind::Ident
+                                && matches!(q.text.as_str(), "f64" | "f32"))
+                        {
+                            return true;
+                        }
+                    }
+                    expect_group_or_atom = false;
+                }
+                TokKind::Punct if matches!(p.text.as_str(), "." | "::") => {
+                    expect_group_or_atom = true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Parse the `match` whose keyword is at `m`: locate the arms block
+    /// (the first `{` at depth 0 — scrutinees cannot contain bare struct
+    /// literals) and extract each arm's top-level pattern facts.
+    fn parse_match(&self, m: usize, end: usize, impl_ty: Option<&str>) -> Option<MatchExpr> {
+        let mut j = m + 1;
+        while j < end && self.text(j) != "{" {
+            if self.toks[j].is_comment() {
+                j += 1;
+                continue;
+            }
+            if matches!(self.text(j), "(" | "[") {
+                j = self.after_matched(j, end);
+            } else if self.text(j) == ";" || self.text(j) == "}" {
+                return None; // malformed / not actually a match expression
+            } else {
+                j += 1;
+            }
+        }
+        if j >= end {
+            return None;
+        }
+        let arms_end = self.after_matched(j, end).saturating_sub(1);
+        let mut arms = Vec::new();
+        let mut k = j + 1;
+        while k < arms_end {
+            let t = &self.toks[k];
+            if t.is_comment() || t.text == "," || t.text == "|" {
+                k += 1;
+                continue;
+            }
+            if t.text == "#" {
+                k += 1;
+                if self.text(k) == "[" {
+                    k = self.after_matched(k, arms_end);
+                }
+                continue;
+            }
+            // Pattern: tokens up to `=>` at depth 0.
+            let pat_start = k;
+            let mut depth = 0usize;
+            let mut arrow = None;
+            let mut p = k;
+            while p < arms_end {
+                let tt = &self.toks[p];
+                if !tt.is_comment() {
+                    match tt.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        "=>" if depth == 0 => {
+                            arrow = Some(p);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                p += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            arms.push(self.parse_arm(pat_start, arrow, impl_ty));
+            // Arm body: a block, or an expression up to `,` at depth 0.
+            k = arrow + 1;
+            while k < arms_end && self.toks[k].is_comment() {
+                k += 1;
+            }
+            if self.text(k) == "{" {
+                k = self.after_matched(k, arms_end);
+            } else {
+                let mut depth = 0usize;
+                while k < arms_end {
+                    let tt = &self.toks[k];
+                    if !tt.is_comment() {
+                        match tt.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        Some(MatchExpr { line: self.toks[m].line, arms })
+    }
+
+    /// Extract one arm's top-level facts from its pattern tokens
+    /// `[start, arrow)`; a trailing `if` guard at depth 0 is cut first.
+    fn parse_arm(&self, start: usize, arrow: usize, impl_ty: Option<&str>) -> Arm {
+        let line = self.toks[start].line;
+        // Cut the guard.
+        let mut pat_end = arrow;
+        let mut depth = 0usize;
+        let mut p = start;
+        while p < arrow {
+            let t = &self.toks[p];
+            if !t.is_comment() {
+                match (t.kind, t.text.as_str()) {
+                    (_, "(" | "[" | "{") => depth += 1,
+                    (_, ")" | "]" | "}") => depth = depth.saturating_sub(1),
+                    (TokKind::Ident, "if") if depth == 0 => {
+                        pat_end = p;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            p += 1;
+        }
+        // Split alternatives on `|` at depth 0.
+        let mut heads = Vec::new();
+        let mut wildcard = None;
+        let mut alt_start = start;
+        let mut depth = 0usize;
+        let mut q = start;
+        while q <= pat_end {
+            let at_sep = q == pat_end
+                || (!self.toks[q].is_comment()
+                    && depth == 0
+                    && self.toks[q].text == "|"
+                    && self.text(q + 1) != "|");
+            if at_sep {
+                self.classify_alt(alt_start, q, impl_ty, &mut heads, &mut wildcard);
+                alt_start = q + 1;
+            } else if !self.toks[q].is_comment() {
+                match self.toks[q].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            q += 1;
+        }
+        Arm { line, heads, wildcard }
+    }
+
+    /// Classify one pattern alternative `[start, end)`.
+    fn classify_alt(
+        &self,
+        start: usize,
+        end: usize,
+        impl_ty: Option<&str>,
+        heads: &mut Vec<(String, Option<String>)>,
+        wildcard: &mut Option<String>,
+    ) {
+        // Strip leading binding modes and reference sigils.
+        let mut j = start;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_comment()
+                || matches!(t.text.as_str(), "&" | "&&")
+                || (t.kind == TokKind::Ident && matches!(t.text.as_str(), "ref" | "mut" | "box"))
+            {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let Some(first) = self.toks.get(j).filter(|_| j < end) else { return };
+        if first.kind != TokKind::Ident {
+            return; // literal, tuple, slice, range, … — neither fact
+        }
+        if matches!(first.text.as_str(), "true" | "false") {
+            return;
+        }
+        // Lone identifier?
+        let mut k = j + 1;
+        while k < end && self.toks[k].is_comment() {
+            k += 1;
+        }
+        let next = if k < end { self.text(k) } else { "" };
+        match next {
+            "::" => {
+                let head = if first.text == "Self" {
+                    impl_ty.unwrap_or("Self").to_string()
+                } else {
+                    first.text.clone()
+                };
+                // Walk the path to its last segment (the variant).
+                let mut seg = None;
+                let mut q = k;
+                while q < end {
+                    let t = &self.toks[q];
+                    if t.kind == TokKind::Ident {
+                        seg = Some(t.text.clone());
+                    } else if !t.is_comment() && t.text != "::" {
+                        break;
+                    }
+                    q += 1;
+                }
+                heads.push((head, seg));
+            }
+            "(" | "{" => {
+                // `Some(x)` / `Point { .. }`: an unqualified variant or
+                // struct pattern; the head is the name itself.
+                heads.push((first.text.clone(), None));
+            }
+            "" => {
+                // A bare identifier alternative: `_` and snake_case names
+                // bind anything; a capitalized bare name is (by workspace
+                // convention) a unit variant brought in scope by a `use`.
+                let is_binding = first.text == "_"
+                    || first.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_');
+                if is_binding && wildcard.is_none() {
+                    *wildcard = Some(first.text.clone());
+                }
+            }
+            "@" => {
+                // `name @ subpattern`: the binding itself is as wide as
+                // its subpattern; classify the subpattern instead.
+                self.classify_alt(k + 1, end, impl_ty, heads, wildcard);
+            }
+            ".." | "..=" => {
+                // Range pattern headed by a const: neither fact.
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> FileTree {
+        parse(&lex(src))
+    }
+
+    fn flat_fns(items: &[Item], out: &mut Vec<(String, bool, Vec<String>)>, in_test: bool) {
+        for it in items {
+            let test = in_test || it.cfg_test;
+            match &it.kind {
+                ItemKind::Fn(f) => {
+                    let evs = f
+                        .events
+                        .iter()
+                        .map(|e| match e {
+                            ExprEvent::MethodCall { name, .. } => format!("call:{name}"),
+                            ExprEvent::MacroCall { name, .. } => format!("macro:{name}"),
+                            ExprEvent::Index { .. } => "index".into(),
+                            ExprEvent::Cast { target, float_source, .. } => {
+                                format!("cast:{target}{}", if *float_source { ":f" } else { "" })
+                            }
+                            ExprEvent::Match(m) => format!("match:{}", m.arms.len()),
+                        })
+                        .collect();
+                    out.push((f.name.clone(), test, evs));
+                }
+                ItemKind::Impl { items, .. }
+                | ItemKind::Mod { items, .. }
+                | ItemKind::Trait { items, .. } => flat_fns(items, out, test),
+                _ => {}
+            }
+        }
+    }
+
+    fn fns(src: &str) -> Vec<(String, bool, Vec<String>)> {
+        let mut out = Vec::new();
+        flat_fns(&tree(src).items, &mut out, false);
+        out
+    }
+
+    #[test]
+    fn items_nesting_and_cfg_test() {
+        let src = r#"
+            pub struct S { a: u64 }
+            impl S { pub fn m(&self) -> u64 { self.a.wrapping_add(1) } }
+            #[cfg(test)]
+            mod tests {
+                fn helper(x: Option<u64>) -> u64 { x.unwrap() }
+            }
+        "#;
+        let f = fns(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0], ("m".into(), false, vec!["call:wrapping_add".into()]));
+        assert_eq!(f[1], ("helper".into(), true, vec!["call:unwrap".into()]));
+    }
+
+    #[test]
+    fn enum_variants_and_exhaustive_marker() {
+        let src = "
+            // lint:exhaustive
+            #[derive(Debug)]
+            pub enum Kind { A, B(u64), C { x: u64 }, D = 4 }
+            enum Free { X, Y }
+        ";
+        let t = tree(src);
+        let enums: Vec<&EnumDef> = t
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Enum(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(enums.len(), 2);
+        assert_eq!(enums[0].name, "Kind");
+        assert_eq!(enums[0].variants, vec!["A", "B", "C", "D"]);
+        assert!(enums[0].exhaustive);
+        assert!(!enums[1].exhaustive);
+    }
+
+    #[test]
+    fn body_events_index_cast_macro() {
+        let src = "fn f(xs: &[u64], n: usize, w: f64) -> u64 {
+            let a = xs[n];
+            let b = [1u64, 2][0];
+            let c = vec![0u64; n];
+            let d = n as u32;
+            let e = (w * 4.0) as u64;
+            let g = n as u64;
+            panic!(\"{}\", a + b + c[0] + d as u64 + e + g);
+        }";
+        let f = fns(src);
+        let evs = &f[0].2;
+        assert_eq!(evs.iter().filter(|e| *e == "index").count(), 3, "{evs:?}");
+        assert!(evs.contains(&"cast:u32".to_string()));
+        assert!(evs.contains(&"cast:u64:f".to_string()));
+        assert!(evs.contains(&"macro:panic".to_string()));
+        assert!(evs.contains(&"macro:vec".to_string()));
+        // The widening cast has no float evidence.
+        assert!(evs.contains(&"cast:u64".to_string()), "{evs:?}");
+    }
+
+    #[test]
+    fn array_literals_types_and_patterns_are_not_indexing() {
+        let src = "fn f() -> u64 {
+            let a: [u64; 4] = [1, 2, 3, 4];
+            let [x, y, ..] = a;
+            if let [z] = &a[..1] { return *z + x + y; }
+            0
+        }";
+        let f = fns(src);
+        // Only `a[..1]` is an index expression.
+        assert_eq!(f[0].2.iter().filter(|e| *e == "index").count(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn match_arms_heads_wildcards_and_self_resolution() {
+        let src = "
+            impl Kind {
+                fn ordinal(self) -> u32 {
+                    match self {
+                        Self::A => 0,
+                        Kind::B | Kind::C => 1,
+                        other => { let _ = other; 2 }
+                    }
+                }
+            }
+            fn g(x: Option<u64>) -> u64 {
+                match x { Some(v) if v > 3 => v, Some(v) => v + 1, None => 0, _ => 9 }
+            }
+        ";
+        let t = tree(src);
+        let mut matches = Vec::new();
+        fn collect<'a>(items: &'a [Item], out: &mut Vec<&'a MatchExpr>) {
+            for it in items {
+                match &it.kind {
+                    ItemKind::Fn(f) => {
+                        for e in &f.events {
+                            if let ExprEvent::Match(m) = e {
+                                out.push(m);
+                            }
+                        }
+                    }
+                    ItemKind::Impl { items, .. }
+                    | ItemKind::Mod { items, .. }
+                    | ItemKind::Trait { items, .. } => collect(items, out),
+                    _ => {}
+                }
+            }
+        }
+        collect(&t.items, &mut matches);
+        assert_eq!(matches.len(), 2);
+        let m0 = matches[0];
+        assert_eq!(m0.arms.len(), 3, "{m0:?}");
+        assert_eq!(m0.arms[0].heads, vec![("Kind".to_string(), Some("A".to_string()))]);
+        assert_eq!(m0.arms[1].heads.len(), 2);
+        assert_eq!(m0.arms[2].wildcard.as_deref(), Some("other"));
+        let m1 = matches[1];
+        assert_eq!(m1.arms.len(), 4, "{m1:?}");
+        // The guarded Some arm still reports its head.
+        assert_eq!(m1.arms[0].heads, vec![("Some".to_string(), None)]);
+        assert_eq!(m1.arms[3].wildcard.as_deref(), Some("_"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Machine-readable findings reports.
+//!
+//! Two emitters sit behind `cargo xtask lint --format …`:
+//!
+//! * **`json`** — a versioned findings document for CI artifacts and
+//!   external tooling. The format round-trips: [`findings_from_json`] is
+//!   a real (if minimal) JSON parser, and the fixture self-tests feed
+//!   every emitted report back through it.
+//! * **`github`** — GitHub Actions workflow commands (`::error
+//!   file=…,line=…,title=…::message`), which the Actions runner turns
+//!   into inline PR annotations.
+//!
+//! Both are dependency-free by the same policy as the lexer: the linter
+//! must build in an offline container with nothing but the toolchain.
+
+use crate::lints::{Finding, Rule};
+use std::path::PathBuf;
+
+/// Version stamp of the JSON findings document; bump on breaking shape
+/// changes so downstream tooling can refuse politely.
+pub const JSON_FORMAT_VERSION: u64 = 1;
+
+/// Serialize findings as a versioned JSON document.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"version\": {JSON_FORMAT_VERSION},\n  \"count\": {},\n  \"findings\": [",
+        findings.len()
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}, \"suggestion\": {}}}",
+            esc(f.rule.name()),
+            esc(&f.path.display().to_string()),
+            f.line,
+            esc(&f.message),
+            esc(&f.snippet),
+            esc(&f.suggestion),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Render findings as GitHub Actions `::error` workflow commands, one
+/// line per finding.
+pub fn github_annotations(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        // Workflow-command grammar: properties are `,`/`:`-delimited, so
+        // they use %-escapes; the free-text message escapes newlines too.
+        out.push_str(&format!(
+            "::error file={},line={},title=xtask lint [{}]::{}\n",
+            esc_prop(&f.path.display().to_string()),
+            f.line,
+            esc_prop(f.rule.name()),
+            esc_data(&format!("{} | help: {}", f.message, f.suggestion)),
+        ));
+    }
+    out
+}
+
+/// Parse a document produced by [`findings_to_json`] back into findings.
+/// Unknown rule names, missing fields and malformed JSON are errors —
+/// the round-trip self-test leans on that strictness.
+pub fn findings_from_json(text: &str) -> Result<Vec<Finding>, String> {
+    let mut p = JsonParser { b: text.as_bytes(), i: 0 };
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    let Json::Object(fields) = doc else { return Err("top level must be an object".into()) };
+    let version = fields
+        .iter()
+        .find(|(k, _)| k == "version")
+        .and_then(|(_, v)| v.as_u64())
+        .ok_or("missing numeric `version`")?;
+    if version != JSON_FORMAT_VERSION {
+        return Err(format!("unsupported findings version {version} (expected {JSON_FORMAT_VERSION})"));
+    }
+    let Some(Json::Array(items)) = fields.iter().find(|(k, _)| k == "findings").map(|(_, v)| v)
+    else {
+        return Err("missing `findings` array".into());
+    };
+    let mut out = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let Json::Object(f) = item else {
+            return Err(format!("finding {idx} is not an object"));
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            f.iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
+                .ok_or_else(|| format!("finding {idx}: missing string `{key}`"))
+        };
+        let rule_name = get_str("rule")?;
+        let rule = Rule::from_any_name(&rule_name)
+            .ok_or_else(|| format!("finding {idx}: unknown rule `{rule_name}`"))?;
+        let line = f
+            .iter()
+            .find(|(k, _)| k == "line")
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or_else(|| format!("finding {idx}: missing numeric `line`"))?;
+        out.push(Finding {
+            rule,
+            path: PathBuf::from(get_str("path")?),
+            line: u32::try_from(line).map_err(|_| format!("finding {idx}: line out of range"))?,
+            message: get_str("message")?,
+            snippet: get_str("snippet")?,
+            suggestion: get_str("suggestion")?,
+        });
+    }
+    if out.len() as u64
+        != fields.iter().find(|(k, _)| k == "count").and_then(|(_, v)| v.as_u64()).unwrap_or(out.len() as u64)
+    {
+        return Err("`count` disagrees with the findings array length".into());
+    }
+    Ok(out)
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escaping for workflow-command *property* values.
+fn esc_prop(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A").replace(':', "%3A").replace(',', "%2C")
+}
+
+/// Escaping for workflow-command *message* data.
+fn esc_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// The minimal JSON value model the findings parser needs.
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool,
+    Null,
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            // Report numbers are small integers; reject fractions.
+            // lint:allow(float-ord, reason = "exact integer-ness test: fract() of an in-range integral f64 is exactly 0.0, so == is the correct predicate, not a tolerance bug")
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    self.expect(b'"')?;
+                    self.i -= 1;
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Object(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool),
+            b'f' => self.lit("false", Json::Bool),
+            b'n' => self.lit("null", Json::Null),
+            c if c == b'-' || c.is_ascii_digit() => self.number(),
+            c => Err(format!("unexpected `{}` at byte {}", c as char, self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i).copied().ok_or("unterminated string")? {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i).copied().ok_or("unterminated escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            // Reports never emit surrogate pairs (they
+                            // only \u-escape control characters), so a
+                            // lone code point suffices.
+                            out.push(char::from_u32(hex).ok_or("bad \\u code point")?);
+                            self.i += 4;
+                        }
+                        c => return Err(format!("bad escape `\\{}`", c as char)),
+                    }
+                    self.i += 1;
+                }
+                c if c < 0x80 => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let s = std::str::from_utf8(&self.b[self.i..]).map_err(|_| "bad utf-8")?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: Rule::PanicFree,
+                path: PathBuf::from("crates/netsim/src/tcp.rs"),
+                line: 42,
+                message: "`.unwrap(…)` with \"quotes\", a \\ backslash\nand a newline".into(),
+                snippet: "let x = y.unwrap();".into(),
+                suggestion: "rewrite with `let … else`".into(),
+            },
+            Finding {
+                rule: Rule::BadAnnotation,
+                path: PathBuf::from("src/weird%path,name.rs"),
+                line: 7,
+                message: "unicode: héllo — dash".into(),
+                snippet: String::new(),
+                suggestion: "fix: it".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let original = sample();
+        let parsed = findings_from_json(&findings_to_json(&original)).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.iter().zip(&parsed) {
+            assert_eq!(a.rule, b.rule);
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.snippet, b.snippet);
+            assert_eq!(a.suggestion, b.suggestion);
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_round_trips() {
+        let text = findings_to_json(&[]);
+        assert!(text.contains("\"count\": 0"), "{text}");
+        assert!(findings_from_json(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_drifted_documents() {
+        assert!(findings_from_json("{}").is_err());
+        assert!(findings_from_json("{\"version\": 99, \"findings\": []}").is_err());
+        let bad_rule = "{\"version\": 1, \"count\": 1, \"findings\": [{\"rule\": \"no-such\", \"path\": \"x\", \"line\": 1, \"message\": \"m\", \"snippet\": \"\", \"suggestion\": \"s\"}]}";
+        assert!(findings_from_json(bad_rule).is_err());
+        let bad_count = findings_to_json(&sample()).replace("\"count\": 2", "\"count\": 3");
+        assert!(findings_from_json(&bad_count).is_err());
+    }
+
+    #[test]
+    fn github_annotations_escape_the_command_grammar() {
+        let out = github_annotations(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("::error file=crates/netsim/src/tcp.rs,line=42,"), "{out}");
+        assert!(lines[0].contains("title=xtask lint [panic-free]"), "{out}");
+        // The embedded newline must be %-escaped, not literal.
+        assert!(lines[0].contains("%0A"), "{out}");
+        // Property-position commas/colons are escaped.
+        assert!(lines[1].contains("file=src/weird%25path%2Cname.rs"), "{out}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Bad fixture: D9 `cast-audit`.
+//! A marked shard-state file full of silent truncation: narrowing `as`
+//! casts (usize→u32, u64→u8, usize→i32) and a float→integer `as` — four
+//! findings, each a way a clipped value corrupts deterministic state.
+
+// lint:shard-state — pretend per-shard slab bookkeeping.
+
+pub struct Slab {
+    entries: Vec<u64>,
+}
+
+impl Slab {
+    pub fn id_of(&self, idx: usize) -> u32 {
+        idx as u32
+    }
+
+    pub fn hop_count(&self, raw: u64) -> u8 {
+        raw as u8
+    }
+
+    pub fn signed_offset(&self) -> i32 {
+        self.entries.len() as i32
+    }
+
+    pub fn window_packets(&self, cwnd: f64) -> u64 {
+        (cwnd * 2.0) as u64
+    }
+}

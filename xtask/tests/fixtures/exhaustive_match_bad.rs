@@ -1,0 +1,29 @@
+//! Bad fixture: D8 `exhaustive-match`.
+//! A `lint:exhaustive` enum matched twice with wildcard arms — once with
+//! `_`, once with a lowercase binding — so adding a variant would be
+//! silently absorbed in both places instead of failing to compile.
+
+/// Which congestion controller drives a subflow.
+// lint:exhaustive
+#[derive(Clone, Copy, Debug)]
+pub enum Driver {
+    Pure,
+    Cubic,
+    Olia,
+    Wvegas,
+}
+
+pub fn short_name(d: Driver) -> &'static str {
+    match d {
+        Driver::Pure => "pure",
+        Driver::Cubic => "cubic",
+        _ => "coupled",
+    }
+}
+
+pub fn is_coupled(d: Driver) -> bool {
+    match d {
+        Driver::Pure => false,
+        other => matches!(other, Driver::Olia | Driver::Wvegas),
+    }
+}

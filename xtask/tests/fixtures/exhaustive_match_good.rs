@@ -1,0 +1,41 @@
+//! Good fixture: D8 `exhaustive-match`.
+//! The same `lint:exhaustive` enum matched exhaustively (including via
+//! `Self::` paths), a wildcard over an *unmarked* type (fine — the rule
+//! is opt-in per enum), and one reasoned allow where a wildcard really is
+//! the intent.
+
+/// Which congestion controller drives a subflow.
+// lint:exhaustive
+#[derive(Clone, Copy, Debug)]
+pub enum Driver {
+    Pure,
+    Cubic,
+    Olia,
+    Wvegas,
+}
+
+impl Driver {
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::Pure => "pure",
+            Self::Cubic => "cubic",
+            Self::Olia | Self::Wvegas => "coupled",
+        }
+    }
+}
+
+pub fn rto_or_default(srtt: Option<f64>) -> f64 {
+    // `Option` is not marked `lint:exhaustive`; wildcards stay legal.
+    match srtt {
+        Some(s) => s * 2.0,
+        _ => 1.0,
+    }
+}
+
+pub fn is_window_based(d: Driver) -> bool {
+    match d {
+        Driver::Wvegas => false,
+        // lint:allow(exhaustive-match, reason = "every present and future driver except the delay-based wVegas is window-based; a new delay-based one must opt out here explicitly")
+        _ => true,
+    }
+}

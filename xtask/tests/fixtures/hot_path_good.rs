@@ -14,12 +14,14 @@ pub struct Bitmap {
 impl Bitmap {
     pub fn insert(&mut self, seq: u64) {
         let bit = seq & (self.words.len() as u64 * 64 - 1);
-        self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        if let Some(w) = self.words.get_mut((bit / 64) as usize) {
+            *w |= 1 << (bit % 64);
+        }
     }
 
     pub fn contains(&self, seq: u64) -> bool {
         let bit = seq & (self.words.len() as u64 * 64 - 1);
-        self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        self.words.get((bit / 64) as usize).is_some_and(|w| w & (1 << (bit % 64)) != 0)
     }
 
     pub fn advance_to(&mut self, cum: u64) {

@@ -1,0 +1,43 @@
+//! Good fixture: D7 `panic-free`.
+//! A marked hot-path file doing the same work with non-panicking forms,
+//! one reasoned allow where the invariant genuinely wants a loud failure,
+//! free use of `debug_assert!`, and a `#[cfg(test)]` module where `unwrap`
+//! is idiomatic and exempt.
+
+// lint:hot-path — pretend per-ACK bookkeeping.
+
+pub struct Board {
+    words: Vec<u64>,
+    srtt: Option<f64>,
+}
+
+impl Board {
+    pub fn rto(&self) -> f64 {
+        self.srtt.map_or(1.0, |s| s * 2.0)
+    }
+
+    pub fn cutoff(&self, ranked: &[u64]) -> Option<u64> {
+        debug_assert!(!ranked.is_empty(), "caller checks len");
+        ranked.first().copied()
+    }
+
+    pub fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
+
+    pub fn word_mut(&mut self, w: usize) -> &mut u64 {
+        // lint:allow(panic-free, reason = "w is masked to words.len() by every caller; a miss is a broken ring invariant and must fail loudly")
+        &mut self.words[w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Board;
+
+    #[test]
+    fn cutoff_reads_the_first_rank() {
+        let b = Board { words: vec![0; 4], srtt: None };
+        assert_eq!(b.cutoff(&[7, 3]).unwrap(), 7);
+    }
+}

@@ -4,7 +4,10 @@
 //! that either the linter regressed or the tree picked up a violation.
 
 use std::path::{Path, PathBuf};
-use xtask::{audit_allows, find_workspace_root, lint_group, lint_workspace, FileInput, Finding, Rule, Scope};
+use xtask::{
+    audit_allows, find_workspace_root, findings_from_json, findings_to_json, lint_group,
+    lint_workspace, FileInput, Finding, Rule, Scope,
+};
 
 fn fixture(name: &str) -> FileInput {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -33,6 +36,9 @@ fn every_bad_fixture_fails_with_its_rule() {
         ("digest_surface_bad.rs", Rule::DigestSurface, 1),
         ("hot_path_bad.rs", Rule::HotPath, 3), // use BTreeMap+BTreeSet, 2 field types, insert/remove sites
         ("shard_safety_bad.rs", Rule::ShardSafety, 4), // use Rc + use RefCell, thread_local!, field types
+        ("panic_free_bad.rs", Rule::PanicFree, 5), // unwrap, expect, indexing, panic!, unreachable!
+        ("exhaustive_match_bad.rs", Rule::ExhaustiveMatch, 2), // `_` arm + binding arm
+        ("cast_audit_bad.rs", Rule::CastAudit, 4), // 3 narrowing + 1 float→int
     ] {
         let findings = lint_one(name);
         assert!(!findings.is_empty(), "{name} must fail");
@@ -55,6 +61,9 @@ fn every_good_fixture_passes_clean() {
         "digest_surface_good.rs",
         "hot_path_good.rs",
         "shard_safety_good.rs",
+        "panic_free_good.rs",
+        "exhaustive_match_good.rs",
+        "cast_audit_good.rs",
     ] {
         let findings = lint_one(name);
         assert!(findings.is_empty(), "{name} must be clean, got {findings:#?}");
@@ -131,11 +140,22 @@ fn cli_exit_codes_match_the_ci_contract() {
         "digest_surface_bad.rs",
         "hot_path_bad.rs",
         "shard_safety_bad.rs",
+        "panic_free_bad.rs",
+        "cast_audit_bad.rs",
         "annotations_bad.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(1), "{name} must exit 1");
     }
+    // D8 exempts `tests/` trees by path (wildcards are fine in test
+    // code), so its CLI exit code needs the fixture staged outside one.
+    let staged = std::env::temp_dir().join("xtask_exhaustive_match_bad.rs");
+    std::fs::copy(fixtures.join("exhaustive_match_bad.rs"), &staged).expect("stage fixture");
+    let out = run(&["lint", staged.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "exhaustive_match_bad must exit 1 outside tests/");
+    let out = run(&["lint", fixtures.join("exhaustive_match_bad.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "…and be exempt inside the tests/ tree");
+    std::fs::remove_file(&staged).ok();
     for name in [
         "unordered_iter_good.rs",
         "wall_clock_good.rs",
@@ -143,10 +163,42 @@ fn cli_exit_codes_match_the_ci_contract() {
         "digest_surface_good.rs",
         "hot_path_good.rs",
         "shard_safety_good.rs",
+        "panic_free_good.rs",
+        "cast_audit_good.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(0), "{name} must exit 0");
     }
+    // The good D8 fixture also needs staging: inside tests/ the rule is
+    // exempt, so its demonstration allow would read as unused.
+    let staged = std::env::temp_dir().join("xtask_exhaustive_match_good.rs");
+    std::fs::copy(fixtures.join("exhaustive_match_good.rs"), &staged).expect("stage fixture");
+    let out = run(&["lint", staged.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "exhaustive_match_good must exit 0");
+    std::fs::remove_file(&staged).ok();
+    // `--format json` keeps the same exit contract and emits parseable
+    // machine output in both directions.
+    let out = run(&["lint", "--format", "json", fixtures.join("panic_free_bad.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "json format must not change the exit code");
+    let parsed = findings_from_json(&String::from_utf8_lossy(&out.stdout)).expect("parse CLI json");
+    assert!(parsed.iter().all(|f| f.rule == Rule::PanicFree), "{parsed:#?}");
+    let out = run(&["lint", "--format", "json"]);
+    assert!(out.status.success(), "clean workspace must exit 0 under --format json");
+    assert!(
+        findings_from_json(&String::from_utf8_lossy(&out.stdout)).expect("parse").is_empty(),
+        "clean workspace emits an empty findings array"
+    );
+    let out = run(&["lint", "--format", "github", fixtures.join("cast_audit_bad.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).lines().any(|l| l.starts_with("::error ")),
+        "github format must emit workflow commands"
+    );
+    assert_eq!(
+        run(&["lint", "--format", "yaml"]).status.code(),
+        Some(2),
+        "unknown format is a usage error"
+    );
     assert_eq!(run(&["frobnicate"]).status.code(), Some(2), "unknown subcommand is a usage error");
 }
 
@@ -239,4 +291,122 @@ fn digest_surface_rule_is_live_on_the_real_netsim_stats_file() {
             && names.iter().any(|m| m.contains("ConnectionStats")),
         "expected both stats structs flagged once impls are gone: {findings:#?}"
     );
+}
+
+#[test]
+fn panic_free_rule_is_live_on_the_real_hot_files() {
+    // The per-ACK files must carry a marker, be clean, and actually be
+    // protected: an unwrap sneaking back in must be flagged.
+    let root = repo_root();
+    for rel in [
+        "crates/netsim/src/tcp.rs",
+        "crates/netsim/src/scoreboard.rs",
+        "crates/netsim/src/sim.rs",
+        "crates/netsim/src/link.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lint = |source: String| {
+            lint_group(&[FileInput { path: PathBuf::from(rel), source, scope: Scope::Sim }])
+        };
+        assert!(lint(src.clone()).is_empty(), "{rel} must be lint-clean");
+        let poisoned = format!("{src}\nfn sneaky(x: Option<u64>) -> u64 {{ x.unwrap() }}\n");
+        let findings = lint(poisoned);
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::PanicFree),
+            "{rel}: panic-free not live, a reintroduced unwrap went unflagged: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_match_rule_is_live_on_the_real_enums() {
+    // The four enums the repo treats as closed sets must carry the
+    // `lint:exhaustive` marker…
+    let root = repo_root();
+    for (rel, name) in [
+        ("crates/core/src/algorithm.rs", "AlgorithmKind"),
+        ("crates/core/src/stateful.rs", "CcDriver"),
+        ("crates/netsim/src/fault.rs", "FaultAction"),
+        ("xtask/src/lints.rs", "Rule"),
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let f = FileInput { path: PathBuf::from(rel), source: src, scope: Scope::Sim };
+        let syms = xtask::collect_symbols(&[f]);
+        assert!(
+            syms.exhaustive_enum_names().iter().any(|n| n == &name),
+            "{rel}: `{name}` lost its `lint:exhaustive` marker"
+        );
+    }
+    // …and the rule must actually bite: a wildcard match appended to the
+    // defining file gets flagged.
+    let src = std::fs::read_to_string(root.join("crates/core/src/algorithm.rs")).unwrap();
+    let poisoned = format!(
+        "{src}\nfn sneaky(k: AlgorithmKind) -> u32 {{ match k {{ AlgorithmKind::Mptcp => 0, _ => 1 }} }}\n"
+    );
+    let findings = lint_group(&[FileInput {
+        path: PathBuf::from("crates/core/src/algorithm.rs"),
+        source: poisoned,
+        scope: Scope::Sim,
+    }]);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::ExhaustiveMatch && f.message.contains("AlgorithmKind")),
+        "exhaustive-match not live on AlgorithmKind: {findings:#?}"
+    );
+}
+
+#[test]
+fn cast_audit_rule_is_live_on_the_real_scoreboard() {
+    let root = repo_root();
+    let rel = "crates/netsim/src/scoreboard.rs";
+    let src = std::fs::read_to_string(root.join(rel)).unwrap();
+    let poisoned = format!("{src}\nfn sneaky(n: usize) -> u32 {{ n as u32 }}\n");
+    let findings = lint_group(&[FileInput {
+        path: PathBuf::from(rel),
+        source: poisoned,
+        scope: Scope::Sim,
+    }]);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::CastAudit),
+        "cast-audit not live, a reintroduced narrowing cast went unflagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn json_report_round_trips_exactly() {
+    let findings = lint_one("panic_free_bad.rs");
+    assert!(!findings.is_empty());
+    let json = findings_to_json(&findings);
+    let back = findings_from_json(&json).expect("round-trip parse");
+    assert_eq!(findings.len(), back.len());
+    for (a, b) in findings.iter().zip(&back) {
+        assert_eq!(a.rule, b.rule);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.line, b.line);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.snippet, b.snippet);
+        assert_eq!(a.suggestion, b.suggestion);
+    }
+    // The parser is strict: a drifted version or an unknown rule name is
+    // an error, not a silent skip.
+    assert!(findings_from_json(&json.replace("\"version\": 1", "\"version\": 2")).is_err());
+    assert!(findings_from_json(&json.replace("panic-free", "panik-free")).is_err());
+}
+
+#[test]
+fn rules_dump_names_every_rule_in_the_policy() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let out = std::process::Command::new(bin)
+        .args(["lint", "--rules"])
+        .current_dir(repo_root())
+        .output()
+        .expect("spawn xtask");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in Rule::all() {
+        assert!(
+            text.contains(rule.name()),
+            "`lint --rules` no longer documents `{}`",
+            rule.name()
+        );
+    }
 }
