@@ -4,10 +4,12 @@
 //! scratch, the struct-of-arrays subflow arena and the sharded parallel
 //! engine) is justified by how the simulator behaves as the world grows,
 //! not by any single scenario. This bench runs the §4 FatTree MPTCP
-//! workload at four rungs — k = 4 (16 hosts) and k = 8 (128 hosts, the
-//! `tab_fattree` scale) on the serial engine, then k = 16 (1024 hosts) and
-//! k = 32 (8192 hosts) on the sharded engine — and records events/sec,
-//! events/sec *per core*, the `jobs` column and the process peak RSS for
+//! workload at five rungs — k = 4 (16 hosts) and k = 8 (128 hosts, the
+//! `tab_fattree` scale) on the serial engine, then k = 16 (1024 hosts),
+//! k = 32 (8192 hosts) and k = 48 (27,648 hosts) on the sharded engine —
+//! and records events/sec,
+//! events/sec *per core* (per core actually occupied — `jobs` capped at
+//! the host's core count), the `jobs` column and the process peak RSS for
 //! each rung in `BENCH_sim.json` under `scale_sweep/*`, so time, per-core
 //! and memory regressions at scale are all visible to
 //! `cargo xtask bench-check`.
@@ -63,7 +65,11 @@ fn main() {
                     mean_mbps: f64| {
         let hosts = k * k * k / 4;
         let rss = peak_rss_bytes();
-        let per_core = eps / jobs as f64;
+        // Per-core divides by the cores the run can actually occupy: on a
+        // host with fewer cores than worker threads, the threads share
+        // cores and dividing by `jobs` would count each core many times.
+        let cores_used = (jobs as u64).min(mptcp_bench::report::host_cores());
+        let per_core = eps / cores_used as f64;
         t.row(vec![
             k.to_string(),
             hosts.to_string(),
@@ -86,6 +92,7 @@ fn main() {
                 .field("events_per_sec_per_core", per_core)
                 .field("peak_rss_bytes", rss.unwrap_or(0))
                 .field("mean_host_mbps", mean_mbps)
+                .field("host_cores", mptcp_bench::report::host_cores())
                 .field("quick", quick),
         );
     };
@@ -139,21 +146,29 @@ fn main() {
     }
     assert_eq!(digests[0], digests[1], "k16 digests diverged between jobs=1 and jobs=8");
 
-    let (w32, m32) = (scaled(SimTime::from_millis(100)), scaled(SimTime::from_millis(150)));
-    let run = run_fattree_sharded(32, Tp::Permutation, MPTCP8, 11, w32, m32, 8, 8);
-    assert!(run.perf.is_consistent(), "perf counters out of balance: {:?}", run.perf);
-    let eps = run.window_events as f64 / run.window_wall.as_secs_f64();
-    push(
-        &mut t,
-        "scale_sweep/fattree_k32".to_string(),
-        32,
-        8,
-        (w32 + m32).as_secs_f64(),
-        run.window_events,
-        eps,
-        run.perf.peak_pending,
-        run.res.mean_host_mbps(),
-    );
+    // The top rungs keep shrinking the simulated horizon: event rate grows
+    // roughly linearly with hosts, so k=48 covers ~27k hosts in tens of
+    // milliseconds of simulated time without dwarfing the smaller rungs.
+    for (k, warmup, window) in [
+        (32, SimTime::from_millis(100), SimTime::from_millis(150)),
+        (48, SimTime::from_millis(50), SimTime::from_millis(100)),
+    ] {
+        let (w, m) = (scaled(warmup), scaled(window));
+        let run = run_fattree_sharded(k, Tp::Permutation, MPTCP8, 11, w, m, 8, 8);
+        assert!(run.perf.is_consistent(), "perf counters out of balance: {:?}", run.perf);
+        let eps = run.window_events as f64 / run.window_wall.as_secs_f64();
+        push(
+            &mut t,
+            format!("scale_sweep/fattree_k{k}"),
+            k,
+            8,
+            (w + m).as_secs_f64(),
+            run.window_events,
+            eps,
+            run.perf.peak_pending,
+            run.res.mean_host_mbps(),
+        );
+    }
 
     t.print();
     merge_bench_sim("scale_sweep/", &records);

@@ -129,6 +129,46 @@ fn main() {
             .field("quick", quick),
     );
 
+    // Small-pending crossover: the wheel pays a constant per-op cost
+    // (hash into a slot, occasional cascade/scan for the next occupied
+    // slot) that the heap's O(log n) undercuts while the resident set is
+    // small — log2(92) ≈ 6.5 sift steps on a cache-hot array beat the
+    // wheel's slot walk. Sweep the resident size to pin where the lines
+    // cross, and record the row at pending = 92 — `two_tcps`' measured
+    // peak_pending — so the end-to-end ~0.8x there keeps its
+    // scheduler-level explanation gated (see DESIGN.md §3.2, "Scheduler
+    // performance", small-pending crossover).
+    let sweep_ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let mut small_row = None;
+    for pending in [16usize, 92, 256, 1024, 4096] {
+        let (mut w, mut h) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps.min(5) {
+            w = w.min(queue_churn(WHEEL, pending, sweep_ops).as_secs_f64());
+            h = h.min(queue_churn(HEAP, pending, sweep_ops).as_secs_f64());
+        }
+        let (weps, heps) = (sweep_ops as f64 / w, sweep_ops as f64 / h);
+        t.row(vec![
+            format!("queue_churn({pending} pending)"),
+            sweep_ops.to_string(),
+            f2(weps / 1e6),
+            f2(heps / 1e6),
+            format!("{:.2}x", weps / heps),
+        ]);
+        if pending == 92 {
+            small_row = Some((weps, heps));
+        }
+    }
+    let (weps, heps) = small_row.expect("sweep includes pending=92");
+    records.push(
+        Record::new("sim_micro/queue_churn_small")
+            .field("pending", 92u64)
+            .field("ops", sweep_ops)
+            .field("wheel_events_per_sec", weps)
+            .field("heap_events_per_sec", heps)
+            .field("speedup", weps / heps)
+            .field("quick", quick),
+    );
+
     // Scoreboard-only churn: the structure the per-ACK path spends its
     // time in, isolated from the event loop — the rotating bitmap vs the
     // BTreeSet reference it replaced, driven through the identical

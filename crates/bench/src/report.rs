@@ -107,6 +107,16 @@ impl Record {
     }
 }
 
+/// The number of logical cores on the machine running the bench, as seen
+/// by the standard library (1 when the query fails). Benches stamp this
+/// into their records as `host_cores` so `cargo xtask bench-check` can
+/// tell a genuine per-core regression from a baseline that was simply
+/// recorded on a machine with a different core count — per-core
+/// comparisons are skipped (with a note) when the counts differ.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
+
 /// Where `BENCH_sim.json` lives: the workspace root.
 pub fn bench_sim_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json"))
@@ -213,6 +223,13 @@ mod tests {
         let r = Record::new("tab_fattree/wheel").field("x", 1u64);
         assert_eq!(source_of_line(&r.to_json_line()), Some("tab_fattree/wheel"));
         assert_eq!(source_of_line("not json"), None);
+    }
+
+    #[test]
+    fn host_cores_is_positive_and_stable() {
+        let a = host_cores();
+        assert!(a >= 1);
+        assert_eq!(a, host_cores());
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Slab-backed struct-of-arrays arena for per-subflow flow state.
+//!
+//! The simulator used to keep one `Vec<SubflowState>` of fat mixed
+//! hot/cold structs. At FatTree K=32+ scale the per-ACK path walked
+//! cache lines full of routing tables and write-rarely stats to reach
+//! the few fields it actually needed, and flow churn (Poisson short-flow
+//! arrivals) hit the global allocator on every open/close. This module
+//! replaces that with a [`FlowArena`]:
+//!
+//! * **Hot columns** — [`SubflowSender`] (cwnd/una/next_seq/srtt and the
+//!   scoreboard), [`SubflowReceiver`], and the lazy RTO timer pair — live
+//!   in parallel `Vec`s indexed by a *hot* slot index. A connection's
+//!   subflows occupy a contiguous window `[hot_base, hot_base + n)`.
+//!   Windows are generation-indexed and **recycled**: when a connection
+//!   retires, its window goes on a size-keyed free list and a later
+//!   connection of the same shape reuses the slots in place via
+//!   `reset_for_reuse` — no allocator traffic, counters stay monotone.
+//! * **Cold rows** — [`ColdSubflow`]: the route, ACK-return delay,
+//!   backup/closed flags, per-subflow send counter and the TCP params
+//!   needed to re-arm a recycled sender. Cold rows are append-only and
+//!   their indices are *stable for the lifetime of the world*, so
+//!   straggler packets still in link queues keep routing correctly even
+//!   after the owning flow's hot window was recycled.
+//! * **A pooled ring allocator** — when no free window of a compatible
+//!   shape exists, smaller free windows are cannibalized: their
+//!   scoreboard/reassembly bitmap storage is gutted into a [`RingPool`]
+//!   and the replacement slots draw those word-buffers back out instead
+//!   of allocating fresh ones.
+//!
+//! The arena is purely a storage layout: simulation *behavior* is
+//! unchanged, which `sim.rs`'s lifecycle differential proptest and the
+//! committed `chaos_smoke` digest pin down.
+// lint:shard-state — the arena is per-shard slab storage: panic-free and
+// cast-audited like the sender state it holds, but not `lint:hot-path` —
+// slab indexing is the storage idiom here, its own methods run at flow
+// open/close (the churn path), and the per-ACK column reads live in
+// `sim.rs`. The free-list BTreeMap is likewise churn-path-only.
+
+use crate::link::LinkPath;
+use crate::scoreboard::RingPool;
+use crate::tcp::{SubflowReceiver, SubflowSender, TcpParams};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Sentinel hot base for a connection whose window is not resident (not
+/// yet started under flow lifecycle, or already retired).
+pub(crate) const NOT_RESIDENT: u32 = u32::MAX;
+
+/// Cold per-subflow state: everything the per-ACK path does *not* touch.
+/// Rows are append-only and indexed by the connection's stable
+/// `sub_base`; they survive hot-window recycling so late packets still
+/// find their route and admin/path-management flags.
+#[derive(Debug)]
+pub(crate) struct ColdSubflow {
+    /// Forward route (looked up per hop by packets, including stragglers
+    /// of retired flows — this is why cold rows are never recycled).
+    pub(crate) path: LinkPath,
+    /// Fixed delay from delivery at the destination to the ACK reaching
+    /// the sender (reverse propagation + any extra RTT).
+    pub(crate) ack_delay: SimTime,
+    /// RTT hint handed to a (re)initialized sender.
+    pub(crate) rtt_hint: f64,
+    /// TCP parameters, kept so a recycled hot slot can be re-armed to
+    /// exactly the state `SubflowSender::new` would produce.
+    pub(crate) params: TcpParams,
+    /// Backup priority (MP_JOIN `B` bit).
+    pub(crate) backup: bool,
+    /// Administratively closed (address withdrawn).
+    pub(crate) closed: bool,
+    /// Packets handed to the link layer on this subflow.
+    pub(crate) sent_pkts: u64,
+}
+
+/// Struct-of-arrays storage for every subflow in the world: hot columns
+/// in recycled generation-indexed windows, cold rows parked separately.
+/// See the [module docs](self) for the layout rationale.
+#[derive(Debug, Default)]
+pub(crate) struct FlowArena {
+    /// Hot column: sender state (window, scoreboard, RTT estimator).
+    pub(crate) tx: Vec<SubflowSender>,
+    /// Hot column: receiver/reassembly state.
+    pub(crate) rx: Vec<SubflowReceiver>,
+    /// Hot column: absolute RTO deadline, if conceptually armed.
+    pub(crate) rto_deadline: Vec<Option<SimTime>>,
+    /// Hot column: time of the earliest pending `RtoFire` event (lazy
+    /// timers re-queue themselves when they fire early).
+    pub(crate) rto_event_at: Vec<Option<SimTime>>,
+    /// Hot column: slot generation, bumped on every acquisition. Lets
+    /// debug builds catch a stale `(base, gen)` handle touching a slot
+    /// that has since been recycled to another connection.
+    pub(crate) gen: Vec<u32>,
+    /// Cold rows, indexed by the stable `sub_base` space.
+    pub(crate) cold: Vec<ColdSubflow>,
+    /// Free hot windows keyed by `(window size, envelope class)`: the
+    /// class is the `⌈log2⌉` of the smallest warmed per-packet-metadata
+    /// capacity across the window's lanes (see
+    /// [`crate::cast::env_class_u8`]). Acquisition matches a flow to a
+    /// window whose storage is already sized for it, so a short clean
+    /// flow never re-tenants — and then regrows — a window a congested
+    /// tiny-flight flow left behind.
+    free: BTreeMap<(u32, u8), Vec<u32>>,
+    /// Word-buffer pool fed by cannibalized windows (see
+    /// [`Self::acquire_hot`]).
+    pool: RingPool,
+    /// Capacity-growth events of the hot columns (folded into
+    /// `SimPerf::hot_allocs`; flat once churn reuses windows).
+    grows: u64,
+    /// Windows served from the free lists instead of fresh storage.
+    reuses: u64,
+}
+
+impl FlowArena {
+    /// Number of hot slots (resident + free + leaked husks).
+    pub(crate) fn hot_len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Allocation accounting: hot-column capacity growth events, for
+    /// [`crate::SimPerf::hot_allocs`]. Initial admission-time column
+    /// fills are not counted (matching the sender/scoreboard discipline
+    /// of not counting constructor allocations); growth during lifecycle
+    /// churn is.
+    pub(crate) fn alloc_events(&self) -> u64 {
+        self.grows
+    }
+
+    /// Hot windows served by recycling instead of fresh storage.
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Append one cold row; returns its stable index.
+    pub(crate) fn push_cold(&mut self, row: ColdSubflow) -> usize {
+        self.cold.push(row);
+        self.cold.len() - 1
+    }
+
+    /// Acquire a hot window of `n` slots for the subflows whose cold rows
+    /// start at `cold_base`, returning `(hot_base, generation)`.
+    /// `want_env` is the flow's expected per-lane flight envelope in
+    /// packets (its transfer size for sized flows, `u64::MAX` for bulk):
+    /// reuse prefers, in order, a same-width window whose warmed envelope
+    /// already covers it, the *largest*-envelope same-width window below
+    /// it (least growth for the new tenant to pay), then a wider window
+    /// to split. Otherwise undersized free windows are cannibalized into
+    /// the ring pool and fresh slots appended. `count_growth` controls
+    /// whether fresh column growth is charged to `alloc_events` —
+    /// admission-time fills pass `false` (constructor allocations are
+    /// uncounted by convention), lifecycle-churn acquisitions pass
+    /// `true`.
+    pub(crate) fn acquire_hot(
+        &mut self,
+        cold_base: usize,
+        n: usize,
+        count_growth: bool,
+        want_env: u64,
+    ) -> (u32, u32) {
+        debug_assert!(n > 0 && cold_base + n <= self.cold.len());
+        let want = crate::cast::slab_u32(n);
+        let want_class = crate::cast::env_class_u8(want_env);
+        let key = self
+            .free
+            .range((want, want_class)..=(want, u8::MAX))
+            .next()
+            .map(|(&k, _)| k)
+            .or_else(|| {
+                self.free.range((want, 0)..(want, want_class)).next_back().map(|(&k, _)| k)
+            })
+            .or_else(|| {
+                // A wider window can be split; prefer one whose envelope
+                // suffices (the key space is tiny — a handful of
+                // width/class pairs — so the scan is cheap).
+                self.free
+                    .range((want + 1, 0)..)
+                    .find(|&(&(_, class), _)| class >= want_class)
+                    .map(|(&k, _)| k)
+            })
+            .or_else(|| self.free.range((want + 1, 0)..).next().map(|(&k, _)| k));
+        if let Some(key) = key {
+            // lint:allow(panic-free, reason = "the key was just yielded by the range scans above; empty stacks are removed eagerly on pop")
+            let stack = self.free.get_mut(&key).expect("free-list key just seen");
+            // lint:allow(panic-free, reason = "empty stacks are removed eagerly below, so a present key always holds at least one base")
+            let base = stack.pop().expect("free-list stacks are never left empty");
+            if stack.is_empty() {
+                self.free.remove(&key);
+            }
+            let (size, class) = key;
+            if size > want {
+                // Split: the tail stays free, inheriting the class (the
+                // envelope bound holds per lane, so any sub-window keeps
+                // it).
+                self.free.entry((size - want, class)).or_default().push(base + want);
+            }
+            self.reuses += 1;
+            let gen = self.reset_window(base as usize, cold_base, n);
+            return (base, gen);
+        }
+        // Nothing fits. Cannibalize undersized free windows: gut their
+        // ring storage into the pool so the fresh slots below draw
+        // recycled word-buffers instead of allocating. The gutted husk
+        // slots are retired for good (a gutted ring degenerates to the
+        // interval-fallback path, which would silently re-allocate).
+        let mut gutted = 0usize;
+        while gutted < n {
+            let Some((&key, _)) = self.free.range(..(want, 0)).next_back() else { break };
+            let (size, _) = key;
+            // lint:allow(panic-free, reason = "the key was just yielded by the range scan above; empty stacks are removed eagerly on pop")
+            let stack = self.free.get_mut(&key).expect("free-list key just seen");
+            // lint:allow(panic-free, reason = "empty stacks are removed eagerly below, so a present key always holds at least one base")
+            let base = stack.pop().expect("free-list stacks are never left empty");
+            if stack.is_empty() {
+                self.free.remove(&key);
+            }
+            for i in base as usize..(base + size) as usize {
+                self.tx[i].gut_into(&mut self.pool);
+                self.rx[i].gut_into(&mut self.pool);
+            }
+            gutted += size as usize;
+        }
+        let base = crate::cast::slab_u32(self.tx.len());
+        let cap = self.tx.capacity();
+        for i in 0..n {
+            let row = &self.cold[cold_base + i];
+            self.tx.push(SubflowSender::new_pooled(row.params, row.rtt_hint, &mut self.pool));
+            self.rx.push(SubflowReceiver::new_pooled(&mut self.pool));
+            self.rto_deadline.push(None);
+            self.rto_event_at.push(None);
+            self.gen.push(0);
+        }
+        if count_growth && self.tx.capacity() != cap {
+            // The columns grow in lockstep; one charge covers the slab.
+            self.grows += 1;
+        }
+        (base, 0)
+    }
+
+    /// Re-arm a recycled window in place: every slot ends bit-identical
+    /// to a freshly constructed one (pinned by the `reset_for_reuse`
+    /// differential proptests in `tcp.rs`), storage and monotone
+    /// allocation counters are kept, and the generation is bumped.
+    fn reset_window(&mut self, base: usize, cold_base: usize, n: usize) -> u32 {
+        for i in 0..n {
+            let row = &self.cold[cold_base + i];
+            self.tx[base + i].reset_for_reuse(row.params, row.rtt_hint);
+            self.rx[base + i].reset_for_reuse();
+            self.rto_deadline[base + i] = None;
+            self.rto_event_at[base + i] = None;
+            self.gen[base + i] = self.gen[base + i].wrapping_add(1);
+        }
+        self.gen[base]
+    }
+
+    /// Return a hot window to the free lists for reuse. `env` is the
+    /// warmed envelope the retiring tenant leaves behind (its smallest
+    /// per-lane metadata capacity, packets) — it becomes the window's
+    /// class key so acquisition can match flows to pre-sized storage.
+    /// `gen` is the generation handed out by [`Self::acquire_hot`]; a
+    /// mismatch means a stale handle released someone else's window
+    /// (debug-asserted).
+    pub(crate) fn release_hot(&mut self, hot_base: u32, n: usize, gen: u32, env: u64) {
+        debug_assert!(hot_base != NOT_RESIDENT && (hot_base as usize) + n <= self.tx.len());
+        debug_assert_eq!(self.gen[hot_base as usize], gen, "stale window handle at release");
+        self.free
+            .entry((crate::cast::slab_u32(n), crate::cast::env_class_u8(env)))
+            .or_default()
+            .push(hot_base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with_cold(n: usize) -> FlowArena {
+        let mut a = FlowArena::default();
+        for _ in 0..n {
+            a.push_cold(ColdSubflow {
+                path: LinkPath::from(vec![0]),
+                ack_delay: SimTime::from_millis(10),
+                rtt_hint: 0.02,
+                params: TcpParams::default(),
+                backup: false,
+                closed: false,
+                sent_pkts: 0,
+            });
+        }
+        a
+    }
+
+    #[test]
+    fn released_windows_are_reused_in_place_with_a_bumped_generation() {
+        let mut a = arena_with_cold(4);
+        let (b0, g0) = a.acquire_hot(0, 2, true, 8);
+        let (b1, _g1) = a.acquire_hot(2, 2, true, 8);
+        assert_eq!((b0, b1), (0, 2), "fresh windows are appended in order");
+        let len = a.hot_len();
+        a.release_hot(b0, 2, g0, 8);
+        let (b2, g2) = a.acquire_hot(2, 2, true, 8);
+        assert_eq!(b2, b0, "a same-shape acquisition must recycle the freed window");
+        assert_eq!(g2, g0 + 1, "recycling must bump the generation");
+        assert_eq!(a.hot_len(), len, "reuse must not grow the columns");
+        assert_eq!(a.reuses(), 1);
+    }
+
+    #[test]
+    fn larger_free_windows_are_split_not_skipped() {
+        let mut a = arena_with_cold(5);
+        let (b0, g0) = a.acquire_hot(0, 4, true, 8);
+        a.release_hot(b0, 4, g0, 8);
+        let (b1, _) = a.acquire_hot(0, 1, true, 8);
+        assert_eq!(b1, b0, "the head of the 4-window serves the 1-slot request");
+        let (b2, _) = a.acquire_hot(1, 3, true, 8);
+        assert_eq!(b2, b0 + 1, "the split tail serves the next request");
+        assert_eq!(a.hot_len(), 4, "both served from recycled storage");
+        assert_eq!(a.reuses(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_cannibalizes_small_windows_into_the_ring_pool() {
+        let mut a = arena_with_cold(6);
+        let (b0, g0) = a.acquire_hot(0, 1, true, 8);
+        let (b1, g1) = a.acquire_hot(1, 1, true, 8);
+        a.release_hot(b0, 1, g0, 8);
+        a.release_hot(b1, 1, g1, 8);
+        // A 3-wide request cannot reuse the two 1-wide windows: they are
+        // gutted into the pool and the fresh slots draw from it.
+        let (b2, _) = a.acquire_hot(2, 3, true, 8);
+        assert_eq!(b2 as usize, 2, "fresh slots are appended past the husks");
+        // The reference BTreeSet scoreboards own no ring storage, so only
+        // the bitmap build can observe the pool round-trip.
+        #[cfg(not(feature = "btree-scoreboard"))]
+        {
+            let (hits, _misses) = a.pool_stats();
+            assert!(hits > 0, "fresh slots must draw cannibalized ring storage from the pool");
+        }
+    }
+
+    #[test]
+    fn cold_rows_are_stable_across_hot_churn() {
+        let mut a = arena_with_cold(2);
+        a.cold[1].sent_pkts = 77;
+        let (b, g) = a.acquire_hot(0, 2, false, 8);
+        a.release_hot(b, 2, g, 8);
+        let _ = a.acquire_hot(0, 2, true, 8);
+        assert_eq!(a.cold[1].sent_pkts, 77, "cold rows must survive hot recycling");
+        assert_eq!(a.cold.len(), 2);
+    }
+
+    #[test]
+    fn acquisition_matches_flows_to_windows_sized_for_them() {
+        let mut a = arena_with_cold(6);
+        let (b_small, g_small) = a.acquire_hot(0, 2, true, 4);
+        let (b_big, g_big) = a.acquire_hot(2, 2, true, 64);
+        let (b_mid, g_mid) = a.acquire_hot(4, 2, true, 16);
+        a.release_hot(b_small, 2, g_small, 4);
+        a.release_hot(b_big, 2, g_big, 64);
+        a.release_hot(b_mid, 2, g_mid, 16);
+        // A 40-packet flow needs class 6 (33..=64): only the big window
+        // qualifies, even though the small ones were released later.
+        let (b0, _) = a.acquire_hot(0, 2, true, 40);
+        assert_eq!(b0, b_big, "the 64-envelope window serves the 40-packet flow");
+        // A 3-packet flow takes the *smallest* sufficient envelope.
+        let (b1, _) = a.acquire_hot(2, 2, true, 3);
+        assert_eq!(b1, b_small, "the 4-envelope window serves the 3-packet flow");
+        // Nothing sufficient left: fall back to the largest envelope
+        // below the request rather than growing fresh columns.
+        let len = a.hot_len();
+        let (b2, _) = a.acquire_hot(4, 2, true, 1000);
+        assert_eq!(b2, b_mid, "largest-below fallback picks the 16-envelope window");
+        assert_eq!(a.hot_len(), len, "fallback reuse must not grow the columns");
+        assert_eq!(a.reuses(), 3);
+    }
+
+    #[cfg(not(feature = "btree-scoreboard"))]
+    impl FlowArena {
+        fn pool_stats(&self) -> (u64, u64) {
+            self.pool.stats()
+        }
+    }
+}

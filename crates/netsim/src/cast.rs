@@ -35,6 +35,20 @@ pub(crate) fn path_u8(n: usize) -> u8 {
     n as u8
 }
 
+/// A warmed-capacity envelope (packets) collapsed to its power-of-two
+/// class index — `⌈log2⌉`, so envelopes 9..=16 share class 4. The arena
+/// keys its free window lists by this class so a recycled window is
+/// matched to a flow its storage is already sized for.
+///
+/// Invariant: `⌈log2⌉` of a `u64` is at most 64, which fits `u8`.
+#[inline]
+pub(crate) fn env_class_u8(env: u64) -> u8 {
+    let e = env.max(1);
+    let c = if e.is_power_of_two() { e.ilog2() } else { e.ilog2() + 1 };
+    debug_assert!(c <= 64);
+    c as u8
+}
+
 /// A finite, non-negative `f64` quantity (window sizes, scaled budgets)
 /// converted to `u64`.
 ///
@@ -58,6 +72,17 @@ mod tests {
         assert_eq!(path_u8(4), 4);
         assert_eq!(f64_to_u64(1024.9), 1024);
         assert_eq!(f64_to_u64(0.0), 0);
+    }
+
+    #[test]
+    fn env_class_is_the_log2_ceiling() {
+        assert_eq!(env_class_u8(0), 0, "zero clamps to class 0");
+        assert_eq!(env_class_u8(1), 0);
+        assert_eq!(env_class_u8(2), 1);
+        assert_eq!(env_class_u8(9), 4);
+        assert_eq!(env_class_u8(16), 4);
+        assert_eq!(env_class_u8(17), 5);
+        assert_eq!(env_class_u8(u64::MAX), 64);
     }
 
     #[test]

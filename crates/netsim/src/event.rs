@@ -95,6 +95,12 @@ pub(crate) enum EventKind {
     RtoFire { conn: ConnId, sub: usize },
     /// A connection begins transmitting.
     ConnStart { conn: ConnId },
+    /// A finished connection's hot arena window is recycled (flow
+    /// lifecycle mode only — see [`crate::Simulator::set_flow_lifecycle`]).
+    /// Scheduled one straggler-grace period after the transfer completed,
+    /// so every in-flight packet, ACK and stale timer for the flow has
+    /// drained before its slots are handed to another connection.
+    ConnRetire { conn: ConnId },
     /// A CBR source emits its next packet.
     CbrSend { src: CbrId, gen: u64 },
     /// A CBR source toggles between its on and off states.

@@ -43,6 +43,27 @@ pub(crate) trait Scoreboard: std::fmt::Debug {
     /// Fresh scoreboard sized for windows up to `max_window` packets
     /// (`f64::INFINITY` when uncapped — sizing is a hint, never a limit).
     fn with_window_hint(max_window: f64) -> Self;
+    /// Like [`Scoreboard::with_window_hint`], drawing bitmap storage from
+    /// `pool` when a retired buffer fits. Backends without reusable
+    /// storage (the B-tree reference) ignore the pool.
+    fn with_window_hint_pooled(max_window: f64, pool: &mut RingPool) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = pool;
+        Self::with_window_hint(max_window)
+    }
+    /// Return to the freshly-constructed empty state *in place*: storage
+    /// stays allocated and the monotone allocation counters keep counting,
+    /// so a recycled flow slot starts clean without touching the global
+    /// allocator.
+    fn reset_for_reuse(&mut self);
+    /// Surrender reusable bitmap storage into `pool`, leaving a gutted
+    /// (empty, never-used-again) husk behind. The default keeps nothing.
+    fn gut_into(&mut self, pool: &mut RingPool) {
+        let _ = pool;
+        self.reset_for_reuse();
+    }
     /// Number of sequences the receiver reported holding (≥ `una`).
     fn sacked_len(&self) -> u64;
     /// Whether `seq` has been SACKed.
@@ -79,6 +100,23 @@ pub(crate) trait Scoreboard: std::fmt::Debug {
 
 /// Receiver-side out-of-order buffer: what `SubflowReceiver` needs.
 pub(crate) trait OooBuf: std::fmt::Debug + Default {
+    /// Fresh buffer drawing bitmap storage from `pool` when a retired
+    /// buffer fits (default: ignore the pool).
+    fn new_pooled(pool: &mut RingPool) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = pool;
+        Self::default()
+    }
+    /// Return to the empty state in place, keeping storage and the
+    /// monotone allocation counters (see [`Scoreboard::reset_for_reuse`]).
+    fn reset_for_reuse(&mut self);
+    /// Surrender reusable bitmap storage into `pool` (default: keep none).
+    fn gut_into(&mut self, pool: &mut RingPool) {
+        let _ = pool;
+        self.reset_for_reuse();
+    }
     /// Buffer out-of-order sequence `seq` (idempotent).
     fn insert(&mut self, seq: u64);
     /// Remove `seq`; returns whether it was held.
@@ -92,6 +130,65 @@ pub(crate) trait OooBuf: std::fmt::Debug + Default {
     fn sack_ranges(&self) -> SackRanges;
     /// Allocation events so far (see [`Scoreboard::alloc_events`]).
     fn alloc_events(&self) -> u64;
+}
+
+/// Pool of retired ring word-buffers: flow close → open recycles bitmap
+/// storage here instead of round-tripping the global allocator. Buffers
+/// keep their (power-of-two-bit) capacity; `take` hands out the smallest
+/// one that satisfies the request, and the requester adopts the buffer's
+/// actual capacity — sizing is a hint, never a limit.
+#[derive(Debug, Default)]
+pub(crate) struct RingPool {
+    bufs: Vec<Box<[u64]>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RingPool {
+    /// Park a retired word-buffer for reuse (empty buffers are dropped).
+    pub fn put(&mut self, buf: Box<[u64]>) {
+        if !buf.is_empty() {
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Take the best-fitting buffer with at least `cap_bits` capacity,
+    /// zeroed and ready for use. `None` (a pool miss) means the caller
+    /// allocates fresh.
+    pub fn take(&mut self, cap_bits: u64) -> Option<Box<[u64]>> {
+        let want_words = (cap_bits.clamp(64, MAX_CAP).next_power_of_two() / 64) as usize;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in self.bufs.iter().enumerate() {
+            let n = buf.len();
+            if n >= want_words && best.is_none_or(|(_, b)| n < b) {
+                best = Some((i, n));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                self.hits += 1;
+                let mut buf = self.bufs.swap_remove(i);
+                buf.fill(0);
+                Some(buf)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Buffers currently parked.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// `(hits, misses)` over the pool's lifetime.
+    #[cfg(test)]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
 }
 
 #[cfg(not(feature = "btree-scoreboard"))]
@@ -139,6 +236,7 @@ impl BitRing {
         Self {
             base: 0,
             mask: cap - 1,
+            // lint:allow(hot-alloc, reason = "creation-time ring storage; steady state recycles it via the RingPool / reset_for_reuse")
             words: vec![0u64; (cap / 64) as usize].into_boxed_slice(),
             len: 0,
             lo: 0,
@@ -153,12 +251,69 @@ impl BitRing {
     /// episodes keep sacked+lost sequences beyond the instantaneous cwnd),
     /// clamped to a sane range. Infinite hints get [`DEFAULT_CAP`].
     pub fn for_window_hint(max_window: f64) -> Self {
-        let cap = if max_window.is_finite() && max_window >= 1.0 {
+        Self::with_capacity(Self::hint_cap_bits(max_window))
+    }
+
+    fn hint_cap_bits(max_window: f64) -> u64 {
+        if max_window.is_finite() && max_window >= 1.0 {
             crate::cast::f64_to_u64(max_window * 4.0).clamp(256, 1 << 16)
         } else {
             DEFAULT_CAP
-        };
-        Self::with_capacity(cap)
+        }
+    }
+
+    /// Like [`BitRing::for_window_hint`], reusing a parked buffer from
+    /// `pool` when one fits (adopting that buffer's capacity).
+    pub fn for_window_hint_pooled(max_window: f64, pool: &mut RingPool) -> Self {
+        let cap_bits = Self::hint_cap_bits(max_window);
+        match pool.take(cap_bits) {
+            Some(words) => {
+                let cap = words.len() as u64 * 64;
+                debug_assert!(cap.is_power_of_two() && cap >= 64);
+                Self {
+                    base: 0,
+                    mask: cap - 1,
+                    words,
+                    len: 0,
+                    lo: 0,
+                    hi: 0,
+                    ovf: Vec::new(),
+                    ovf_len: 0,
+                    allocs: 0,
+                }
+            }
+            None => Self::with_capacity(cap_bits),
+        }
+    }
+
+    /// Return to the freshly-constructed empty state without dropping the
+    /// word storage; the monotone `allocs` counter is preserved so
+    /// steady-state flatness assertions keep holding across slot reuse.
+    pub fn reset_for_reuse(&mut self) {
+        if self.len > 0 {
+            self.words.fill(0);
+        }
+        self.base = 0;
+        self.len = 0;
+        self.lo = 0;
+        self.hi = 0;
+        self.ovf.clear();
+        self.ovf_len = 0;
+    }
+
+    /// Gut this ring: move its word storage into `pool` and leave behind a
+    /// zero-capacity husk that must never be used again (the caller is
+    /// tombstoning the containing slot).
+    pub fn gut_into(&mut self, pool: &mut RingPool) {
+        let words = std::mem::replace(&mut self.words, Vec::new().into_boxed_slice());
+        pool.put(words);
+        self.base = 0;
+        self.mask = 0;
+        self.len = 0;
+        self.lo = 0;
+        self.hi = 0;
+        self.ovf.clear();
+        self.ovf_len = 0;
     }
 
     #[inline]
@@ -474,6 +629,7 @@ impl BitRing {
             new_cap *= 2;
         }
         debug_assert!(new_cap <= MAX_CAP);
+        // lint:allow(hot-alloc, reason = "counted growth: bumps `allocs`, which the flow_churn bench asserts stays flat in steady state")
         let new_words = vec![0u64; (new_cap / 64) as usize].into_boxed_slice();
         let old = std::mem::replace(&mut self.words, new_words);
         let old_mask = self.mask;
@@ -694,6 +850,27 @@ impl Scoreboard for BitmapScoreboard {
         }
     }
 
+    fn with_window_hint_pooled(max_window: f64, pool: &mut RingPool) -> Self {
+        Self {
+            sacked: BitRing::for_window_hint_pooled(max_window, pool),
+            lost: BitRing::for_window_hint_pooled(max_window, pool),
+            retx: Vec::new(),
+            retx_allocs: 0,
+        }
+    }
+
+    fn reset_for_reuse(&mut self) {
+        self.sacked.reset_for_reuse();
+        self.lost.reset_for_reuse();
+        self.retx.clear();
+    }
+
+    fn gut_into(&mut self, pool: &mut RingPool) {
+        self.sacked.gut_into(pool);
+        self.lost.gut_into(pool);
+        self.retx = Vec::new();
+    }
+
     fn sacked_len(&self) -> u64 {
         self.sacked.len()
     }
@@ -796,6 +973,19 @@ impl Default for BitmapOoo {
 }
 
 impl OooBuf for BitmapOoo {
+    fn new_pooled(pool: &mut RingPool) -> Self {
+        // Infinite hint → DEFAULT_CAP, matching `BitmapOoo::default()`.
+        Self { ring: BitRing::for_window_hint_pooled(f64::INFINITY, pool) }
+    }
+
+    fn reset_for_reuse(&mut self) {
+        self.ring.reset_for_reuse();
+    }
+
+    fn gut_into(&mut self, pool: &mut RingPool) {
+        self.ring.gut_into(pool);
+    }
+
     fn insert(&mut self, seq: u64) {
         self.ring.insert(seq);
     }
@@ -1050,6 +1240,78 @@ mod tests {
         }
         let r = ooo.sack_ranges();
         assert_eq!(r[3], Some((7, 8)));
+    }
+
+    #[test]
+    fn reset_for_reuse_restores_fresh_semantics_without_dropping_storage() {
+        let mut r = BitRing::with_capacity(256);
+        for s in [3, 7, 200] {
+            r.insert(s);
+        }
+        r.advance_to(5);
+        r.insert(MAX_CAP + 9); // park something in the fallback too
+        let words_before = r.words.len();
+        let allocs_before = r.alloc_events();
+        r.reset_for_reuse();
+        assert!(r.is_empty());
+        assert_eq!(r.words.len(), words_before, "storage survives the reset");
+        assert_eq!(r.alloc_events(), allocs_before, "alloc counter is monotone");
+        assert!(!r.contains(7) && !r.contains(MAX_CAP + 9));
+        // Behaves exactly like a fresh ring from base 0.
+        assert!(r.insert(0));
+        assert!(r.insert(255));
+        assert_eq!(r.pop_first(), Some(0));
+        assert_eq!(r.nth_back(0), Some(255));
+    }
+
+    #[test]
+    fn ring_pool_recycles_gutted_storage() {
+        let mut pool = RingPool::default();
+        let mut r = BitRing::with_capacity(512);
+        r.insert(17);
+        r.gut_into(&mut pool);
+        assert_eq!(pool.len(), 1);
+        // A request that fits is served from the pool, zeroed.
+        let reused = BitRing::for_window_hint_pooled(64.0, &mut pool);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(reused.cap(), 512, "adopts the parked buffer's capacity");
+        assert!(reused.is_empty());
+        assert!(!reused.contains(17), "recycled storage arrives clean");
+        assert_eq!(pool.stats(), (1, 0));
+        // An oversized request misses and allocates fresh.
+        let fresh = BitRing::for_window_hint_pooled(f64::INFINITY, &mut pool);
+        assert_eq!(fresh.cap(), DEFAULT_CAP);
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn ring_pool_take_prefers_the_smallest_fitting_buffer() {
+        let mut pool = RingPool::default();
+        for cap in [4096, 256, 1024] {
+            BitRing::with_capacity(cap).gut_into(&mut pool);
+        }
+        let got = pool.take(300).map(|b| b.len() as u64 * 64);
+        assert_eq!(got, Some(1024), "best fit, not first fit");
+        assert_eq!(pool.take(1 << 19), None, "nothing big enough");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn scoreboard_reset_clears_all_three_sets_in_place() {
+        let mut b = BitmapScoreboard::with_window_hint(32.0);
+        for s in 1..5 {
+            b.sack_one(s);
+        }
+        b.mark_holes_lost(0, 2);
+        b.pop_lost_for_retx(4);
+        b.reset_for_reuse();
+        assert_eq!(b.sacked_len(), 0);
+        assert!(b.lost_is_empty());
+        assert!(!b.retx_contains(0));
+        // Fresh recovery cycle works from sequence zero again.
+        assert!(b.sack_one(1));
+        assert!(b.mark_holes_lost(0, 1));
+        assert_eq!(b.pop_lost_for_retx(1), Some(0));
     }
 
     #[test]

@@ -46,6 +46,13 @@ impl Scoreboard for BTreeScoreboard {
         }
     }
 
+    fn reset_for_reuse(&mut self) {
+        self.sacked.clear();
+        self.lost.clear();
+        self.retx_out.clear();
+        self.remark_scratch.clear();
+    }
+
     fn sacked_len(&self) -> u64 {
         self.sacked.len() as u64
     }
@@ -148,6 +155,10 @@ pub(crate) struct BTreeOoo {
 }
 
 impl OooBuf for BTreeOoo {
+    fn reset_for_reuse(&mut self) {
+        self.ooo.clear();
+    }
+
     fn insert(&mut self, seq: u64) {
         if self.ooo.insert(seq) {
             self.inserts += 1;

@@ -41,7 +41,7 @@ use crate::fault::FaultPlan;
 use crate::link::{LinkId, LinkSpec, LinkStats};
 use crate::packet::Packet;
 use crate::perf::SimPerf;
-use crate::sim::{ConnId, ConnectionSpec, ShardCtx, Simulator};
+use crate::sim::{ConnId, ConnectionSpec, ShardCtx, Simulator, SubflowTiming};
 use crate::stats::ConnectionStats;
 use crate::time::SimTime;
 use mptcp_cc::{DetDigest, DigestWriter};
@@ -185,6 +185,29 @@ impl ShardedSimulator {
         }
     }
 
+    /// Forward [`Simulator::set_flow_lifecycle`] to every shard: hot
+    /// subflow windows are acquired at connection start and recycled one
+    /// straggler-grace after the flow finishes. Call before any
+    /// connection is added.
+    pub fn set_flow_lifecycle(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.set_flow_lifecycle(on);
+        }
+    }
+
+    /// Total hot subflow-window slots across every shard's arena — the
+    /// world-wide high-water mark of simultaneously *resident* subflows
+    /// (retired windows are recycled, so the count does not grow with
+    /// total flows, only with peak concurrency).
+    pub fn arena_hot_slots(&self) -> usize {
+        self.shards.iter().map(|s| s.arena_hot_slots()).sum()
+    }
+
+    /// Total recycled hot-window acquisitions across every shard's arena.
+    pub fn arena_hot_reuses(&self) -> u64 {
+        self.shards.iter().map(|s| s.arena_hot_reuses()).sum()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -211,17 +234,22 @@ impl ShardedSimulator {
     /// subflows of one connection leave from the same host).
     pub fn add_connection(&mut self, spec: ConnectionSpec) -> ConnId {
         assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
+        let packet_size = spec.packet_bytes();
         let mut delays = Vec::with_capacity(spec.subflows.len());
         for sf in &spec.subflows {
             assert!(!sf.path.is_empty(), "subflow path must traverse at least one link");
             let mut fwd = SimTime::ZERO;
+            let mut residence = SimTime::ZERO;
             for &l in &sf.path {
                 assert!(l < self.link_home.len(), "unknown link {l}");
-                fwd += self.link_specs[l].delay;
+                let ls = self.link_specs[l];
+                fwd += ls.delay;
+                let drain = ls.tx_time(packet_size).as_nanos();
+                residence += ls.delay + SimTime(drain.saturating_mul(ls.queue_pkts as u64 + 1));
             }
             let ack_delay = fwd + sf.extra_rtt;
             let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
-            delays.push((ack_delay, rtt_hint));
+            delays.push(SubflowTiming { ack_delay, rtt_hint, straggler: residence + ack_delay });
         }
         let owner = self.link_home[spec.subflows[0].path[0]].0;
         for (i, sf) in spec.subflows.iter().enumerate() {

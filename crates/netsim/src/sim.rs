@@ -5,6 +5,7 @@
 //! state here must stay `Send` by construction.
 // lint:shard-state
 
+use crate::arena::{ColdSubflow, FlowArena, NOT_RESIDENT};
 use crate::cbr::{CbrId, CbrSource, CbrSpec};
 use crate::event::{AckInfo, EventKind, EventQueue, QueueBackend};
 use crate::fault::{FaultAction, FaultPlan};
@@ -159,6 +160,11 @@ impl ConnectionSpec {
         self
     }
 
+    /// The configured packet size (admission-time timing computations).
+    pub(crate) fn packet_bytes(&self) -> u32 {
+        self.packet_size
+    }
+
     /// Override the TCP parameters.
     pub fn tcp(mut self, params: TcpParams) -> Self {
         self.tcp = params;
@@ -177,27 +183,21 @@ impl ConnectionSpec {
     }
 }
 
-/// Runtime state of one subflow (sender and — for simulation convenience —
-/// the remote receiver state).
-struct SubflowState {
-    path: LinkPath,
-    /// Fixed delay from delivery at the destination to the ACK reaching the
-    /// sender (reverse propagation + any extra RTT).
-    ack_delay: SimTime,
-    tx: SubflowSender,
-    rx: SubflowReceiver,
-    sent_pkts: u64,
-    /// Absolute RTO deadline, if the timer is conceptually armed.
-    rto_deadline: Option<SimTime>,
-    /// Time of the earliest pending `RtoFire` event in the queue, if any
-    /// (lazy timers: the event re-schedules itself if it fires early).
-    rto_event_at: Option<SimTime>,
-    /// Backup priority: scheduled for data only while the connection's
-    /// failover state machine is engaged.
-    backup: bool,
-    /// Administratively closed (address withdrawn): sends nothing, its
-    /// RTO timer is disarmed, and its stranded data was reinjected.
-    closed: bool,
+/// Per-subflow admission-time timing, computed against whichever link
+/// table (local or world) owns the subflow's path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SubflowTiming {
+    /// Fixed delay from delivery at the destination to the ACK reaching
+    /// the sender (reverse propagation + any extra RTT).
+    pub(crate) ack_delay: SimTime,
+    /// Initial RTT estimate handed to the sender.
+    pub(crate) rtt_hint: f64,
+    /// Conservative bound on how long after its send a packet — and the
+    /// ACK it triggers — can still be in flight: the sum over hops of
+    /// propagation delay plus a full drop-tail queue's serialization
+    /// time, plus the ACK return delay. Feeds the flow-lifecycle
+    /// retirement grace period (see [`Simulator::set_flow_lifecycle`]).
+    pub(crate) straggler: SimTime,
 }
 
 /// Exactly-once bookkeeping for a data sequence number that exists (or may
@@ -213,14 +213,35 @@ struct ReinjectEntry {
 /// Runtime state of a connection.
 ///
 /// Subflow state does not live here: every connection's subflows occupy a
-/// contiguous window of the simulator-level arena ([`Simulator::subflows`],
-/// struct-of-arrays layout), addressed by `(sub_base, sub_count)`.
+/// contiguous window of the simulator-level [`FlowArena`] (struct-of-arrays
+/// layout). Cold rows are addressed by the stable `(sub_base, sub_count)`
+/// window; the hot columns by the recyclable `(hot_base, hot_gen)` window,
+/// which under flow lifecycle is acquired at start and released one
+/// straggler-grace after the transfer completes.
 struct Connection {
     cc: CcDriver,
-    /// First index of this connection's subflows in the arena.
+    /// First index of this connection's *cold* subflow rows in the arena
+    /// (stable for the lifetime of the world).
     sub_base: u32,
     /// Number of subflows.
     sub_count: u32,
+    /// First index of this connection's *hot* subflow columns in the
+    /// arena, or [`NOT_RESIDENT`] (lifecycle mode: not yet started, or
+    /// already retired).
+    hot_base: u32,
+    /// Generation of the hot window (stale-handle detection in debug
+    /// builds; recycled windows bump it).
+    hot_gen: u32,
+    /// Lifecycle mode: the hot window has been released back to the
+    /// arena and `final_stats` froze the subflow statistics.
+    retired: bool,
+    /// How long after the transfer completes the hot window may be
+    /// recycled: twice the worst subflow's straggler bound, so every
+    /// in-flight packet/ACK and stale timer has drained first.
+    retire_grace: SimTime,
+    /// Subflow statistics frozen at retirement (capacity reserved at
+    /// admission so the retire path does not allocate).
+    final_stats: Vec<SubflowStats>,
     /// Connection id carried inside packets: equal to this connection's
     /// own id in a standalone simulator, the world-level id in a sharded
     /// one (translated back to the local id at the delivery boundary).
@@ -289,15 +310,27 @@ impl Connection {
         self.budget.is_none_or(|b| b > 0)
     }
 
-    /// This connection's window in the subflow arena.
+    /// This connection's *cold* row window in the arena (stable indices).
     fn subs(&self) -> std::ops::Range<usize> {
         self.sub_base as usize..(self.sub_base + self.sub_count) as usize
     }
 
+    /// This connection's *hot* column window in the arena. Only valid
+    /// while resident (`hot_base != NOT_RESIDENT`).
+    fn hots(&self) -> std::ops::Range<usize> {
+        debug_assert!(self.hot_base != NOT_RESIDENT, "hot window accessed while not resident");
+        self.hot_base as usize..(self.hot_base + self.sub_count) as usize
+    }
+
+    /// Whether the hot window is currently resident in the arena.
+    fn resident(&self) -> bool {
+        self.hot_base != NOT_RESIDENT
+    }
+
     /// Refresh the snapshot scratch buffer from the live subflow state
-    /// (`subs` is this connection's arena window).
-    fn refresh_snapshots(&mut self, subs: &[SubflowState]) {
-        refresh_snap_buf(&mut self.snap_buf, &mut self.scratch_allocs, subs);
+    /// (`tx`/`cold` are this connection's hot and cold arena windows).
+    fn refresh_snapshots(&mut self, tx: &[SubflowSender], cold: &[ColdSubflow]) {
+        refresh_snap_buf(&mut self.snap_buf, &mut self.scratch_allocs, tx, cold);
     }
 }
 
@@ -306,23 +339,60 @@ impl Connection {
 /// the arena (indices are stable) but must not count toward live-path
 /// weights — this flag is what lets EWTCP's equal split and the OLIA/BALIA
 /// path sums track churn.
-fn snapshot_of(s: &SubflowState) -> SubflowSnapshot {
-    SubflowSnapshot::new(s.tx.cwnd.max(1e-9), s.tx.cc_rtt().max(1e-6)).active(!s.closed)
+fn snapshot_of(tx: &SubflowSender, closed: bool) -> SubflowSnapshot {
+    SubflowSnapshot::new(tx.cwnd.max(1e-9), tx.cc_rtt().max(1e-6)).active(!closed)
 }
 
 /// [`Connection::refresh_snapshots`] as a free function over the individual
 /// fields, so the ACK growth loop can refresh while the controller field is
 /// mutably borrowed (disjoint field borrows).
+/// Warm per-connection scratch storage donated by a retired connection
+/// and re-tenanted at the next admission (flow-lifecycle mode): the
+/// capacities these vectors grew during their previous tenancy carry
+/// over, so steady-state flow churn never re-pays their first growth
+/// (`scratch_allocs` stays flat).
+#[derive(Default)]
+pub(crate) struct ConnScratch {
+    snap_buf: Vec<SubflowSnapshot>,
+    acked_dsn: Vec<u64>,
+    stranded: Vec<(u64, u64)>,
+    reinject_queue: VecDeque<u64>,
+}
+
 fn refresh_snap_buf(
     snap_buf: &mut Vec<SubflowSnapshot>,
     scratch_allocs: &mut u64,
-    subs: &[SubflowState],
+    tx: &[SubflowSender],
+    cold: &[ColdSubflow],
 ) {
     let cap = snap_buf.capacity();
     snap_buf.clear();
-    snap_buf.extend(subs.iter().map(snapshot_of));
+    snap_buf.extend(tx.iter().zip(cold).map(|(t, c)| snapshot_of(t, c.closed)));
     if snap_buf.capacity() != cap {
         *scratch_allocs += 1;
+    }
+}
+
+/// One subflow's statistics, read from its live hot and cold state (shared
+/// by [`Simulator::connection_stats`] and the lifecycle retirement
+/// snapshot, so a retired flow's frozen stats are bit-identical to what a
+/// live read at the same instant would have produced).
+fn subflow_stats(tx: &SubflowSender, rx: &SubflowReceiver, cold: &ColdSubflow) -> SubflowStats {
+    SubflowStats {
+        delivered_pkts: rx.delivered(),
+        sent_pkts: cold.sent_pkts,
+        retransmits: tx.stats.retransmits,
+        timeouts: tx.stats.timeouts,
+        fast_recoveries: tx.stats.fast_recoveries,
+        cwnd: tx.cwnd,
+        ssthresh: tx.ssthresh,
+        srtt: tx.srtt.unwrap_or(0.0),
+        rto: tx.rto_secs(),
+        in_flight: tx.pipe(),
+        rto_backoffs: tx.backoffs,
+        potentially_failed: tx.potentially_failed(),
+        backup: cold.backup,
+        closed: cold.closed,
     }
 }
 
@@ -349,10 +419,19 @@ pub struct Simulator {
     links: Vec<Link>,
     conns: Vec<Connection>,
     /// Subflow arena: every connection's subflows live contiguously here
-    /// (struct-of-arrays layout — [`Connection`] holds a dense
-    /// `(base, count)` window instead of a per-connection heap vector, so
-    /// the per-ACK hot state of the whole world sits in one slab).
-    subflows: Vec<SubflowState>,
+    /// in struct-of-arrays columns — [`Connection`] holds dense
+    /// `(base, count)` windows instead of per-connection heap vectors, so
+    /// the per-ACK hot state of the whole world sits in a few contiguous
+    /// slabs while routes/flags/stats are parked in cold rows. Under
+    /// [`Self::set_flow_lifecycle`], hot windows are recycled across flow
+    /// churn.
+    flows: FlowArena,
+    /// Flow-lifecycle mode: defer hot-window acquisition to start and
+    /// recycle the window one straggler-grace after the flow finishes.
+    lifecycle: bool,
+    /// Warm scratch storage donated by retired connections, re-tenanted
+    /// at the next admission (lifecycle mode only).
+    scratch_pool: Vec<ConnScratch>,
     /// Routing context installed by [`crate::ShardedSimulator`] when this
     /// simulator is one shard of a partitioned world; `None` standalone.
     shard: Option<Box<ShardCtx>>,
@@ -421,7 +500,9 @@ impl Simulator {
             queue: EventQueue::with_backend(backend),
             links: Vec::new(),
             conns: Vec::new(),
-            subflows: Vec::new(),
+            flows: FlowArena::default(),
+            lifecycle: false,
+            scratch_pool: Vec::new(),
             shard: None,
             cbrs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -485,6 +566,36 @@ impl Simulator {
         self.ack_jitter = jitter;
     }
 
+    /// Enable flow-lifecycle mode: connections acquire their hot subflow
+    /// columns at start instead of admission, and release them one
+    /// straggler-grace period after finishing, so the arena recycles hot
+    /// windows across flow churn instead of growing with every admission.
+    /// Off by default; with it off, histories (and [`DetDigest`] digests)
+    /// are bit-identical to the pre-arena layout.
+    ///
+    /// # Panics
+    /// Panics if connections have already been added — the mode governs
+    /// admission-time layout and cannot change mid-run.
+    pub fn set_flow_lifecycle(&mut self, on: bool) {
+        assert!(
+            self.conns.is_empty(),
+            "set_flow_lifecycle must be called before any add_connection"
+        );
+        self.lifecycle = on;
+    }
+
+    /// Number of hot subflow slots currently materialized in the arena
+    /// (resident + free-listed; cold rows are not counted).
+    pub fn arena_hot_slots(&self) -> usize {
+        self.flows.hot_len()
+    }
+
+    /// How many hot-window acquisitions were served by recycling a
+    /// previously released window instead of growing the arena.
+    pub fn arena_hot_reuses(&self) -> u64 {
+        self.flows.reuses()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -518,12 +629,14 @@ impl Simulator {
     }
 
     /// Sum of all logical allocation events on the hot paths — see
-    /// [`SimPerf::hot_allocs`].
+    /// [`SimPerf::hot_allocs`]. Alloc counters survive hot-window
+    /// recycling (`reset_for_reuse` keeps them), so this stays monotone
+    /// and flat-in-steady-state under flow churn.
     fn hot_allocs(&self) -> u64 {
         let conns: u64 = self.conns.iter().map(|c| c.scratch_allocs).sum();
-        let subs: u64 =
-            self.subflows.iter().map(|s| s.tx.alloc_events() + s.rx.alloc_events()).sum();
-        self.ack_pool_allocs + conns + subs
+        let tx: u64 = self.flows.tx.iter().map(|t| t.alloc_events()).sum();
+        let rx: u64 = self.flows.rx.iter().map(|r| r.alloc_events()).sum();
+        self.ack_pool_allocs + conns + tx + rx + self.flows.alloc_events()
     }
 
     // ------------------------------------------------------------------
@@ -543,19 +656,25 @@ impl Simulator {
     /// Panics if the spec has no subflows or references unknown links.
     pub fn add_connection(&mut self, spec: ConnectionSpec) -> ConnId {
         assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
-        let delays: Vec<(SimTime, f64)> = spec
+        let packet_size = spec.packet_size;
+        let delays: Vec<SubflowTiming> = spec
             .subflows
             .iter()
             .map(|sf| {
                 assert!(!sf.path.is_empty(), "subflow path must traverse at least one link");
                 let mut fwd = SimTime::ZERO;
+                let mut residence = SimTime::ZERO;
                 for &l in &sf.path {
                     assert!(l < self.links.len(), "unknown link {l}");
-                    fwd += self.links[l].spec.delay;
+                    let spec = self.links[l].spec;
+                    fwd += spec.delay;
+                    let drain = spec.tx_time(packet_size).as_nanos();
+                    residence += spec.delay
+                        + SimTime(drain.saturating_mul(spec.queue_pkts as u64 + 1));
                 }
                 let ack_delay = fwd + sf.extra_rtt;
                 let rtt_hint = (fwd + ack_delay).as_secs_f64().max(1e-4);
-                (ack_delay, rtt_hint)
+                SubflowTiming { ack_delay, rtt_hint, straggler: residence + ack_delay }
             })
             .collect();
         let gid = self.conns.len();
@@ -571,7 +690,7 @@ impl Simulator {
         &mut self,
         spec: ConnectionSpec,
         gid: ConnId,
-        delays: &[(SimTime, f64)],
+        delays: &[SubflowTiming],
     ) -> ConnId {
         assert!(!spec.subflows.is_empty(), "connection needs at least one subflow");
         assert_eq!(spec.subflows.len(), delays.len());
@@ -579,13 +698,13 @@ impl Simulator {
     }
 
     /// Shared tail of connection admission: `delays` holds one
-    /// `(ack_delay, rtt_hint)` per subflow, already computed against
-    /// whichever link table (local or world) owns the paths.
+    /// [`SubflowTiming`] per subflow, already computed against whichever
+    /// link table (local or world) owns the paths.
     fn add_connection_inner(
         &mut self,
         spec: ConnectionSpec,
         gid: ConnId,
-        delays: &[(SimTime, f64)],
+        delays: &[SubflowTiming],
     ) -> ConnId {
         let n = spec.subflows.len();
         let wrap = spec.force_adapter || self.force_adapter_all;
@@ -596,24 +715,43 @@ impl Simulator {
             CcChoice::Kind(kind) => kind.build_cc(n),
             CcChoice::Custom(cc) => CcDriver::Pure(cc),
         };
-        let sub_base = crate::cast::slab_u32(self.subflows.len());
-        for (sf, &(ack_delay, rtt_hint)) in spec.subflows.into_iter().zip(delays) {
-            self.subflows.push(SubflowState {
+        let sub_base = crate::cast::slab_u32(self.flows.cold.len());
+        let mut worst_straggler = SimTime::ZERO;
+        for (sf, t) in spec.subflows.into_iter().zip(delays) {
+            worst_straggler = worst_straggler.max(t.straggler);
+            self.flows.push_cold(ColdSubflow {
                 path: LinkPath::from(sf.path),
-                ack_delay,
-                tx: SubflowSender::new(spec.tcp, rtt_hint),
-                rx: SubflowReceiver::default(),
-                sent_pkts: 0,
-                rto_deadline: None,
-                rto_event_at: None,
+                ack_delay: t.ack_delay,
+                rtt_hint: t.rtt_hint,
+                params: spec.tcp,
                 backup: sf.backup,
                 closed: false,
+                sent_pkts: 0,
             });
         }
+        // Flow lifecycle: hot state materializes at start (ConnStart) so
+        // slots freed by earlier retirements can be recycled; otherwise
+        // acquire now, which appends fresh columns in admission order
+        // (hot index == cold index, the pre-lifecycle layout).
+        let (hot_base, hot_gen) = if self.lifecycle {
+            (NOT_RESIDENT, 0)
+        } else {
+            self.flows.acquire_hot(sub_base as usize, n, false, spec.size_pkts.unwrap_or(u64::MAX))
+        };
+        // Twice the worst subflow's straggler bound: nothing addressed to
+        // this flow can still be in flight once the grace expires.
+        let retire_grace = SimTime(worst_straggler.as_nanos().saturating_mul(2))
+            + self.ack_jitter
+            + SimTime::from_millis(1);
         let conn = Connection {
             cc,
             sub_base,
             sub_count: crate::cast::slab_u32(n),
+            hot_base,
+            hot_gen,
+            retired: false,
+            retire_grace,
+            final_stats: if self.lifecycle { Vec::with_capacity(n) } else { Vec::new() },
             gid,
             snap_buf: Vec::new(),
             packet_size: spec.packet_size,
@@ -758,12 +896,18 @@ impl Simulator {
     /// an all-paths outage.
     pub fn admin_close_subflow(&mut self, conn: ConnId, sub: usize) {
         assert!(sub < self.conns[conn].sub_count as usize, "unknown subflow {sub}");
-        let base = self.conns[conn].sub_base as usize;
-        if self.subflows[base + sub].closed {
+        if self.conns[conn].retired {
             return;
         }
-        self.subflows[base + sub].closed = true;
-        self.subflows[base + sub].rto_deadline = None;
+        let base = self.conns[conn].sub_base as usize;
+        if self.flows.cold[base + sub].closed {
+            return;
+        }
+        self.flows.cold[base + sub].closed = true;
+        if self.conns[conn].resident() {
+            let hot = self.conns[conn].hot_base as usize;
+            self.flows.rto_deadline[hot + sub] = None;
+        }
         self.conns[conn].subflows_closed += 1;
         self.harvest_stranded(conn, sub);
         self.pump(conn);
@@ -777,15 +921,21 @@ impl Simulator {
     /// the counter for a subflow that was never closed.
     pub fn admin_open_subflow(&mut self, conn: ConnId, sub: usize) {
         assert!(sub < self.conns[conn].sub_count as usize, "unknown subflow {sub}");
-        self.conns[conn].addr_advertised += 1;
-        let base = self.conns[conn].sub_base as usize;
-        if !self.subflows[base + sub].closed {
+        if self.conns[conn].retired {
             return;
         }
-        self.subflows[base + sub].closed = false;
+        self.conns[conn].addr_advertised += 1;
+        let base = self.conns[conn].sub_base as usize;
+        if !self.flows.cold[base + sub].closed {
+            return;
+        }
+        self.flows.cold[base + sub].closed = false;
         self.conns[conn].subflows_joined += 1;
-        if self.subflows[base + sub].tx.pipe() > 0.0 {
-            self.schedule_rto(conn, sub);
+        if self.conns[conn].resident() {
+            let hot = self.conns[conn].hot_base as usize;
+            if self.flows.tx[hot + sub].pipe() > 0.0 {
+                self.schedule_rto(conn, sub);
+            }
         }
         self.pump(conn);
     }
@@ -874,29 +1024,33 @@ impl Simulator {
         self.conns.len()
     }
 
-    /// A connection's statistics snapshot.
+    /// A connection's statistics snapshot. Valid in every lifecycle state:
+    /// resident flows read the live hot columns; retired flows return the
+    /// snapshot frozen at retirement; never-started flows (lifecycle mode,
+    /// before `ConnStart`) synthesize the untouched-sender view from the
+    /// cold row.
     pub fn connection_stats(&self, conn: ConnId) -> ConnectionStats {
         let c = &self.conns[conn];
-        ConnectionStats {
-            subflows: self.subflows[c.subs()]
-                .iter()
-                .map(|s| SubflowStats {
-                    delivered_pkts: s.rx.delivered(),
-                    sent_pkts: s.sent_pkts,
-                    retransmits: s.tx.stats.retransmits,
-                    timeouts: s.tx.stats.timeouts,
-                    fast_recoveries: s.tx.stats.fast_recoveries,
-                    cwnd: s.tx.cwnd,
-                    ssthresh: s.tx.ssthresh,
-                    srtt: s.tx.srtt.unwrap_or(0.0),
-                    rto: s.tx.rto_secs(),
-                    in_flight: s.tx.pipe(),
-                    rto_backoffs: s.tx.backoffs,
-                    potentially_failed: s.tx.potentially_failed(),
-                    backup: s.backup,
-                    closed: s.closed,
+        let subflows: Vec<SubflowStats> = if c.retired {
+            c.final_stats.clone()
+        } else if c.resident() {
+            c.hots()
+                .zip(c.subs())
+                .map(|(h, s)| {
+                    subflow_stats(&self.flows.tx[h], &self.flows.rx[h], &self.flows.cold[s])
                 })
-                .collect(),
+                .collect()
+        } else {
+            c.subs()
+                .map(|s| {
+                    let cold = &self.flows.cold[s];
+                    let tx = SubflowSender::new(cold.params, cold.rtt_hint);
+                    subflow_stats(&tx, &SubflowReceiver::default(), cold)
+                })
+                .collect()
+        };
+        ConnectionStats {
+            subflows,
             packet_size: c.packet_size,
             started_at: c.started_at,
             finished_at: c.finished_at,
@@ -987,6 +1141,7 @@ impl Simulator {
             }
             EventKind::RtoFire { conn, sub } => self.on_rto(conn, sub),
             EventKind::ConnStart { conn } => self.on_conn_start(conn),
+            EventKind::ConnRetire { conn } => self.on_conn_retire(conn),
             EventKind::CbrSend { src, gen } => self.on_cbr_send(src, gen),
             EventKind::CbrToggle { src } => self.on_cbr_toggle(src),
             EventKind::Fault { idx } => self.apply_fault(idx),
@@ -1006,14 +1161,20 @@ impl Simulator {
         let at = self.now;
         for &conn in &probe.spec.conns {
             let c = &self.conns[conn];
-            for (sub, s) in self.subflows[c.subs()].iter().enumerate() {
-                let phase = if s.tx.in_recovery {
-                    if s.tx.rto_recovery {
+            // Non-resident flows (not yet started, or retired, under flow
+            // lifecycle) have no live hot state to sample.
+            if !c.resident() {
+                continue;
+            }
+            for (sub, h) in c.hots().enumerate() {
+                let tx = &self.flows.tx[h];
+                let phase = if tx.in_recovery {
+                    if tx.rto_recovery {
                         CcPhase::RtoRecovery
                     } else {
                         CcPhase::FastRecovery
                     }
-                } else if s.tx.in_slow_start() {
+                } else if tx.in_slow_start() {
                     CcPhase::SlowStart
                 } else if c.cc.delay_based() {
                     CcPhase::DelayAvoidance
@@ -1024,12 +1185,12 @@ impl Simulator {
                     at,
                     conn,
                     sub,
-                    cwnd: s.tx.cwnd,
-                    ssthresh: s.tx.ssthresh,
-                    srtt: s.tx.srtt.unwrap_or(0.0),
-                    rto: s.tx.rto_secs(),
-                    backoffs: s.tx.backoffs,
-                    in_flight: s.tx.pipe(),
+                    cwnd: tx.cwnd,
+                    ssthresh: tx.ssthresh,
+                    srtt: tx.srtt.unwrap_or(0.0),
+                    rto: tx.rto_secs(),
+                    backoffs: tx.backoffs,
+                    in_flight: tx.pipe(),
                     phase,
                 });
             }
@@ -1128,8 +1289,10 @@ impl Simulator {
                 // that live here).
                 Some(ctx) => ctx.map.hop(conn, sub, pkt.hop).1 as LinkId,
                 None => {
+                    // Cold rows are stable across hot-window recycling, so
+                    // straggler packets of retired flows still route.
                     let c = &self.conns[conn];
-                    self.subflows[c.sub_base as usize + sub].path[pkt.hop]
+                    self.flows.cold[c.sub_base as usize + sub].path[pkt.hop]
                 }
             },
             PacketOwner::Cbr { src } => self.cbrs[src].path[pkt.hop],
@@ -1142,7 +1305,7 @@ impl Simulator {
                 Some(ctx) => ctx.map.path_len(conn, sub),
                 None => {
                     let c = &self.conns[conn];
-                    self.subflows[c.sub_base as usize + sub].path.len()
+                    self.flows.cold[c.sub_base as usize + sub].path.len()
                 }
             },
             PacketOwner::Cbr { src } => self.cbrs[src].path.len(),
@@ -1249,18 +1412,26 @@ impl Simulator {
         match pkt.owner {
             PacketOwner::Subflow { conn, sub, seq } => {
                 let conn = self.local_conn(conn);
+                if self.conns[conn].retired {
+                    // Straggler copy of a retired flow: its hot window may
+                    // already belong to another connection, so drop it
+                    // before touching any hot column.
+                    self.events_cancelled += 1;
+                    return;
+                }
                 self.last_progress = self.now;
                 let base = self.conns[conn].sub_base as usize;
+                let hot = self.conns[conn].hot_base as usize;
                 {
                     let c = &mut self.conns[conn];
-                    let sf = &mut self.subflows[base + sub];
+                    let FlowArena { tx, rx, .. } = &mut self.flows;
                     // Exactly-once data-level accounting. A first-time
                     // subflow arrival implies the packet is not yet
                     // cum-acked there, so its dsn metadata still exists.
-                    if !sf.rx.contains(seq) {
+                    if !rx[hot + sub].contains(seq) {
                         let dsn =
                             // lint:allow(panic-free, reason = "exactly-once accounting: !rx.contains(seq) just above implies the dsn metadata is still retained; losing it means data-level bookkeeping already diverged and must fail loudly")
-                            sf.tx.dsn_of(seq).expect("unacked first arrival keeps its metadata");
+                            tx[hot + sub].dsn_of(seq).expect("unacked first arrival keeps its metadata");
                         match c.reinject_reg.get_mut(&dsn) {
                             Some(e) if e.delivered => c.dup_data_arrivals += 1,
                             Some(e) => {
@@ -1272,13 +1443,13 @@ impl Simulator {
                         }
                     }
                 }
-                let (cum, _dup, sacks) = self.subflows[base + sub].rx.on_data(seq);
+                let (cum, _dup, sacks) = self.flows.rx[hot + sub].on_data(seq);
                 let jitter = if self.ack_jitter > SimTime::ZERO {
                     SimTime(self.rng.gen_range(0..=self.ack_jitter.as_nanos()))
                 } else {
                     SimTime::ZERO
                 };
-                let back = self.now + self.subflows[base + sub].ack_delay + jitter;
+                let back = self.now + self.flows.cold[base + sub].ack_delay + jitter;
                 let ack = self.alloc_ack(AckInfo { cum, sacks });
                 self.queue.push(back, EventKind::AckArrive { conn, sub, ack });
             }
@@ -1295,30 +1466,96 @@ impl Simulator {
         }
         c.started = true;
         c.started_at = self.now;
+        if !c.resident() {
+            // Flow lifecycle: materialize the hot window now, preferring a
+            // window recycled from an earlier retirement over fresh slots.
+            let (hot_base, hot_gen) = self.flows.acquire_hot(
+                c.sub_base as usize,
+                c.sub_count as usize,
+                true,
+                c.budget.unwrap_or(u64::MAX),
+            );
+            c.hot_base = hot_base;
+            c.hot_gen = hot_gen;
+            // Re-tenant warm scratch storage from a retired flow (the
+            // admission-time vectors are empty, so nothing is dropped).
+            if let Some(scratch) = self.scratch_pool.pop() {
+                c.snap_buf = scratch.snap_buf;
+                c.acked_dsn_scratch = scratch.acked_dsn;
+                c.stranded_scratch = scratch.stranded;
+                c.reinject_queue = scratch.reinject_queue;
+            }
+        }
         // A newly transmitting connection counts as progress (otherwise a
         // late-starting flow trips the watchdog on its first event).
         self.last_progress = self.now;
         self.pump(conn);
     }
 
+    /// Retire a finished flow one straggler-grace after completion: freeze
+    /// its statistics snapshot and return the hot window to the arena's
+    /// free lists. Only ever scheduled in [flow-lifecycle
+    /// mode](Self::set_flow_lifecycle).
+    fn on_conn_retire(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn];
+        if c.retired || !c.resident() {
+            // A second stop/finish raced the first retirement.
+            self.events_cancelled += 1;
+            return;
+        }
+        debug_assert!(c.finished_at.is_some(), "retire scheduled only at finish");
+        for (h, s) in c.hots().zip(c.subs()) {
+            let st = subflow_stats(&self.flows.tx[h], &self.flows.rx[h], &self.flows.cold[s]);
+            c.final_stats.push(st);
+        }
+        let (hot_base, n, gen) = (c.hot_base, c.sub_count as usize, c.hot_gen);
+        // The window's warmed envelope: the *smallest* per-lane send-
+        // metadata capacity, so the class promises what every lane holds.
+        let env = c.hots().map(|h| self.flows.tx[h].meta_capacity()).min().unwrap_or(0);
+        c.retired = true;
+        c.hot_base = NOT_RESIDENT;
+        // Donate the warm scratch storage to the next admitted flow so
+        // churn never re-pays the first-growth allocations.
+        let mut scratch = ConnScratch {
+            snap_buf: std::mem::take(&mut c.snap_buf),
+            acked_dsn: std::mem::take(&mut c.acked_dsn_scratch),
+            stranded: std::mem::take(&mut c.stranded_scratch),
+            reinject_queue: std::mem::take(&mut c.reinject_queue),
+        };
+        scratch.snap_buf.clear();
+        scratch.acked_dsn.clear();
+        scratch.stranded.clear();
+        scratch.reinject_queue.clear();
+        self.scratch_pool.push(scratch);
+        self.flows.release_hot(hot_base, n, gen, env);
+    }
+
     fn on_ack(&mut self, conn: ConnId, sub: usize, ack: AckInfo) {
+        if self.conns[conn].retired {
+            // Straggler ACK of a retired flow: its hot window may already
+            // belong to another connection (the pool slot was recycled by
+            // `take_ack` in dispatch, so nothing leaks).
+            self.events_cancelled += 1;
+            return;
+        }
         let watching = self.probe_watches(conn);
         let mut transitions: [Option<TransitionKind>; 3] = [None; 3];
         let (arm, progressed) = {
-            // Split borrow: the connection record and its arena window are
+            // Split borrow: the connection record and the arena columns are
             // distinct `Simulator` fields, so both can be held mutably.
             let c = &mut self.conns[conn];
-            let subs =
-                &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
+            let FlowArena { tx, cold, .. } = &mut self.flows;
+            let txs = &mut tx[c.hots()];
+            let colds = &cold[c.subs()];
             c.acked_dsn_scratch.clear();
             let (was_recovering, was_failed) = if watching {
-                (subs[sub].tx.in_recovery, subs[sub].tx.potentially_failed())
+                (txs[sub].in_recovery, txs[sub].potentially_failed())
             } else {
                 (false, false)
             };
             let scratch_cap = c.acked_dsn_scratch.capacity();
             let outcome =
-                subs[sub].tx.on_ack(ack.cum, &ack.sacks, self.now, &mut c.acked_dsn_scratch);
+                txs[sub].on_ack(ack.cum, &ack.sacks, self.now, &mut c.acked_dsn_scratch);
             if c.acked_dsn_scratch.capacity() != scratch_cap {
                 c.scratch_allocs += 1;
             }
@@ -1326,14 +1563,14 @@ impl Simulator {
                 if outcome.entered_recovery {
                     transitions[0] = Some(TransitionKind::EnterFastRecovery);
                 }
-                if was_recovering && !subs[sub].tx.in_recovery {
+                if was_recovering && !txs[sub].in_recovery {
                     transitions[1] = Some(TransitionKind::ExitRecovery);
                 }
-                if was_failed && !subs[sub].tx.potentially_failed() {
+                if was_failed && !txs[sub].potentially_failed() {
                     transitions[2] = Some(TransitionKind::Revived);
                 }
             }
-            if outcome.newly_acked > 0 && subs[sub].tx.growth_allowed() {
+            if outcome.newly_acked > 0 && txs[sub].growth_allowed() {
                 // Grow once per newly acked packet: slow start adds one
                 // packet per ACKed packet; congestion avoidance defers to
                 // the coupled algorithm with a fresh snapshot each step
@@ -1345,22 +1582,23 @@ impl Simulator {
                 match &mut c.cc {
                     CcDriver::Pure(cc) => {
                         for _ in 0..outcome.newly_acked {
-                            let amount = if subs[sub].tx.in_slow_start() {
+                            let amount = if txs[sub].in_slow_start() {
                                 1.0
                             } else {
                                 if refreshed {
-                                    c.snap_buf[sub] = snapshot_of(&subs[sub]);
+                                    c.snap_buf[sub] = snapshot_of(&txs[sub], colds[sub].closed);
                                 } else {
                                     refresh_snap_buf(
                                         &mut c.snap_buf,
                                         &mut c.scratch_allocs,
-                                        subs,
+                                        txs,
+                                        colds,
                                     );
                                     refreshed = true;
                                 }
                                 cc.increase_per_ack(sub, &c.snap_buf)
                             };
-                            subs[sub].tx.grow(amount);
+                            txs[sub].grow(amount);
                         }
                     }
                     CcDriver::Stateful(cc) => {
@@ -1371,27 +1609,32 @@ impl Simulator {
                         let now = self.now.as_secs_f64();
                         for _ in 0..outcome.newly_acked {
                             if refreshed {
-                                c.snap_buf[sub] = snapshot_of(&subs[sub]);
+                                c.snap_buf[sub] = snapshot_of(&txs[sub], colds[sub].closed);
                             } else {
-                                refresh_snap_buf(&mut c.snap_buf, &mut c.scratch_allocs, subs);
+                                refresh_snap_buf(
+                                    &mut c.snap_buf,
+                                    &mut c.scratch_allocs,
+                                    txs,
+                                    colds,
+                                );
                                 refreshed = true;
                             }
-                            let in_ss = subs[sub].tx.in_slow_start();
+                            let in_ss = txs[sub].in_slow_start();
                             let act = cc.on_ack(sub, &c.snap_buf, now, in_ss);
-                            subs[sub].tx.grow(act.grow);
-                            if act.grow < 0.0 && subs[sub].tx.cwnd < floor {
+                            txs[sub].grow(act.grow);
+                            if act.grow < 0.0 && txs[sub].cwnd < floor {
                                 // `grow` has no lower bound of its own;
                                 // delay-based shrinks must not dig below
                                 // the probing floor.
-                                subs[sub].tx.cwnd = floor;
+                                txs[sub].cwnd = floor;
                             }
                             if act.exit_slow_start && in_ss {
                                 // Hybrid/Vegas slow-start exit: pin
                                 // ssthresh to the current window so the
                                 // sender runs congestion avoidance from
                                 // the next ACK on.
-                                let w = subs[sub].tx.cwnd;
-                                subs[sub].tx.set_ssthresh(w);
+                                let w = txs[sub].cwnd;
+                                txs[sub].set_ssthresh(w);
                             }
                         }
                     }
@@ -1401,11 +1644,11 @@ impl Simulator {
                 // One multiplicative decrease per loss episode, with the
                 // level chosen by the coupled algorithm (for stateful
                 // controllers this is also the loss-epoch hook).
-                c.refresh_snapshots(subs);
+                c.refresh_snapshots(txs, colds);
                 let level =
                     c.cc.clamped_window_after_loss(sub, &c.snap_buf, self.now.as_secs_f64());
                 let floor = c.cc.min_window();
-                subs[sub].tx.shrink_to(level, floor);
+                txs[sub].shrink_to(level, floor);
             }
             (outcome.rearm_rto, outcome.newly_acked > 0)
         };
@@ -1417,7 +1660,7 @@ impl Simulator {
         // stand-down in `update_failover` clears the clock instead).
         if progressed && !self.conns[conn].backup_active {
             let base = self.conns[conn].sub_base as usize;
-            if !self.subflows[base + sub].backup {
+            if !self.flows.cold[base + sub].backup {
                 self.conns[conn].primary_down_since = None;
             }
         }
@@ -1441,8 +1684,8 @@ impl Simulator {
         match arm {
             Some(true) => self.schedule_rto(conn, sub),
             Some(false) => {
-                let base = self.conns[conn].sub_base as usize;
-                self.subflows[base + sub].rto_deadline = None;
+                let hot = self.conns[conn].hot_base as usize;
+                self.flows.rto_deadline[hot + sub] = None;
             }
             None => {}
         }
@@ -1451,24 +1694,32 @@ impl Simulator {
     }
 
     fn on_rto(&mut self, conn: ConnId, sub: usize) {
+        if self.conns[conn].retired {
+            // Straggler timer of a retired flow: its hot window may
+            // already belong to another connection, so drop the event
+            // before touching any hot column.
+            self.events_cancelled += 1;
+            return;
+        }
         let base = self.conns[conn].sub_base as usize;
-        self.subflows[base + sub].rto_event_at = None;
+        let hot = self.conns[conn].hot_base as usize;
+        self.flows.rto_event_at[hot + sub] = None;
         if self.conns[conn].finished_at.is_some() {
             // The transfer already completed at the data level (possibly
             // via reinjection around this very subflow); stop the timer
             // churn instead of probing a dead path forever.
-            self.subflows[base + sub].rto_deadline = None;
+            self.flows.rto_deadline[hot + sub] = None;
             self.events_cancelled += 1;
             return;
         }
-        if self.subflows[base + sub].closed {
+        if self.flows.cold[base + sub].closed {
             // Administratively closed since the event was queued: the
             // address is gone, so there is no path left to probe.
-            self.subflows[base + sub].rto_deadline = None;
+            self.flows.rto_deadline[hot + sub] = None;
             self.events_cancelled += 1;
             return;
         }
-        match self.subflows[base + sub].rto_deadline {
+        match self.flows.rto_deadline[hot + sub] {
             None => {
                 // Disarmed since the event was queued.
                 self.events_cancelled += 1;
@@ -1478,35 +1729,36 @@ impl Simulator {
                 // The deadline moved later (ACK progress): lazily re-queue.
                 self.events_cancelled += 1;
                 self.queue.push(d, EventKind::RtoFire { conn, sub });
-                self.subflows[base + sub].rto_event_at = Some(d);
+                self.flows.rto_event_at[hot + sub] = Some(d);
                 return;
             }
             Some(_) => {}
         }
         let newly_failed = {
             let c = &mut self.conns[conn];
-            let subs =
-                &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
+            let FlowArena { tx, cold, rto_deadline, .. } = &mut self.flows;
+            let txs = &mut tx[c.hots()];
+            let colds = &cold[c.subs()];
             // The coupled decrease sets the slow-start threshold; the
             // window itself collapses to the probing floor.
-            c.refresh_snapshots(subs);
+            c.refresh_snapshots(txs, colds);
             let level = c.cc.clamped_window_after_loss(sub, &c.snap_buf, self.now.as_secs_f64());
             let floor = c.cc.min_window();
-            let was_failed = subs[sub].tx.potentially_failed();
-            if !subs[sub].tx.on_rto(floor) {
-                subs[sub].rto_deadline = None;
+            let was_failed = txs[sub].potentially_failed();
+            if !txs[sub].on_rto(floor) {
+                rto_deadline[hot + sub] = None;
                 return; // spurious
             }
-            subs[sub].tx.set_ssthresh(level);
+            txs[sub].set_ssthresh(level);
             // Failover clock: the first unanswered RTO on a primary
             // subflow, while the backups are cold and no earlier episode
             // is still open, marks when the primaries started failing —
             // the paper's failover latency is measured from this instant
             // to data moving onto the backups.
-            if !subs[sub].backup && !c.backup_active && c.primary_down_since.is_none() {
+            if !colds[sub].backup && !c.backup_active && c.primary_down_since.is_none() {
                 c.primary_down_since = Some(self.now);
             }
-            !was_failed && subs[sub].tx.potentially_failed()
+            !was_failed && txs[sub].potentially_failed()
         };
         if self.probe_watches(conn) {
             self.record_transition(conn, sub, TransitionKind::RtoFired);
@@ -1529,13 +1781,17 @@ impl Simulator {
     /// previous failure episode) is never queued twice.
     fn harvest_stranded(&mut self, conn: ConnId, sub: usize) {
         let c = &mut self.conns[conn];
-        if c.sub_count < 2 {
-            return; // nowhere to reinject; RTO probing is the only recovery
+        if c.sub_count < 2 || !c.resident() {
+            // Single path: nowhere to reinject, RTO probing is the only
+            // recovery. Non-resident (lifecycle, pre-start): no sender
+            // state exists yet, so nothing can be stranded.
+            return;
         }
-        let subs = &mut self.subflows[c.sub_base as usize..(c.sub_base + c.sub_count) as usize];
+        let hot = c.hot_base as usize;
+        let FlowArena { tx, rx, .. } = &mut self.flows;
         let mut stranded = std::mem::take(&mut c.stranded_scratch);
         let cap = stranded.capacity();
-        subs[sub].tx.stranded(&mut stranded);
+        tx[hot + sub].stranded(&mut stranded);
         if stranded.capacity() != cap {
             c.scratch_allocs += 1;
         }
@@ -1547,7 +1803,7 @@ impl Simulator {
             // with its ACK lost in the outage — seed the registry with
             // ground truth so a reinjected copy's arrival is not counted
             // as a fresh delivery.
-            let delivered = subs[sub].rx.contains(seq);
+            let delivered = rx[hot + sub].contains(seq);
             c.reinject_reg.insert(dsn, ReinjectEntry { delivered, acked: false });
             c.reinject_queue.push_back(dsn);
         }
@@ -1558,28 +1814,28 @@ impl Simulator {
     /// queued at or before that deadline. At most one pending event per
     /// subflow: an early firing re-queues itself (see [`Self::on_rto`]).
     fn schedule_rto(&mut self, conn: ConnId, sub: usize) {
-        let idx = self.conns[conn].sub_base as usize + sub;
-        let sf = &mut self.subflows[idx];
-        if sf.closed {
+        let c = &self.conns[conn];
+        let (cold_idx, hot_idx) = (c.sub_base as usize + sub, c.hot_base as usize + sub);
+        if self.flows.cold[cold_idx].closed {
             // No address, no timer: a closed subflow never probes.
             return;
         }
-        let deadline = self.now + sf.tx.rto_interval();
-        sf.rto_deadline = Some(deadline);
-        let needs_event = match sf.rto_event_at {
+        let deadline = self.now + self.flows.tx[hot_idx].rto_interval();
+        self.flows.rto_deadline[hot_idx] = Some(deadline);
+        let needs_event = match self.flows.rto_event_at[hot_idx] {
             None => true,
             Some(at) => at > deadline,
         };
         if needs_event {
-            sf.rto_event_at = Some(deadline);
+            self.flows.rto_event_at[hot_idx] = Some(deadline);
             self.queue.push(deadline, EventKind::RtoFire { conn, sub });
         }
     }
 
     fn send_subflow_packet(&mut self, conn: ConnId, sub: usize, seq: u64, retransmit: bool) {
         if retransmit {
-            let base = self.conns[conn].sub_base as usize;
-            self.subflows[base + sub].tx.on_retransmit(seq, self.now);
+            let hot = self.conns[conn].hot_base as usize;
+            self.flows.tx[hot + sub].on_retransmit(seq, self.now);
         }
         let pkt = Packet {
             // Packets carry the world-level id so they survive crossing
@@ -1602,14 +1858,15 @@ impl Simulator {
     fn update_failover(&mut self, conn: ConnId) {
         let c = &self.conns[conn];
         let base = c.sub_base as usize;
+        let hot = c.hot_base as usize;
         let n = c.sub_count as usize;
         let mut first_backup = None;
         let mut usable_primary = false;
         let mut usable_backup = false;
         for i in 0..n {
-            let s = &self.subflows[base + i];
-            let usable = !s.closed && !s.tx.potentially_failed();
-            if s.backup {
+            let cold = &self.flows.cold[base + i];
+            let usable = !cold.closed && !self.flows.tx[hot + i].potentially_failed();
+            if cold.backup {
                 if first_backup.is_none() {
                     first_backup = Some(i);
                 }
@@ -1655,13 +1912,14 @@ impl Simulator {
         }
         self.update_failover(conn);
         let base = self.conns[conn].sub_base as usize;
+        let hot = self.conns[conn].hot_base as usize;
         let n = self.conns[conn].sub_count as usize;
         // Holes first: retransmissions fill the windows before new data.
         for idx in 0..n {
-            if self.subflows[base + idx].closed {
+            if self.flows.cold[base + idx].closed {
                 continue;
             }
-            while let Some(seq) = self.subflows[base + idx].tx.next_retransmit() {
+            while let Some(seq) = self.flows.tx[hot + idx].next_retransmit() {
                 self.send_subflow_packet(conn, idx, seq, true);
             }
         }
@@ -1671,12 +1929,13 @@ impl Simulator {
             for i in 0..n {
                 let idx = (self.conns[conn].rr_next + i) % n;
                 let can = {
-                    let sf = &self.subflows[base + idx];
+                    let cold = &self.flows.cold[base + idx];
+                    let tx = &self.flows.tx[hot + idx];
                     self.conns[conn].has_data()
-                        && !sf.closed
-                        && (!sf.backup || self.conns[conn].backup_active)
-                        && !sf.tx.potentially_failed()
-                        && sf.tx.can_send_new()
+                        && !cold.closed
+                        && (!cold.backup || self.conns[conn].backup_active)
+                        && !tx.potentially_failed()
+                        && tx.can_send_new()
                 };
                 if !can {
                     continue;
@@ -1688,9 +1947,8 @@ impl Simulator {
                     }
                     let dsn = c.next_dsn;
                     c.next_dsn += 1;
-                    let sf = &mut self.subflows[base + idx];
-                    sf.sent_pkts += 1;
-                    sf.tx.on_send_new(self.now, dsn)
+                    self.flows.cold[base + idx].sent_pkts += 1;
+                    self.flows.tx[hot + idx].on_send_new(self.now, dsn)
                 };
                 if newly_armed {
                     self.schedule_rto(conn, idx);
@@ -1711,6 +1969,7 @@ impl Simulator {
     /// ACK finally got through) are discarded unsent.
     fn pump_reinjections(&mut self, conn: ConnId) {
         let base = self.conns[conn].sub_base as usize;
+        let hot = self.conns[conn].hot_base as usize;
         loop {
             let (dsn, idx) = {
                 let c = &mut self.conns[conn];
@@ -1727,11 +1986,12 @@ impl Simulator {
                 let mut chosen = None;
                 for i in 0..n {
                     let idx = (c.rr_next + i) % n;
-                    let sf = &self.subflows[base + idx];
-                    if !sf.closed
-                        && (!sf.backup || c.backup_active)
-                        && !sf.tx.potentially_failed()
-                        && sf.tx.can_send_new()
+                    let cold = &self.flows.cold[base + idx];
+                    let tx = &self.flows.tx[hot + idx];
+                    if !cold.closed
+                        && (!cold.backup || c.backup_active)
+                        && !tx.potentially_failed()
+                        && tx.can_send_new()
                     {
                         chosen = Some(idx);
                         break;
@@ -1740,10 +2000,10 @@ impl Simulator {
                 let Some(idx) = chosen else { return };
                 c.reinject_queue.pop_front();
                 c.reinjections_sent += 1;
-                self.subflows[base + idx].sent_pkts += 1;
+                self.flows.cold[base + idx].sent_pkts += 1;
                 (dsn, idx)
             };
-            let (seq, newly_armed) = self.subflows[base + idx].tx.on_send_new(self.now, dsn);
+            let (seq, newly_armed) = self.flows.tx[hot + idx].on_send_new(self.now, dsn);
             if newly_armed {
                 self.schedule_rto(conn, idx);
             }
@@ -1764,6 +2024,14 @@ impl Simulator {
         if c.budget == Some(0) && c.data_acked == c.next_dsn {
             c.finished_at = Some(self.now);
             c.reinject_queue.clear();
+            let grace = c.retire_grace;
+            if self.lifecycle && self.conns[conn].resident() {
+                // Retirement waits out the straggler grace so every copy
+                // and ACK launched before completion drains first; the
+                // frozen snapshot then equals the end-of-run live stats,
+                // and the recycled window can never see a stale event.
+                self.queue.push(self.now + grace, EventKind::ConnRetire { conn });
+            }
         }
     }
 
@@ -2064,8 +2332,8 @@ mod tests {
     /// the identical inputs).
     fn ewtcp_increase_seen(sim: &mut Simulator, conn: ConnId) -> (f64, Vec<SubflowSnapshot>) {
         let c = &mut sim.conns[conn];
-        let range = c.subs();
-        c.refresh_snapshots(&sim.subflows[range]);
+        let (hots, subs) = (c.hots(), c.subs());
+        c.refresh_snapshots(&sim.flows.tx[hots], &sim.flows.cold[subs]);
         let CcDriver::Pure(cc) = &c.cc else { panic!("EWTCP is a pure rule") };
         (cc.increase_per_ack(0, &c.snap_buf), c.snap_buf.clone())
     }
@@ -2147,11 +2415,140 @@ mod tests {
             let c = sim.add_connection(spec);
             sim.run_until(SimTime::from_secs(40));
             let cwnds: Vec<u64> = {
-                let range = sim.conns[c].subs();
-                sim.subflows[range].iter().map(|s| s.tx.cwnd.to_bits()).collect()
+                let range = sim.conns[c].hots();
+                sim.flows.tx[range].iter().map(|t| t.cwnd.to_bits()).collect()
             };
             (sim.connection_stats(c).digest_value(), cwnds)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Build a small churn world: `flows` finite transfers with staggered
+    /// starts over two lossy shared links, sizes and offsets drawn from
+    /// the seed. Returns the per-connection stats digests at the horizon.
+    fn churn_run(seed: u64, flows: u64, lifecycle: bool) -> Vec<u64> {
+        let mut sim = Simulator::new(seed);
+        sim.set_flow_lifecycle(lifecycle);
+        let l1 = sim.add_link(LinkSpec::mbps(20.0, SimTime::from_millis(5), 25).with_loss(0.005));
+        let l2 = sim.add_link(LinkSpec::mbps(12.0, SimTime::from_millis(15), 25));
+        let mut conns = Vec::new();
+        for i in 0..flows {
+            // Deterministic per-flow size/offset mix, spread so early
+            // flows finish well before late ones start (real churn).
+            let pkts = 20 + (seed.wrapping_mul(31).wrapping_add(i * 17) % 60);
+            let start = SimTime::from_millis(i * 400);
+            let kind = if i % 2 == 0 { AlgorithmKind::Mptcp } else { AlgorithmKind::Ewtcp };
+            conns.push(sim.add_connection(
+                ConnectionSpec::sized(kind, pkts).path(vec![l1]).path(vec![l2]).start(start),
+            ));
+        }
+        sim.run_until(SimTime::from_secs(1 + flows / 2 + 10));
+        conns.iter().map(|&c| sim.connection_stats(c).digest_value()).collect()
+    }
+
+    /// The tentpole equivalence gate: flow-lifecycle mode (hot windows
+    /// acquired at start, recycled one straggler-grace after finish) must
+    /// leave every connection's statistics bit-identical to the
+    /// non-lifecycle layout — recycling is invisible to behavior because
+    /// nothing is sent after finish and the grace outlasts every
+    /// straggler in flight.
+    #[test]
+    fn lifecycle_mode_is_stats_identical_to_the_flat_layout() {
+        for seed in [3, 17, 92, 1031] {
+            assert_eq!(
+                churn_run(seed, 12, false),
+                churn_run(seed, 12, true),
+                "lifecycle on/off diverged for seed {seed}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Randomized version of the equivalence gate: any seed/flow-count
+        /// mix must digest identically under both layouts.
+        #[test]
+        fn lifecycle_equivalence_holds_for_random_churn(
+            seed in 0u64..1_000_000,
+            flows in 2u64..20,
+        ) {
+            proptest::prop_assert_eq!(
+                churn_run(seed, flows, false),
+                churn_run(seed, flows, true)
+            );
+        }
+    }
+
+    /// Sequential same-shape flows must recycle one hot window instead of
+    /// growing the arena, and steady-state churn must not touch the
+    /// allocator (`hot_allocs` flat after the first flow warms the slots).
+    #[test]
+    fn sequential_flows_reuse_one_hot_window_without_allocating() {
+        let mut sim = Simulator::new(7);
+        sim.set_flow_lifecycle(true);
+        let l1 = sim.add_link(LinkSpec::mbps(20.0, SimTime::from_millis(5), 25));
+        let l2 = sim.add_link(LinkSpec::mbps(20.0, SimTime::from_millis(10), 25));
+        let flows = 30u64;
+        let mut conns = Vec::new();
+        for i in 0..flows {
+            // 2s spacing: each 40-packet flow finishes (and out-retires
+            // its grace) long before the next one starts.
+            conns.push(sim.add_connection(
+                ConnectionSpec::sized(AlgorithmKind::Mptcp, 40)
+                    .path(vec![l1])
+                    .path(vec![l2])
+                    .start(SimTime::from_secs(2 * i)),
+            ));
+        }
+        sim.run_until(SimTime::from_secs(4));
+        let (warm_slots, warm_allocs) = (sim.arena_hot_slots(), sim.perf().hot_allocs);
+        sim.run_until(SimTime::from_secs(2 * flows + 2));
+        for &c in &conns {
+            assert!(
+                sim.connection_stats(c).finished_at.is_some(),
+                "every sized flow must complete"
+            );
+        }
+        assert_eq!(
+            sim.arena_hot_slots(),
+            warm_slots,
+            "sequential same-shape flows must recycle the first flow's hot window"
+        );
+        assert_eq!(warm_slots, 2, "exactly one two-subflow window materialized");
+        assert!(
+            sim.arena_hot_reuses() >= flows - 2,
+            "recycling must serve nearly every acquisition: {} of {flows}",
+            sim.arena_hot_reuses()
+        );
+        assert_eq!(
+            sim.perf().hot_allocs,
+            warm_allocs,
+            "flow churn must not allocate after warmup"
+        );
+    }
+
+    /// Stats of a retired flow must be frozen — identical before and long
+    /// after its hot window was recycled to another connection.
+    #[test]
+    fn retired_stats_are_frozen_across_window_recycling() {
+        let mut sim = Simulator::new(5);
+        sim.set_flow_lifecycle(true);
+        let l = sim.add_link(LinkSpec::mbps(10.0, SimTime::from_millis(10), 25));
+        let a = sim.add_connection(ConnectionSpec::sized(AlgorithmKind::Mptcp, 50).path(vec![l]));
+        let b = sim.add_connection(
+            ConnectionSpec::bulk(AlgorithmKind::Mptcp)
+                .path(vec![l])
+                .start(SimTime::from_secs(10)),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        assert!(sim.connection_stats(a).finished_at.is_some());
+        let frozen = sim.connection_stats(a).digest_value();
+        sim.run_until(SimTime::from_secs(30));
+        assert!(sim.connection_stats(b).delivered_pkts() > 0, "tenant b is live");
+        assert_eq!(
+            sim.connection_stats(a).digest_value(),
+            frozen,
+            "a retired flow's stats must not move when its window is re-tenanted"
+        );
     }
 }

@@ -25,7 +25,7 @@
 // lint:shard-state — subflow sender/receiver state is per-shard and moves
 // onto worker threads in the sharded engine; it must stay Send.
 
-use crate::scoreboard::{DefaultOoo, DefaultScoreboard, OooBuf, Scoreboard};
+use crate::scoreboard::{DefaultOoo, DefaultScoreboard, OooBuf, RingPool, Scoreboard};
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
@@ -132,6 +132,25 @@ impl<B: OooBuf> SubflowReceiver<B> {
     /// fallback spills); feeds [`crate::SimPerf::hot_allocs`].
     pub fn alloc_events(&self) -> u64 {
         self.ooo.alloc_events()
+    }
+
+    /// Fresh receiver drawing reassembly-ring storage from `pool`.
+    pub fn new_pooled(pool: &mut RingPool) -> Self {
+        Self { next_expected: 0, ooo: B::new_pooled(pool) }
+    }
+
+    /// Reset to the initial state in place: the reassembly ring keeps its
+    /// storage and its monotone allocation counter, so a recycled arena
+    /// slot starts a new flow without allocating.
+    pub fn reset_for_reuse(&mut self) {
+        self.next_expected = 0;
+        self.ooo.reset_for_reuse();
+    }
+
+    /// Surrender ring storage into `pool`; the husk must not be reused.
+    pub fn gut_into(&mut self, pool: &mut RingPool) {
+        self.next_expected = 0;
+        self.ooo.gut_into(pool);
     }
 }
 
@@ -252,6 +271,51 @@ impl<SB: Scoreboard> SubflowSender<SB> {
             stats: SenderCounters::default(),
             params,
         }
+    }
+
+    /// Like [`SubflowSender::new`], drawing scoreboard storage from `pool`.
+    pub fn new_pooled(params: TcpParams, rtt_hint: f64, pool: &mut RingPool) -> Self {
+        let mut tx = Self::new(params, rtt_hint);
+        tx.board = SB::with_window_hint_pooled(params.max_cwnd, pool);
+        tx
+    }
+
+    /// Reset this sender to the state [`SubflowSender::new`] would produce
+    /// for `(params, rtt_hint)` — in place. Send metadata keeps its ring
+    /// capacity and the scoreboard keeps its bitmap storage, so starting a
+    /// new flow in a recycled arena slot is allocation-free; the monotone
+    /// allocation counters (`meta_allocs`, scoreboard growth) keep
+    /// counting across flows. Per-flow stats reset to zero.
+    pub fn reset_for_reuse(&mut self, params: TcpParams, rtt_hint: f64) {
+        self.cwnd = params.initial_cwnd;
+        self.ssthresh = params.initial_ssthresh.max(MIN_SSTHRESH_PKTS);
+        self.next_seq = 0;
+        self.una = 0;
+        self.srtt = None;
+        self.rttvar = 0.0;
+        self.rto = params.initial_rto.as_secs_f64();
+        self.sack_events = 0;
+        self.in_recovery = false;
+        self.rto_recovery = false;
+        self.rto_armed = false;
+        self.backoffs = 0;
+        self.recovery_point = 0;
+        self.rtt_hint = rtt_hint;
+        self.meta.clear();
+        self.meta_base = 0;
+        self.board.reset_for_reuse();
+        self.stats = SenderCounters::default();
+        self.params = params;
+    }
+
+    /// Surrender scoreboard storage into `pool`; the husk must not send
+    /// again (the containing arena slot is being tombstoned).
+    pub fn gut_into(&mut self, pool: &mut RingPool) {
+        self.meta = VecDeque::new();
+        self.meta_base = 0;
+        self.next_seq = 0;
+        self.una = 0;
+        self.board.gut_into(pool);
     }
 
     /// The RTT the congestion controller should see: the smoothed estimate,
@@ -568,6 +632,13 @@ impl<SB: Scoreboard> SubflowSender<SB> {
     /// scoreboard growth/spills. Feeds [`crate::SimPerf::hot_allocs`].
     pub fn alloc_events(&self) -> u64 {
         self.meta_allocs + self.board.alloc_events()
+    }
+
+    /// Warmed capacity of the send-metadata ring, in packets. The arena
+    /// classes released windows by this envelope so a recycled window is
+    /// handed to a flow whose storage is already sized for it.
+    pub(crate) fn meta_capacity(&self) -> u64 {
+        self.meta.capacity() as u64
     }
 
     /// All data handed to this subflow has been acknowledged.
@@ -1157,6 +1228,118 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Drive a sender through a script, then reset it for reuse and replay
+    /// a second script on it alongside a genuinely fresh sender: every
+    /// observable bit must match — slot recycling may not leak any state
+    /// from the previous flow.
+    fn assert_reuse_equals_fresh(first: &[(u8, u8, u8, u8)], second: &[(u8, u8, u8, u8)]) {
+        let params = TcpParams::default();
+        let mut reused: SubflowSender<BitmapScoreboard> = SubflowSender::new(params, 0.05);
+        let mut now = SimTime::ZERO;
+        let mut dsn = 0u64;
+        for &(op, x, _, _) in first {
+            now = now + SimTime::from_micros(700);
+            match op % 3 {
+                0 => {
+                    for _ in 0..(x % 8 + 1) {
+                        if !reused.can_send_new() {
+                            break;
+                        }
+                        reused.on_send_new(now, dsn);
+                        dsn += 1;
+                    }
+                }
+                1 => {
+                    let cum = reused.una + (x as u64 % (reused.next_seq - reused.una + 1));
+                    let r = sacks(&[(cum + 1, cum + 3)]);
+                    reused.on_ack(cum, &r, now, &mut Vec::new());
+                }
+                _ => {
+                    reused.on_rto(1.0);
+                    while let Some(seq) = reused.next_retransmit() {
+                        reused.on_retransmit(seq, now);
+                    }
+                }
+            }
+        }
+        reused.reset_for_reuse(params, 0.05);
+        let mut fresh: SubflowSender<BitmapScoreboard> = SubflowSender::new(params, 0.05);
+        let mut now = SimTime::ZERO;
+        let mut dsn = 0u64;
+        for (step, &(op, x, y, z)) in second.iter().enumerate() {
+            now = now + SimTime::from_micros(500 + x as u64 * 97);
+            match op % 4 {
+                0 => {
+                    for _ in 0..(x % 8 + 1) {
+                        assert_eq!(reused.can_send_new(), fresh.can_send_new(), "step {step}");
+                        if !fresh.can_send_new() {
+                            break;
+                        }
+                        assert_eq!(
+                            reused.on_send_new(now, dsn),
+                            fresh.on_send_new(now, dsn),
+                            "step {step}"
+                        );
+                        dsn += 1;
+                    }
+                }
+                1 => {
+                    let outstanding = fresh.next_seq - fresh.una;
+                    let cum = fresh.una + (x as u64 % (outstanding + 1));
+                    let s1 = cum + 1 + (y as u64 % 16);
+                    let ranges = sacks(&[(s1, s1 + 1 + z as u64 % 8)]);
+                    let (mut da, mut db) = (Vec::new(), Vec::new());
+                    reused.on_ack(cum, &ranges, now, &mut da);
+                    fresh.on_ack(cum, &ranges, now, &mut db);
+                    assert_eq!(da, db, "step {step}: newly-acked dsns");
+                }
+                2 => {
+                    assert_eq!(reused.on_rto(1.0), fresh.on_rto(1.0), "step {step}");
+                }
+                _ => loop {
+                    let (ra, rb) = (reused.next_retransmit(), fresh.next_retransmit());
+                    assert_eq!(ra, rb, "step {step}");
+                    let Some(seq) = ra else { break };
+                    reused.on_retransmit(seq, now);
+                    fresh.on_retransmit(seq, now);
+                },
+            }
+            assert_eq!(
+                fingerprint(&reused),
+                fingerprint(&fresh),
+                "step {step}: recycled slot leaked state"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn a_reset_sender_is_bit_identical_to_a_fresh_one(
+            first in prop::collection::vec(
+                (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..80),
+            second in prop::collection::vec(
+                (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..120),
+        ) {
+            assert_reuse_equals_fresh(&first, &second);
+        }
+    }
+
+    #[test]
+    fn receiver_reset_forgets_prior_flow_completely() {
+        let mut rx: SubflowReceiver = SubflowReceiver::default();
+        rx.on_data(0);
+        rx.on_data(5);
+        rx.on_data(9);
+        rx.reset_for_reuse();
+        assert_eq!(rx.delivered(), 0);
+        assert!(!rx.contains(5) && !rx.contains(9));
+        let (cum, dup, s) = rx.on_data(0);
+        assert_eq!((cum, dup), (1, false));
+        assert_eq!(s[0], None);
     }
 
     #[test]

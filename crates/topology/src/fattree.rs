@@ -50,6 +50,14 @@ impl FatTree {
         5 * self.k * self.k / 4
     }
 
+    /// Number of simplex links: `3k³/2` — `k³/2` host↕edge, `k³/2`
+    /// edge↕agg and `k³/2` agg↕core, each counted in both directions.
+    /// `build`/`build_sharded` create exactly this many, so large builds
+    /// (the k = 48 scale rung is 165,888 links) can pre-size and verify.
+    pub fn link_count(&self) -> usize {
+        3 * self.k * self.k * self.k / 2
+    }
+
     /// Build a FatTree of `k`-port switches where every (simplex) link has
     /// the given spec.
     ///
@@ -316,6 +324,32 @@ mod tests {
             let p = t.ecmp_path(0, 12, &mut rng);
             assert!(all.contains(&p));
         }
+    }
+
+    #[test]
+    fn link_count_matches_what_build_creates() {
+        for k in [2usize, 4, 8] {
+            let mut sim = Simulator::new(0);
+            let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+            let t = FatTree::build(&mut sim, k, spec);
+            assert_eq!(sim.link_count(), t.link_count(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k48_scale_rung_topology_builds_with_the_advertised_dimensions() {
+        // The scale_sweep k=48 rung: 27,648 hosts across 8 shards. Only
+        // the topology is built here (no traffic), so the test stays
+        // cheap while pinning the sizes the bench banner claims.
+        let spec = LinkSpec::mbps(100.0, SimTime::from_micros(10), 100);
+        let mut sim = ShardedSimulator::new(0, 8);
+        let t = FatTree::build_sharded(&mut sim, 48, spec);
+        assert_eq!(t.host_count(), 27_648);
+        assert_eq!(t.switch_count(), 2_880);
+        assert_eq!(t.link_count(), 165_888);
+        assert_eq!(sim.link_count(), t.link_count());
+        // Inter-pod hosts see the full (k/2)² = 576 core paths.
+        assert_eq!(t.all_paths(0, t.host_count() - 1).len(), 576);
     }
 
     #[test]

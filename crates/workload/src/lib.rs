@@ -14,15 +14,20 @@
 //!   distribution with mean 200 kB";
 //! * [`mobility`] — the §5 walk-about-the-building connectivity trace for
 //!   Fig. 17 (WiFi coverage lost on the stairwell, 3G improving, a new
-//!   basestation acquired).
+//!   basestation acquired);
+//! * [`churn`] — a deterministic burst-then-trickle flow-churn shape (no
+//!   paper counterpart): the stress workload for the flow arena's
+//!   allocation-free open/close path, used by the `flow_churn` bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod churn;
 pub mod mobility;
 pub mod patterns;
 
 pub use arrivals::{AlternatingPoisson, FlowArrival, ParetoSizes};
+pub use churn::ChurnSchedule;
 pub use mobility::{LinkCondition, MobilityTrace, TraceEvent};
 pub use patterns::{one_to_many_random, random_permutation_pairs, sparse_pairs};

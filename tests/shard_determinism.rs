@@ -14,15 +14,22 @@
 //! count, and every replay must agree on the merged [`DetDigest`] *and*
 //! on every connection's full stats digest.
 //!
+//! The flow-churn property adds the arena lifecycle to the mix: flows
+//! arriving and *retiring* mid-run mean window recycling — and the
+//! free-list order it depends on — must itself be schedule-independent.
+//!
 //! Case count scales with `MPTCP_CHAOS_CASES` (default 6 so `cargo test`
 //! stays quick; the nightly CI job raises it). The top worker count
 //! defaults to 8 and can be swept with `MPTCP_SHARD_JOBS` — the nightly
 //! job runs a thread-count matrix over it.
 
+use mptcp_bench::datacenter::dc_link;
 use mptcp_cc::AlgorithmKind;
-use mptcp_netsim::{DetDigest, FaultPlan, ShardedSimulator, SimTime};
-use mptcp_topology::{ShardedDualHomed, Torus};
+use mptcp_netsim::{ConnectionSpec, DetDigest, FaultPlan, ShardedSimulator, SimTime};
+use mptcp_topology::{FatTree, ShardedDualHomed, Torus};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const HORIZON: SimTime = SimTime::from_secs(30);
 
@@ -84,6 +91,45 @@ fn run_dual_homed(seed: u64, fault_seed: u64, pkts: u64, jobs: usize) -> Outcome
     outcome(&sim, &[mp, sp])
 }
 
+/// Randomized mid-run flow churn on a pod-sharded FatTree k = 4 under the
+/// arena's first-class lifecycle mode: finite 2-subflow flows arrive at
+/// random times across the first 2 s, complete, and retire (freeing their
+/// hot windows for recycling) while later flows are still arriving. The
+/// replay must agree not just on the digests but on the merged arena
+/// reuse count — window recycling order is part of the history.
+fn run_churn(seed: u64, arrival_seed: u64, flows: usize, jobs: usize) -> (Outcome, Vec<u64>, u64) {
+    let mut sim = ShardedSimulator::new(seed, 3);
+    sim.set_flow_lifecycle(true);
+    let ft = FatTree::build_sharded(&mut sim, 4, dc_link());
+    let hosts = ft.host_count();
+    let mut rng = StdRng::seed_from_u64(arrival_seed);
+    let mut conns = Vec::with_capacity(flows);
+    let mut sizes = Vec::with_capacity(flows);
+    for _ in 0..flows {
+        let src = rng.gen_range(0..hosts);
+        let mut dst = rng.gen_range(0..hosts - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let pkts = rng.gen_range(2u64..40);
+        let start = SimTime::from_micros(rng.gen_range(0u64..2_000_000));
+        let mut spec = ConnectionSpec::sized(AlgorithmKind::Mptcp, pkts).start(start);
+        for p in ft.random_paths(src, dst, 2, &mut rng) {
+            spec = spec.path(p);
+        }
+        conns.push(sim.add_connection(spec));
+        sizes.push(pkts);
+    }
+    sim.set_jobs(jobs);
+    // 2.5 s horizon: the last arrival lands by 2 s, service time on these
+    // short flows is milliseconds, and the ~150 ms retirement grace still
+    // fits with margin — so every flow both finishes *and* retires. The
+    // 2 s arrival window is >10× the grace, so early windows recycle into
+    // late arrivals mid-run.
+    sim.run_until(SimTime::from_millis(2_500));
+    (outcome(&sim, &conns), sizes, sim.arena_hot_reuses())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
 
@@ -127,6 +173,50 @@ proptest! {
                 seed,
                 fault_seed,
                 pkts
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_flow_churn_history_is_independent_of_worker_count(
+        seed in 1u64..u32::MAX as u64,
+        arrival_seed in 0u64..u32::MAX as u64,
+    ) {
+        let (reference, sizes, reuses) = run_churn(seed, arrival_seed, 60, 1);
+        // Exactly-once accounting on the serial reference: every finite
+        // flow finished before the horizon and each of its data packets
+        // was delivered exactly once — retirement must not strand or
+        // double-count in-flight data.
+        for (i, (&got, &want)) in reference.delivered.iter().zip(&sizes).enumerate() {
+            prop_assert_eq!(
+                got, want,
+                "flow {} delivered {} of {} packets exactly-once (seed={}, arrival_seed={})",
+                i, got, want, seed, arrival_seed
+            );
+        }
+        // The schedule must actually churn: early flows retire while late
+        // ones arrive, so recycled windows get re-tenanted mid-run.
+        prop_assert!(
+            reuses > 0,
+            "schedule produced no window recycling (seed={seed}, arrival_seed={arrival_seed})"
+        );
+        for jobs in jobs_matrix() {
+            let (replay, _, replay_reuses) = run_churn(seed, arrival_seed, 60, jobs);
+            prop_assert_eq!(
+                &reference,
+                &replay,
+                "churn history diverged at jobs={} (seed={}, arrival_seed={})",
+                jobs,
+                seed,
+                arrival_seed
+            );
+            prop_assert_eq!(
+                reuses,
+                replay_reuses,
+                "arena recycling diverged at jobs={} (seed={}, arrival_seed={})",
+                jobs,
+                seed,
+                arrival_seed
             );
         }
     }

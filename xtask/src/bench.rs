@@ -64,8 +64,18 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRecord>, String> {
                 return Err(format!("{source}: malformed field after `{key}`"));
             };
             let vend = colon.find([',', '}']).unwrap_or(colon.len());
-            if let Ok(v) = colon[..vend].trim().parse::<f64>() {
-                fields.push((key, v));
+            // Booleans become 0/1 so flags like `"quick"` are visible to
+            // consumers (perf-table's caveat); neither matches the gated
+            // `*_per_sec` / `*_rss_bytes` field names, so bench-check
+            // never compares them.
+            match colon[..vend].trim() {
+                "true" => fields.push((key, 1.0)),
+                "false" => fields.push((key, 0.0)),
+                v => {
+                    if let Ok(v) = v.parse::<f64>() {
+                        fields.push((key, v));
+                    }
+                }
             }
             body = colon;
         }
@@ -118,23 +128,54 @@ impl Comparison {
     }
 }
 
+/// The result of [`compare`]: the gated field comparisons plus notes for
+/// fields that were deliberately *not* compared (currently: per-core
+/// rates across records with different `host_cores`).
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Baseline-vs-current comparisons, in baseline file order.
+    pub comparisons: Vec<Comparison>,
+    /// One human-readable line per skipped field.
+    pub skipped: Vec<String>,
+}
+
 /// Compare every throughput and memory field of every source present in
 /// **both** files. Returns all comparisons (for the report) in baseline
 /// file order. A non-positive baseline value is skipped (e.g. the 0 RSS
 /// recorded off Linux — there is nothing to regress against).
-pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> Vec<Comparison> {
-    let mut out = Vec::new();
+///
+/// `*_per_core` fields are only meaningful between runs on machines with
+/// the same logical-core count: dividing an aggregate rate by `jobs` on a
+/// box that cannot actually run `jobs` threads concurrently inflates the
+/// per-core number. When both records carry a `host_cores` field and the
+/// counts differ, per-core comparisons are skipped and noted instead of
+/// reported as (anti-)regressions. Records without `host_cores` (older
+/// baselines) are compared as before.
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord]) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
     for b in baseline {
         let Some(c) = current.iter().find(|c| c.source == b.source) else {
             continue;
         };
+        let cores = (b.get("host_cores"), c.get("host_cores"));
+        let cores_differ = matches!(cores, (Some(bc), Some(cc)) if bc != cc);
         for (key, bval) in &b.fields {
             let memory = is_memory_field(key);
             if (!is_throughput_field(key) && !memory) || *bval <= 0.0 {
                 continue;
             }
+            if cores_differ && key.ends_with("_per_core") {
+                out.skipped.push(format!(
+                    "{} {}: skipped — baseline ran on {:.0} core(s), current on {:.0}",
+                    b.source,
+                    key,
+                    cores.0.unwrap_or(0.0),
+                    cores.1.unwrap_or(0.0),
+                ));
+                continue;
+            }
             if let Some(cval) = c.get(key) {
-                out.push(Comparison {
+                out.comparisons.push(Comparison {
                     source: b.source.clone(),
                     field: key.clone(),
                     baseline: *bval,
@@ -164,8 +205,11 @@ mod tests {
         assert_eq!(recs[0].source, "sim_micro/mptcp4");
         assert_eq!(recs[0].get("events"), Some(14150.0));
         assert_eq!(recs[0].get("wheel_events_per_sec"), Some(6750000.5));
-        // Booleans and strings are not numeric fields.
-        assert_eq!(recs[1].get("identical_history"), None);
+        // Booleans parse as 0/1 flags (perf-table reads `quick`); their
+        // names never match the gated field patterns, so bench-check
+        // ignores them.
+        assert_eq!(recs[0].get("quick"), Some(0.0));
+        assert_eq!(recs[1].get("identical_history"), Some(1.0));
         assert_eq!(recs[2].get("events_per_sec"), Some(5100000.0));
     }
 
@@ -204,7 +248,7 @@ mod tests {
             r#"{"source":"scale_sweep/fattree_k8","events_per_sec":5100000,"peak_rss_bytes":16777216}"#,
         )
         .unwrap();
-        let cmp = compare(&base, &fresh);
+        let cmp = compare(&base, &fresh).comparisons;
         let rss = cmp.iter().find(|c| c.field == "peak_rss_bytes").expect("rss compared");
         assert!(rss.lower_is_better);
         assert!(rss.regression() > 0.20, "doubled RSS must regress: {rss:?}");
@@ -222,7 +266,7 @@ mod tests {
 {"source":"new_bench/only_current","events_per_sec":1}"#,
         )
         .unwrap();
-        let cmp = compare(&base, &fresh);
+        let cmp = compare(&base, &fresh).comparisons;
         // probe_guard is baseline-only, only_current is fresh-only: skipped.
         let sources: Vec<&str> = cmp.iter().map(|c| c.source.as_str()).collect();
         assert!(!sources.contains(&"sim_micro/probe_guard"));
@@ -249,7 +293,43 @@ mod tests {
         );
         // A file compared against itself has zero regression everywhere.
         let cmp = compare(&recs, &recs);
-        assert!(!cmp.is_empty());
-        assert!(cmp.iter().all(|c| c.regression().abs() < 1e-12));
+        assert!(!cmp.comparisons.is_empty());
+        assert!(cmp.skipped.is_empty(), "self-comparison never differs in core count");
+        assert!(cmp.comparisons.iter().all(|c| c.regression().abs() < 1e-12));
+    }
+
+    #[test]
+    fn per_core_fields_skip_with_note_when_core_counts_differ() {
+        let base = parse_bench(
+            r#"{"source":"scale_sweep/k32","events_per_sec":2000000,"events_per_sec_per_core":250000,"host_cores":8}"#,
+        )
+        .unwrap();
+        let fresh = parse_bench(
+            r#"{"source":"scale_sweep/k32","events_per_sec":2000000,"events_per_sec_per_core":125000,"host_cores":1}"#,
+        )
+        .unwrap();
+        let out = compare(&base, &fresh);
+        // The aggregate rate is still gated; the per-core one is noted, not
+        // reported as a 50% regression caused by the machine change.
+        assert!(out.comparisons.iter().any(|c| c.field == "events_per_sec"));
+        assert!(!out.comparisons.iter().any(|c| c.field == "events_per_sec_per_core"));
+        assert_eq!(out.skipped.len(), 1);
+        assert!(out.skipped[0].contains("events_per_sec_per_core"), "{:?}", out.skipped);
+        assert!(out.skipped[0].contains("8 core(s)"), "{:?}", out.skipped);
+    }
+
+    #[test]
+    fn per_core_fields_compare_when_core_counts_match_or_are_absent() {
+        let with_cores =
+            r#"{"source":"s","events_per_sec_per_core":250000,"host_cores":8}"#;
+        let base = parse_bench(with_cores).unwrap();
+        let same = compare(&base, &base);
+        assert_eq!(same.comparisons.len(), 1);
+        assert!(same.skipped.is_empty());
+        // Older baselines without host_cores keep their per-core gate.
+        let legacy = parse_bench(r#"{"source":"s","events_per_sec_per_core":250000}"#).unwrap();
+        let out = compare(&legacy, &base);
+        assert_eq!(out.comparisons.len(), 1);
+        assert!(out.skipped.is_empty());
     }
 }

@@ -1,10 +1,11 @@
 //! `xtask` — workspace automation for the MPTCP reproduction.
 //!
-//! Two subcommands: `cargo xtask lint`, the determinism & invariant lint
-//! pass described in DESIGN.md §3.2d, and `cargo xtask bench-check`, the
-//! `BENCH_sim.json` performance-regression gate. The library half exists
-//! so the fixture self-tests (`xtask/tests/`) can drive the exact code the
-//! CLI runs.
+//! Three subcommands: `cargo xtask lint`, the determinism & invariant
+//! lint pass described in DESIGN.md §3.2d; `cargo xtask bench-check`, the
+//! `BENCH_sim.json` performance-regression gate; and `cargo xtask
+//! perf-table`, which regenerates the README performance table from the
+//! same records. The library half exists so the fixture self-tests
+//! (`xtask/tests/`) can drive the exact code the CLI runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,6 +14,7 @@ pub mod bench;
 pub mod lexer;
 pub mod lints;
 pub mod parse;
+pub mod perf_table;
 pub mod report;
 
 pub use bench::{compare, is_throughput_field, parse_bench, BenchRecord, Comparison};

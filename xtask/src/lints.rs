@@ -50,8 +50,15 @@
 //!   `as`-to-integer casts (silent saturation): route through the checked,
 //!   invariant-documented helpers in `crates/netsim/src/cast.rs`.
 //!   `#[cfg(test)]` items are exempt.
+//! * **`hot-alloc`** (D10) — no `Box::new(…)`, `vec![…]`, `.to_vec()` or
+//!   `.clone()` in `lint:hot-path` files: the per-ACK path is kept
+//!   allocation-free by the arena/pool machinery (`flow_churn` asserts
+//!   the `hot_allocs` counter stays flat), and any of these re-introduces
+//!   a silent per-packet allocator round-trip. Creation-time and
+//!   counted-growth sites carry explicit allows. `#[cfg(test)]` items are
+//!   exempt.
 //!
-//! D7–D9 are *structural* rules: they run on the recursive-descent parse
+//! D7–D10 are *structural* rules: they run on the recursive-descent parse
 //! tree ([`crate::parse`]) rather than the raw token stream, which is what
 //! lets them see `#[cfg(test)]` boundaries, `match` arms and cast sources.
 //!
@@ -95,6 +102,9 @@ pub enum Rule {
     ExhaustiveMatch,
     /// D9: narrowing / float-sourced `as` casts in marked files.
     CastAudit,
+    /// D10: allocating calls (`Box::new`, `vec!`, `.to_vec()`,
+    /// `.clone()`) in `lint:hot-path` files.
+    HotAlloc,
     /// A `lint:` annotation that is malformed, names an unknown rule, or
     /// has an empty reason.
     BadAnnotation,
@@ -115,12 +125,13 @@ impl Rule {
             Rule::PanicFree => "panic-free",
             Rule::ExhaustiveMatch => "exhaustive-match",
             Rule::CastAudit => "cast-audit",
+            Rule::HotAlloc => "hot-alloc",
             Rule::BadAnnotation => "bad-annotation",
             Rule::UnusedAllow => "unused-allow",
         }
     }
 
-    /// Every rule, domain and meta, in policy order (D1–D9 then the two
+    /// Every rule, domain and meta, in policy order (D1–D10 then the two
     /// meta rules). The `--rules` self-test walks this so the policy dump
     /// cannot silently drop one.
     pub fn all() -> &'static [Rule] {
@@ -134,6 +145,7 @@ impl Rule {
             Rule::PanicFree,
             Rule::ExhaustiveMatch,
             Rule::CastAudit,
+            Rule::HotAlloc,
             Rule::BadAnnotation,
             Rule::UnusedAllow,
         ]
@@ -152,6 +164,7 @@ impl Rule {
             Rule::PanicFree,
             Rule::ExhaustiveMatch,
             Rule::CastAudit,
+            Rule::HotAlloc,
         ]
     }
 
@@ -664,6 +677,36 @@ fn scan_fn_events(fd: &parse::FnDef, cx: &TreeCx, findings: &mut Vec<Finding>) {
     for ev in &fd.events {
         match ev {
             ExprEvent::MethodCall { name, line }
+                if cx.hot_path && matches!(name.as_str(), "to_vec" | "clone") =>
+            {
+                push(
+                    Rule::HotAlloc,
+                    *line,
+                    format!(
+                        "`.{name}(…)` in a `lint:hot-path` file: a hidden allocation (or deep copy) on the per-ACK path defeats the arena/pool recycling that keeps `hot_allocs` flat"
+                    ),
+                    "reuse pooled storage (`reset_for_reuse`, the ring pool) or copy into a caller-provided buffer; for creation-time or counted-growth sites annotate: // lint:allow(hot-alloc, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::MacroCall { name, line } if cx.hot_path && name == "vec" => {
+                push(
+                    Rule::HotAlloc,
+                    *line,
+                    "`vec![…]` in a `lint:hot-path` file: a fresh heap vector on the per-ACK path defeats the arena/pool recycling that keeps `hot_allocs` flat".into(),
+                    "draw from the ring pool / reuse a scratch buffer; for creation-time or counted-growth sites annotate: // lint:allow(hot-alloc, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::PathCall { head, name, line }
+                if cx.hot_path && head == "Box" && name == "new" =>
+            {
+                push(
+                    Rule::HotAlloc,
+                    *line,
+                    "`Box::new(…)` in a `lint:hot-path` file: a per-event box defeats the arena/pool recycling that keeps `hot_allocs` flat".into(),
+                    "store the value inline (the arena columns are plain fields) or pool it; for creation-time sites annotate: // lint:allow(hot-alloc, reason = \"…\")".into(),
+                );
+            }
+            ExprEvent::MethodCall { name, line }
                 if marked && matches!(name.as_str(), "unwrap" | "expect") =>
             {
                 push(
@@ -1077,6 +1120,28 @@ mod tests {
         assert!(lint_group(&[file(&free, Scope::Sim)]).is_empty());
         // The escape hatch works like every other rule's.
         let allowed = "// lint:shard-state\nfn f(n: usize) -> u32 {\n    // lint:allow(cast-audit, reason = \"n is a subflow index, bounded by MAX_SUBFLOWS = 64\")\n    n as u32\n}\n";
+        assert!(lint_group(&[file(allowed, Scope::Sim)]).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flags_allocating_calls_in_hot_path_files_only() {
+        let marked = "// lint:hot-path\nfn f(xs: &[u64]) -> Vec<u64> {\n    let a = Box::new(1u64);\n    let b = vec![0u64; 4];\n    let c = xs.to_vec();\n    let d = c.clone();\n    drop((a, b));\n    d\n}\n";
+        let f = lint_group(&[file(marked, Scope::Sim)]);
+        assert_eq!(rules(&f), vec![Rule::HotAlloc; 4], "{f:?}");
+        // Unmarked files (and shard-state-only files) carry no obligation:
+        // shard state legitimately clones at setup/snapshot time.
+        let free = marked.replace("// lint:hot-path\n", "");
+        assert!(lint_group(&[file(&free, Scope::Sim)]).is_empty());
+        let shard = marked.replace("lint:hot-path", "lint:shard-state");
+        assert!(lint_group(&[file(&shard, Scope::Sim)]).iter().all(|f| f.rule != Rule::HotAlloc));
+        // #[cfg(test)] items in a marked file are exempt.
+        let test_only = "// lint:hot-path\n#[cfg(test)]\nmod tests {\n    fn g() -> Vec<u64> { vec![1, 2].to_vec() }\n}\n";
+        assert!(lint_group(&[file(test_only, Scope::Sim)]).is_empty());
+        // Mentions in comments/docs are fine.
+        let comment_only = "// lint:hot-path\n// A vec! or .clone() here would allocate per ACK.\nlet x = 1;\n";
+        assert!(lint_group(&[file(comment_only, Scope::General)]).is_empty());
+        // The escape hatch works like every other rule's.
+        let allowed = "// lint:hot-path\nfn f() -> Vec<u64> {\n    // lint:allow(hot-alloc, reason = \"creation-time ring storage, never per-ACK\")\n    vec![0u64; 256]\n}\n";
         assert!(lint_group(&[file(allowed, Scope::Sim)]).is_empty());
     }
 

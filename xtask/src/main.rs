@@ -5,6 +5,7 @@
 //! cargo xtask lint --fix                # …and print mechanical rewrite suggestions
 //! cargo xtask lint --rules              # describe the rule set
 //! cargo xtask bench-check BASELINE.json # BENCH_sim.json perf-regression gate
+//! cargo xtask perf-table                # regenerate the README perf table
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
@@ -17,6 +18,7 @@ use xtask::{
 
 const USAGE: &str = "usage: cargo xtask lint [--fix] [--rules] [--format FMT] [PATH...]
        cargo xtask bench-check BASELINE [CURRENT] [--threshold-pct N] [--strict]
+       cargo xtask perf-table [--check]
 
 subcommands:
   lint          run the determinism & invariant lint pass over the workspace
@@ -42,6 +44,12 @@ subcommands:
                 by MPTCP_BENCH_STRICT=1. Without it the comparison is a
                 smoke check: regressions print but the exit code stays 0
                 (wall-clock numbers from shared CI machines are noise)
+  perf-table    re-render the README's generated performance table (between
+                the `<!-- perf-table:begin -->` / `<!-- perf-table:end -->`
+                markers) from the scale_sweep and flow_churn records in
+                BENCH_sim.json, so the committed table always matches the
+                committed baseline
+    --check     render without writing; exit 1 if README.md is stale
 ";
 
 const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
@@ -76,6 +84,12 @@ const RULES: &str = "rules (DESIGN.md §3.2d — determinism policy):
                    float-sourced `as`-to-integer casts in lint:hot-path /
                    lint:shard-state files: route through the checked
                    helpers in crates/netsim/src/cast.rs.
+  hot-alloc        no Box::new / vec! / .to_vec() / .clone() in
+                   lint:hot-path files: the per-ACK path stays
+                   allocation-free via arena/pool recycling (flow_churn
+                   asserts hot_allocs is flat); creation-time and
+                   counted-growth sites carry explicit allows.
+                   #[cfg(test)] is exempt.
 
 meta (not annotatable):
 
@@ -100,6 +114,9 @@ fn run(args: &[String]) -> i32 {
         Some("lint") => {}
         Some("bench-check") => {
             return bench_check(&args[1..]);
+        }
+        Some("perf-table") => {
+            return perf_table(&args[1..]);
         }
         Some("-h") | Some("--help") | None => {
             print!("{USAGE}");
@@ -282,14 +299,18 @@ fn bench_check(args: &[String]) -> i32 {
         }
     };
 
-    let comparisons = compare(&base, &cur);
-    if comparisons.is_empty() {
+    let outcome = compare(&base, &cur);
+    let comparisons = outcome.comparisons;
+    if comparisons.is_empty() && outcome.skipped.is_empty() {
         eprintln!(
             "xtask bench-check: no overlapping throughput/memory fields between {} and {} — nothing was checked",
             baseline_path,
             current_path.display()
         );
         return 2;
+    }
+    for note in &outcome.skipped {
+        println!("  note: {note}");
     }
     let mut regressed = 0;
     for c in &comparisons {
@@ -324,6 +345,75 @@ fn bench_check(args: &[String]) -> i32 {
     if regressed > 0 && strict {
         return 1;
     }
+    0
+}
+
+/// `cargo xtask perf-table [--check]` — regenerate (or verify) the
+/// README's generated performance table from `BENCH_sim.json`.
+fn perf_table(args: &[String]) -> i32 {
+    let mut check = false;
+    for arg in args {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let cwd = std::env::current_dir().unwrap_or_default();
+    let Some(root) = find_workspace_root(&cwd)
+        .or_else(|| find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))))
+    else {
+        eprintln!("xtask: no workspace root found above {}", cwd.display());
+        return 2;
+    };
+    let bench_path = root.join("BENCH_sim.json");
+    let readme_path = root.join("README.md");
+    let read = |p: &std::path::Path| match std::fs::read_to_string(p) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("xtask: {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(bench_text), Some(readme)) = (read(&bench_path), read(&readme_path)) else {
+        return 2;
+    };
+    let records = match parse_bench(&bench_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: perf-table parse error: {e}");
+            return 2;
+        }
+    };
+    let Some(table) = xtask::perf_table::render(&records) else {
+        eprintln!(
+            "xtask: {} has no scale_sweep/ or flow_churn/ records — run those benches first",
+            bench_path.display()
+        );
+        return 2;
+    };
+    let updated = match xtask::perf_table::splice(&readme, &table) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("xtask: perf-table: {e}");
+            return 2;
+        }
+    };
+    if updated == readme {
+        println!("xtask perf-table: README.md is up to date");
+        return 0;
+    }
+    if check {
+        eprintln!("xtask perf-table: README.md is stale — run `cargo xtask perf-table`");
+        return 1;
+    }
+    if let Err(e) = std::fs::write(&readme_path, &updated) {
+        eprintln!("xtask: {}: {e}", readme_path.display());
+        return 2;
+    }
+    println!("xtask perf-table: rewrote the generated table in README.md");
     0
 }
 

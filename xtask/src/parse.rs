@@ -118,6 +118,18 @@ pub enum ExprEvent {
         /// 1-based line.
         line: u32,
     },
+    /// `Head::name(…)` — a two-segment path call (`Box::new`,
+    /// `Vec::with_capacity`, enum constructors). Only the final two
+    /// segments are recorded: `std::boxed::Box::new(…)` yields
+    /// `("Box", "new")`.
+    PathCall {
+        /// Path head (the segment before the final `::`).
+        head: String,
+        /// Called name (the segment before the `(`).
+        name: String,
+        /// 1-based line of the head segment.
+        line: u32,
+    },
     /// `expr[…]` — an index expression (panics when out of bounds).
     Index {
         /// 1-based line of the `[`.
@@ -595,6 +607,21 @@ impl Parser<'_> {
                     j += 1;
                 }
                 TokKind::Ident
+                    if self.text(j + 1) == "::"
+                        && self.toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                        && self.text(j + 3) == "(" =>
+                {
+                    ev.push(ExprEvent::PathCall {
+                        head: t.text.clone(),
+                        name: self.toks[j + 2].text.clone(),
+                        line: t.line,
+                    });
+                    // Step past the head only: the called segment is
+                    // rescanned so `A::b(` nested inside arguments of an
+                    // outer call still contributes its own events.
+                    j += 1;
+                }
+                TokKind::Ident
                     if self.text(j + 1) == "!" && matches!(self.text(j + 2), "(" | "[" | "{") =>
                 {
                     ev.push(ExprEvent::MacroCall { name: t.text.clone(), line: t.line });
@@ -956,6 +983,9 @@ mod tests {
                         .map(|e| match e {
                             ExprEvent::MethodCall { name, .. } => format!("call:{name}"),
                             ExprEvent::MacroCall { name, .. } => format!("macro:{name}"),
+                            ExprEvent::PathCall { head, name, .. } => {
+                                format!("path:{head}::{name}")
+                            }
                             ExprEvent::Index { .. } => "index".into(),
                             ExprEvent::Cast { target, float_source, .. } => {
                                 format!("cast:{target}{}", if *float_source { ":f" } else { "" })
@@ -1038,6 +1068,25 @@ mod tests {
         assert!(evs.contains(&"macro:panic".to_string()));
         assert!(evs.contains(&"macro:vec".to_string()));
         // The widening cast has no float evidence.
+        assert!(evs.contains(&"cast:u64".to_string()), "{evs:?}");
+    }
+
+    #[test]
+    fn path_calls_record_the_final_two_segments() {
+        let src = "fn f(n: usize) -> Box<u64> {
+            let v = Vec::with_capacity(n);
+            let b = std::boxed::Box::new(v.len() as u64);
+            drop(Kind::A(n));
+            b
+        }";
+        let evs = &fns(src)[0].2;
+        assert!(evs.contains(&"path:Vec::with_capacity".to_string()), "{evs:?}");
+        assert!(evs.contains(&"path:Box::new".to_string()), "{evs:?}");
+        assert!(evs.contains(&"path:Kind::A".to_string()), "{evs:?}");
+        // Intermediate segments of the long path are not events.
+        assert!(!evs.iter().any(|e| e.contains("std::") || e.contains("boxed::Box")), "{evs:?}");
+        // The argument of an outer path call is still scanned.
+        assert!(evs.contains(&"call:len".to_string()), "{evs:?}");
         assert!(evs.contains(&"cast:u64".to_string()), "{evs:?}");
     }
 

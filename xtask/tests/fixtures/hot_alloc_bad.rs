@@ -1,0 +1,16 @@
+// lint:hot-path
+//! D10 bad fixture: every banned allocating call, in non-test code of a
+//! hot-path-marked file.
+
+fn per_ack(acked: &[u64], scratch: &Vec<u64>) -> Vec<u64> {
+    // A per-event box round-trips the allocator on every ACK.
+    let boxed = Box::new(acked.len() as u64);
+    // A fresh vector literal allocates its backing storage.
+    let fresh = vec![0u64; acked.len()];
+    // `.to_vec()` is a hidden allocation plus a copy.
+    let copied = acked.to_vec();
+    // `.clone()` deep-copies the scratch buffer instead of reusing it.
+    let mut out = scratch.clone();
+    out.push(*boxed + fresh.len() as u64 + copied.len() as u64);
+    out
+}

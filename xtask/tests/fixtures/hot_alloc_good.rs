@@ -1,0 +1,43 @@
+//! Good fixture: D10 `hot-alloc`.
+//! The same per-ACK work done allocation-free: pooled/reused storage,
+//! copies into caller-provided buffers, one reasoned allow on the
+//! creation-time site (warm-up allocations are legal and counted), and a
+//! `#[cfg(test)]` module where `vec!` is idiomatic and exempt.
+
+// lint:hot-path — pretend per-ACK bookkeeping.
+
+pub struct Ring {
+    words: Vec<u64>,
+}
+
+impl Ring {
+    pub fn with_cap(words: usize) -> Ring {
+        // lint:allow(hot-alloc, reason = "creation-time ring storage; steady state reuses it via reset_for_reuse")
+        Ring { words: vec![0u64; words] }
+    }
+
+    /// Steady-state reset: keeps the backing storage, allocates nothing.
+    pub fn reset_for_reuse(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Copy into a caller-provided scratch buffer instead of `.to_vec()`.
+    pub fn snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Ring;
+
+    #[test]
+    fn reset_clears_without_reallocating() {
+        let mut r = Ring::with_cap(4);
+        let mut snap = vec![1u64; 1].clone();
+        r.reset_for_reuse();
+        r.snapshot_into(&mut snap);
+        assert_eq!(snap, vec![0; 4].to_vec());
+    }
+}

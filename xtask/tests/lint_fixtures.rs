@@ -39,6 +39,7 @@ fn every_bad_fixture_fails_with_its_rule() {
         ("panic_free_bad.rs", Rule::PanicFree, 5), // unwrap, expect, indexing, panic!, unreachable!
         ("exhaustive_match_bad.rs", Rule::ExhaustiveMatch, 2), // `_` arm + binding arm
         ("cast_audit_bad.rs", Rule::CastAudit, 4), // 3 narrowing + 1 float→int
+        ("hot_alloc_bad.rs", Rule::HotAlloc, 4), // Box::new, vec!, .to_vec(), .clone()
     ] {
         let findings = lint_one(name);
         assert!(!findings.is_empty(), "{name} must fail");
@@ -64,6 +65,7 @@ fn every_good_fixture_passes_clean() {
         "panic_free_good.rs",
         "exhaustive_match_good.rs",
         "cast_audit_good.rs",
+        "hot_alloc_good.rs",
     ] {
         let findings = lint_one(name);
         assert!(findings.is_empty(), "{name} must be clean, got {findings:#?}");
@@ -142,6 +144,7 @@ fn cli_exit_codes_match_the_ci_contract() {
         "shard_safety_bad.rs",
         "panic_free_bad.rs",
         "cast_audit_bad.rs",
+        "hot_alloc_bad.rs",
         "annotations_bad.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
@@ -165,6 +168,7 @@ fn cli_exit_codes_match_the_ci_contract() {
         "shard_safety_good.rs",
         "panic_free_good.rs",
         "cast_audit_good.rs",
+        "hot_alloc_good.rs",
     ] {
         let out = run(&["lint", fixtures.join(name).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(0), "{name} must exit 0");
@@ -369,6 +373,32 @@ fn cast_audit_rule_is_live_on_the_real_scoreboard() {
         findings.iter().any(|f| f.rule == Rule::CastAudit),
         "cast-audit not live, a reintroduced narrowing cast went unflagged: {findings:#?}"
     );
+}
+
+#[test]
+fn hot_alloc_rule_is_live_on_the_real_hot_files() {
+    // The per-ACK files must be clean of hidden allocations and actually
+    // be protected: a fresh vec/clone sneaking back in must be flagged.
+    let root = repo_root();
+    for rel in ["crates/netsim/src/tcp.rs", "crates/netsim/src/scoreboard.rs"] {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lint = |source: String| {
+            lint_group(&[FileInput { path: PathBuf::from(rel), source, scope: Scope::Sim }])
+        };
+        assert!(lint(src.clone()).is_empty(), "{rel} must be lint-clean");
+        for sneak in [
+            "fn sneaky_a(xs: &[u64]) -> Vec<u64> { xs.to_vec() }",
+            "fn sneaky_b(xs: &Vec<u64>) -> Vec<u64> { xs.clone() }",
+            "fn sneaky_c(n: u64) -> Box<u64> { Box::new(n) }",
+            "fn sneaky_d(n: usize) -> Vec<u64> { vec![0; n] }",
+        ] {
+            let findings = lint(format!("{src}\n{sneak}\n"));
+            assert!(
+                findings.iter().any(|f| f.rule == Rule::HotAlloc),
+                "{rel}: hot-alloc not live, `{sneak}` went unflagged: {findings:#?}"
+            );
+        }
+    }
 }
 
 #[test]
